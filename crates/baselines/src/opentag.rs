@@ -1,0 +1,202 @@
+//! OpenTag-lite attribute extraction and the RotatE+ pipeline.
+//!
+//! The paper's RotatE+ baseline "first applies OpenTag … to extract
+//! all relevant attributes from product title and description to
+//! enrich the PG, then applies RotatE on the enriched KG". OpenTag
+//! proper is a BiLSTM-CRF sequence tagger; what RotatE+ actually
+//! consumes is its *output* — (product, attribute, value) candidates
+//! mined from titles. We reproduce that output with a high-precision
+//! longest-match lexicon tagger over per-attribute value vocabularies
+//! (see DESIGN.md §2), then run the id-based RotatE baseline on the
+//! enriched training set.
+
+use crate::kge::{KgeConfig, KgeModel};
+use pge_core::ScoreKind;
+use pge_graph::{AttrId, Dataset, ProductGraph, ProductId, Triple, ValueId};
+use pge_tensor::FxHashSet;
+use pge_text::tokenize;
+
+/// Per-attribute value lexicon: tokenized value strings observed in
+/// training, longest first.
+pub struct OpenTagLexicon {
+    /// `per_attr[a]` = (value tokens, value id), sorted by descending
+    /// token count so the longest match wins.
+    per_attr: Vec<Vec<(Vec<String>, ValueId)>>,
+}
+
+impl OpenTagLexicon {
+    /// Build the lexicon from the values observed in `train`.
+    pub fn build(graph: &ProductGraph, train: &[Triple]) -> Self {
+        let mut seen: Vec<FxHashSet<ValueId>> = vec![FxHashSet::default(); graph.num_attrs()];
+        let mut per_attr: Vec<Vec<(Vec<String>, ValueId)>> =
+            vec![Vec::new(); graph.num_attrs()];
+        for t in train {
+            if seen[t.attr.0 as usize].insert(t.value) {
+                let toks = tokenize(graph.value_text(t.value));
+                if !toks.is_empty() {
+                    per_attr[t.attr.0 as usize].push((toks, t.value));
+                }
+            }
+        }
+        for lex in &mut per_attr {
+            lex.sort_by_key(|(toks, _)| std::cmp::Reverse(toks.len()));
+        }
+        OpenTagLexicon { per_attr }
+    }
+
+    /// Number of lexicon entries for an attribute.
+    pub fn entries(&self, a: AttrId) -> usize {
+        self.per_attr[a.0 as usize].len()
+    }
+}
+
+/// Whether `needle` occurs as a contiguous subsequence of `haystack`.
+fn contains_seq(haystack: &[String], needle: &[String]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return false;
+    }
+    haystack
+        .windows(needle.len())
+        .any(|w| w.iter().zip(needle).all(|(a, b)| a == b))
+}
+
+/// Extract (product, attribute, value) candidates from every product
+/// title: per attribute, the longest lexicon value whose tokens occur
+/// contiguously in the title. Single-token values are skipped for
+/// precision (they over-trigger — "sweet" matches any marketing copy).
+pub fn extract_attributes(graph: &ProductGraph, lexicon: &OpenTagLexicon) -> Vec<Triple> {
+    let mut out = Vec::new();
+    for p in 0..graph.num_products() {
+        let pid = ProductId(p as u32);
+        let title_toks = tokenize(graph.title(pid));
+        for (a, lex) in lexicon.per_attr.iter().enumerate() {
+            for (toks, vid) in lex {
+                if toks.len() < 2 {
+                    break; // sorted by length: the rest are shorter
+                }
+                if contains_seq(&title_toks, toks) {
+                    out.push(Triple::new(pid, AttrId(a as u16), *vid));
+                    break; // longest match only
+                }
+            }
+        }
+    }
+    out
+}
+
+/// RotatE+: enrich the training set with extracted triples, then train
+/// the id-based RotatE baseline on the enriched graph.
+pub fn train_rotate_plus(dataset: &Dataset, cfg: &KgeConfig) -> KgeModel {
+    let lexicon = OpenTagLexicon::build(&dataset.graph, &dataset.train);
+    let extracted = extract_attributes(&dataset.graph, &lexicon);
+    let mut enriched = dataset.clone();
+    let mut seen: FxHashSet<(u32, u16, u32)> = dataset
+        .train
+        .iter()
+        .map(|t| (t.product.0, t.attr.0, t.value.0))
+        .collect();
+    // Never inject a labeled evaluation triple back into training.
+    let held_out: FxHashSet<(u32, u16, u32)> = dataset
+        .valid
+        .iter()
+        .chain(&dataset.test)
+        .map(|lt| {
+            (
+                lt.triple.product.0,
+                lt.triple.attr.0,
+                lt.triple.value.0,
+            )
+        })
+        .collect();
+    for t in extracted {
+        let key = (t.product.0, t.attr.0, t.value.0);
+        if !held_out.contains(&key) && seen.insert(key) {
+            enriched.train.push(t);
+            enriched.train_clean.push(true);
+        }
+    }
+    let cfg = KgeConfig {
+        score: ScoreKind::RotatE,
+        ..cfg.clone()
+    };
+    let mut m = crate::kge::train_kge(&enriched, &cfg);
+    m.name = "RotatE+".into();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pge_graph::Dataset;
+
+    fn graph_and_train() -> (ProductGraph, Vec<Triple>) {
+        let mut g = ProductGraph::new();
+        let mut train = Vec::new();
+        // Training products establish the lexicon.
+        train.push(g.add_fact("alpha spicy queso tortilla chips", "flavor", "spicy queso"));
+        train.push(g.add_fact("beta honey roasted peanuts", "flavor", "honey roasted"));
+        // This product *mentions* spicy queso in its title but has no
+        // flavor triple: extraction should add one.
+        g.intern_product("gamma spicy queso corn puffs");
+        (g, train)
+    }
+
+    #[test]
+    fn lexicon_collects_training_values() {
+        let (g, train) = graph_and_train();
+        let lex = OpenTagLexicon::build(&g, &train);
+        let flavor = g.lookup_attr("flavor").unwrap();
+        assert_eq!(lex.entries(flavor), 2);
+    }
+
+    #[test]
+    fn extraction_finds_mentions() {
+        let (g, train) = graph_and_train();
+        let lex = OpenTagLexicon::build(&g, &train);
+        let extracted = extract_attributes(&g, &lex);
+        let gamma = g.lookup_product("gamma spicy queso corn puffs").unwrap();
+        let queso = g.lookup_value("spicy queso").unwrap();
+        assert!(
+            extracted
+                .iter()
+                .any(|t| t.product == gamma && t.value == queso),
+            "missing extraction: {extracted:?}"
+        );
+        // beta must NOT get "spicy queso".
+        let beta = g.lookup_product("beta honey roasted peanuts").unwrap();
+        assert!(!extracted
+            .iter()
+            .any(|t| t.product == beta && t.value == queso));
+    }
+
+    #[test]
+    fn single_token_values_skipped() {
+        let mut g = ProductGraph::new();
+        let train = vec![g.add_fact("zed sweet drink", "flavor", "sweet")];
+        let lex = OpenTagLexicon::build(&g, &train);
+        let extracted = extract_attributes(&g, &lex);
+        assert!(extracted.is_empty(), "{extracted:?}");
+    }
+
+    #[test]
+    fn rotate_plus_trains_on_enriched_graph() {
+        let (mut g, mut train) = graph_and_train();
+        // Add enough structure to train on.
+        for i in 0..20 {
+            train.push(g.add_fact(
+                &format!("bulk{i} spicy queso snack line"),
+                "flavor",
+                "spicy queso",
+            ));
+        }
+        let d = Dataset::new(g, train, vec![], vec![]);
+        let m = train_rotate_plus(
+            &d,
+            &KgeConfig {
+                epochs: 2,
+                ..KgeConfig::tiny()
+            },
+        );
+        assert_eq!(pge_core::ErrorDetector::name(&m), "RotatE+");
+    }
+}

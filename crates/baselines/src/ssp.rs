@@ -1,0 +1,346 @@
+//! SSP (Xiao et al., 2017): semantic space projection — the second
+//! "text and KG joint embedding" baseline.
+//!
+//! SSP learns *structural* embeddings whose TransE residual
+//! `e = h + r − t` is scored inside the hyperplane orthogonal to a
+//! **separately pre-trained** semantic vector `ŝ` of the entity pair:
+//! `f = γ − (μ·‖e − (eᵀŝ)ŝ‖₁ + (1−μ)·‖e‖₁)`. Following the original's
+//! "Std" setting, the semantic vectors are fixed during embedding
+//! training. The original obtains them from a topic model (NMF); we
+//! compose them from in-repo word2vec vectors (normalized mean over
+//! the entity's tokens), which preserves the architectural property
+//! the PGE paper critiques: text only enters through a separately
+//! learned, frozen vector.
+
+use pge_core::corpus::build_corpus;
+use pge_core::ErrorDetector;
+use pge_graph::{Dataset, NegativeSampler, ProductGraph, SamplingMode, Triple};
+use pge_nn::{AdamHparams, Embedding};
+use pge_tensor::{ops, Matrix};
+use pge_text::word2vec::{train_word2vec, Word2VecConfig};
+use pge_text::tokenize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// SSP training knobs.
+#[derive(Clone, Debug)]
+pub struct SspConfig {
+    pub dim: usize,
+    pub gamma: f32,
+    /// Weight μ of the projected residual vs. the raw residual.
+    pub mu: f32,
+    pub epochs: usize,
+    pub batch: usize,
+    pub negatives: usize,
+    pub lr: f32,
+    pub sampling: SamplingMode,
+    pub seed: u64,
+}
+
+impl Default for SspConfig {
+    fn default() -> Self {
+        SspConfig {
+            dim: 32,
+            gamma: 6.0,
+            mu: 0.8,
+            epochs: 20,
+            batch: 256,
+            negatives: 4,
+            lr: 1e-2,
+            sampling: SamplingMode::GlobalUniform,
+            seed: 41,
+        }
+    }
+}
+
+impl SspConfig {
+    pub fn tiny() -> Self {
+        SspConfig {
+            dim: 16,
+            epochs: 10,
+            ..Default::default()
+        }
+    }
+}
+
+/// A trained SSP model.
+pub struct SspModel {
+    heads: Embedding,
+    tails: Embedding,
+    rels: Embedding,
+    /// Fixed semantic vectors (dim = structural dim) per product/value.
+    sem_heads: Matrix,
+    sem_tails: Matrix,
+    gamma: f32,
+    mu: f32,
+    pub train_secs: f64,
+}
+
+impl SspModel {
+    /// The SSP score with semantic projection.
+    pub fn score(&self, t: &Triple) -> f32 {
+        let h = self.heads.row(t.product.0);
+        let r = self.rels.row(t.attr.0 as u32);
+        let tt = self.tails.row(t.value.0);
+        let s = composed_semantic(
+            self.sem_heads.row(t.product.0 as usize),
+            self.sem_tails.row(t.value.0 as usize),
+        );
+        let mut proj_norm = 0.0;
+        let mut raw_norm = 0.0;
+        let mut e_dot_s = 0.0;
+        let dim = h.len();
+        let mut e = vec![0.0f32; dim];
+        for i in 0..dim {
+            e[i] = h[i] + r[i] - tt[i];
+            e_dot_s += e[i] * s[i];
+            raw_norm += e[i].abs();
+        }
+        for i in 0..dim {
+            proj_norm += (e[i] - e_dot_s * s[i]).abs();
+        }
+        self.gamma - (self.mu * proj_norm + (1.0 - self.mu) * raw_norm)
+    }
+}
+
+/// ŝ = normalize(s_h + s_t); falls back to a zero vector (projection
+/// becomes a no-op) when both semantic vectors vanish.
+fn composed_semantic(sh: &[f32], st: &[f32]) -> Vec<f32> {
+    let mut s: Vec<f32> = sh.iter().zip(st).map(|(a, b)| a + b).collect();
+    ops::l2_normalize(&mut s);
+    s
+}
+
+impl ErrorDetector for SspModel {
+    fn name(&self) -> String {
+        "SSP".into()
+    }
+
+    fn plausibility(&self, _graph: &ProductGraph, t: &Triple) -> f32 {
+        self.score(t)
+    }
+}
+
+/// Train SSP on the dataset's training split.
+pub fn train_ssp(dataset: &Dataset, cfg: &SspConfig) -> SspModel {
+    let start = Instant::now();
+    let graph = &dataset.graph;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Fixed semantic vectors from word2vec over the training corpus.
+    let corpus = build_corpus(graph, &dataset.train);
+    let word_vecs = train_word2vec(
+        &corpus.vocab,
+        &corpus.sentences,
+        &Word2VecConfig {
+            dim: cfg.dim,
+            epochs: 2,
+            seed: cfg.seed ^ 0xabc,
+            ..Default::default()
+        },
+    );
+    let semantic_of = |text: &str| -> Vec<f32> {
+        let mut v = vec![0.0f32; cfg.dim];
+        let mut n = 0usize;
+        for w in tokenize(text) {
+            if let Some(id) = corpus.vocab.get(&w) {
+                ops::axpy(1.0, word_vecs.row(id as usize), &mut v);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            v.iter_mut().for_each(|x| *x /= n as f32);
+        }
+        ops::l2_normalize(&mut v);
+        v
+    };
+    let mut sem_heads = Matrix::zeros(graph.num_products().max(1), cfg.dim);
+    for i in 0..graph.num_products() {
+        let v = semantic_of(graph.title(pge_graph::ProductId(i as u32)));
+        sem_heads.row_mut(i).copy_from_slice(&v);
+    }
+    let mut sem_tails = Matrix::zeros(graph.num_values().max(1), cfg.dim);
+    for i in 0..graph.num_values() {
+        let v = semantic_of(graph.value_text(pge_graph::ValueId(i as u32)));
+        sem_tails.row_mut(i).copy_from_slice(&v);
+    }
+
+    let mut heads = Embedding::new_xavier(&mut rng, graph.num_products().max(1), cfg.dim);
+    let mut tails = Embedding::new_xavier(&mut rng, graph.num_values().max(1), cfg.dim);
+    let mut rels = Embedding::new_xavier(&mut rng, graph.num_attrs().max(1), cfg.dim);
+    let sampler = NegativeSampler::new(graph, cfg.sampling);
+    let hp = AdamHparams::with_lr(cfg.lr);
+    let k = cfg.negatives.max(1);
+    let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+    let mut step = 0u64;
+    let dim = cfg.dim;
+
+    // f and df/de for one (h, r, t, ŝ).
+    let score_and_grad = |h: &[f32], r: &[f32], t: &[f32], s: &[f32], mu: f32, gamma: f32| {
+        let mut e = vec![0.0f32; dim];
+        let mut e_dot_s = 0.0;
+        for i in 0..dim {
+            e[i] = h[i] + r[i] - t[i];
+            e_dot_s += e[i] * s[i];
+        }
+        let mut proj_norm = 0.0;
+        let mut raw_norm = 0.0;
+        let mut sign_p = vec![0.0f32; dim];
+        for i in 0..dim {
+            let p = e[i] - e_dot_s * s[i];
+            proj_norm += p.abs();
+            raw_norm += e[i].abs();
+            sign_p[i] = p.signum();
+        }
+        let f = gamma - (mu * proj_norm + (1.0 - mu) * raw_norm);
+        // d‖p‖₁/de = sign(p) − ŝ(ŝᵀ sign(p)) ; d‖e‖₁/de = sign(e)
+        let sp_dot_s = ops::dot(&sign_p, s);
+        let de: Vec<f32> = (0..dim)
+            .map(|i| -(mu * (sign_p[i] - sp_dot_s * s[i]) + (1.0 - mu) * e[i].signum()))
+            .collect();
+        (f, de)
+    };
+
+    for _epoch in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for batch in order.chunks(cfg.batch.max(1)) {
+            step += 1;
+            for &i in batch {
+                let triple = dataset.train[i];
+                let negs = sampler.sample(&mut rng, &triple, k);
+                if negs.is_empty() {
+                    continue;
+                }
+                let inv_k = 1.0 / negs.len() as f32;
+                let h = heads.row(triple.product.0).to_vec();
+                let r = rels.row(triple.attr.0 as u32).to_vec();
+                let t = tails.row(triple.value.0).to_vec();
+                let sh = sem_heads.row(triple.product.0 as usize);
+                let s_pos = composed_semantic(sh, sem_tails.row(triple.value.0 as usize));
+                let (f_pos, de_pos) = score_and_grad(&h, &r, &t, &s_pos, cfg.mu, cfg.gamma);
+                let mut dh = vec![0.0f32; dim];
+                let mut dr = vec![0.0f32; dim];
+                // dL/df⁺ = −σ(−f⁺); e = h + r − t ⇒ dL/dh = dL/df·df/de.
+                let c_pos = -ops::sigmoid(-f_pos);
+                let mut dt = vec![0.0f32; dim];
+                for j in 0..dim {
+                    let g = c_pos * de_pos[j];
+                    dh[j] += g;
+                    dr[j] += g;
+                    dt[j] -= g;
+                }
+                tails.accumulate_grad(triple.value.0, &dt);
+                for &neg in &negs {
+                    let tn = tails.row(neg.0).to_vec();
+                    let s_neg = composed_semantic(sh, sem_tails.row(neg.0 as usize));
+                    let (f_neg, de_neg) = score_and_grad(&h, &r, &tn, &s_neg, cfg.mu, cfg.gamma);
+                    let c_neg = inv_k * ops::sigmoid(f_neg);
+                    let mut dtn = vec![0.0f32; dim];
+                    for j in 0..dim {
+                        let g = c_neg * de_neg[j];
+                        dh[j] += g;
+                        dr[j] += g;
+                        dtn[j] -= g;
+                    }
+                    tails.accumulate_grad(neg.0, &dtn);
+                }
+                heads.accumulate_grad(triple.product.0, &dh);
+                rels.accumulate_grad(triple.attr.0 as u32, &dr);
+            }
+            heads.adam_step(&hp, step);
+            tails.adam_step(&hp, step);
+            rels.adam_step(&hp, step);
+        }
+    }
+
+    SspModel {
+        heads,
+        tails,
+        rels,
+        sem_heads,
+        sem_tails,
+        gamma: cfg.gamma,
+        mu: cfg.mu,
+        train_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pge_graph::LabeledTriple;
+
+    fn dataset() -> Dataset {
+        let mut g = ProductGraph::new();
+        let mut train = Vec::new();
+        for p in 0..40u32 {
+            let flavor = if p % 2 == 0 { "spicy hot" } else { "sweet honey" };
+            let title = format!("brand{p} {flavor} chips pack {p}");
+            train.push(g.add_fact(&title, "flavor", flavor));
+        }
+        let mut test = Vec::new();
+        for p in 0..8u32 {
+            let (flavor, wrong) = if p % 2 == 0 {
+                ("spicy hot", "sweet honey")
+            } else {
+                ("sweet honey", "spicy hot")
+            };
+            let title = format!("brand{p} {flavor} chips pack {p}");
+            let pid = g.lookup_product(&title).unwrap();
+            let attr = g.intern_attr("flavor");
+            test.push(LabeledTriple {
+                triple: Triple::new(pid, attr, g.intern_value(flavor)),
+                correct: true,
+            });
+            test.push(LabeledTriple {
+                triple: Triple::new(pid, attr, g.intern_value(wrong)),
+                correct: false,
+            });
+        }
+        Dataset::new(g, train, vec![], test)
+    }
+
+    #[test]
+    fn separates_correct_from_swapped() {
+        let d = dataset();
+        let m = train_ssp(
+            &d,
+            &SspConfig {
+                epochs: 15,
+                sampling: SamplingMode::PerAttribute,
+                ..SspConfig::tiny()
+            },
+        );
+        let (mut good, mut bad) = (0.0, 0.0);
+        for lt in &d.test {
+            let f = m.score(&lt.triple);
+            if lt.correct {
+                good += f;
+            } else {
+                bad += f;
+            }
+        }
+        assert!(good > bad, "good={good} bad={bad}");
+    }
+
+    #[test]
+    fn score_is_finite_and_bounded_by_gamma() {
+        let d = dataset();
+        let m = train_ssp(&d, &SspConfig { epochs: 2, ..SspConfig::tiny() });
+        for lt in &d.test {
+            let f = m.score(&lt.triple);
+            assert!(f.is_finite());
+            assert!(f <= m.gamma);
+        }
+    }
+
+    #[test]
+    fn name() {
+        let d = dataset();
+        let m = train_ssp(&d, &SspConfig { epochs: 1, ..SspConfig::tiny() });
+        assert_eq!(ErrorDetector::name(&m), "SSP");
+    }
+}

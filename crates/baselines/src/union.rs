@@ -1,0 +1,146 @@
+//! "Union of Transformer and PGE": reciprocal-rank fusion (§4.2).
+//!
+//! The paper re-ranks test triples by the average of reciprocal ranks
+//! from two methods: `R_avg = (1/i + 1/j)/2`, with ranks assigned by
+//! each method's error ordering. A triple both methods consider
+//! suspicious gets a large `R_avg` and is ranked as an error first.
+
+use pge_core::ErrorDetector;
+use pge_graph::{ProductGraph, Triple};
+
+/// Rank-fusion ensemble of two detectors.
+pub struct Union<'a> {
+    pub first: &'a dyn ErrorDetector,
+    pub second: &'a dyn ErrorDetector,
+}
+
+impl<'a> Union<'a> {
+    pub fn new(first: &'a dyn ErrorDetector, second: &'a dyn ErrorDetector) -> Self {
+        Union { first, second }
+    }
+}
+
+/// 1-based error ranks (1 = least plausible) from plausibility scores.
+fn error_ranks(scores: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank = vec![0usize; scores.len()];
+    for (r, &ix) in order.iter().enumerate() {
+        rank[ix] = r + 1;
+    }
+    rank
+}
+
+impl ErrorDetector for Union<'_> {
+    fn name(&self) -> String {
+        format!("Union of {} and {}", self.first.name(), self.second.name())
+    }
+
+    /// Meaningless in isolation — rank fusion needs the whole batch;
+    /// [`prefers_batch`](ErrorDetector::prefers_batch) routes batch
+    /// callers to [`plausibility_all`](ErrorDetector::plausibility_all).
+    /// The single-triple fallback averages the member plausibilities.
+    fn plausibility(&self, graph: &ProductGraph, t: &Triple) -> f32 {
+        (self.first.plausibility(graph, t) + self.second.plausibility(graph, t)) / 2.0
+    }
+
+    fn plausibility_all(&self, graph: &ProductGraph, triples: &[Triple]) -> Vec<f32> {
+        let ra = error_ranks(&self.first.plausibility_all(graph, triples));
+        let rb = error_ranks(&self.second.plausibility_all(graph, triples));
+        // Higher R_avg ⇒ more suspicious ⇒ lower plausibility.
+        ra.iter()
+            .zip(&rb)
+            .map(|(&i, &j)| -((1.0 / i as f32) + (1.0 / j as f32)) / 2.0)
+            .collect()
+    }
+
+    fn prefers_batch(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pge_graph::{AttrId, ProductId, ValueId};
+
+    struct ByValue(f32);
+
+    impl ErrorDetector for ByValue {
+        fn name(&self) -> String {
+            format!("by-value x{}", self.0)
+        }
+        fn plausibility(&self, _g: &ProductGraph, t: &Triple) -> f32 {
+            self.0 * t.value.0 as f32
+        }
+    }
+
+    /// Scores value 0 lowest except value 3, which it hates most.
+    struct Quirky;
+
+    impl ErrorDetector for Quirky {
+        fn name(&self) -> String {
+            "quirky".into()
+        }
+        fn plausibility(&self, _g: &ProductGraph, t: &Triple) -> f32 {
+            if t.value.0 == 3 {
+                -100.0
+            } else {
+                t.value.0 as f32
+            }
+        }
+    }
+
+    fn triples(n: u32) -> Vec<Triple> {
+        (0..n)
+            .map(|i| Triple::new(ProductId(i), AttrId(0), ValueId(i)))
+            .collect()
+    }
+
+    #[test]
+    fn agreeing_members_preserve_order() {
+        let g = ProductGraph::new();
+        let a = ByValue(1.0);
+        let b = ByValue(2.0);
+        let u = Union::new(&a, &b);
+        let ts = triples(5);
+        let scores = u.plausibility_all(&g, &ts);
+        // Plausibility must increase with value id (both agree).
+        for w in scores.windows(2) {
+            assert!(w[1] > w[0], "{scores:?}");
+        }
+    }
+
+    #[test]
+    fn fusion_promotes_shared_suspicions() {
+        let g = ProductGraph::new();
+        let a = ByValue(1.0); // thinks v0 worst
+        let b = Quirky; // thinks v3 worst, v0 second-worst
+        let u = Union::new(&a, &b);
+        let ts = triples(5);
+        let scores = u.plausibility_all(&g, &ts);
+        // v0 has ranks (1, 2) → R_avg = 0.75 ; v3 has ranks (4, 1)
+        // → R_avg = 0.625 ; so v0 is the least plausible overall.
+        let min_ix = scores
+            .iter()
+            .enumerate()
+            .min_by(|x, y| x.1.total_cmp(y.1))
+            .unwrap()
+            .0;
+        assert_eq!(min_ix, 0, "{scores:?}");
+    }
+
+    #[test]
+    fn prefers_batch_is_set() {
+        let a = ByValue(1.0);
+        let b = ByValue(1.0);
+        assert!(Union::new(&a, &b).prefers_batch());
+    }
+
+    #[test]
+    fn name_mentions_both() {
+        let a = ByValue(1.0);
+        let b = Quirky;
+        assert!(Union::new(&a, &b).name().contains("quirky"));
+    }
+}

@@ -1,0 +1,152 @@
+//! One Criterion group per paper table/figure, timing the unit of
+//! work that dominates each experiment. The `repro` binary produces
+//! the actual table/figure *values*; these benches track the *cost* of
+//! regenerating them so performance regressions are caught.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pge_bench::{evaluate_detector, pge_config, train_method, Method, Scale};
+use pge_core::{train_pge, ConfidenceStore, PgeConfig};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use rand::SeedableRng;
+
+fn micro_scale() -> Scale {
+    Scale {
+        products: 150,
+        labeled: 60,
+        fb_triples: 600,
+        epochs: 1,
+        nlp_epochs: 1,
+        seed: 3,
+    }
+}
+
+/// Table 2: dataset generation cost.
+fn bench_table2_generation(c: &mut Criterion) {
+    let s = micro_scale();
+    c.bench_function("table2/generate_catalog", |b| {
+        b.iter(|| black_box(s.amazon()))
+    });
+    c.bench_function("table2/generate_fbkg", |b| b.iter(|| black_box(s.fb())));
+}
+
+/// Table 3 / Fig. 2: one training epoch of the headline methods on the
+/// transductive catalog.
+fn bench_table3_epochs(c: &mut Criterion) {
+    let s = micro_scale();
+    let d = s.amazon();
+    for method in [Method::RotatE, Method::Transformer, Method::PgeCnnRotatE] {
+        c.bench_function(&format!("table3/one_epoch_{}", method.label()), |b| {
+            b.iter(|| black_box(train_method(&d, method, &s)))
+        });
+    }
+}
+
+/// Table 4: inductive split construction + PGE inference on unseen
+/// entities (the part transductive evaluation doesn't exercise).
+fn bench_table4_inductive(c: &mut Criterion) {
+    let s = micro_scale();
+    let base = s.amazon_with_unseen();
+    c.bench_function("table4/to_inductive", |b| {
+        b.iter(|| black_box(base.to_inductive()))
+    });
+    let d = base.to_inductive();
+    let trained = train_pge(&d, &pge_config(Method::PgeCnnRotatE, &s));
+    c.bench_function("table4/pge_score_unseen_test_split", |b| {
+        b.iter(|| {
+            black_box(evaluate_detector(
+                &trained.model,
+                &d,
+                &d.test,
+                &[0.6, 0.7, 0.8],
+            ))
+        })
+    });
+}
+
+/// Table 5: per-epoch cost at two sample ratios for CNN vs BERT
+/// encoders — the scalability contrast.
+fn bench_table5_scaling(c: &mut Criterion) {
+    let s = micro_scale();
+    let full = s.amazon();
+    for ratio in [0.3, 1.0] {
+        let d = full.sample_train(ratio);
+        c.bench_function(&format!("table5/pge_cnn_epoch_ratio_{ratio}"), |b| {
+            b.iter(|| black_box(train_method(&d, Method::PgeCnnRotatE, &s)))
+        });
+    }
+    // The BERT encoder is benched at the smallest ratio only: its cost
+    // is the point, not a surprise.
+    let d = full.sample_train(0.3);
+    c.bench_function("table5/pge_bert_epoch_ratio_0.3", |b| {
+        b.iter(|| black_box(train_method(&d, Method::PgeBertRotatE, &s)))
+    });
+}
+
+/// Table 6: ranking all test triples by plausibility.
+fn bench_table6_ranking(c: &mut Criterion) {
+    let s = micro_scale();
+    let d = s.amazon();
+    let trained = train_pge(&d, &pge_config(Method::PgeCnnRotatE, &s));
+    let det = pge_core::Detector::fit(&trained.model, &d.graph, &d.valid);
+    let triples: Vec<_> = d.test.iter().map(|lt| lt.triple).collect();
+    c.bench_function("table6/rank_errors", |b| {
+        b.iter(|| black_box(det.rank_errors(&d.graph, &triples)))
+    });
+}
+
+/// Fig. 5: the confidence-score update (Eq. 6) per training triple.
+fn bench_fig5_confidence(c: &mut Criterion) {
+    c.bench_function("fig5/confidence_update_x1000", |b| {
+        b.iter_batched(
+            || ConfidenceStore::new(1000, 1.2, 0.05, 0.03),
+            |mut store| {
+                for i in 0..1000 {
+                    store.update(i, (i % 7) as f32 * 0.3);
+                }
+                black_box(store)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Fig. 6: noise-aware vs plain training epoch on a noisy catalog.
+fn bench_fig6_noise_aware(c: &mut Criterion) {
+    let mut d = generate_catalog(&CatalogConfig {
+        products: 150,
+        labeled: 60,
+        seed: 3,
+        ..CatalogConfig::default()
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let (train, clean) = pge_graph::inject_noise(&d.graph, &d.train, 0.15, &mut rng);
+    d.train = train;
+    d.train_clean = clean;
+    for noise_aware in [true, false] {
+        let cfg = PgeConfig {
+            epochs: 1,
+            noise_aware,
+            confidence_warmup: 0,
+            ..PgeConfig::tiny()
+        };
+        let name = if noise_aware {
+            "fig6/epoch_with_noise_aware"
+        } else {
+            "fig6/epoch_without_noise_aware"
+        };
+        c.bench_function(name, |b| b.iter(|| black_box(train_pge(&d, &cfg))));
+    }
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2_generation,
+        bench_table3_epochs,
+        bench_table4_inductive,
+        bench_table5_scaling,
+        bench_table6_ranking,
+        bench_fig5_confidence,
+        bench_fig6_noise_aware
+);
+criterion_main!(experiments);

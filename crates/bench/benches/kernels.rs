@@ -1,0 +1,128 @@
+//! Microbenchmarks of the hot kernels under every experiment: text
+//! encoders, scoring functions, sampling, and metric computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pge_core::{ScoreKind, Scorer};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use pge_eval::{average_precision, Scored};
+use pge_graph::{NegativeSampler, SamplingMode};
+use pge_nn::{CnnConfig, Embedding, Lstm, TextCnnEncoder, TransformerConfig, TransformerEncoder};
+use pge_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = pge_tensor::init::xavier_uniform(&mut rng, 64, 64);
+    let b = pge_tensor::init::xavier_uniform(&mut rng, 64, 64);
+    c.bench_function("matrix/matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("matrix/matmul_transposed_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul_transposed(&b)))
+    });
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let vocab = 2000;
+    let tokens: Vec<u32> = (0..20).map(|i| (i * 37 % vocab) as u32).collect();
+
+    let cnn = TextCnnEncoder::new(&mut rng, CnnConfig::small(vocab, 48));
+    c.bench_function("encoder/cnn_infer_20_tokens", |b| {
+        b.iter(|| black_box(cnn.infer(&tokens)))
+    });
+    let (_, cache) = cnn.forward(&tokens);
+    let grad = vec![0.1f32; 48];
+    let mut cnn_mut = cnn.clone();
+    c.bench_function("encoder/cnn_backward_20_tokens", |b| {
+        b.iter(|| cnn_mut.backward(black_box(&cache), black_box(&grad)))
+    });
+
+    let lstm = Lstm::new(&mut rng, vocab, 32, 32, 24);
+    c.bench_function("encoder/lstm_infer_20_tokens", |b| {
+        b.iter(|| black_box(lstm.infer(&tokens)))
+    });
+
+    let shallow = TransformerEncoder::new(&mut rng, TransformerConfig::baseline(vocab));
+    c.bench_function("encoder/transformer_infer_20_tokens", |b| {
+        b.iter(|| black_box(shallow.infer(&tokens)))
+    });
+
+    // The Table-5 contrast: the BERT-style encoder per-call cost.
+    let bert = TransformerEncoder::new(&mut rng, TransformerConfig::bert_style(vocab));
+    c.bench_function("encoder/bert_style_infer_20_tokens", |b| {
+        b.iter(|| black_box(bert.infer(&tokens)))
+    });
+}
+
+fn bench_scorers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let d = 48;
+    let h: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let t: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    for kind in [
+        ScoreKind::TransE,
+        ScoreKind::RotatE,
+        ScoreKind::DistMult,
+        ScoreKind::ComplEx,
+    ] {
+        let s = Scorer::new(kind, 6.0);
+        let r: Vec<f32> = (0..s.rel_dim(d)).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        c.bench_function(&format!("score/{}", kind.name()), |b| {
+            b.iter(|| black_box(s.score(&h, &r, &t)))
+        });
+        let mut dh = vec![0.0; d];
+        let mut dr = vec![0.0; r.len()];
+        let mut dt = vec![0.0; d];
+        c.bench_function(&format!("score/{}_backward", kind.name()), |b| {
+            b.iter(|| s.backward(&h, &r, &t, black_box(1.0), &mut dh, &mut dr, &mut dt))
+        });
+    }
+}
+
+fn bench_sampling_and_metrics(c: &mut Criterion) {
+    let data = generate_catalog(&CatalogConfig::tiny());
+    let sampler = NegativeSampler::new(&data.graph, SamplingMode::GlobalUniform);
+    let mut rng = StdRng::seed_from_u64(4);
+    let triple = data.train[0];
+    c.bench_function("sampler/negative_sample_x4", |b| {
+        b.iter(|| black_box(sampler.sample(&mut rng, &triple, 4)))
+    });
+
+    let scored: Vec<Scored> = (0..5000)
+        .map(|i| Scored::new((i * 2654435761u64 % 1000) as f32, i % 2 == 0))
+        .collect();
+    c.bench_function("eval/pr_auc_5000", |b| {
+        b.iter(|| black_box(average_precision(&scored)))
+    });
+}
+
+fn bench_embedding_update(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut emb = Embedding::new(&mut rng, 10_000, 48);
+    let grad = vec![0.01f32; 48];
+    let hp = pge_nn::AdamHparams::default();
+    let mut t = 0u64;
+    c.bench_function("embedding/sparse_accumulate_and_step_8_rows", |b| {
+        b.iter(|| {
+            for id in 0..8u32 {
+                emb.accumulate_grad(id * 1000, &grad);
+            }
+            t += 1;
+            emb.adam_step(&hp, t);
+        })
+    });
+    let _ = Matrix::zeros(1, 1);
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul,
+        bench_encoders,
+        bench_scorers,
+        bench_sampling_and_metrics,
+        bench_embedding_update
+);
+criterion_main!(kernels);

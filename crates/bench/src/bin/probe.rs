@@ -1,0 +1,108 @@
+//! `probe` — quick hyper-parameter probes for single methods.
+//!
+//! ```text
+//! probe <amazon|fb> <method> [--scale F] [--epochs N] [--lr F]
+//!       [--gamma F] [--dim N] [--seed N]
+//! ```
+//!
+//! Prints PR AUC and R@P for one method on one dataset. Used while
+//! tuning the reproduction; kept as a convenience tool.
+
+use pge_baselines::{train_kge, KgeConfig};
+use pge_bench::{evaluate_detector, Scale};
+use pge_core::{train_pge, PgeConfig, ScoreKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: probe <amazon|fb> <method> [--scale F] [--epochs N] [--lr F] [--gamma F] [--dim N] [--seed N]");
+        std::process::exit(2);
+    }
+    let dataset_name = &args[0];
+    let method = &args[1];
+    let mut scale_f = 0.3;
+    let mut epochs: Option<usize> = None;
+    let mut lr: Option<f32> = None;
+    let mut gamma: Option<f32> = None;
+    let mut dim: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut i = 2;
+    while i + 1 < args.len() + 1 {
+        match args.get(i).map(String::as_str) {
+            Some("--scale") => scale_f = args[i + 1].parse().unwrap(),
+            Some("--epochs") => epochs = Some(args[i + 1].parse().unwrap()),
+            Some("--lr") => lr = Some(args[i + 1].parse().unwrap()),
+            Some("--gamma") => gamma = Some(args[i + 1].parse().unwrap()),
+            Some("--dim") => dim = Some(args[i + 1].parse().unwrap()),
+            Some("--seed") => seed = args[i + 1].parse().unwrap(),
+            Some(_) => {
+                eprintln!("unknown flag {}", args[i]);
+                std::process::exit(2);
+            }
+            None => break,
+        }
+        i += 2;
+    }
+    let scale = Scale { seed, ..Scale::default() }.scaled(scale_f);
+    let d = if dataset_name == "fb" {
+        scale.fb()
+    } else {
+        scale.amazon()
+    };
+
+    let kind = |name: &str| match name {
+        "transe" => ScoreKind::TransE,
+        "distmult" => ScoreKind::DistMult,
+        "complex" => ScoreKind::ComplEx,
+        _ => ScoreKind::RotatE,
+    };
+
+    let (name, pr, r, secs) = if let Some(score_name) = method.strip_prefix("kge-") {
+        let mut cfg = KgeConfig {
+            score: kind(score_name),
+            ..KgeConfig::default()
+        };
+        if let Some(e) = epochs {
+            cfg.epochs = e;
+        }
+        if let Some(l) = lr {
+            cfg.lr = l;
+        }
+        if let Some(g) = gamma {
+            cfg.gamma = g;
+        }
+        if let Some(dd) = dim {
+            cfg.dim = dd;
+        }
+        let m = train_kge(&d, &cfg);
+        let (pr, r) = evaluate_detector(&m, &d, &d.test, &[0.7, 0.8, 0.9]);
+        (format!("KGE-{score_name}"), pr, r, m.train_secs)
+    } else if let Some(score_name) = method.strip_prefix("pge-") {
+        let mut cfg = PgeConfig {
+            score: kind(score_name),
+            ..PgeConfig::default()
+        };
+        if let Some(e) = epochs {
+            cfg.epochs = e;
+        }
+        if let Some(l) = lr {
+            cfg.lr = l;
+        }
+        if let Some(g) = gamma {
+            cfg.gamma = g;
+        }
+        if let Some(dd) = dim {
+            cfg.dim = dd;
+        }
+        let out = train_pge(&d, &cfg);
+        let (pr, r) = evaluate_detector(&out.model, &d, &d.test, &[0.7, 0.8, 0.9]);
+        (format!("PGE-{score_name}"), pr, r, out.train_secs)
+    } else {
+        eprintln!("method must be kge-<score> or pge-<score>");
+        std::process::exit(2);
+    };
+    println!(
+        "{dataset_name} {name}: PR_AUC={pr:.3} R@0.7={:.3} R@0.8={:.3} R@0.9={:.3} ({secs:.1}s)",
+        r[0], r[1], r[2]
+    );
+}

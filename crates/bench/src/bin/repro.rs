@@ -1,0 +1,105 @@
+//! `repro` — regenerate every table and figure of the PGE paper.
+//!
+//! ```text
+//! repro <experiment> [--scale F] [--seed N] [--cap SECS]
+//!
+//! experiments: table1 table2 table3 table4 table5 table6
+//!              fig2 fig5 fig6 all
+//! --scale F   multiply default dataset sizes by F (default 1.0)
+//! --seed N    generator seed (default 42)
+//! --cap SECS  Table 5 per-cell wall-clock cap (default 180)
+//! ```
+
+use pge_bench::{
+    ablations, fig2, fig5, fig6, table1, table2, table3, table4, table5, table6, Scale,
+};
+use std::io::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|table3[a|b]|table4|table5|table6|fig2|fig5|fig6|ablations|all> \
+         [--scale F] [--seed N] [--cap SECS]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let experiment = args[0].clone();
+    let mut scale_f = 1.0f64;
+    let mut seed = 42u64;
+    let mut cap = 180.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale_f = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--cap" => {
+                cap = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let scale = Scale {
+        seed,
+        ..Scale::default()
+    }
+    .scaled(scale_f);
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut emit = |s: &str| {
+        let _ = writeln!(out, "{s}");
+    };
+
+    let run_fig2_and_table3 = |emit: &mut dyn FnMut(&str)| {
+        let r = table3(&scale);
+        emit(&r.report);
+        emit(&fig2(&r.amazon));
+    };
+
+    match experiment.as_str() {
+        "table1" => emit(&table1()),
+        "table2" => emit(&table2(&scale)),
+        "table3" => emit(&table3(&scale).report),
+        "table3a" => emit(&pge_bench::table3_single(&scale, true).1),
+        "table3b" => emit(&pge_bench::table3_single(&scale, false).1),
+        "table4" => emit(&table4(&scale).report),
+        "table5" => emit(&table5(&scale, cap)),
+        "table6" => emit(&table6(&scale, 10)),
+        "fig2" => run_fig2_and_table3(&mut emit),
+        "fig5" => emit(&fig5(&scale)),
+        "fig6" => emit(&fig6(&scale).report),
+        "ablations" => emit(&ablations(&scale)),
+        "all" => {
+            emit(&table1());
+            emit(&table2(&scale));
+            run_fig2_and_table3(&mut emit);
+            emit(&table4(&scale).report);
+            emit(&table5(&scale, cap));
+            emit(&table6(&scale, 10));
+            emit(&fig5(&scale));
+            emit(&fig6(&scale).report);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,173 @@
+//! The noise-aware mechanism (§3.3): per-triple learnable confidence.
+//!
+//! Each training triple `(t,a,v)` carries a confidence `C ∈ [0,1]`.
+//! The relaxed objective of Eq. (6) is
+//!
+//! ```text
+//! L = Σ C·L_triple + α Σ (1 − C) + β Σ (1 − C² − (1−C)²)
+//! ```
+//!
+//! Noting `1 − C² − (1−C)² = 2C(1−C)`, the β term penalizes
+//! indecision (maximal at C = ½), polarizing C toward {0,1}, while α
+//! prices marking a triple down. The gradient w.r.t. one C is
+//! `∂L/∂C = L_triple − α + β(2 − 4C)`.
+
+/// Confidence scores for a training set, updated by SGD alongside the
+/// embedding parameters.
+#[derive(Clone, Debug)]
+pub struct ConfidenceStore {
+    c: Vec<f32>,
+    /// Sparsity price α of Eq. (4): larger α makes down-weighting
+    /// costlier, so fewer triples are marked down.
+    pub alpha: f32,
+    /// Polarization strength β of Eq. (6).
+    pub beta: f32,
+    /// SGD step size for confidence updates.
+    pub lr: f32,
+}
+
+impl ConfidenceStore {
+    /// All-confident initialization (C = 1 for every triple).
+    pub fn new(n: usize, alpha: f32, beta: f32, lr: f32) -> Self {
+        ConfidenceStore {
+            c: vec![1.0; n],
+            alpha,
+            beta,
+            lr,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// Confidence of training triple `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        self.c[i]
+    }
+
+    /// All confidences (Fig. 5 histograms).
+    pub fn scores(&self) -> &[f32] {
+        &self.c
+    }
+
+    /// One SGD step on `C_i` given that triple's current loss
+    /// `L_triple`; clamps back into `[0,1]` (the relaxation of
+    /// Eq. (5) keeps C in the unit interval).
+    #[inline]
+    pub fn update(&mut self, i: usize, triple_loss: f32) {
+        let c = self.c[i];
+        let grad = triple_loss - self.alpha + self.beta * (2.0 - 4.0 * c);
+        self.c[i] = (c - self.lr * grad).clamp(0.0, 1.0);
+    }
+
+    /// The regularization contribution `α Σ(1−C) + β Σ 2C(1−C)` —
+    /// reported in diagnostics.
+    pub fn regularizer(&self) -> f32 {
+        self.c
+            .iter()
+            .map(|&c| self.alpha * (1.0 - c) + self.beta * 2.0 * c * (1.0 - c))
+            .sum()
+    }
+
+    /// Fraction of triples currently marked down (C < 0.5).
+    pub fn fraction_marked_down(&self) -> f32 {
+        if self.c.is_empty() {
+            return 0.0;
+        }
+        self.c.iter().filter(|&&c| c < 0.5).count() as f32 / self.c.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_all_ones() {
+        let s = ConfidenceStore::new(5, 0.5, 0.1, 0.01);
+        assert_eq!(s.len(), 5);
+        assert!(s.scores().iter().all(|&c| c == 1.0));
+        assert_eq!(s.fraction_marked_down(), 0.0);
+    }
+
+    #[test]
+    fn high_loss_pushes_confidence_down() {
+        let mut s = ConfidenceStore::new(1, 0.5, 0.05, 0.05);
+        for _ in 0..200 {
+            s.update(0, 5.0); // persistently implausible triple
+        }
+        assert!(s.get(0) < 0.2, "C = {}", s.get(0));
+    }
+
+    #[test]
+    fn low_loss_keeps_confidence_up() {
+        let mut s = ConfidenceStore::new(1, 0.5, 0.05, 0.05);
+        for _ in 0..200 {
+            s.update(0, 0.05); // well-explained triple
+        }
+        assert!(s.get(0) > 0.8, "C = {}", s.get(0));
+    }
+
+    #[test]
+    fn alpha_controls_markdown_threshold() {
+        // A loss between α_small and α_large marks down only under
+        // the small α.
+        let mut strict = ConfidenceStore::new(1, 0.3, 0.0, 0.05);
+        let mut lenient = ConfidenceStore::new(1, 2.0, 0.0, 0.05);
+        for _ in 0..300 {
+            strict.update(0, 1.0);
+            lenient.update(0, 1.0);
+        }
+        assert!(strict.get(0) < 0.1);
+        assert!(lenient.get(0) > 0.9);
+    }
+
+    #[test]
+    fn beta_polarizes_from_above_half() {
+        // With loss exactly α, only β acts; from C=1 it holds C at the
+        // pole (gradient β(2−4C) = −2β < 0 pushes C up).
+        let mut s = ConfidenceStore::new(1, 0.5, 0.2, 0.05);
+        for _ in 0..100 {
+            s.update(0, 0.5);
+        }
+        assert!(s.get(0) > 0.95);
+    }
+
+    #[test]
+    fn clamped_to_unit_interval() {
+        let mut s = ConfidenceStore::new(2, 0.5, 0.1, 10.0); // huge lr
+        s.update(0, 100.0);
+        s.update(1, -100.0);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.get(1), 1.0);
+    }
+
+    #[test]
+    fn regularizer_zero_at_poles() {
+        let mut s = ConfidenceStore::new(2, 0.5, 0.1, 0.05);
+        // C = 1 and C = 0: α(1−1)+0 and α·1+0.
+        s.update(0, 1000.0); // slam to 0 over updates
+        for _ in 0..100 {
+            s.update(0, 1000.0);
+        }
+        let r = s.regularizer();
+        assert!((r - s.alpha).abs() < 1e-4, "r={r}");
+    }
+
+    #[test]
+    fn fraction_marked_down_counts() {
+        let mut s = ConfidenceStore::new(4, 0.5, 0.1, 0.5);
+        for _ in 0..50 {
+            s.update(0, 10.0);
+            s.update(1, 10.0);
+        }
+        assert!((s.fraction_marked_down() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,86 @@
+//! Training-corpus construction shared by PGE and the text-aware
+//! baselines.
+//!
+//! Models may only see text reachable from their *training* triples;
+//! unseen test words then honestly map to `<unk>` in the inductive
+//! evaluation.
+
+use pge_graph::{ProductGraph, Triple};
+use pge_text::{tokenize, Vocab};
+
+/// A tokenized training corpus: vocabulary plus one sentence per
+/// training triple (`title ++ attribute ++ value` token ids). The
+/// sentences double as word2vec training data.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    pub vocab: Vocab,
+    pub sentences: Vec<Vec<u32>>,
+}
+
+/// Build the corpus for a set of training triples.
+pub fn build_corpus(graph: &ProductGraph, triples: &[Triple]) -> Corpus {
+    let mut vocab = Vocab::new();
+    let mut sentences = Vec::with_capacity(triples.len());
+    let mut title_tok: Vec<Option<Vec<u32>>> = vec![None; graph.num_products()];
+    let mut value_tok: Vec<Option<Vec<u32>>> = vec![None; graph.num_values()];
+    let mut attr_tok: Vec<Option<Vec<u32>>> = vec![None; graph.num_attrs()];
+    for t in triples {
+        let ti = t.product.0 as usize;
+        if title_tok[ti].is_none() {
+            title_tok[ti] = Some(
+                tokenize(graph.title(t.product))
+                    .iter()
+                    .map(|w| vocab.add(w))
+                    .collect(),
+            );
+        }
+        let ai = t.attr.0 as usize;
+        if attr_tok[ai].is_none() {
+            attr_tok[ai] = Some(
+                tokenize(graph.attr_name(t.attr))
+                    .iter()
+                    .map(|w| vocab.add(w))
+                    .collect(),
+            );
+        }
+        let vi = t.value.0 as usize;
+        if value_tok[vi].is_none() {
+            value_tok[vi] = Some(
+                tokenize(graph.value_text(t.value))
+                    .iter()
+                    .map(|w| vocab.add(w))
+                    .collect(),
+            );
+        }
+        let mut sent = title_tok[ti].clone().unwrap_or_default();
+        sent.extend(attr_tok[ai].iter().flatten());
+        sent.extend(value_tok[vi].iter().flatten());
+        sentences.push(sent);
+    }
+    Corpus { vocab, sentences }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_limited_to_given_triples() {
+        let mut g = ProductGraph::new();
+        let t0 = g.add_fact("spicy tortilla chips", "flavor", "spicy queso");
+        let _t1 = g.add_fact("mystery snack", "flavor", "enigma berry");
+        let c = build_corpus(&g, &[t0]);
+        assert!(c.vocab.get("spicy").is_some());
+        assert!(c.vocab.get("mystery").is_none());
+        assert_eq!(c.sentences.len(), 1);
+    }
+
+    #[test]
+    fn sentence_layout() {
+        let mut g = ProductGraph::new();
+        let t = g.add_fact("tortilla chips", "flavor", "spicy queso");
+        let c = build_corpus(&g, &[t]);
+        let words: Vec<&str> = c.sentences[0].iter().map(|&id| c.vocab.word(id)).collect();
+        assert_eq!(words, vec!["tortilla", "chips", "flavor", "spicy", "queso"]);
+    }
+}

@@ -1,0 +1,41 @@
+//! PGE: robust product-graph embedding learning for error detection.
+//!
+//! This crate implements the paper's contribution end to end:
+//!
+//! * [`score`] — KG-embedding scoring functions `f_a(t, v)` (TransE,
+//!   RotatE, DistMult, ComplEx) with analytic gradients;
+//! * [`encoder`] — the text encoder abstraction (CNN per the paper's
+//!   Fig. 4, or the BERT-style Transformer of the scalability study);
+//! * [`model`] — [`model::PgeModel`]: text-based entity
+//!   representations projected into the triple structure, plus
+//!   learnable relation embeddings (Fig. 3);
+//! * [`confidence`] — the noise-aware mechanism of §3.3: a learnable
+//!   confidence score per training triple with the relaxed
+//!   polarization objective of Eq. (6);
+//! * [`trainer`] — the end-to-end training loop: word2vec
+//!   initialization, negative sampling (Eq. 3), noise-aware weighting
+//!   (Eq. 6), Adam;
+//! * [`detector`] — scoring, validation-threshold classification
+//!   (§4.2), and error ranking, with multi-threaded inference;
+//! * [`api`] — the [`api::ErrorDetector`] trait every method
+//!   (PGE and all baselines) implements, so the evaluation harness
+//!   treats them uniformly.
+
+pub mod api;
+pub mod confidence;
+pub mod corpus;
+pub mod detector;
+pub mod encoder;
+pub mod model;
+pub mod persist;
+pub mod score;
+pub mod trainer;
+
+pub use api::ErrorDetector;
+pub use confidence::ConfidenceStore;
+pub use detector::Detector;
+pub use encoder::{EncoderKind, TextEncoder};
+pub use model::PgeModel;
+pub use persist::{load_model, save_model, PersistError};
+pub use score::{ScoreKind, Scorer};
+pub use trainer::{train_pge, PgeConfig, TrainedPge};

@@ -1,0 +1,190 @@
+//! The PGE model (Fig. 3): text-based entity representations feeding
+//! a KG-embedding scoring function, with learnable relation vectors.
+
+use crate::encoder::TextEncoder;
+use crate::score::Scorer;
+use pge_graph::{AttrId, ProductGraph, Triple};
+use pge_nn::Embedding;
+use pge_text::{tokenize, Vocab};
+
+/// A trained (or in-training) PGE model.
+///
+/// Entities (titles and values) are *not* id-embedded: their vectors
+/// are produced by the text encoder from their raw text, which is what
+/// makes the model inductive (C2 of the paper). Relations are few and
+/// closed-world, so they keep classic learnable vectors.
+#[derive(Clone, Debug)]
+pub struct PgeModel {
+    /// Vocabulary built from the training corpus; unseen words map to
+    /// `<unk>`.
+    pub vocab: Vocab,
+    pub(crate) encoder: TextEncoder,
+    pub(crate) relations: Embedding,
+    pub(crate) scorer: Scorer,
+    /// Token-id cache for every product title in the graph.
+    pub(crate) title_tokens: Vec<Vec<u32>>,
+    /// Token-id cache for every value string in the graph.
+    pub(crate) value_tokens: Vec<Vec<u32>>,
+}
+
+impl PgeModel {
+    /// Assemble a model and precompute token caches for `graph`.
+    pub fn new(
+        vocab: Vocab,
+        encoder: TextEncoder,
+        relations: Embedding,
+        scorer: Scorer,
+        graph: &ProductGraph,
+    ) -> Self {
+        let title_tokens = (0..graph.num_products())
+            .map(|i| vocab.encode(&tokenize(graph.title(pge_graph::ProductId(i as u32)))))
+            .collect();
+        let value_tokens = (0..graph.num_values())
+            .map(|i| vocab.encode(&tokenize(graph.value_text(pge_graph::ValueId(i as u32)))))
+            .collect();
+        PgeModel {
+            vocab,
+            encoder,
+            relations,
+            scorer,
+            title_tokens,
+            value_tokens,
+        }
+    }
+
+    /// Entity-embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.encoder.out_dim()
+    }
+
+    /// The configured scorer.
+    pub fn scorer(&self) -> Scorer {
+        self.scorer
+    }
+
+    /// Borrow the text encoder.
+    pub fn encoder(&self) -> &TextEncoder {
+        &self.encoder
+    }
+
+    /// Final embedding of a product title (by graph id).
+    pub fn title_embedding(&self, id: pge_graph::ProductId) -> Vec<f32> {
+        self.encoder.infer(&self.title_tokens[id.0 as usize])
+    }
+
+    /// Final embedding of an attribute value (by graph id).
+    pub fn value_embedding(&self, id: pge_graph::ValueId) -> Vec<f32> {
+        self.encoder.infer(&self.value_tokens[id.0 as usize])
+    }
+
+    /// Relation vector of an attribute.
+    pub fn relation(&self, a: AttrId) -> &[f32] {
+        self.relations.row(a.0 as u32)
+    }
+
+    /// Plausibility score `f_a(t, v)` for a graph triple.
+    pub fn score_triple(&self, t: &Triple) -> f32 {
+        let h = self.title_embedding(t.product);
+        let v = self.value_embedding(t.value);
+        self.scorer.score(&h, self.relation(t.attr), &v)
+    }
+
+    /// Score a fact given *raw text* — the fully inductive entry
+    /// point: neither the title nor the value needs to exist in the
+    /// graph (unknown words fall back to `<unk>`).
+    pub fn score_fact(&self, title: &str, attr: AttrId, value: &str) -> f32 {
+        let h = self.encoder.infer(&self.vocab.encode(&tokenize(title)));
+        let v = self.encoder.infer(&self.vocab.encode(&tokenize(value)));
+        self.scorer.score(&h, self.relation(attr), &v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::TextEncoder;
+    use crate::score::{ScoreKind, Scorer};
+    use pge_nn::CnnConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(graph: &ProductGraph) -> PgeModel {
+        let mut vocab = Vocab::new();
+        for i in 0..graph.num_products() {
+            for w in tokenize(graph.title(pge_graph::ProductId(i as u32))) {
+                vocab.add(&w);
+            }
+        }
+        for i in 0..graph.num_values() {
+            for w in tokenize(graph.value_text(pge_graph::ValueId(i as u32))) {
+                vocab.add(&w);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let words = pge_nn::Embedding::new(&mut rng, vocab.len(), 8);
+        let enc = TextEncoder::cnn(
+            &mut rng,
+            CnnConfig {
+                vocab: vocab.len(),
+                word_dim: 8,
+                widths: vec![1, 2],
+                filters_per_width: 4,
+                out_dim: 6,
+                max_len: 12,
+            },
+            words,
+        );
+        let scorer = Scorer::new(ScoreKind::TransE, 4.0);
+        let relations =
+            pge_nn::Embedding::new_xavier(&mut rng, graph.num_attrs(), scorer.rel_dim(6));
+        PgeModel::new(vocab, enc, relations, scorer, graph)
+    }
+
+    fn tiny_graph() -> ProductGraph {
+        let mut g = ProductGraph::new();
+        g.add_fact("spicy tortilla chips", "flavor", "spicy queso");
+        g.add_fact("sweet honey granola", "flavor", "honey");
+        g
+    }
+
+    #[test]
+    fn score_triple_is_deterministic_and_finite() {
+        let g = tiny_graph();
+        let m = tiny_model(&g);
+        let t = g.triples()[0];
+        let a = m.score_triple(&t);
+        let b = m.score_triple(&t);
+        assert_eq!(a, b);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn score_fact_matches_score_triple_for_known_text() {
+        let g = tiny_graph();
+        let m = tiny_model(&g);
+        let t = g.triples()[0];
+        let via_text = m.score_fact("spicy tortilla chips", t.attr, "spicy queso");
+        assert!((via_text - m.score_triple(&t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unseen_words_fall_back_to_unk() {
+        let g = tiny_graph();
+        let m = tiny_model(&g);
+        let t = g.triples()[0];
+        // Fully unseen title: encoder still produces a finite score.
+        let f = m.score_fact("zzz qqq www", t.attr, "spicy queso");
+        assert!(f.is_finite());
+        // And it equals scoring the literal unk sequence.
+        let f2 = m.score_fact("unkish bogus trio", t.attr, "spicy queso");
+        assert!((f - f2).abs() < 1e-6, "pure-unk sequences must agree");
+    }
+
+    #[test]
+    fn embeddings_have_declared_dim() {
+        let g = tiny_graph();
+        let m = tiny_model(&g);
+        assert_eq!(m.title_embedding(pge_graph::ProductId(0)).len(), m.dim());
+        assert_eq!(m.value_embedding(pge_graph::ValueId(0)).len(), m.dim());
+    }
+}

@@ -1,0 +1,340 @@
+//! Model persistence: save a trained PGE model to a text artifact and
+//! reload it elsewhere.
+//!
+//! A production catalog pipeline trains once and scores continuously;
+//! this module is the hand-off. The format is line-oriented text with
+//! parameters stored as lossless `f32` bit patterns (hex), so a
+//! reloaded model scores *bit-identically*.
+//!
+//! Only the CNN encoder variant is persisted — it is the paper's
+//! deployed configuration (the BERT variant exists for the Table-5
+//! scalability contrast, not for deployment).
+
+use crate::encoder::TextEncoder;
+use crate::model::PgeModel;
+use crate::score::{ScoreKind, Scorer};
+use pge_graph::ProductGraph;
+use pge_nn::gradcheck::HasParams;
+use pge_nn::{CnnConfig, Embedding};
+use pge_text::Vocab;
+use std::fmt::Write as _;
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Only CNN-encoder models can be saved.
+    UnsupportedEncoder,
+    /// Parse failure with line number and message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::UnsupportedEncoder => {
+                write!(f, "only PGE(CNN) models support persistence")
+            }
+            PersistError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn write_param_values(out: &mut String, values: &[f32]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{:08x}", v.to_bits());
+    }
+    out.push('\n');
+}
+
+/// Serialize a trained PGE(CNN) model.
+pub fn save_model(model: &PgeModel) -> Result<String, PersistError> {
+    let cnn = match &model.encoder {
+        TextEncoder::Cnn(c) => c,
+        TextEncoder::Bert(_) => return Err(PersistError::UnsupportedEncoder),
+    };
+    let cfg = cnn.config();
+    let scorer = model.scorer;
+    let mut out = String::new();
+    let _ = writeln!(out, "#pge-model v1");
+    let _ = writeln!(
+        out,
+        "scorer {} {}",
+        scorer.kind.name().to_lowercase(),
+        scorer.gamma
+    );
+    let widths: Vec<String> = cfg.widths.iter().map(|w| w.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "cnn {} {} {} {} {} {}",
+        cfg.vocab,
+        cfg.word_dim,
+        cfg.filters_per_width,
+        cfg.out_dim,
+        cfg.max_len,
+        widths.join(",")
+    );
+    let _ = writeln!(out, "relations {}", model.relations.len());
+    let _ = writeln!(out, "vocab {}", model.vocab.len());
+    for w in model.vocab.words() {
+        let _ = writeln!(out, "{w}");
+    }
+    // Parameters in HasParams order: encoder params then relations.
+    let mut clone = model.clone();
+    let mut params = clone.encoder.params_mut();
+    params.push(clone.relations.param_mut());
+    let _ = writeln!(out, "params {}", params.len());
+    for p in params {
+        let _ = writeln!(out, "shape {} {}", p.value.rows(), p.value.cols());
+        write_param_values(&mut out, p.value.as_slice());
+    }
+    Ok(out)
+}
+
+/// Reload a model saved with [`save_model`]. Token caches are rebuilt
+/// for `graph` (pass the graph you intend to score).
+pub fn load_model(text: &str, graph: &ProductGraph) -> Result<PgeModel, PersistError> {
+    let mut lines = text.lines().enumerate();
+    let mut next = |what: &str| -> Result<(usize, &str), PersistError> {
+        lines
+            .next()
+            .ok_or_else(|| PersistError::Parse(0, format!("missing {what}")))
+    };
+
+    let (ln, header) = next("header")?;
+    if header.trim() != "#pge-model v1" {
+        return Err(PersistError::Parse(ln + 1, "bad header".into()));
+    }
+
+    let (ln, scorer_line) = next("scorer")?;
+    let mut parts = scorer_line.split_whitespace();
+    let bad = |ln: usize, m: &str| PersistError::Parse(ln + 1, m.to_string());
+    if parts.next() != Some("scorer") {
+        return Err(bad(ln, "expected scorer line"));
+    }
+    let kind = match parts.next() {
+        Some("transe") => ScoreKind::TransE,
+        Some("rotate") => ScoreKind::RotatE,
+        Some("distmult") => ScoreKind::DistMult,
+        Some("complex") => ScoreKind::ComplEx,
+        other => return Err(bad(ln, &format!("unknown scorer {other:?}"))),
+    };
+    let gamma: f32 = parts
+        .next()
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| bad(ln, "bad gamma"))?;
+
+    let (ln, cnn_line) = next("cnn config")?;
+    let mut parts = cnn_line.split_whitespace();
+    if parts.next() != Some("cnn") {
+        return Err(bad(ln, "expected cnn line"));
+    }
+    let mut ints = || -> Result<usize, PersistError> {
+        parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| bad(ln, "bad cnn field"))
+    };
+    let vocab_n = ints()?;
+    let word_dim = ints()?;
+    let filters = ints()?;
+    let out_dim = ints()?;
+    let max_len = ints()?;
+    let widths: Vec<usize> = parts
+        .next()
+        .ok_or_else(|| bad(ln, "missing widths"))?
+        .split(',')
+        .map(|w| w.parse().map_err(|_| bad(ln, "bad width")))
+        .collect::<Result<_, _>>()?;
+
+    let (ln, rel_line) = next("relations")?;
+    let n_rels: usize = rel_line
+        .strip_prefix("relations ")
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| bad(ln, "bad relations line"))?;
+
+    let (ln, vocab_line) = next("vocab")?;
+    let n_words: usize = vocab_line
+        .strip_prefix("vocab ")
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| bad(ln, "bad vocab line"))?;
+    if n_words != vocab_n {
+        return Err(bad(ln, "vocab count mismatch with cnn config"));
+    }
+    let mut vocab = Vocab::new();
+    for i in 0..n_words {
+        let (wln, word) = next("vocab word")?;
+        if i < 3 {
+            // Reserved tokens are created by Vocab::new; validate.
+            if word != vocab.word(i as u32) {
+                return Err(bad(wln, "reserved token mismatch"));
+            }
+        } else {
+            vocab.add(word);
+        }
+    }
+
+    // Construct a model skeleton, then overwrite every parameter.
+    let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+    let cfg = CnnConfig {
+        vocab: vocab_n,
+        word_dim,
+        widths,
+        filters_per_width: filters,
+        out_dim,
+        max_len,
+    };
+    let scorer = Scorer::new(kind, gamma);
+    let words = Embedding::new(&mut rng, vocab_n, word_dim);
+    let encoder = TextEncoder::cnn(&mut rng, cfg, words);
+    let relations = Embedding::new(&mut rng, n_rels, scorer.rel_dim(out_dim));
+    let mut model = PgeModel::new(vocab, encoder, relations, scorer, graph);
+
+    let (ln, params_line) = next("params")?;
+    let n_params: usize = params_line
+        .strip_prefix("params ")
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| bad(ln, "bad params line"))?;
+    {
+        let mut params = model.encoder.params_mut();
+        params.push(model.relations.param_mut());
+        if params.len() != n_params {
+            return Err(bad(ln, "parameter count mismatch"));
+        }
+        for p in params {
+            let (sln, shape_line) = next("shape")?;
+            let mut parts = shape_line.split_whitespace();
+            if parts.next() != Some("shape") {
+                return Err(bad(sln, "expected shape line"));
+            }
+            let rows: usize = parts
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| bad(sln, "bad rows"))?;
+            let cols: usize = parts
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| bad(sln, "bad cols"))?;
+            if rows != p.value.rows() || cols != p.value.cols() {
+                return Err(bad(
+                    sln,
+                    &format!(
+                        "shape mismatch: file {rows}x{cols}, model {}x{}",
+                        p.value.rows(),
+                        p.value.cols()
+                    ),
+                ));
+            }
+            let (vln, value_line) = next("param values")?;
+            let slice = p.value.as_mut_slice();
+            let mut count = 0usize;
+            for (i, tok) in value_line.split_whitespace().enumerate() {
+                if i >= slice.len() {
+                    return Err(bad(vln, "too many values"));
+                }
+                let bits = u32::from_str_radix(tok, 16)
+                    .map_err(|_| bad(vln, "bad value"))?;
+                slice[i] = f32::from_bits(bits);
+                count += 1;
+            }
+            if count != slice.len() {
+                return Err(bad(vln, "too few values"));
+            }
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_pge, PgeConfig};
+    use pge_graph::{Dataset, ProductGraph};
+
+    fn tiny_dataset() -> Dataset {
+        let mut g = ProductGraph::new();
+        let mut train = Vec::new();
+        for i in 0..20 {
+            let flavor = if i % 2 == 0 { "spicy" } else { "sweet" };
+            train.push(g.add_fact(&format!("brand{i} {flavor} chips {i}"), "flavor", flavor));
+        }
+        Dataset::new(g, train, vec![], vec![])
+    }
+
+    #[test]
+    fn round_trip_scores_bit_identically() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                epochs: 3,
+                ..PgeConfig::tiny()
+            },
+        );
+        let text = save_model(&trained.model).unwrap();
+        let loaded = load_model(&text, &d.graph).unwrap();
+        for t in d.train.iter().take(10) {
+            assert_eq!(trained.model.score_triple(t), loaded.score_triple(t));
+        }
+        // Inductive scoring also matches.
+        let attr = d.graph.lookup_attr("flavor").unwrap();
+        assert_eq!(
+            trained.model.score_fact("totally new spicy snack", attr, "spicy"),
+            loaded.score_fact("totally new spicy snack", attr, "spicy"),
+        );
+    }
+
+    #[test]
+    fn bert_models_are_rejected() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                encoder: crate::encoder::EncoderKind::Bert,
+                epochs: 1,
+                dim: 16,
+                ..PgeConfig::tiny()
+            },
+        );
+        assert!(matches!(
+            save_model(&trained.model),
+            Err(PersistError::UnsupportedEncoder)
+        ));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_line_numbers() {
+        let d = tiny_dataset();
+        assert!(load_model("", &d.graph).is_err());
+        assert!(load_model("#pge-model v2\n", &d.graph).is_err());
+        let truncated = "#pge-model v1\nscorer rotate 6\n";
+        match load_model(truncated, &d.graph) {
+            Err(PersistError::Parse(_, msg)) => assert!(msg.contains("missing")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_values_detected_by_shape_or_count() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                epochs: 1,
+                ..PgeConfig::tiny()
+            },
+        );
+        let text = save_model(&trained.model).unwrap();
+        // Drop the last line (a parameter row).
+        let truncated: String = {
+            let mut ls: Vec<&str> = text.lines().collect();
+            ls.pop();
+            ls.join("\n")
+        };
+        assert!(load_model(&truncated, &d.graph).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! KG-embedding scoring functions `f_a(t, v)` and their gradients.
+//!
+//! The paper plugs standard scoring functions into its objective
+//! (Eq. 2): "f_a(t,v) can be defined by any KG embedding scoring
+//! function", and evaluates TransE and RotatE variants of PGE.
+//! DistMult and ComplEx are implemented as well for the baseline
+//! suite. Higher scores mean more plausible triples.
+
+/// Which scoring function to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScoreKind {
+    /// `γ − ‖h + r − t‖₁` (Bordes et al., 2013).
+    TransE,
+    /// `γ − Σᵢ |h∘r − t|ᵢ` over ℂ^{d/2} with unit-modulus relation
+    /// rotations (Sun et al., 2019).
+    RotatE,
+    /// `Σᵢ hᵢ rᵢ tᵢ` (Yang et al., 2014).
+    DistMult,
+    /// `Re(Σᵢ hᵢ rᵢ conj(t)ᵢ)` over ℂ^{d/2} (Trouillon et al., 2016).
+    ComplEx,
+}
+
+impl ScoreKind {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreKind::TransE => "TransE",
+            ScoreKind::RotatE => "RotatE",
+            ScoreKind::DistMult => "DistMult",
+            ScoreKind::ComplEx => "ComplEx",
+        }
+    }
+}
+
+/// Small fuzz keeping the RotatE modulus differentiable at 0.
+const MOD_EPS: f32 = 1e-9;
+
+/// A configured scoring function.
+#[derive(Clone, Copy, Debug)]
+pub struct Scorer {
+    pub kind: ScoreKind,
+    /// Margin γ of the distance-based scorers (ignored by DistMult and
+    /// ComplEx). The paper sweeps {12, 24}; our rescaled embeddings
+    /// train well with γ around 4–12.
+    pub gamma: f32,
+}
+
+impl Scorer {
+    pub fn new(kind: ScoreKind, gamma: f32) -> Self {
+        Scorer { kind, gamma }
+    }
+
+    /// Relation-parameter dimension for a given entity dimension.
+    ///
+    /// # Panics
+    /// Panics when `ent_dim` is odd but the scorer is complex-valued.
+    pub fn rel_dim(&self, ent_dim: usize) -> usize {
+        match self.kind {
+            ScoreKind::TransE | ScoreKind::DistMult => ent_dim,
+            ScoreKind::RotatE => {
+                assert!(ent_dim.is_multiple_of(2), "RotatE needs an even entity dim");
+                ent_dim / 2
+            }
+            ScoreKind::ComplEx => {
+                assert!(ent_dim.is_multiple_of(2), "ComplEx needs an even entity dim");
+                ent_dim
+            }
+        }
+    }
+
+    /// Plausibility score `f_a(h, t)`.
+    ///
+    /// Complex-valued scorers treat entity vectors as `[re.. , im..]`
+    /// split halves.
+    pub fn score(&self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        debug_assert_eq!(h.len(), t.len());
+        debug_assert_eq!(r.len(), self.rel_dim(h.len()));
+        match self.kind {
+            ScoreKind::TransE => {
+                let mut dist = 0.0;
+                for i in 0..h.len() {
+                    dist += (h[i] + r[i] - t[i]).abs();
+                }
+                self.gamma - dist
+            }
+            ScoreKind::RotatE => {
+                let m = h.len() / 2;
+                let (h_re, h_im) = h.split_at(m);
+                let (t_re, t_im) = t.split_at(m);
+                let mut dist = 0.0;
+                for i in 0..m {
+                    let (sin, cos) = r[i].sin_cos();
+                    let hr_re = h_re[i] * cos - h_im[i] * sin;
+                    let hr_im = h_re[i] * sin + h_im[i] * cos;
+                    let dre = hr_re - t_re[i];
+                    let dim = hr_im - t_im[i];
+                    dist += (dre * dre + dim * dim + MOD_EPS).sqrt();
+                }
+                self.gamma - dist
+            }
+            ScoreKind::DistMult => {
+                let mut s = 0.0;
+                for i in 0..h.len() {
+                    s += h[i] * r[i] * t[i];
+                }
+                s
+            }
+            ScoreKind::ComplEx => {
+                let m = h.len() / 2;
+                let (h_re, h_im) = h.split_at(m);
+                let (t_re, t_im) = t.split_at(m);
+                let (r_re, r_im) = r.split_at(m);
+                let mut s = 0.0;
+                for i in 0..m {
+                    // Re( h · r · conj(t) )
+                    s += (h_re[i] * r_re[i] - h_im[i] * r_im[i]) * t_re[i]
+                        + (h_re[i] * r_im[i] + h_im[i] * r_re[i]) * t_im[i];
+                }
+                s
+            }
+        }
+    }
+
+    /// Accumulate `df · ∂f/∂{h,r,t}` into the gradient slices.
+    // Three inputs + three gradient outputs is the signature of the
+    // math; bundling them into structs would add copies on a hot path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        df: f32,
+        dh: &mut [f32],
+        dr: &mut [f32],
+        dt: &mut [f32],
+    ) {
+        match self.kind {
+            ScoreKind::TransE => {
+                for i in 0..h.len() {
+                    let s = (h[i] + r[i] - t[i]).signum();
+                    // f = γ − Σ|·| ⇒ ∂f/∂h = −sign
+                    dh[i] += -df * s;
+                    dr[i] += -df * s;
+                    dt[i] += df * s;
+                }
+            }
+            ScoreKind::RotatE => {
+                let m = h.len() / 2;
+                let (h_re, h_im) = h.split_at(m);
+                let (t_re, t_im) = t.split_at(m);
+                let (dh_re, dh_im) = dh.split_at_mut(m);
+                let (dt_re, dt_im) = dt.split_at_mut(m);
+                for i in 0..m {
+                    let (sin, cos) = r[i].sin_cos();
+                    let hr_re = h_re[i] * cos - h_im[i] * sin;
+                    let hr_im = h_re[i] * sin + h_im[i] * cos;
+                    let dre = hr_re - t_re[i];
+                    let dim = hr_im - t_im[i];
+                    let modl = (dre * dre + dim * dim + MOD_EPS).sqrt();
+                    // f = γ − Σ mod ⇒ ∂f/∂dre = −dre/mod etc.
+                    let gre = -df * dre / modl;
+                    let gim = -df * dim / modl;
+                    // Chain through the rotation.
+                    dh_re[i] += gre * cos + gim * sin;
+                    dh_im[i] += -gre * sin + gim * cos;
+                    dt_re[i] += -gre;
+                    dt_im[i] += -gim;
+                    // ∂hr_re/∂θ = −h_re sin − h_im cos = −hr_im;
+                    // ∂hr_im/∂θ = h_re cos − h_im sin = hr_re.
+                    dr[i] += gre * (-hr_im) + gim * hr_re;
+                }
+            }
+            ScoreKind::DistMult => {
+                for i in 0..h.len() {
+                    dh[i] += df * r[i] * t[i];
+                    dr[i] += df * h[i] * t[i];
+                    dt[i] += df * h[i] * r[i];
+                }
+            }
+            ScoreKind::ComplEx => {
+                let m = h.len() / 2;
+                let (h_re, h_im) = h.split_at(m);
+                let (t_re, t_im) = t.split_at(m);
+                let (r_re, r_im) = r.split_at(m);
+                let (dh_re, dh_im) = dh.split_at_mut(m);
+                let (dt_re, dt_im) = dt.split_at_mut(m);
+                let (dr_re, dr_im) = dr.split_at_mut(m);
+                for i in 0..m {
+                    dh_re[i] += df * (r_re[i] * t_re[i] + r_im[i] * t_im[i]);
+                    dh_im[i] += df * (-r_im[i] * t_re[i] + r_re[i] * t_im[i]);
+                    dr_re[i] += df * (h_re[i] * t_re[i] + h_im[i] * t_im[i]);
+                    dr_im[i] += df * (-h_im[i] * t_re[i] + h_re[i] * t_im[i]);
+                    dt_re[i] += df * (h_re[i] * r_re[i] - h_im[i] * r_im[i]);
+                    dt_im[i] += df * (h_re[i] * r_im[i] + h_im[i] * r_re[i]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pge_nn::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const ALL: [ScoreKind; 4] = [
+        ScoreKind::TransE,
+        ScoreKind::RotatE,
+        ScoreKind::DistMult,
+        ScoreKind::ComplEx,
+    ];
+
+    fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn transe_exact_value() {
+        let s = Scorer::new(ScoreKind::TransE, 5.0);
+        // h + r − t = [0.5, −1.0]; L1 = 1.5; f = 3.5.
+        let f = s.score(&[1.0, 0.0], &[0.5, 1.0], &[1.0, 2.0]);
+        assert!((f - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotate_perfect_rotation_scores_gamma() {
+        let s = Scorer::new(ScoreKind::RotatE, 4.0);
+        // h = 1 + 0i, θ = π/2 ⇒ h∘r = 0 + 1i = t exactly.
+        let h = [1.0, 0.0]; // [re, im] with m = 1
+        let t = [0.0, 1.0];
+        let r = [std::f32::consts::FRAC_PI_2];
+        let f = s.score(&h, &r, &t);
+        assert!((f - 4.0).abs() < 1e-3, "f={f}");
+    }
+
+    #[test]
+    fn distmult_is_symmetric_in_h_t() {
+        let s = Scorer::new(ScoreKind::DistMult, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = rand_vec(&mut rng, 6);
+        let r = rand_vec(&mut rng, 6);
+        let t = rand_vec(&mut rng, 6);
+        assert!((s.score(&h, &r, &t) - s.score(&t, &r, &h)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn complex_is_asymmetric() {
+        let s = Scorer::new(ScoreKind::ComplEx, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = rand_vec(&mut rng, 6);
+        let r = rand_vec(&mut rng, 6);
+        let t = rand_vec(&mut rng, 6);
+        assert!((s.score(&h, &r, &t) - s.score(&t, &r, &h)).abs() > 1e-4);
+    }
+
+    #[test]
+    fn rel_dims() {
+        let d = 8;
+        assert_eq!(Scorer::new(ScoreKind::TransE, 1.0).rel_dim(d), 8);
+        assert_eq!(Scorer::new(ScoreKind::RotatE, 1.0).rel_dim(d), 4);
+        assert_eq!(Scorer::new(ScoreKind::DistMult, 1.0).rel_dim(d), 8);
+        assert_eq!(Scorer::new(ScoreKind::ComplEx, 1.0).rel_dim(d), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "even entity dim")]
+    fn rotate_rejects_odd_dim() {
+        Scorer::new(ScoreKind::RotatE, 1.0).rel_dim(7);
+    }
+
+    #[test]
+    fn gradcheck_all_scorers() {
+        for kind in ALL {
+            let s = Scorer::new(kind, 3.0);
+            let mut rng = StdRng::seed_from_u64(11);
+            let d = 6;
+            let h = rand_vec(&mut rng, d);
+            let r = rand_vec(&mut rng, s.rel_dim(d));
+            let t = rand_vec(&mut rng, d);
+            let mut dh = vec![0.0; d];
+            let mut dr = vec![0.0; r.len()];
+            let mut dt = vec![0.0; d];
+            s.backward(&h, &r, &t, 1.0, &mut dh, &mut dr, &mut dt);
+
+            let nh = gradcheck::numeric_input_grad(&h, |x| s.score(x, &r, &t));
+            let nr = gradcheck::numeric_input_grad(&r, |x| s.score(&h, x, &t));
+            let nt = gradcheck::numeric_input_grad(&t, |x| s.score(&h, &r, x));
+            // TransE's |·| is non-smooth at 0; random inputs keep us
+            // away from kinks.
+            gradcheck::assert_close(&dh, &nh, 2e-2, &format!("{kind:?} dh"));
+            gradcheck::assert_close(&dr, &nr, 2e-2, &format!("{kind:?} dr"));
+            gradcheck::assert_close(&dt, &nt, 2e-2, &format!("{kind:?} dt"));
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_not_overwrites() {
+        let s = Scorer::new(ScoreKind::DistMult, 0.0);
+        let h = [1.0, 2.0];
+        let r = [1.0, 1.0];
+        let t = [3.0, 4.0];
+        let mut dh = vec![10.0, 10.0];
+        let mut dr = vec![0.0, 0.0];
+        let mut dt = vec![0.0, 0.0];
+        s.backward(&h, &r, &t, 1.0, &mut dh, &mut dr, &mut dt);
+        assert_eq!(dh, vec![13.0, 14.0]); // 10 + r*t
+    }
+
+    #[test]
+    fn corrupted_triples_score_lower_after_gradient_steps() {
+        // One manual SGD step should raise f(pos) and lower f(neg).
+        for kind in ALL {
+            let s = Scorer::new(kind, 3.0);
+            let mut rng = StdRng::seed_from_u64(5);
+            let d = 8;
+            let mut h = rand_vec(&mut rng, d);
+            let mut r = rand_vec(&mut rng, s.rel_dim(d));
+            let mut t = rand_vec(&mut rng, d);
+            let before = s.score(&h, &r, &t);
+            for _ in 0..20 {
+                let mut dh = vec![0.0; d];
+                let mut dr = vec![0.0; r.len()];
+                let mut dt = vec![0.0; d];
+                // Maximize f: ascend.
+                s.backward(&h, &r, &t, 1.0, &mut dh, &mut dr, &mut dt);
+                for i in 0..d {
+                    h[i] += 0.05 * dh[i];
+                    t[i] += 0.05 * dt[i];
+                }
+                for i in 0..r.len() {
+                    r[i] += 0.05 * dr[i];
+                }
+            }
+            let after = s.score(&h, &r, &t);
+            assert!(after > before, "{kind:?}: {before} -> {after}");
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! End-to-end PGE training (§3 of the paper).
+//!
+//! Pipeline: build the training corpus → pre-train word2vec vectors →
+//! assemble the text encoder + relation table → minibatch Adam over
+//! the negative-sampling objective (Eq. 3), weighted per-triple by the
+//! learnable confidence scores of the noise-aware mechanism (Eq. 6).
+
+use crate::confidence::ConfidenceStore;
+use crate::encoder::{EncoderKind, TextEncoder};
+use crate::model::PgeModel;
+use crate::score::{ScoreKind, Scorer};
+use pge_graph::{Dataset, NegativeSampler, SamplingMode};
+use pge_nn::{AdamHparams, CnnConfig, Embedding, TransformerConfig};
+use pge_tensor::ops;
+use pge_text::word2vec::{train_word2vec, Word2VecConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// All the knobs of a PGE training run.
+#[derive(Clone, Debug)]
+pub struct PgeConfig {
+    /// Entity-embedding dimension (even; complex scorers halve it).
+    pub dim: usize,
+    /// Word-embedding dimension for the CNN encoder.
+    pub word_dim: usize,
+    /// CNN filter widths (paper sweeps {1,2,3,4} across three CNNs).
+    pub widths: Vec<usize>,
+    /// Feature maps per filter width.
+    pub filters_per_width: usize,
+    /// Max tokens per text.
+    pub max_len: usize,
+    /// Text encoder: CNN (paper's choice) or BERT-style.
+    pub encoder: EncoderKind,
+    /// Scoring function (paper evaluates TransE and RotatE).
+    pub score: ScoreKind,
+    /// Margin γ for the distance scorers.
+    pub gamma: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size (one Adam step per batch).
+    pub batch: usize,
+    /// Negative samples per positive (|N(t,a,v)| in Eq. 3).
+    pub negatives: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Negative-sampling mode.
+    pub sampling: SamplingMode,
+    /// Enable the noise-aware mechanism (§3.3).
+    pub noise_aware: bool,
+    /// Sparsity price α of Eq. (4).
+    pub alpha: f32,
+    /// Polarization strength β of Eq. (6).
+    pub beta: f32,
+    /// SGD step for confidence updates.
+    pub confidence_lr: f32,
+    /// Epochs before confidence updates begin (the embeddings must
+    /// carry signal before triple losses mean anything).
+    pub confidence_warmup: usize,
+    /// word2vec pre-training epochs (0 disables pre-training).
+    pub word2vec_epochs: usize,
+    /// Initialize RotatE relation phases uniform in ±π (the RotatE
+    /// paper's own scheme) instead of Xavier. Diverse initial
+    /// rotations help on relation-rich KGs (many relations must
+    /// differentiate), while near-identity rotations win on catalogs
+    /// with a handful of attributes — tune per dataset like the
+    /// paper's grid search does.
+    pub rotate_phase_init: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PgeConfig {
+    fn default() -> Self {
+        PgeConfig {
+            dim: 32,
+            word_dim: 32,
+            widths: vec![1, 2, 3],
+            filters_per_width: 16,
+            max_len: 20,
+            encoder: EncoderKind::Cnn,
+            score: ScoreKind::RotatE,
+            gamma: 6.0,
+            epochs: 12,
+            batch: 128,
+            negatives: 4,
+            lr: 3e-3,
+            sampling: SamplingMode::GlobalUniform,
+            noise_aware: true,
+            alpha: 1.2,
+            beta: 0.05,
+            confidence_lr: 0.03,
+            confidence_warmup: 3,
+            word2vec_epochs: 2,
+            rotate_phase_init: false,
+            seed: 13,
+        }
+    }
+}
+
+impl PgeConfig {
+    /// Small/fast config for tests.
+    pub fn tiny() -> Self {
+        PgeConfig {
+            dim: 16,
+            word_dim: 16,
+            widths: vec![1, 2],
+            filters_per_width: 8,
+            max_len: 14,
+            epochs: 6,
+            batch: 64,
+            negatives: 3,
+            word2vec_epochs: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Label like `PGE(CNN)-RotatE` used in the paper's tables.
+    pub fn label(&self) -> String {
+        let base = format!("PGE({})-{}", self.encoder.name(), self.score.name());
+        if self.noise_aware {
+            base
+        } else {
+            format!("{base} w/o noise-aware")
+        }
+    }
+}
+
+/// The output of a training run.
+pub struct TrainedPge {
+    pub model: PgeModel,
+    /// Final per-training-triple confidence scores (Fig. 5 material).
+    pub confidence: ConfidenceStore,
+    /// Wall-clock training time in seconds (Table 5 material).
+    pub train_secs: f64,
+    /// Mean triple loss per epoch (diagnostics; must trend down).
+    pub epoch_losses: Vec<f32>,
+}
+
+/// Train PGE on a dataset's training split.
+pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
+    let start = Instant::now();
+    let graph = &dataset.graph;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // 1. Corpus + word2vec initialization (§3.1).
+    let corpus = crate::corpus::build_corpus(graph, &dataset.train);
+    let scorer = Scorer::new(cfg.score, cfg.gamma);
+    let encoder = match cfg.encoder {
+        EncoderKind::Cnn => {
+            let vectors = if cfg.word2vec_epochs > 0 {
+                train_word2vec(
+                    &corpus.vocab,
+                    &corpus.sentences,
+                    &Word2VecConfig {
+                        dim: cfg.word_dim,
+                        epochs: cfg.word2vec_epochs,
+                        seed: cfg.seed ^ 0x5eed,
+                        ..Default::default()
+                    },
+                )
+            } else {
+                pge_tensor::init::embedding(&mut rng, corpus.vocab.len(), cfg.word_dim)
+            };
+            TextEncoder::cnn(
+                &mut rng,
+                CnnConfig {
+                    vocab: corpus.vocab.len(),
+                    word_dim: cfg.word_dim,
+                    widths: cfg.widths.clone(),
+                    filters_per_width: cfg.filters_per_width,
+                    out_dim: cfg.dim,
+                    max_len: cfg.max_len,
+                },
+                Embedding::from_matrix(vectors),
+            )
+        }
+        EncoderKind::Bert => TextEncoder::bert(
+            &mut rng,
+            TransformerConfig {
+                vocab: corpus.vocab.len(),
+                // The BERT-style encoder's width doubles as the entity
+                // dimension ([CLS] state is the representation).
+                dim: cfg.dim.max(16),
+                heads: 4,
+                layers: 4,
+                ffn_dim: cfg.dim.max(16) * 4,
+                max_len: cfg.max_len.max(8),
+            },
+        ),
+    };
+    let ent_dim = encoder.out_dim();
+    // The paper: "we use randomly initialized learnable vectors to
+    // represent relations". See `PgeConfig::rotate_phase_init` for the
+    // RotatE-specific choice between Xavier and ±π phases.
+    let relations = if cfg.score == ScoreKind::RotatE && cfg.rotate_phase_init {
+        Embedding::new_phases(&mut rng, graph.num_attrs().max(1), scorer.rel_dim(ent_dim))
+    } else {
+        Embedding::new_xavier(&mut rng, graph.num_attrs().max(1), scorer.rel_dim(ent_dim))
+    };
+    let mut model = PgeModel::new(corpus.vocab, encoder, relations, scorer, graph);
+
+    // 2. Negative sampler + confidence store.
+    let sampler = NegativeSampler::new(graph, cfg.sampling);
+    let mut confidence = ConfidenceStore::new(
+        dataset.train.len(),
+        cfg.alpha,
+        cfg.beta,
+        cfg.confidence_lr,
+    );
+
+    // 3. Minibatch Adam over Eq. (3)/(6).
+    let hp = AdamHparams::with_lr(cfg.lr);
+    let k = cfg.negatives.max(1);
+    let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+    let mut step: u64 = 0;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut dh = vec![0.0f32; ent_dim];
+    let mut dr = vec![0.0f32; model.scorer.rel_dim(ent_dim)];
+    let mut dv = vec![0.0f32; ent_dim];
+    for epoch in 0..cfg.epochs {
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let confidence_active = cfg.noise_aware && epoch >= cfg.confidence_warmup;
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
+        for batch in order.chunks(cfg.batch.max(1)) {
+            step += 1;
+            for &i in batch {
+                let triple = dataset.train[i];
+                let title_tokens = &model.title_tokens[triple.product.0 as usize];
+                let value_tokens = &model.value_tokens[triple.value.0 as usize];
+                let (e_t, cache_t) = model.encoder.forward(title_tokens);
+                let (e_v, cache_v) = model.encoder.forward(value_tokens);
+                let r = model.relations.row(triple.attr.0 as u32).to_vec();
+                let f_pos = model.scorer.score(&e_t, &r, &e_v);
+
+                let negs = sampler.sample(&mut rng, &triple, k);
+                if negs.is_empty() {
+                    continue;
+                }
+                // Loss bookkeeping (Eq. 3 per-triple term).
+                let mut l_i = -ops::log_sigmoid(f_pos);
+                let w = if confidence_active {
+                    confidence.get(i)
+                } else {
+                    1.0
+                };
+
+                dh.iter_mut().for_each(|x| *x = 0.0);
+                dr.iter_mut().for_each(|x| *x = 0.0);
+                if w > 0.0 {
+                    // Positive term: dL/df⁺ = −σ(−f⁺).
+                    dv.iter_mut().for_each(|x| *x = 0.0);
+                    let df_pos = -w * ops::sigmoid(-f_pos);
+                    model
+                        .scorer
+                        .backward(&e_t, &r, &e_v, df_pos, &mut dh, &mut dr, &mut dv);
+                    model.encoder.backward(&cache_v, &dv);
+                }
+                let inv_k = 1.0 / negs.len() as f32;
+                for &neg in &negs {
+                    let neg_tokens = &model.value_tokens[neg.0 as usize];
+                    let (e_n, cache_n) = model.encoder.forward(neg_tokens);
+                    let f_neg = model.scorer.score(&e_t, &r, &e_n);
+                    l_i += -inv_k * ops::log_sigmoid(-f_neg);
+                    if w > 0.0 {
+                        // Negative term: dL/df⁻ = σ(f⁻)/k.
+                        dv.iter_mut().for_each(|x| *x = 0.0);
+                        let df_neg = w * inv_k * ops::sigmoid(f_neg);
+                        model
+                            .scorer
+                            .backward(&e_t, &r, &e_n, df_neg, &mut dh, &mut dr, &mut dv);
+                        model.encoder.backward(&cache_n, &dv);
+                    }
+                }
+                if w > 0.0 {
+                    model.encoder.backward(&cache_t, &dh);
+                    model.relations.accumulate_grad(triple.attr.0 as u32, &dr);
+                }
+                if confidence_active {
+                    confidence.update(i, l_i);
+                }
+                loss_sum += l_i as f64;
+                loss_n += 1;
+            }
+            model.encoder.adam_step(&hp, step);
+            model.relations.adam_step(&hp, step);
+        }
+        epoch_losses.push(if loss_n == 0 {
+            0.0
+        } else {
+            (loss_sum / loss_n as f64) as f32
+        });
+    }
+
+    TrainedPge {
+        model,
+        confidence,
+        train_secs: start.elapsed().as_secs_f64(),
+        epoch_losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pge_graph::{Dataset, LabeledTriple, ProductGraph, Triple};
+
+    /// Tiny two-cluster catalog: spicy products have pepper
+    /// ingredients, sweet products have sugar ingredients.
+    fn tiny_dataset() -> Dataset {
+        let mut g = ProductGraph::new();
+        let mut train = Vec::new();
+        for i in 0..30 {
+            let (flavor, ing, word) = if i % 2 == 0 {
+                ("spicy", "cayenne pepper", "hot")
+            } else {
+                ("sweet", "cane sugar", "honey")
+            };
+            let title = format!("brand{i} {word} {flavor} snack chips {i}");
+            train.push(g.add_fact(&title, "flavor", flavor));
+            train.push(g.add_fact(&title, "ingredient", ing));
+        }
+        // Labeled: held-out products with correct and swapped flavors.
+        let mut valid = Vec::new();
+        let mut test = Vec::new();
+        for i in 0..10 {
+            let (flavor, wrong, ing, word) = if i % 2 == 0 {
+                ("spicy", "sweet", "cayenne pepper", "hot")
+            } else {
+                ("sweet", "spicy", "cane sugar", "honey")
+            };
+            let title = format!("testbrand{i} {word} {flavor} snack chips");
+            let pid = g.intern_product(&title);
+            let fattr = g.intern_attr("flavor");
+            let iattr = g.intern_attr("ingredient");
+            let good = Triple::new(pid, fattr, g.intern_value(flavor));
+            let bad = Triple::new(pid, fattr, g.intern_value(wrong));
+            let ing_t = Triple::new(pid, iattr, g.intern_value(ing));
+            g.add_triple(ing_t);
+            train.push(ing_t);
+            let (lt_good, lt_bad) = (
+                LabeledTriple {
+                    triple: good,
+                    correct: true,
+                },
+                LabeledTriple {
+                    triple: bad,
+                    correct: false,
+                },
+            );
+            if i < 4 {
+                valid.push(lt_good);
+                valid.push(lt_bad);
+            } else {
+                test.push(lt_good);
+                test.push(lt_bad);
+            }
+        }
+        Dataset::new(g, train, valid, test)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let d = tiny_dataset();
+        let out = train_pge(&d, &PgeConfig::tiny());
+        let first = out.epoch_losses.first().copied().unwrap();
+        let last = out.epoch_losses.last().copied().unwrap();
+        assert!(
+            last < first * 0.9,
+            "loss did not decrease: {:?}",
+            out.epoch_losses
+        );
+    }
+
+    #[test]
+    fn learns_to_separate_correct_from_swapped() {
+        let d = tiny_dataset();
+        // Per-attribute negatives make "the other flavor" a frequent
+        // corruption, which this tiny dataset needs to separate the
+        // two flavors per-title within few epochs.
+        let cfg = PgeConfig {
+            epochs: 20,
+            sampling: SamplingMode::PerAttribute,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        let mut good = 0.0;
+        let mut bad = 0.0;
+        for lt in &d.test {
+            let f = out.model.score_triple(&lt.triple);
+            if lt.correct {
+                good += f;
+            } else {
+                bad += f;
+            }
+        }
+        let n = (d.test.len() / 2) as f32;
+        assert!(
+            good / n > bad / n,
+            "mean f(correct)={} should exceed mean f(wrong)={}",
+            good / n,
+            bad / n
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = tiny_dataset();
+        let a = train_pge(&d, &PgeConfig::tiny());
+        let b = train_pge(&d, &PgeConfig::tiny());
+        let t = d.test[0].triple;
+        assert_eq!(a.model.score_triple(&t), b.model.score_triple(&t));
+    }
+
+    #[test]
+    fn transe_variant_trains_too() {
+        let d = tiny_dataset();
+        let cfg = PgeConfig {
+            score: ScoreKind::TransE,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        assert!(out.epoch_losses.last().unwrap() < out.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn noise_aware_flags_injected_noise() {
+        let mut d = tiny_dataset();
+        // Corrupt 20% of training triples.
+        let mut rng = StdRng::seed_from_u64(99);
+        let (noisy, clean) =
+            pge_graph::inject_noise(&d.graph, &d.train, 0.2, &mut rng);
+        d.train = noisy;
+        d.train_clean = clean;
+        let cfg = PgeConfig {
+            epochs: 14,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        // Mean confidence of clean triples should exceed noisy ones.
+        let (mut c_clean, mut n_clean, mut c_noisy, mut n_noisy) = (0.0, 0, 0.0, 0);
+        for (i, &is_clean) in d.train_clean.iter().enumerate() {
+            if is_clean {
+                c_clean += out.confidence.get(i);
+                n_clean += 1;
+            } else {
+                c_noisy += out.confidence.get(i);
+                n_noisy += 1;
+            }
+        }
+        let mean_clean = c_clean / n_clean as f32;
+        let mean_noisy = c_noisy / n_noisy as f32;
+        assert!(
+            mean_clean > mean_noisy,
+            "clean {mean_clean} vs noisy {mean_noisy}"
+        );
+    }
+
+    #[test]
+    fn without_noise_aware_confidences_stay_one() {
+        let d = tiny_dataset();
+        let cfg = PgeConfig {
+            noise_aware: false,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        assert!(out.confidence.scores().iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn config_labels() {
+        assert_eq!(PgeConfig::default().label(), "PGE(CNN)-RotatE");
+        let t = PgeConfig {
+            score: ScoreKind::TransE,
+            noise_aware: false,
+            ..Default::default()
+        };
+        assert_eq!(t.label(), "PGE(CNN)-TransE w/o noise-aware");
+    }
+
+    #[test]
+    fn records_train_time() {
+        let d = tiny_dataset();
+        let out = train_pge(&d, &PgeConfig::tiny());
+        assert!(out.train_secs > 0.0);
+    }
+
+    #[test]
+    fn bert_encoder_variant_trains() {
+        let d = tiny_dataset();
+        let cfg = PgeConfig {
+            encoder: EncoderKind::Bert,
+            epochs: 2,
+            dim: 16,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        let f = out.model.score_triple(&d.test[0].triple);
+        assert!(f.is_finite());
+        assert_eq!(out.model.encoder().kind(), EncoderKind::Bert);
+    }
+
+    #[test]
+    fn all_score_kinds_train() {
+        let d = tiny_dataset();
+        for score in [
+            ScoreKind::TransE,
+            ScoreKind::RotatE,
+            ScoreKind::DistMult,
+            ScoreKind::ComplEx,
+        ] {
+            let cfg = PgeConfig {
+                score,
+                epochs: 2,
+                ..PgeConfig::tiny()
+            };
+            let out = train_pge(&d, &cfg);
+            assert!(
+                out.model.score_triple(&d.test[0].triple).is_finite(),
+                "{score:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_training_set_does_not_panic() {
+        let mut d = tiny_dataset();
+        d.train.clear();
+        d.train_clean.clear();
+        let out = train_pge(&d, &PgeConfig::tiny());
+        assert_eq!(out.confidence.len(), 0);
+        // Scores remain finite: untrained encoder on unk-only vocab.
+        assert!(out.model.score_triple(&d.test[0].triple).is_finite());
+    }
+
+    #[test]
+    fn per_attribute_sampling_config_works() {
+        let d = tiny_dataset();
+        let cfg = PgeConfig {
+            sampling: SamplingMode::PerAttribute,
+            epochs: 2,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        assert!(out.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn word2vec_disabled_still_trains() {
+        let d = tiny_dataset();
+        let cfg = PgeConfig {
+            word2vec_epochs: 0,
+            epochs: 3,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        assert!(out.epoch_losses.last().unwrap() < out.epoch_losses.first().unwrap());
+    }
+}

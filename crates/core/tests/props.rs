@@ -1,0 +1,113 @@
+//! Property-based tests for scoring functions and the confidence
+//! mechanism.
+
+use pge_core::{ConfidenceStore, ScoreKind, Scorer};
+use pge_nn::gradcheck;
+use proptest::prelude::*;
+
+const KINDS: [ScoreKind; 4] = [
+    ScoreKind::TransE,
+    ScoreKind::RotatE,
+    ScoreKind::DistMult,
+    ScoreKind::ComplEx,
+];
+
+fn vec_of(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| (((i as u64 + 1) * (seed + 7)) % 997) as f32 / 499.0 - 1.0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_scorers_gradcheck_random_inputs(
+        kind_ix in 0usize..4,
+        half_dim in 1usize..6,
+        seed in 0u64..10_000,
+        gamma in 0.5f32..12.0,
+    ) {
+        let kind = KINDS[kind_ix];
+        let d = half_dim * 2;
+        let s = Scorer::new(kind, gamma);
+        let h = vec_of(d, seed);
+        let r = vec_of(s.rel_dim(d), seed + 1);
+        let t = vec_of(d, seed + 2);
+        // Keep away from |x| kinks for the L1-based scorers.
+        let near_kink = match kind {
+            ScoreKind::TransE => (0..d).any(|i| (h[i] + r[i] - t[i]).abs() < 0.05),
+            _ => false,
+        };
+        prop_assume!(!near_kink);
+
+        let mut dh = vec![0.0; d];
+        let mut dr = vec![0.0; r.len()];
+        let mut dt = vec![0.0; d];
+        s.backward(&h, &r, &t, 1.0, &mut dh, &mut dr, &mut dt);
+        let nh = gradcheck::numeric_input_grad(&h, |x| s.score(x, &r, &t));
+        let nr = gradcheck::numeric_input_grad(&r, |x| s.score(&h, x, &t));
+        let nt = gradcheck::numeric_input_grad(&t, |x| s.score(&h, &r, x));
+        gradcheck::assert_close(&dh, &nh, 5e-2, "prop dh");
+        gradcheck::assert_close(&dr, &nr, 5e-2, "prop dr");
+        gradcheck::assert_close(&dt, &nt, 5e-2, "prop dt");
+    }
+
+    #[test]
+    fn scores_are_finite(kind_ix in 0usize..4, half_dim in 1usize..8, seed in 0u64..10_000) {
+        let kind = KINDS[kind_ix];
+        let d = half_dim * 2;
+        let s = Scorer::new(kind, 6.0);
+        let h = vec_of(d, seed);
+        let r = vec_of(s.rel_dim(d), seed + 3);
+        let t = vec_of(d, seed + 4);
+        prop_assert!(s.score(&h, &r, &t).is_finite());
+    }
+
+    #[test]
+    fn distance_scorers_never_exceed_gamma(
+        half_dim in 1usize..8,
+        seed in 0u64..10_000,
+        gamma in 0.0f32..24.0,
+    ) {
+        for kind in [ScoreKind::TransE, ScoreKind::RotatE] {
+            let d = half_dim * 2;
+            let s = Scorer::new(kind, gamma);
+            let h = vec_of(d, seed);
+            let r = vec_of(s.rel_dim(d), seed + 5);
+            let t = vec_of(d, seed + 6);
+            prop_assert!(s.score(&h, &r, &t) <= gamma + 1e-5);
+        }
+    }
+
+    #[test]
+    fn confidence_always_clamped(
+        losses in prop::collection::vec(-10.0f32..10.0, 1..100),
+        alpha in 0.0f32..3.0,
+        beta in 0.0f32..1.0,
+        lr in 0.001f32..1.0,
+    ) {
+        let mut store = ConfidenceStore::new(1, alpha, beta, lr);
+        for &l in &losses {
+            store.update(0, l);
+            let c = store.get(0);
+            prop_assert!((0.0..=1.0).contains(&c), "C = {c}");
+        }
+    }
+
+    #[test]
+    fn confidence_monotone_in_loss_pressure(
+        alpha in 0.2f32..2.0,
+        lr in 0.01f32..0.2,
+        steps in 10usize..100,
+    ) {
+        // Higher persistent loss must end with (weakly) lower C.
+        let mut low = ConfidenceStore::new(1, alpha, 0.0, lr);
+        let mut high = ConfidenceStore::new(1, alpha, 0.0, lr);
+        for _ in 0..steps {
+            low.update(0, alpha * 0.5);
+            high.update(0, alpha * 2.0);
+        }
+        prop_assert!(high.get(0) <= low.get(0) + 1e-6);
+    }
+}

@@ -1,0 +1,664 @@
+//! Synthetic Amazon-like product-catalog generator.
+//!
+//! Replaces the paper's proprietary 750k-product catalog with a seeded
+//! generator that reproduces the statistical couplings PGE relies on:
+//!
+//! 1. **Text entails values** — titles usually contain the product's
+//!    flavor/scent phrase ("Nova Farms Spicy Queso Tortilla Chips …");
+//! 2. **Free-text values fragment ids** — ingredient strings have
+//!    surface variants ("chipotle pepper" / "chipotle pepper powder"),
+//!    so id-based KGE splits one concept across many entities while
+//!    text-based encoders do not;
+//! 3. **Graph structure correlates values** — products drawn from one
+//!    concept cluster share ingredients and flavors, giving the
+//!    "pepper ⇔ spicy" 2-hop signal of the paper's Fig. 1;
+//! 4. **Errors exist** — labeled test triples are corrupted with three
+//!    realistic modes, and unlabeled noise is injected into training.
+
+// clippy's explicit_auto_deref fires on `*choice(...)`, but removing
+// the deref changes `choice`'s type inference (T would unify with the
+// unsized `str`) and breaks the build — the lint is wrong here.
+#![allow(clippy::explicit_auto_deref)]
+
+use crate::lexicon::{
+    Cluster, BRAND_HEADS, BRAND_TAILS, CATEGORY_SUFFIXES, CLUSTERS, MARKETING, MISC_VALUES,
+    NEUTRAL_INGREDIENTS, PRODUCT_TYPES, SIZES, VALUE_PREFIXES, VALUE_SUFFIXES,
+};
+use pge_graph::{Dataset, LabeledTriple, ProductGraph, Triple};
+use pge_tensor::FxHashSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the catalog generator.
+#[derive(Clone, Debug)]
+pub struct CatalogConfig {
+    /// Number of products.
+    pub products: usize,
+    /// Number of labeled (valid + test) flavor/scent triples.
+    pub labeled: usize,
+    /// Fraction of labeled triples that are corrupted (the paper's
+    /// MTurk set is ≈51% incorrect).
+    pub error_rate: f64,
+    /// Unlabeled noise rate in the training triples (self-reported
+    /// catalog errors).
+    pub train_noise: f64,
+    /// Probability that a title mentions its flavor/scent phrase.
+    pub title_mentions_value: f64,
+    /// Probability that a value string carries a surface-variant
+    /// modifier ("organic …", "… powder"). Fragmenting values is the
+    /// paper's C1: it starves id-based KGE while leaving text intact.
+    pub value_variant_rate: f64,
+    /// Allow corrupted values that never occur in training (spurious-
+    /// suffix errors). Keep `false` for the transductive datasets.
+    pub allow_unseen_values: bool,
+    /// RNG seed; everything is deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            products: 1500,
+            labeled: 500,
+            error_rate: 0.5,
+            train_noise: 0.03,
+            title_mentions_value: 0.7,
+            value_variant_rate: 0.65,
+            allow_unseen_values: false,
+            seed: 42,
+        }
+    }
+}
+
+impl CatalogConfig {
+    /// Small config for unit/integration tests.
+    pub fn tiny() -> Self {
+        CatalogConfig {
+            products: 200,
+            labeled: 80,
+            ..Default::default()
+        }
+    }
+}
+
+fn choice<'a, T, R: Rng>(rng: &mut R, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+fn title_case(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One generated product before triple emission.
+struct Product {
+    title: String,
+    category: String,
+    brand: String,
+    labeled_attr: &'static str,
+    phrase: String,
+    cluster: &'static Cluster,
+    ingredients: Vec<String>,
+    size: String,
+    form: &'static str,
+    material: Option<String>,
+    flavored: bool,
+}
+
+fn form_for(domain: &str, rng: &mut StdRng) -> &'static str {
+    let options: &[&str] = match domain {
+        "grocery" => &["bag", "box"],
+        "beverage" => &["bottle", "can"],
+        "beauty" => &["liquid", "bar"],
+        "household" => &["spray", "solid"],
+        "pet" => &["chewy", "crunchy"],
+        _ => &["gummy", "tablet"],
+    };
+    *choice(rng, options)
+}
+
+/// Apply a surface-variant modifier with probability `rate`.
+fn maybe_variant(rng: &mut StdRng, base: &str, rate: f64) -> String {
+    if !rng.gen_bool(rate) {
+        return base.to_string();
+    }
+    if rng.gen_bool(0.5) {
+        format!("{} {base}", choice(rng, VALUE_PREFIXES))
+    } else {
+        format!("{base} {}", choice(rng, VALUE_SUFFIXES))
+    }
+}
+
+fn generate_product(rng: &mut StdRng, cfg: &CatalogConfig) -> Product {
+    let pt = choice(rng, PRODUCT_TYPES);
+    // Pick a cluster that has phrases for this product's labeled attr.
+    let cluster = loop {
+        let c = choice(rng, CLUSTERS);
+        let pool = if pt.flavored { c.flavors } else { c.scents };
+        if !pool.is_empty() {
+            break c;
+        }
+    };
+    let pool = if pt.flavored {
+        cluster.flavors
+    } else {
+        cluster.scents
+    };
+    let base_phrase = choice(rng, pool).to_string();
+    let phrase = maybe_variant(rng, &base_phrase, cfg.value_variant_rate);
+    let brand = format!("{} {}", choice(rng, BRAND_HEADS), choice(rng, BRAND_TAILS));
+    let category = format!("{}-{}", pt.name.replace(' ', "-"), choice(rng, CATEGORY_SUFFIXES));
+
+    // 2–3 cluster ingredients + occasionally one cross-cluster filler.
+    let mut ingredients = Vec::new();
+    let k = rng.gen_range(2..=3usize.min(cluster.ingredients.len()));
+    let mut picked = FxHashSet::default();
+    while ingredients.len() < k {
+        let ing = choice(rng, cluster.ingredients);
+        if picked.insert(*ing) {
+            ingredients.push(maybe_variant(rng, ing, cfg.value_variant_rate));
+        }
+    }
+    if rng.gen_bool(0.2) {
+        let other = choice(rng, CLUSTERS);
+        let filler = *choice(rng, other.ingredients);
+        ingredients.push(maybe_variant(rng, filler, cfg.value_variant_rate));
+    }
+    // 1–2 cluster-neutral boilerplate ingredients, like any real label.
+    for _ in 0..rng.gen_range(1..=2) {
+        let neutral = *choice(rng, NEUTRAL_INGREDIENTS);
+        ingredients.push(maybe_variant(rng, neutral, cfg.value_variant_rate * 0.5));
+    }
+
+    let size = choice(rng, SIZES).to_string();
+    let form = form_for(pt.domain, rng);
+    let material = (pt.domain == "household")
+        .then(|| choice(rng, MISC_VALUES).to_string());
+
+    // Title assembly. The title mentions the *base* phrase: real
+    // titles rarely spell out the catalog's exact variant string, so
+    // text overlap is partial while id overlap is zero.
+    let mut parts: Vec<String> = vec![brand.clone()];
+    if rng.gen_bool(cfg.title_mentions_value) {
+        parts.push(base_phrase.clone());
+    }
+    parts.push(pt.name.to_string());
+    let mut title = title_case(&parts.join(" "));
+    if rng.gen_bool(0.4) {
+        title.push_str(&format!(", {}", title_case(*choice(rng, MARKETING))));
+    }
+    title.push_str(&format!(", {}", size));
+
+    Product {
+        title,
+        category,
+        brand,
+        labeled_attr: if pt.flavored { "flavor" } else { "scent" },
+        phrase,
+        cluster,
+        ingredients,
+        size,
+        form,
+        material,
+        flavored: pt.flavored,
+    }
+}
+
+/// The three error modes injected into labeled triples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ErrorMode {
+    /// Phrase from a *different* concept cluster (hard, semantic —
+    /// the "Cheddar on a Spicy Queso product" case).
+    SemanticSwap,
+    /// Value from an unrelated attribute domain (easy, structural —
+    /// the "flavor: bamboo" case of Table 6).
+    CrossAttribute,
+    /// Correct phrase polluted with product-type words (subtle,
+    /// language-level — the "mint shampoo and conditioner set" case).
+    SpuriousSuffix,
+}
+
+/// Pool of labeled-attribute values observed in *training*, indexed
+/// for transductive sampling.
+struct TrainValuePool {
+    /// (flavored?, cluster name) → value strings seen in train.
+    by_cluster: pge_tensor::FxHashMap<(bool, &'static str), Vec<String>>,
+    /// All distinct value strings seen in train (any attribute).
+    all: FxHashSet<String>,
+}
+
+impl TrainValuePool {
+    fn build(products: &[Product], labeled_set: &FxHashSet<usize>) -> Self {
+        let mut by_cluster: pge_tensor::FxHashMap<(bool, &'static str), Vec<String>> =
+            Default::default();
+        let mut all = FxHashSet::default();
+        for (i, p) in products.iter().enumerate() {
+            if !labeled_set.contains(&i) {
+                by_cluster
+                    .entry((p.flavored, p.cluster.name))
+                    .or_default()
+                    .push(p.phrase.clone());
+                all.insert(p.phrase.clone());
+            }
+            for ing in &p.ingredients {
+                all.insert(ing.clone());
+            }
+            if let Some(m) = &p.material {
+                all.insert(m.clone());
+            }
+        }
+        TrainValuePool { by_cluster, all }
+    }
+
+    /// A training value of the product's own cluster — preferring the
+    /// product's exact phrase, so the "correct" label stays truthful.
+    fn correct_value(&self, rng: &mut StdRng, p: &Product) -> Option<String> {
+        if self.all.contains(&p.phrase) {
+            return Some(p.phrase.clone());
+        }
+        // Fall back to another observed variant of the same cluster
+        // that shares the base wording (e.g. "spicy queso blend" for a
+        // "spicy queso" product) — still a correct description.
+        let pool = self.by_cluster.get(&(p.flavored, p.cluster.name))?;
+        let base = p
+            .phrase
+            .split_whitespace()
+            .next()
+            .unwrap_or(p.phrase.as_str());
+        let compatible: Vec<&String> = pool.iter().filter(|v| v.contains(base)).collect();
+        if compatible.is_empty() {
+            None
+        } else {
+            Some(compatible[rng.gen_range(0..compatible.len())].clone())
+        }
+    }
+
+    /// A training value from a *different* cluster (semantic error).
+    fn swap_value(&self, rng: &mut StdRng, p: &Product) -> Option<String> {
+        let candidates: Vec<&Vec<String>> = self
+            .by_cluster
+            .iter()
+            .filter(|((fl, cl), vs)| *fl == p.flavored && *cl != p.cluster.name && !vs.is_empty())
+            .map(|(_, vs)| vs)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pool = candidates[rng.gen_range(0..candidates.len())];
+        Some(pool[rng.gen_range(0..pool.len())].clone())
+    }
+
+    /// A misc value present in training (cross-attribute error).
+    fn misc_value(&self, rng: &mut StdRng) -> Option<String> {
+        let present: Vec<&&str> = MISC_VALUES
+            .iter()
+            .filter(|m| self.all.contains(**m))
+            .collect();
+        if present.is_empty() {
+            None
+        } else {
+            Some(present[rng.gen_range(0..present.len())].to_string())
+        }
+    }
+}
+
+fn corrupt(
+    rng: &mut StdRng,
+    p: &Product,
+    pool: &TrainValuePool,
+    cfg: &CatalogConfig,
+) -> Option<(String, ErrorMode)> {
+    let roll: f64 = rng.gen();
+    let mode = if cfg.allow_unseen_values && roll >= 0.8 {
+        ErrorMode::SpuriousSuffix
+    } else if roll < 0.6 {
+        ErrorMode::SemanticSwap
+    } else {
+        ErrorMode::CrossAttribute
+    };
+    let value = match mode {
+        ErrorMode::SemanticSwap => pool.swap_value(rng, p)?,
+        ErrorMode::CrossAttribute => pool
+            .misc_value(rng)
+            .or_else(|| pool.swap_value(rng, p))?,
+        ErrorMode::SpuriousSuffix => {
+            // e.g. "mint shampoo and conditioner set"
+            let type_words = p
+                .category
+                .split('-')
+                .next()
+                .unwrap_or("item")
+                .replace('-', " ");
+            format!("{} {} set", p.phrase, type_words)
+        }
+    };
+    if value == p.phrase {
+        return None;
+    }
+    Some((value, mode))
+}
+
+/// Generate the full labeled dataset.
+pub fn generate_catalog(cfg: &CatalogConfig) -> Dataset {
+    assert!(
+        cfg.labeled <= cfg.products,
+        "cannot label more products than exist"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut graph = ProductGraph::new();
+    // Products are identified by title, so titles must be unique;
+    // disambiguate collisions with a lot number (real catalogs do the
+    // same with pack variants).
+    let mut seen_titles: FxHashSet<String> = FxHashSet::default();
+    let products: Vec<Product> = (0..cfg.products)
+        .map(|i| {
+            let mut p = generate_product(&mut rng, cfg);
+            if !seen_titles.insert(p.title.clone()) {
+                p.title.push_str(&format!(", Lot {i}"));
+                seen_titles.insert(p.title.clone());
+            }
+            p
+        })
+        .collect();
+
+    // Labeled products: the first `labeled` indices of a shuffle.
+    let mut order: Vec<usize> = (0..cfg.products).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let labeled_set: FxHashSet<usize> = order[..cfg.labeled].iter().copied().collect();
+
+    // Emit training triples (everything except labeled flavor/scent
+    // triples, which are held out for evaluation).
+    let mut train: Vec<Triple> = Vec::new();
+    for (i, p) in products.iter().enumerate() {
+        graph.intern_product(&p.title);
+        let mut push = |attr: &str, value: &str, out: &mut Vec<Triple>| {
+            let t = Triple::new(
+                graph.lookup_product(&p.title).expect("interned above"),
+                graph.intern_attr(attr),
+                graph.intern_value(value),
+            );
+            graph.add_triple(t);
+            out.push(t);
+        };
+        push("category", &p.category, &mut train);
+        push("brand", &p.brand, &mut train);
+        push("size", &p.size, &mut train);
+        push("form", p.form, &mut train);
+        for ing in &p.ingredients {
+            push("ingredient", ing, &mut train);
+        }
+        if let Some(m) = &p.material {
+            push("material", m, &mut train);
+        }
+        if !labeled_set.contains(&i) {
+            push(p.labeled_attr, &p.phrase, &mut train);
+        }
+    }
+
+    // Build labeled triples on the held-out products, sampling values
+    // from the training pool so the transductive guarantee holds by
+    // construction.
+    let pool = TrainValuePool::build(&products, &labeled_set);
+    let mut labeled: Vec<LabeledTriple> = Vec::new();
+    for &i in order[..cfg.labeled].iter() {
+        let p = &products[i];
+        let pid = graph.lookup_product(&p.title).expect("interned");
+        let attr = graph.intern_attr(p.labeled_attr);
+        let (value_text, correct) = if rng.gen_bool(cfg.error_rate) {
+            match corrupt(&mut rng, p, &pool, cfg) {
+                Some((v, _mode)) => (v, false),
+                None => continue,
+            }
+        } else {
+            match pool.correct_value(&mut rng, p) {
+                Some(v) => (v, true),
+                None => continue,
+            }
+        };
+        let vid = graph.intern_value(&value_text);
+        labeled.push(LabeledTriple {
+            triple: Triple::new(pid, attr, vid),
+            correct,
+        });
+    }
+
+    // Inject unlabeled training noise.
+    let (train, train_clean) =
+        pge_graph::inject_noise(&graph, &train, cfg.train_noise, &mut rng);
+
+    // Transductive guarantee: drop labeled triples whose value never
+    // occurs in (post-noise) training. Rare — it needs the value's
+    // only occurrence to be hit by noise injection.
+    if !cfg.allow_unseen_values {
+        let train_values: FxHashSet<_> = train.iter().map(|t| t.value).collect();
+        labeled.retain(|lt| train_values.contains(&lt.triple.value));
+    }
+
+    // Valid/test split of the labeled pool (paper: 6,924 / 5,782).
+    let half = labeled.len() / 2;
+    let valid = labeled[..half].to_vec();
+    let test = labeled[half..].to_vec();
+
+    let mut d = Dataset::new(graph, train, valid, test);
+    d.train_clean = train_clean;
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::cluster_of_phrase;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_catalog(&CatalogConfig::tiny());
+        let b = generate_catalog(&CatalogConfig::tiny());
+        assert_eq!(a.graph.triples(), b.graph.triples());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_catalog(&CatalogConfig::tiny());
+        let b = generate_catalog(&CatalogConfig {
+            seed: 43,
+            ..CatalogConfig::tiny()
+        });
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = CatalogConfig::tiny();
+        let d = generate_catalog(&cfg);
+        assert_eq!(d.graph.num_products(), cfg.products);
+        // Each product yields ≥ 5 triples.
+        assert!(d.train.len() >= cfg.products * 4);
+        let labeled = d.valid.len() + d.test.len();
+        assert!(labeled > cfg.labeled / 2, "labeled={labeled}");
+        assert!(labeled <= cfg.labeled);
+        // Attribute inventory includes the labeled and structural ones.
+        for a in ["flavor", "scent", "ingredient", "brand", "category", "size", "form"] {
+            assert!(d.graph.lookup_attr(a).is_some(), "missing attr {a}");
+        }
+    }
+
+    #[test]
+    fn error_rate_roughly_respected() {
+        let d = generate_catalog(&CatalogConfig::tiny());
+        let all: Vec<_> = d.valid.iter().chain(&d.test).collect();
+        let bad = all.iter().filter(|lt| !lt.correct).count();
+        let frac = bad as f64 / all.len() as f64;
+        assert!((0.3..0.7).contains(&frac), "error fraction {frac}");
+    }
+
+    #[test]
+    fn transductive_values_all_seen_in_training() {
+        let d = generate_catalog(&CatalogConfig::tiny());
+        let train_values: std::collections::HashSet<_> =
+            d.train.iter().map(|t| t.value).collect();
+        for lt in d.valid.iter().chain(&d.test) {
+            assert!(
+                train_values.contains(&lt.triple.value),
+                "unseen value {:?}",
+                d.graph.value_text(lt.triple.value)
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_triples_absent_from_training() {
+        let d = generate_catalog(&CatalogConfig::tiny());
+        let train: std::collections::HashSet<_> = d.train.iter().collect();
+        for lt in d.valid.iter().chain(&d.test) {
+            assert!(
+                !train.contains(&lt.triple),
+                "labeled triple leaked into training"
+            );
+        }
+    }
+
+    #[test]
+    fn titles_usually_mention_phrase() {
+        let cfg = CatalogConfig {
+            title_mentions_value: 1.0,
+            value_variant_rate: 0.0,
+            ..CatalogConfig::tiny()
+        };
+        let d = generate_catalog(&cfg);
+        // Every correct labeled triple shares wording with the title
+        // (the value may be a same-cluster variant like "white
+        // cheddar" against a "cheddar" title, so check word overlap).
+        for lt in d.test.iter().filter(|lt| lt.correct).take(20) {
+            let title = d.graph.title(lt.triple.product).to_lowercase();
+            let value = d.graph.value_text(lt.triple.value);
+            assert!(
+                value.split_whitespace().any(|w| title.contains(w)),
+                "title {title:?} shares no word with value {value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_values_appear_only_when_allowed() {
+        let cfg = CatalogConfig {
+            allow_unseen_values: true,
+            error_rate: 1.0,
+            ..CatalogConfig::tiny()
+        };
+        let d = generate_catalog(&cfg);
+        let suffixy = d
+            .test
+            .iter()
+            .chain(&d.valid)
+            .filter(|lt| d.graph.value_text(lt.triple.value).ends_with(" set"))
+            .count();
+        assert!(suffixy > 0, "no spurious-suffix errors generated");
+    }
+
+    #[test]
+    fn train_noise_recorded() {
+        let cfg = CatalogConfig {
+            train_noise: 0.2,
+            ..CatalogConfig::tiny()
+        };
+        let d = generate_catalog(&cfg);
+        let dirty = d.train_clean.iter().filter(|c| !**c).count();
+        let frac = dirty as f64 / d.train.len() as f64;
+        assert!((0.1..0.3).contains(&frac), "noise fraction {frac}");
+    }
+
+    #[test]
+    fn cluster_structure_present() {
+        // Spicy-cluster products should co-occur with pepper-family
+        // ingredients: the Fig. 1 correlation.
+        let d = generate_catalog(&CatalogConfig::tiny());
+        let g = &d.graph;
+        let flavor = g.lookup_attr("flavor").unwrap();
+        let ingredient = g.lookup_attr("ingredient").unwrap();
+        let by_product = g.triples_by_product();
+        // Variant strings ("organic cane sugar") aren't verbatim
+        // cluster phrases; strip one modifier word before lookup.
+        let cluster_of = |vt: &str| {
+            cluster_of_phrase(vt).or_else(|| {
+                let words: Vec<&str> = vt.split_whitespace().collect();
+                if words.len() < 2 {
+                    return None;
+                }
+                cluster_of_phrase(&words[1..].join(" "))
+                    .or_else(|| cluster_of_phrase(&words[..words.len() - 1].join(" ")))
+            })
+        };
+        let mut spicy_with_pepper = 0;
+        let mut spicy_total = 0;
+        for tris in &by_product {
+            let mut is_spicy = false;
+            let mut has_pepper_family = false;
+            for &ti in tris {
+                let t = g.triples()[ti];
+                let vt = g.value_text(t.value);
+                if t.attr == flavor {
+                    if let Some(c) = cluster_of(vt) {
+                        is_spicy |= c.name == "spicy";
+                    }
+                }
+                if t.attr == ingredient {
+                    if let Some(c) = cluster_of(vt) {
+                        has_pepper_family |= c.name == "spicy";
+                    }
+                }
+            }
+            if is_spicy {
+                spicy_total += 1;
+                if has_pepper_family {
+                    spicy_with_pepper += 1;
+                }
+            }
+        }
+        assert!(spicy_total > 0);
+        assert!(
+            spicy_with_pepper as f64 / spicy_total as f64 > 0.7,
+            "{spicy_with_pepper}/{spicy_total}"
+        );
+    }
+
+    #[test]
+    fn value_space_is_sparse_enough_for_c1() {
+        // Challenge C1 of the paper: free-text values form a long tail
+        // that starves id-based embeddings. At default settings a
+        // sizable share of values must be observed ≤ 2 times.
+        let d = generate_catalog(&CatalogConfig {
+            products: 600,
+            labeled: 150,
+            ..CatalogConfig::default()
+        });
+        let stats = pge_graph::graph_stats(&d.graph);
+        assert!(
+            stats.singleton_value_fraction > 0.15,
+            "singleton fraction {:.3} too low — id-KGE would dominate",
+            stats.singleton_value_fraction
+        );
+        // ...but not pure noise: the mean value degree stays above 2
+        // so graph structure remains learnable.
+        assert!(stats.value_degree.1 > 2.0, "{:?}", stats.value_degree);
+    }
+
+    #[test]
+    fn serializes_cleanly() {
+        let d = generate_catalog(&CatalogConfig::tiny());
+        let text = pge_graph::tsv::to_tsv(&d).expect("no tabs in generated text");
+        let back = pge_graph::tsv::from_tsv(&text).unwrap();
+        assert_eq!(back.train, d.train);
+    }
+}

@@ -1,0 +1,369 @@
+//! Synthetic FB15K-237-like knowledge graph.
+//!
+//! What the paper uses FB15K-237 for: a benchmark with *rich
+//! relational structure* (hundreds of relations over typed entities)
+//! and comparatively weak text, where structure-based methods shine
+//! and NLP-only methods struggle. This generator reproduces those
+//! properties:
+//!
+//! * entities are typed, and each carries a latent *cluster* within
+//!   its type;
+//! * every relation has a (domain-type, range-type) signature and a
+//!   cluster mapping: `(h, r, t)` holds iff `type(h) = dom(r)`,
+//!   `type(t) = rng(r)`, and `cluster(t) = M_r(cluster(h))` — a
+//!   learnable compositional structure;
+//! * entity names are terse, mostly opaque pseudo-words (real
+//!   Freebase names don't announce their type), usually joined by a
+//!   cluster word standing in for FB15K-237's textual mentions — text
+//!   carries *some* signal but far less than catalog titles do;
+//! * 10% noise is injected into training, as in §4.1 of the paper.
+//!
+//! The bipartite `ProductGraph` store keeps head and tail roles in
+//! separate id spaces; because truth here is determined per-triple by
+//! type + cluster (not by multi-hop composition through shared ids),
+//! this preserves the learnability of the structure (see DESIGN.md).
+
+use pge_graph::{Dataset, LabeledTriple, ProductGraph, Triple};
+use pge_tensor::FxHashSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the FB-like generator.
+#[derive(Clone, Debug)]
+pub struct FbkgConfig {
+    /// Number of entity types.
+    pub types: usize,
+    /// Entities per type.
+    pub entities_per_type: usize,
+    /// Latent clusters within each type.
+    pub clusters_per_type: usize,
+    /// Number of relations (the real FB15K-237 has 237).
+    pub relations: usize,
+    /// True triples to sample (before the train/labeled split).
+    pub triples: usize,
+    /// Fraction of training triples corrupted (paper: 10%).
+    pub noise: f64,
+    /// Labeled triples (valid + test), half correct / half corrupted.
+    pub labeled: usize,
+    /// Probability an entity name reveals its cluster word.
+    pub cluster_word_prob: f64,
+    /// Fraction of labeled corruptions drawn from the relation's own
+    /// value pool (type-consistent "hard" negatives); the paper's
+    /// noise is fully random, so this defaults low.
+    pub hard_negative_frac: f64,
+    pub seed: u64,
+}
+
+impl Default for FbkgConfig {
+    fn default() -> Self {
+        FbkgConfig {
+            types: 10,
+            entities_per_type: 120,
+            clusters_per_type: 4,
+            relations: 60,
+            triples: 12_000,
+            noise: 0.10,
+            labeled: 600,
+            cluster_word_prob: 0.8,
+            hard_negative_frac: 0.65,
+            seed: 7,
+        }
+    }
+}
+
+impl FbkgConfig {
+    /// Small config for unit/integration tests.
+    pub fn tiny() -> Self {
+        FbkgConfig {
+            types: 5,
+            entities_per_type: 40,
+            clusters_per_type: 3,
+            relations: 15,
+            triples: 1_500,
+            labeled: 200,
+            ..Default::default()
+        }
+    }
+}
+
+const TYPE_WORDS: &[&str] = &[
+    "person", "film", "place", "organization", "award", "genre", "profession", "language",
+    "team", "school", "song", "event", "book", "instrument", "cuisine",
+];
+
+const CLUSTER_WORDS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "theta", "kappa",
+];
+
+const SYLLABLES: &[&str] = &[
+    "vel", "tra", "kor", "mun", "zal", "ir", "bas", "ne", "ol", "dri", "fex", "ga", "hul",
+    "rim", "sto", "qua",
+];
+
+struct Entity {
+    name: String,
+    ty: usize,
+    cluster: usize,
+}
+
+struct Relation {
+    name: String,
+    domain: usize,
+    range: usize,
+    /// Cluster mapping: head cluster → required tail cluster.
+    mapping: Vec<usize>,
+}
+
+fn pseudo_word(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..=3);
+    (0..n)
+        .map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())])
+        .collect()
+}
+
+/// Generate the FB-like dataset.
+pub fn generate_fbkg(cfg: &FbkgConfig) -> Dataset {
+    assert!(cfg.types <= TYPE_WORDS.len(), "too many types requested");
+    assert!(
+        cfg.clusters_per_type <= CLUSTER_WORDS.len(),
+        "too many clusters requested"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Entities with unique, mostly *opaque* names: a pseudo-word core
+    // (like a Freebase surname — no type giveaway) plus, usually, a
+    // cluster word standing in for the dataset's textual mentions.
+    let mut entities = Vec::with_capacity(cfg.types * cfg.entities_per_type);
+    let mut used = FxHashSet::default();
+    for ty in 0..cfg.types {
+        for i in 0..cfg.entities_per_type {
+            let cluster = rng.gen_range(0..cfg.clusters_per_type);
+            let mut name = loop {
+                let w = pseudo_word(&mut rng);
+                if used.insert(format!("{w}/{ty}")) {
+                    break w;
+                }
+            };
+            if rng.gen_bool(cfg.cluster_word_prob) {
+                name.push(' ');
+                name.push_str(CLUSTER_WORDS[cluster]);
+            } else {
+                // Keep names unique even without the cluster word.
+                name.push_str(&format!(" {i}"));
+            }
+            entities.push(Entity { name, ty, cluster });
+        }
+    }
+    // Index entities by (type, cluster) for sampling.
+    let mut by_type_cluster: Vec<Vec<Vec<usize>>> =
+        vec![vec![Vec::new(); cfg.clusters_per_type]; cfg.types];
+    let mut by_type: Vec<Vec<usize>> = vec![Vec::new(); cfg.types];
+    for (i, e) in entities.iter().enumerate() {
+        by_type_cluster[e.ty][e.cluster].push(i);
+        by_type[e.ty].push(i);
+    }
+
+    // Relations with type signatures and cluster mappings.
+    let relations: Vec<Relation> = (0..cfg.relations)
+        .map(|r| {
+            let domain = rng.gen_range(0..cfg.types);
+            let range = rng.gen_range(0..cfg.types);
+            let mapping = (0..cfg.clusters_per_type)
+                .map(|_| rng.gen_range(0..cfg.clusters_per_type))
+                .collect();
+            Relation {
+                // Opaque relation ids, like FB15K-237's /film/... paths
+                // read to a model that can't parse them.
+                name: format!("r{r}"),
+                domain,
+                range,
+                mapping,
+            }
+        })
+        .collect();
+
+    // Sample unique true triples.
+    let mut graph = ProductGraph::new();
+    let mut triples = Vec::with_capacity(cfg.triples);
+    let mut seen = FxHashSet::default();
+    let mut attempts = 0usize;
+    while triples.len() < cfg.triples && attempts < cfg.triples * 50 {
+        attempts += 1;
+        let r_ix = rng.gen_range(0..relations.len());
+        let rel = &relations[r_ix];
+        let h_ix = by_type[rel.domain][rng.gen_range(0..by_type[rel.domain].len())];
+        let want_cluster = rel.mapping[entities[h_ix].cluster];
+        let pool = &by_type_cluster[rel.range][want_cluster];
+        if pool.is_empty() {
+            continue;
+        }
+        let t_ix = pool[rng.gen_range(0..pool.len())];
+        if !seen.insert((h_ix, r_ix, t_ix)) {
+            continue;
+        }
+        let t = Triple::new(
+            graph.intern_product(&entities[h_ix].name),
+            graph.intern_attr(&rel.name),
+            graph.intern_value(&entities[t_ix].name),
+        );
+        graph.add_triple(t);
+        triples.push(t);
+    }
+
+    // Hold out `labeled` true triples; corrupt half of them.
+    let n_labeled_pos = (cfg.labeled / 2).min(triples.len() / 4);
+    let train: Vec<Triple> = triples[n_labeled_pos..].to_vec();
+    let mut labeled: Vec<LabeledTriple> = triples[..n_labeled_pos]
+        .iter()
+        .map(|&t| LabeledTriple {
+            triple: t,
+            correct: true,
+        })
+        .collect();
+    // Corruptions: replace the tail with another interned value —
+    // mostly fully random (the paper's protocol), with a small
+    // type-consistent "hard" fraction.
+    let num_values = graph.num_values() as u32;
+    let pools = graph.values_by_attr();
+    for i in 0..n_labeled_pos {
+        let base = triples[rng.gen_range(0..triples.len())];
+        let pool = &pools[base.attr.0 as usize];
+        let type_consistent =
+            rng.gen_bool(cfg.hard_negative_frac) && pool.len() >= 2;
+        let _ = i;
+        let mut v;
+        loop {
+            v = if type_consistent {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                pge_graph::ValueId(rng.gen_range(0..num_values))
+            };
+            if v != base.value {
+                break;
+            }
+        }
+        labeled.push(LabeledTriple {
+            triple: Triple::new(base.product, base.attr, v),
+            correct: false,
+        });
+    }
+    // Interleave correct/incorrect so valid/test halves are balanced.
+    let mut interleaved = Vec::with_capacity(labeled.len());
+    let (pos, neg) = labeled.split_at(n_labeled_pos);
+    for i in 0..n_labeled_pos {
+        interleaved.push(pos[i]);
+        interleaved.push(neg[i]);
+    }
+    let half = interleaved.len() / 2;
+    let valid = interleaved[..half].to_vec();
+    let test = interleaved[half..].to_vec();
+
+    // Training noise (10% by default).
+    let (train, train_clean) = pge_graph::inject_noise(&graph, &train, cfg.noise, &mut rng);
+
+    let mut d = Dataset::new(graph, train, valid, test);
+    d.train_clean = train_clean;
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate_fbkg(&FbkgConfig::tiny());
+        let b = generate_fbkg(&FbkgConfig::tiny());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn shape() {
+        let cfg = FbkgConfig::tiny();
+        let d = generate_fbkg(&cfg);
+        assert_eq!(d.graph.num_attrs(), cfg.relations);
+        assert!(d.train.len() > cfg.triples / 2);
+        assert!(!d.valid.is_empty() && !d.test.is_empty());
+        // Roughly half the labels are incorrect.
+        let all: Vec<_> = d.valid.iter().chain(&d.test).collect();
+        let bad = all.iter().filter(|lt| !lt.correct).count();
+        let frac = bad as f64 / all.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn relations_richer_than_catalog() {
+        // The paper's key contrast: FB15k-237 has ~234 relations vs 27
+        // attributes. Our defaults keep a similar ratio.
+        let fb = FbkgConfig::default();
+        assert!(fb.relations >= 50);
+    }
+
+    #[test]
+    fn names_are_opaque_but_mostly_carry_cluster_words() {
+        let d = generate_fbkg(&FbkgConfig::tiny());
+        let mut with_type = 0;
+        let mut with_cluster = 0;
+        let n = d.graph.num_products().min(100);
+        for i in 0..n {
+            let name = d.graph.title(pge_graph::ProductId(i as u32));
+            if TYPE_WORDS.iter().any(|t| name.contains(t)) {
+                with_type += 1;
+            }
+            if CLUSTER_WORDS.iter().any(|c| name.contains(c)) {
+                with_cluster += 1;
+            }
+        }
+        assert_eq!(with_type, 0, "type words must not leak into names");
+        assert!(with_cluster > n / 2, "{with_cluster}/{n}");
+    }
+
+    #[test]
+    fn cluster_structure_is_consistent() {
+        // Within one relation, heads sharing a name-cluster word must
+        // map to tails sharing a cluster word (when both reveal them).
+        let cfg = FbkgConfig {
+            cluster_word_prob: 1.0,
+            ..FbkgConfig::tiny()
+        };
+        let d = generate_fbkg(&cfg);
+        let g = &d.graph;
+        let cluster_word = |s: &str| {
+            CLUSTER_WORDS
+                .iter()
+                .find(|w| s.ends_with(*w))
+                .copied()
+        };
+        use std::collections::HashMap;
+        let mut mapping: HashMap<(u16, &str), &str> = HashMap::new();
+        for t in g.triples() {
+            let h = cluster_word(g.title(t.product));
+            let v = cluster_word(g.value_text(t.value));
+            if let (Some(h), Some(v)) = (h, v) {
+                let prev = mapping.insert((t.attr.0, h), v);
+                if let Some(prev) = prev {
+                    assert_eq!(prev, v, "inconsistent cluster mapping");
+                }
+            }
+        }
+        assert!(!mapping.is_empty());
+    }
+
+    #[test]
+    fn noise_fraction_recorded() {
+        let d = generate_fbkg(&FbkgConfig::tiny());
+        let dirty = d.train_clean.iter().filter(|c| !**c).count();
+        let frac = dirty as f64 / d.train.len() as f64;
+        assert!((0.05..0.15).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn labeled_positives_not_in_train() {
+        let d = generate_fbkg(&FbkgConfig::tiny());
+        let train: std::collections::HashSet<_> = d.train.iter().collect();
+        for lt in d.valid.iter().chain(&d.test).filter(|lt| lt.correct) {
+            assert!(!train.contains(&lt.triple));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Concept clusters and phrase inventories for the catalog generator.
+//!
+//! A *concept cluster* ties together the flavor phrases, scent
+//! phrases, and ingredient phrases of one semantic family — this is
+//! exactly the correlation structure the paper's Fig. 1 illustrates
+//! (ingredient "Chipotle Pepper Powder" ⇔ flavor "Spicy"). The PGE
+//! model can exploit it through both text (shared words) and graph
+//! structure (shared values across products).
+
+/// One semantic family of product vocabulary.
+#[derive(Clone, Copy, Debug)]
+pub struct Cluster {
+    pub name: &'static str,
+    /// Flavor phrases (grocery/pet/drug products).
+    pub flavors: &'static [&'static str],
+    /// Scent phrases (beauty/household products).
+    pub scents: &'static [&'static str],
+    /// Ingredient phrases; several are surface variants of the same
+    /// concept on purpose (id-based KGE fragments them, text doesn't).
+    pub ingredients: &'static [&'static str],
+}
+
+/// The full cluster inventory.
+pub const CLUSTERS: &[Cluster] = &[
+    Cluster {
+        name: "spicy",
+        flavors: &["spicy", "spicy queso", "hot chili", "fiery habanero", "chili lime", "carolina reaper spicy"],
+        scents: &[],
+        ingredients: &["chipotle pepper", "chipotle pepper powder", "cayenne pepper", "jalapeno powder", "carolina reaper", "red chili flakes", "paprika extract", "ground chili pepper"],
+    },
+    Cluster {
+        name: "sweet",
+        flavors: &["sweet", "honey roasted", "caramel", "maple brown sugar", "sweet bbq"],
+        scents: &["warm sugar", "honey almond"],
+        ingredients: &["cane sugar", "honey", "caramel syrup", "molasses", "maple syrup", "brown sugar"],
+    },
+    Cluster {
+        name: "cheese",
+        flavors: &["cheddar", "nacho cheese", "parmesan garlic", "white cheddar"],
+        scents: &[],
+        ingredients: &["cheddar cheese", "parmesan cheese", "milk solids", "whey powder", "cheese cultures"],
+    },
+    Cluster {
+        name: "chocolate",
+        flavors: &["chocolate", "dark chocolate", "chocolate fudge", "cocoa"],
+        scents: &["cocoa butter"],
+        ingredients: &["cocoa powder", "cocoa butter", "chocolate liquor", "dark chocolate chips"],
+    },
+    Cluster {
+        name: "citrus",
+        flavors: &["lemon", "orange zest", "key lime", "citrus blast"],
+        scents: &["citrus", "lemon verbena", "orange blossom", "grapefruit zest"],
+        ingredients: &["lemon juice", "citric acid", "orange oil", "lime concentrate"],
+    },
+    Cluster {
+        name: "mint",
+        flavors: &["mint", "peppermint", "spearmint"],
+        scents: &["fresh mint", "peppermint", "eucalyptus mint"],
+        ingredients: &["peppermint oil", "menthol", "spearmint leaves", "mint extract"],
+    },
+    Cluster {
+        name: "berry",
+        flavors: &["strawberry", "mixed berry", "blueberry", "raspberry"],
+        scents: &["berry bliss", "strawberry fields"],
+        ingredients: &["strawberry puree", "dried blueberries", "raspberry concentrate", "elderberry extract"],
+    },
+    Cluster {
+        name: "vanilla",
+        flavors: &["vanilla", "french vanilla", "vanilla bean"],
+        scents: &["vanilla bean", "warm vanilla", "vanilla coconut"],
+        ingredients: &["vanilla extract", "vanilla bean seeds", "vanillin"],
+    },
+    Cluster {
+        name: "floral",
+        flavors: &[],
+        scents: &["lavender", "rose petal", "jasmine", "lavender chamomile", "wild rose"],
+        ingredients: &["lavender oil", "rose water", "jasmine extract", "chamomile extract"],
+    },
+    Cluster {
+        name: "coconut",
+        flavors: &["coconut", "toasted coconut"],
+        scents: &["coconut milk", "tropical coconut"],
+        ingredients: &["coconut oil", "shredded coconut", "coconut cream"],
+    },
+    Cluster {
+        name: "herbal",
+        flavors: &["green tea", "ginger"],
+        scents: &["tea tree oil", "eucalyptus", "herbal blend", "tea tree oil and blue cypress", "rosemary mint"],
+        ingredients: &["tea tree oil", "eucalyptus oil", "aloe vera", "ginger root", "green tea extract", "blue cypress oil"],
+    },
+    Cluster {
+        name: "savory",
+        flavors: &["bbq", "smoky bacon", "sea salt", "sour cream and onion", "ranch"],
+        scents: &[],
+        ingredients: &["smoked paprika", "onion powder", "garlic powder", "sea salt", "tomato powder", "dehydrated spices"],
+    },
+];
+
+/// A product family: what kind of thing it is, which domain it belongs
+/// to, and which labeled attribute applies (flavor vs. scent).
+#[derive(Clone, Copy, Debug)]
+pub struct ProductType {
+    pub name: &'static str,
+    pub domain: &'static str,
+    /// `true` ⇒ this product carries `flavor` (+`ingredient`);
+    /// `false` ⇒ it carries `scent` (+`ingredient`).
+    pub flavored: bool,
+}
+
+/// Product-type inventory across domains (food, beauty, drug,
+/// household, pet, office — the paper samples 325 categories across
+/// such domains; category strings below are multiplied by style
+/// suffixes in the generator).
+pub const PRODUCT_TYPES: &[ProductType] = &[
+    ProductType { name: "tortilla chips", domain: "grocery", flavored: true },
+    ProductType { name: "bean chips", domain: "grocery", flavored: true },
+    ProductType { name: "potato crisps", domain: "grocery", flavored: true },
+    ProductType { name: "popcorn", domain: "grocery", flavored: true },
+    ProductType { name: "granola bars", domain: "grocery", flavored: true },
+    ProductType { name: "cookies", domain: "grocery", flavored: true },
+    ProductType { name: "trail mix", domain: "grocery", flavored: true },
+    ProductType { name: "crackers", domain: "grocery", flavored: true },
+    ProductType { name: "peanut brittle", domain: "grocery", flavored: true },
+    ProductType { name: "salsa", domain: "grocery", flavored: true },
+    ProductType { name: "sparkling water", domain: "beverage", flavored: true },
+    ProductType { name: "iced tea", domain: "beverage", flavored: true },
+    ProductType { name: "coffee", domain: "beverage", flavored: true },
+    ProductType { name: "energy drink", domain: "beverage", flavored: true },
+    ProductType { name: "fruit juice", domain: "beverage", flavored: true },
+    ProductType { name: "shampoo", domain: "beauty", flavored: false },
+    ProductType { name: "hair conditioner", domain: "beauty", flavored: false },
+    ProductType { name: "body wash", domain: "beauty", flavored: false },
+    ProductType { name: "hand soap", domain: "beauty", flavored: false },
+    ProductType { name: "body lotion", domain: "beauty", flavored: false },
+    ProductType { name: "lip balm", domain: "beauty", flavored: true },
+    ProductType { name: "scented candle", domain: "household", flavored: false },
+    ProductType { name: "air freshener", domain: "household", flavored: false },
+    ProductType { name: "dish soap", domain: "household", flavored: false },
+    ProductType { name: "laundry detergent", domain: "household", flavored: false },
+    ProductType { name: "surface cleaner", domain: "household", flavored: false },
+    ProductType { name: "dog treats", domain: "pet", flavored: true },
+    ProductType { name: "cat food", domain: "pet", flavored: true },
+    ProductType { name: "vitamin gummies", domain: "drug", flavored: true },
+    ProductType { name: "cough drops", domain: "drug", flavored: true },
+];
+
+/// Category style suffixes; `category = "{type}-{suffix}"` multiplies
+/// the category count toward the paper's breadth.
+pub const CATEGORY_SUFFIXES: &[&str] = &["classic", "organic", "family", "travel", "premium"];
+
+/// Brand-name syllables (first parts).
+pub const BRAND_HEADS: &[&str] = &[
+    "nova", "sun", "pure", "glow", "crisp", "peak", "blue", "ever", "true", "wild",
+    "happy", "golden", "prime", "fresh", "urban", "terra", "luna", "vital", "zen", "amber",
+];
+
+/// Brand-name tails.
+pub const BRAND_TAILS: &[&str] = &[
+    "foods", "farms", "labs", "works", "organics", "essentials", "naturals", "goods",
+    "pantry", "botanics",
+];
+
+/// Marketing fillers that may appear in titles (noise words; some are
+/// the paper's own examples like "Gluten Free, Vegan Snack").
+pub const MARKETING: &[&str] = &[
+    "gluten free", "vegan snack", "high protein and fiber", "non gmo", "family size",
+    "resealable bag", "no artificial colors", "keto friendly", "for women and men",
+    "value pack",
+];
+
+/// Size phrases for titles.
+pub const SIZES: &[&str] = &[
+    "6 - 2 oz bags", "5.5 ounce pack of 6", "10 oz", "12 ounce pack of 3", "16 oz family size",
+    "2 oz single serve", "24 count", "1 lb bag", "8.5 fl oz", "pack of 4",
+];
+
+/// Surface-variant prefixes for labeled-attribute and ingredient
+/// values ("organic cane sugar"). Free-text values fragmenting across
+/// variants is challenge C1 of the paper: id-based KGE treats
+/// "chipotle pepper" and "ground chipotle pepper" as unrelated
+/// entities.
+pub const VALUE_PREFIXES: &[&str] = &[
+    "organic", "ground", "natural", "premium", "dehydrated", "roasted", "raw", "fine",
+];
+
+/// Surface-variant suffixes ("chipotle pepper powder").
+pub const VALUE_SUFFIXES: &[&str] = &["powder", "blend", "extract", "mix", "pieces", "crystals"];
+
+/// Cluster-neutral filler ingredients appearing across all product
+/// families. They dilute the flavor↔ingredient correlation the way a
+/// real catalog's boilerplate ingredients do, keeping graph structure
+/// informative but not trivially separable.
+pub const NEUTRAL_INGREDIENTS: &[&str] = &[
+    "water", "salt", "citric acid", "natural flavors", "sunflower oil", "rice flour",
+    "corn starch", "soy lecithin", "glycerin", "xanthan gum",
+];
+
+/// Materials / non-food values used for cross-attribute error
+/// injection (the "flavor: bamboo" / "flavor: octopus" cases of
+/// Table 6).
+pub const MISC_VALUES: &[&str] = &[
+    "bamboo", "octopus", "stainless steel", "aqua", "mesh", "ceramic", "plastic handle",
+    "cotton blend", "rose gold", "matte black",
+];
+
+/// Find the cluster a (flavor|scent) phrase belongs to, if any.
+pub fn cluster_of_phrase(phrase: &str) -> Option<&'static Cluster> {
+    CLUSTERS
+        .iter()
+        .find(|c| c.flavors.contains(&phrase) || c.scents.contains(&phrase) || c.ingredients.contains(&phrase))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_nonempty_and_named_uniquely() {
+        assert!(CLUSTERS.len() >= 10);
+        let mut names: Vec<_> = CLUSTERS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CLUSTERS.len());
+        for c in CLUSTERS {
+            assert!(
+                !c.flavors.is_empty() || !c.scents.is_empty(),
+                "cluster {} has no labeled-attribute phrases",
+                c.name
+            );
+            assert!(!c.ingredients.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_flavored_cluster_reachable_and_vice_versa() {
+        let flavored: Vec<_> = CLUSTERS.iter().filter(|c| !c.flavors.is_empty()).collect();
+        let scented: Vec<_> = CLUSTERS.iter().filter(|c| !c.scents.is_empty()).collect();
+        assert!(flavored.len() >= 5);
+        assert!(scented.len() >= 5);
+    }
+
+    #[test]
+    fn phrases_have_no_tabs_or_newlines() {
+        for c in CLUSTERS {
+            for p in c.flavors.iter().chain(c.scents).chain(c.ingredients) {
+                assert!(!p.contains('\t') && !p.contains('\n'));
+            }
+        }
+        for s in SIZES.iter().chain(MARKETING).chain(MISC_VALUES) {
+            assert!(!s.contains('\t') && !s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn cluster_of_phrase_lookup() {
+        let c = cluster_of_phrase("spicy queso").unwrap();
+        assert_eq!(c.name, "spicy");
+        assert!(cluster_of_phrase("not a phrase").is_none());
+        assert_eq!(cluster_of_phrase("lavender").unwrap().name, "floral");
+    }
+
+    #[test]
+    fn product_types_cover_both_labeled_attributes() {
+        assert!(PRODUCT_TYPES.iter().any(|p| p.flavored));
+        assert!(PRODUCT_TYPES.iter().any(|p| !p.flavored));
+        // Paper's domain breadth: at least 5 domains.
+        let mut domains: Vec<_> = PRODUCT_TYPES.iter().map(|p| p.domain).collect();
+        domains.sort_unstable();
+        domains.dedup();
+        assert!(domains.len() >= 5, "{domains:?}");
+    }
+}

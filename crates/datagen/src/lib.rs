@@ -1,0 +1,23 @@
+//! Synthetic dataset generators standing in for the paper's data.
+//!
+//! * [`catalog`] replaces the proprietary Amazon catalog: a seeded
+//!   product-catalog generator whose statistical couplings mirror the
+//!   ones PGE exploits — titles textually entail attribute values,
+//!   value strings are free text with surface variants, concept
+//!   clusters correlate values across products (the paper's
+//!   "pepper" ↔ "spicy" example), and errors of three realistic kinds
+//!   are injected with ground-truth labels.
+//! * [`fbkg`] replaces FB15K-237: a typed multi-relational KG with
+//!   latent cluster structure (rich, learnable graph signal) and
+//!   deliberately weak entity text.
+//! * [`lexicon`] holds the concept clusters and phrase inventories.
+//!
+//! (Corpus/vocabulary construction lives in `pge_core::corpus`, next
+//! to the models that consume it.)
+
+pub mod catalog;
+pub mod fbkg;
+pub mod lexicon;
+
+pub use catalog::{generate_catalog, CatalogConfig};
+pub use fbkg::{generate_fbkg, FbkgConfig};

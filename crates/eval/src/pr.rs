@@ -1,0 +1,167 @@
+//! Precision–recall curves, PR AUC, and R@P.
+
+/// One scored example. `score` ranks retrieval confidence (higher =
+/// more likely positive); `positive` is ground truth.
+///
+/// For error detection, *positive* means the triple is incorrect, and
+/// callers pass `score = -f_a(t, v)` (low plausibility ⇒ likely error).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scored {
+    pub score: f32,
+    pub positive: bool,
+}
+
+impl Scored {
+    pub fn new(score: f32, positive: bool) -> Self {
+        Scored { score, positive }
+    }
+}
+
+/// Sort descending by score with a deterministic tiebreak.
+fn sorted(items: &[Scored]) -> Vec<Scored> {
+    let mut v = items.to_vec();
+    // Ties: put negatives first so the curve is the pessimistic one —
+    // metrics then never depend on input order.
+    v.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.positive.cmp(&b.positive))
+    });
+    v
+}
+
+/// The precision–recall curve as `(recall, precision)` points, one per
+/// rank position. Empty when there are no positives.
+pub fn pr_curve(items: &[Scored]) -> Vec<(f32, f32)> {
+    let total_pos = items.iter().filter(|s| s.positive).count();
+    if total_pos == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(items.len());
+    let mut tp = 0usize;
+    for (k, s) in sorted(items).into_iter().enumerate() {
+        if s.positive {
+            tp += 1;
+        }
+        out.push((tp as f32 / total_pos as f32, tp as f32 / (k + 1) as f32));
+    }
+    out
+}
+
+/// PR AUC computed as average precision (step-wise integration of the
+/// PR curve): `AP = Σ_k P(k) · ΔR(k)`. Returns 0 when there are no
+/// positives.
+pub fn average_precision(items: &[Scored]) -> f32 {
+    let total_pos = items.iter().filter(|s| s.positive).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut ap = 0.0;
+    let mut tp = 0usize;
+    for (k, s) in sorted(items).into_iter().enumerate() {
+        if s.positive {
+            tp += 1;
+            ap += tp as f32 / (k + 1) as f32;
+        }
+    }
+    ap / total_pos as f32
+}
+
+/// R@P=x: the maximum recall achievable at precision ≥ `min_precision`
+/// anywhere on the PR curve. 0 when no operating point qualifies.
+pub fn recall_at_precision(items: &[Scored], min_precision: f32) -> f32 {
+    pr_curve(items)
+        .into_iter()
+        .filter(|(_, p)| *p >= min_precision)
+        .map(|(r, _)| r)
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(pairs: &[(f32, bool)]) -> Vec<Scored> {
+        pairs.iter().map(|&(s, p)| Scored::new(s, p)).collect()
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let it = items(&[(0.9, true), (0.8, true), (0.2, false), (0.1, false)]);
+        assert!((average_precision(&it) - 1.0).abs() < 1e-6);
+        assert!((recall_at_precision(&it, 0.9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverted_ranking_is_poor() {
+        let it = items(&[(0.9, false), (0.8, false), (0.2, true), (0.1, true)]);
+        // AP = (1/3 + 2/4)/2 = 0.41667
+        assert!((average_precision(&it) - 5.0 / 12.0).abs() < 1e-5);
+        assert_eq!(recall_at_precision(&it, 0.9), 0.0);
+    }
+
+    #[test]
+    fn known_mixed_example() {
+        // Ranked: +, -, +, - ⇒ AP = (1/1 + 2/3)/2 = 5/6.
+        let it = items(&[(0.9, true), (0.7, false), (0.5, true), (0.3, false)]);
+        assert!((average_precision(&it) - 5.0 / 6.0).abs() < 1e-5);
+        // Precision at full recall is 2/3 ⇒ R@P=0.7 only covers rank 1.
+        assert!((recall_at_precision(&it, 0.7) - 0.5).abs() < 1e-6);
+        assert!((recall_at_precision(&it, 0.6) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_positives_yields_zero_and_empty_curve() {
+        let it = items(&[(0.9, false), (0.1, false)]);
+        assert_eq!(average_precision(&it), 0.0);
+        assert!(pr_curve(&it).is_empty());
+        assert_eq!(recall_at_precision(&it, 0.5), 0.0);
+    }
+
+    #[test]
+    fn all_positives_yields_one() {
+        let it = items(&[(0.9, true), (0.1, true)]);
+        assert!((average_precision(&it) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn curve_recall_is_monotone() {
+        let it = items(&[
+            (0.95, true),
+            (0.8, false),
+            (0.7, true),
+            (0.6, true),
+            (0.5, false),
+            (0.2, true),
+        ]);
+        let curve = pr_curve(&it);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!((curve.last().unwrap().0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = items(&[(0.9, true), (0.7, false), (0.5, true), (0.3, false)]);
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(average_precision(&a), average_precision(&b));
+    }
+
+    #[test]
+    fn ap_bounded_by_one() {
+        let it = items(&[(0.5, true), (0.5, false), (0.5, true)]);
+        let ap = average_precision(&it);
+        assert!((0.0..=1.0).contains(&ap));
+    }
+
+    #[test]
+    fn tie_handling_is_pessimistic() {
+        // All scores equal: negatives sort first, so AP is the
+        // worst-case ranking: (1/2 + 2/3)... with one negative first:
+        // order -, +, + ⇒ AP = (1/2 + 2/3)/2 = 7/12.
+        let it = items(&[(0.5, true), (0.5, false), (0.5, true)]);
+        assert!((average_precision(&it) - 7.0 / 12.0).abs() < 1e-5);
+    }
+}

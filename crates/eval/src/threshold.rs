@@ -1,0 +1,137 @@
+//! Validation-accuracy threshold selection (§4.2 of the paper).
+//!
+//! A triple is classified correct when its plausibility score
+//! `f_a(t,v)` exceeds θ; θ is chosen to maximize classification
+//! accuracy on the validation set.
+
+/// Find `(θ, accuracy)` maximizing accuracy of the rule
+/// `predict correct ⇔ score > θ` over `(score, is_correct)` pairs.
+///
+/// Candidate thresholds are midpoints between adjacent distinct scores
+/// plus sentinels below/above all scores. Returns `(0.0, 0.0)` for an
+/// empty input.
+pub fn best_accuracy_threshold(pairs: &[(f32, bool)]) -> (f32, f32) {
+    if pairs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted: Vec<(f32, bool)> = pairs.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n = sorted.len() as f32;
+
+    // Sweep thresholds from below the minimum upward. At θ = -inf all
+    // items are predicted correct; moving θ past an item flips that
+    // item's prediction to incorrect.
+    let correct_total = sorted.iter().filter(|(_, c)| *c).count() as f32;
+    // Start: everything predicted correct.
+    let mut hits = correct_total;
+    let mut best_acc = hits / n;
+    let mut best_theta = sorted[0].0 - 1.0;
+
+    let mut i = 0;
+    while i < sorted.len() {
+        // Move θ past every item sharing this score.
+        let s = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == s {
+            if sorted[i].1 {
+                hits -= 1.0; // correct item now predicted incorrect
+            } else {
+                hits += 1.0; // incorrect item now predicted incorrect
+            }
+            i += 1;
+        }
+        let acc = hits / n;
+        if acc > best_acc {
+            best_acc = acc;
+            best_theta = if i < sorted.len() {
+                (s + sorted[i].0) / 2.0
+            } else {
+                s + 1.0
+            };
+        }
+    }
+    (best_theta, best_acc)
+}
+
+/// Accuracy of `predict correct ⇔ score > θ` on `(score, is_correct)`.
+pub fn accuracy_at(pairs: &[(f32, bool)], theta: f32) -> f32 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let hits = pairs
+        .iter()
+        .filter(|(s, c)| (*s > theta) == *c)
+        .count();
+    hits as f32 / pairs.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_data_achieves_perfect_accuracy() {
+        let pairs = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        let (theta, acc) = best_accuracy_threshold(&pairs);
+        assert!((acc - 1.0).abs() < 1e-6);
+        assert!(theta > 0.2 && theta < 0.8, "theta={theta}");
+        assert!((accuracy_at(&pairs, theta) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_data_picks_best_tradeoff() {
+        // correct: 0.9 0.6 0.3 ; incorrect: 0.7 0.2 0.1
+        let pairs = [
+            (0.9, true),
+            (0.6, true),
+            (0.3, true),
+            (0.7, false),
+            (0.2, false),
+            (0.1, false),
+        ];
+        let (theta, acc) = best_accuracy_threshold(&pairs);
+        // θ between 0.2 and 0.3 gets 5/6 (only 0.7-incorrect wrong).
+        assert!((acc - 5.0 / 6.0).abs() < 1e-6, "acc={acc}");
+        assert!(theta > 0.2 && theta < 0.3, "theta={theta}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(best_accuracy_threshold(&[]), (0.0, 0.0));
+        assert_eq!(accuracy_at(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn all_one_class() {
+        let all_correct = [(0.5, true), (0.7, true)];
+        let (theta, acc) = best_accuracy_threshold(&all_correct);
+        assert!((acc - 1.0).abs() < 1e-6);
+        assert!(theta < 0.5); // predicts everything correct
+
+        let all_wrong = [(0.5, false), (0.7, false)];
+        let (theta2, acc2) = best_accuracy_threshold(&all_wrong);
+        assert!((acc2 - 1.0).abs() < 1e-6);
+        assert!(theta2 >= 0.7); // predicts everything incorrect
+    }
+
+    #[test]
+    fn tied_scores_handled() {
+        let pairs = [(0.5, true), (0.5, false), (0.5, true)];
+        let (_, acc) = best_accuracy_threshold(&pairs);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_never_exceeds_reported_best() {
+        let pairs = [
+            (0.9, true),
+            (0.4, false),
+            (0.6, true),
+            (0.5, false),
+            (0.45, true),
+        ];
+        let (_, best) = best_accuracy_threshold(&pairs);
+        for probe in [-1.0, 0.0, 0.42, 0.47, 0.55, 0.7, 1.0] {
+            assert!(accuracy_at(&pairs, probe) <= best + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Labeled train/valid/test splits over a product graph.
+
+use crate::store::{ProductGraph, Triple};
+use pge_tensor::FxHashSet;
+
+/// A triple with a correctness label (ground truth from the
+/// generator's error injection; in the paper, from MTurk annotation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabeledTriple {
+    pub triple: Triple,
+    /// `true` iff the attribute value correctly describes the product.
+    pub correct: bool,
+}
+
+/// Which evaluation regime a dataset is prepared for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// Test values/products were all observed during training (§4.3).
+    Transductive,
+    /// Training excludes every triple sharing an entity with the test
+    /// set (§4.4).
+    Inductive,
+}
+
+/// A complete experimental dataset: the graph, an (unlabeled, possibly
+/// noisy) training set, and labeled validation/test sets.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub graph: ProductGraph,
+    /// Observed triples used for embedding training. May contain
+    /// injected noise; `train_clean` records the generator's ground
+    /// truth about it (parallel to `train`), which models must NOT
+    /// read — it exists for the Fig. 5 confidence-score analysis.
+    pub train: Vec<Triple>,
+    pub train_clean: Vec<bool>,
+    pub valid: Vec<LabeledTriple>,
+    pub test: Vec<LabeledTriple>,
+    pub split: Split,
+}
+
+impl Dataset {
+    /// Assemble a transductive dataset; `train_clean` defaults to
+    /// all-clean.
+    pub fn new(
+        graph: ProductGraph,
+        train: Vec<Triple>,
+        valid: Vec<LabeledTriple>,
+        test: Vec<LabeledTriple>,
+    ) -> Self {
+        let n = train.len();
+        Dataset {
+            graph,
+            train,
+            train_clean: vec![true; n],
+            valid,
+            test,
+            split: Split::Transductive,
+        }
+    }
+
+    /// Summary counts in the shape of the paper's Table 2.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            relations: self.graph.num_attrs(),
+            entities: self.graph.num_entities(),
+            products: self.graph.num_products(),
+            values: self.graph.num_values(),
+            train: self.train.len(),
+            valid: self.valid.len(),
+            test: self.test.len(),
+        }
+    }
+
+    /// Derive the inductive variant (§4.4): drop every training triple
+    /// that shares a product or a value with some test triple, so the
+    /// training and testing entity sets are disjoint.
+    pub fn to_inductive(&self) -> Dataset {
+        let mut test_products = FxHashSet::default();
+        let mut test_values = FxHashSet::default();
+        for lt in &self.test {
+            test_products.insert(lt.triple.product);
+            test_values.insert(lt.triple.value);
+        }
+        let mut train = Vec::new();
+        let mut train_clean = Vec::new();
+        for (t, &clean) in self.train.iter().zip(&self.train_clean) {
+            if !test_products.contains(&t.product) && !test_values.contains(&t.value) {
+                train.push(*t);
+                train_clean.push(clean);
+            }
+        }
+        Dataset {
+            graph: self.graph.clone(),
+            train,
+            train_clean,
+            valid: self.valid.clone(),
+            test: self.test.clone(),
+            split: Split::Inductive,
+        }
+    }
+
+    /// Keep only the first `ratio` fraction of training triples (the
+    /// paper's Table 5 scalability sweep).
+    pub fn sample_train(&self, ratio: f64) -> Dataset {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+        let keep = ((self.train.len() as f64) * ratio).round() as usize;
+        let mut d = self.clone();
+        d.train.truncate(keep);
+        d.train_clean.truncate(keep);
+        d
+    }
+
+    /// Check the inductive invariant: no train/test entity overlap.
+    pub fn is_entity_disjoint(&self) -> bool {
+        let mut test_products = FxHashSet::default();
+        let mut test_values = FxHashSet::default();
+        for lt in &self.test {
+            test_products.insert(lt.triple.product);
+            test_values.insert(lt.triple.value);
+        }
+        self.train
+            .iter()
+            .all(|t| !test_products.contains(&t.product) && !test_values.contains(&t.value))
+    }
+}
+
+/// Counts for the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetStats {
+    pub relations: usize,
+    pub entities: usize,
+    pub products: usize,
+    pub values: usize,
+    pub train: usize,
+    pub valid: usize,
+    pub test: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{AttrId, ProductId, ValueId};
+
+    fn tiny() -> Dataset {
+        let mut g = ProductGraph::new();
+        let facts = [
+            ("p0", "flavor", "v0"),
+            ("p1", "flavor", "v1"),
+            ("p2", "flavor", "v0"),
+            ("p3", "flavor", "v3"),
+        ];
+        let triples: Vec<Triple> = facts
+            .iter()
+            .map(|(t, a, v)| g.add_fact(t, a, v))
+            .collect();
+        let test = vec![
+            LabeledTriple {
+                triple: triples[3],
+                correct: true,
+            },
+            LabeledTriple {
+                triple: Triple::new(ProductId(0), AttrId(0), ValueId(1)),
+                correct: false,
+            },
+        ];
+        Dataset::new(g, triples.clone(), vec![], test)
+    }
+
+    #[test]
+    fn stats_shape() {
+        let d = tiny();
+        let s = d.stats();
+        assert_eq!(s.relations, 1);
+        assert_eq!(s.products, 4);
+        assert_eq!(s.values, 3);
+        assert_eq!(s.entities, 7);
+        assert_eq!(s.train, 4);
+        assert_eq!(s.test, 2);
+    }
+
+    #[test]
+    fn inductive_removes_shared_entities() {
+        let d = tiny();
+        assert!(!d.is_entity_disjoint());
+        let ind = d.to_inductive();
+        assert_eq!(ind.split, Split::Inductive);
+        assert!(ind.is_entity_disjoint());
+        // Test entities: products {p3, p0}, values {v3, v1}. Training
+        // triples touching any of them are dropped: p0–v0 (product),
+        // p1–v1 (value), p3–v3 (both). Only p2–v0 survives.
+        assert_eq!(ind.train.len(), 1);
+        assert_eq!(ind.train[0].product, ProductId(2));
+        assert_eq!(ind.train[0].value, ValueId(0));
+    }
+
+    #[test]
+    fn sample_train_ratio() {
+        let d = tiny();
+        assert_eq!(d.sample_train(0.5).train.len(), 2);
+        assert_eq!(d.sample_train(1.0).train.len(), 4);
+        assert_eq!(d.sample_train(0.0).train.len(), 0);
+        // clean flags stay parallel
+        let s = d.sample_train(0.5);
+        assert_eq!(s.train.len(), s.train_clean.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn sample_train_rejects_bad_ratio() {
+        tiny().sample_train(1.5);
+    }
+}

@@ -1,0 +1,29 @@
+//! Product-graph storage and workload machinery.
+//!
+//! A product graph (Definition 2 of the paper) is
+//! `G = {T, A, V, O}`: product titles, attributes, attribute values,
+//! and observed `(t, a, v)` triples, where titles and values are free
+//! text. This crate provides:
+//!
+//! * [`store`] — the interned triple store ([`store::ProductGraph`]);
+//! * [`dataset`] — labeled train/valid/test splits
+//!   ([`dataset::Dataset`]), plus the transductive → inductive
+//!   filtering used in §4.4 of the paper;
+//! * [`sampler`] — negative sampling by value corruption;
+//! * [`noise`] — noise injection (random value substitution, §4.1 and
+//!   §4.5);
+//! * [`tsv`] — a small text serialization so generated datasets can be
+//!   persisted and diffed.
+
+pub mod dataset;
+pub mod noise;
+pub mod sampler;
+pub mod stats;
+pub mod store;
+pub mod tsv;
+
+pub use dataset::{Dataset, LabeledTriple, Split};
+pub use noise::inject_noise;
+pub use sampler::{NegativeSampler, SamplingMode};
+pub use stats::{graph_stats, GraphStats};
+pub use store::{AttrId, ProductGraph, ProductId, Triple, ValueId};

@@ -1,0 +1,132 @@
+//! Noise injection: random attribute-value substitution.
+//!
+//! Used in two places mirroring the paper: (a) FB15K-237-style
+//! datasets get 10% corrupted triples added to training (§4.1), and
+//! (b) the Fig. 5/6 experiments inject artificial noises into the
+//! Amazon-style training set.
+
+use crate::store::{ProductGraph, Triple, ValueId};
+use rand::Rng;
+
+/// Corrupt a `fraction` of `triples` by substituting their value with
+/// a random *different* value from the graph.
+///
+/// Returns the new triple list and a parallel `clean` vector (`true`
+/// for untouched triples). The corrupted triples replace the originals
+/// in place (self-reported catalog errors overwrite the truth; they do
+/// not coexist with it).
+pub fn inject_noise<R: Rng>(
+    graph: &ProductGraph,
+    triples: &[Triple],
+    fraction: f64,
+    rng: &mut R,
+) -> (Vec<Triple>, Vec<bool>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let n_values = graph.num_values() as u32;
+    let mut out = Vec::with_capacity(triples.len());
+    let mut clean = Vec::with_capacity(triples.len());
+    for t in triples {
+        if n_values >= 2 && rng.gen_bool(fraction) {
+            let mut v = ValueId(rng.gen_range(0..n_values));
+            while v == t.value {
+                v = ValueId(rng.gen_range(0..n_values));
+            }
+            out.push(Triple::new(t.product, t.attr, v));
+            clean.push(false);
+        } else {
+            out.push(*t);
+            clean.push(true);
+        }
+    }
+    (out, clean)
+}
+
+/// Append `extra` corrupted copies of randomly chosen triples instead
+/// of replacing them (used when the experiment wants the originals
+/// retained, e.g. Fig. 5's "inject artificial noises").
+pub fn append_noise<R: Rng>(
+    graph: &ProductGraph,
+    triples: &[Triple],
+    extra: usize,
+    rng: &mut R,
+) -> (Vec<Triple>, Vec<bool>) {
+    let n_values = graph.num_values() as u32;
+    let mut out = triples.to_vec();
+    let mut clean = vec![true; triples.len()];
+    if triples.is_empty() || n_values < 2 {
+        return (out, clean);
+    }
+    for _ in 0..extra {
+        let t = triples[rng.gen_range(0..triples.len())];
+        let mut v = ValueId(rng.gen_range(0..n_values));
+        while v == t.value {
+            v = ValueId(rng.gen_range(0..n_values));
+        }
+        out.push(Triple::new(t.product, t.attr, v));
+        clean.push(false);
+    }
+    (out, clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> ProductGraph {
+        let mut g = ProductGraph::new();
+        for i in 0..50 {
+            g.add_fact(&format!("p{i}"), "flavor", &format!("v{}", i % 10));
+        }
+        g
+    }
+
+    #[test]
+    fn fraction_roughly_respected() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (noisy, clean) = inject_noise(&g, g.triples(), 0.2, &mut rng);
+        assert_eq!(noisy.len(), g.num_triples());
+        let dirty = clean.iter().filter(|c| !**c).count();
+        assert!((2..=20).contains(&dirty), "dirty={dirty}");
+        // Corrupted triples actually changed their value.
+        for ((orig, new), &c) in g.triples().iter().zip(&noisy).zip(&clean) {
+            if c {
+                assert_eq!(orig, new);
+            } else {
+                assert_eq!(orig.product, new.product);
+                assert_eq!(orig.attr, new.attr);
+                assert_ne!(orig.value, new.value);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (noisy, clean) = inject_noise(&g, g.triples(), 0.0, &mut rng);
+        assert_eq!(noisy, g.triples());
+        assert!(clean.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn append_noise_keeps_originals() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (noisy, clean) = append_noise(&g, g.triples(), 10, &mut rng);
+        assert_eq!(noisy.len(), g.num_triples() + 10);
+        assert_eq!(&noisy[..g.num_triples()], g.triples());
+        assert!(clean[..g.num_triples()].iter().all(|&c| c));
+        assert!(clean[g.num_triples()..].iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = graph();
+        let a = inject_noise(&g, g.triples(), 0.3, &mut StdRng::seed_from_u64(7));
+        let b = inject_noise(&g, g.triples(), 0.3, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

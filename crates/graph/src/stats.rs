@@ -1,0 +1,117 @@
+//! Structural statistics of a product graph.
+//!
+//! Used to verify that generated datasets live in the regime the
+//! paper's arguments assume (value sparsity for C1, skewed degree
+//! distributions, attribute fan-out), and exported through `repro
+//! table2`-adjacent tooling for dataset audits.
+
+use crate::store::ProductGraph;
+
+/// Degree/sparsity summary of one graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Triples per product: (min, mean, max).
+    pub product_degree: (usize, f64, usize),
+    /// Triples per value: (min, mean, max).
+    pub value_degree: (usize, f64, usize),
+    /// Distinct values per attribute.
+    pub values_per_attr: Vec<usize>,
+    /// Fraction of values observed exactly once — the long tail that
+    /// starves id-based embeddings (challenge C1 of the paper).
+    pub singleton_value_fraction: f64,
+}
+
+/// Compute [`GraphStats`] for a graph.
+pub fn graph_stats(g: &ProductGraph) -> GraphStats {
+    let by_product = g.triples_by_product();
+    let by_value = g.triples_by_value();
+
+    let degree_summary = |deg: &[Vec<usize>]| -> (usize, f64, usize) {
+        if deg.is_empty() {
+            return (0, 0.0, 0);
+        }
+        let mut min = usize::MAX;
+        let mut max = 0;
+        let mut sum = 0usize;
+        for d in deg {
+            min = min.min(d.len());
+            max = max.max(d.len());
+            sum += d.len();
+        }
+        (min, sum as f64 / deg.len() as f64, max)
+    };
+
+    let singleton = if by_value.is_empty() {
+        0.0
+    } else {
+        by_value.iter().filter(|v| v.len() == 1).count() as f64 / by_value.len() as f64
+    };
+
+    GraphStats {
+        product_degree: degree_summary(&by_product),
+        value_degree: degree_summary(&by_value),
+        values_per_attr: g.values_by_attr().iter().map(Vec::len).collect(),
+        singleton_value_fraction: singleton,
+    }
+}
+
+impl GraphStats {
+    /// Render a compact human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "product degree: min {} / mean {:.1} / max {}\n",
+            self.product_degree.0, self.product_degree.1, self.product_degree.2
+        ));
+        out.push_str(&format!(
+            "value degree:   min {} / mean {:.1} / max {}\n",
+            self.value_degree.0, self.value_degree.1, self.value_degree.2
+        ));
+        out.push_str(&format!(
+            "singleton values: {:.1}%\n",
+            self.singleton_value_fraction * 100.0
+        ));
+        out.push_str(&format!("values per attribute: {:?}\n", self.values_per_attr));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProductGraph {
+        let mut g = ProductGraph::new();
+        g.add_fact("p0", "flavor", "spicy");
+        g.add_fact("p0", "ingredient", "pepper");
+        g.add_fact("p1", "flavor", "spicy");
+        g.add_fact("p2", "flavor", "rare one");
+        g
+    }
+
+    #[test]
+    fn degrees_and_singletons() {
+        let s = graph_stats(&sample());
+        assert_eq!(s.product_degree, (1, 4.0 / 3.0, 2));
+        // values: spicy(2), pepper(1), rare one(1)
+        assert_eq!(s.value_degree, (1, 4.0 / 3.0, 2));
+        assert!((s.singleton_value_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.values_per_attr, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = graph_stats(&ProductGraph::new());
+        assert_eq!(s.product_degree, (0, 0.0, 0));
+        assert_eq!(s.singleton_value_fraction, 0.0);
+        assert!(s.values_per_attr.is_empty());
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let r = graph_stats(&sample()).render();
+        assert!(r.contains("product degree"));
+        assert!(r.contains("singleton values"));
+        assert!(r.contains("values per attribute"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Plain-text serialization of datasets.
+//!
+//! One self-describing file with sections, tab-separated fields, and
+//! no escaping — titles and values are validated to be tab/newline
+//! free on write (the generators never emit them). Good enough to
+//! persist generated datasets, diff them, or reload them in another
+//! process.
+
+use crate::dataset::{Dataset, LabeledTriple, Split};
+use crate::store::{AttrId, ProductGraph, ProductId, Triple, ValueId};
+use std::fmt::Write as _;
+
+/// Serialization/parse failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TsvError {
+    /// A string contained a tab or newline and cannot be serialized.
+    UnencodableString(String),
+    /// Parse failure with a line number and message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsvError::UnencodableString(s) => {
+                write!(f, "string contains tab/newline: {s:?}")
+            }
+            TsvError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+fn check(s: &str) -> Result<&str, TsvError> {
+    if s.contains('\t') || s.contains('\n') {
+        Err(TsvError::UnencodableString(s.to_string()))
+    } else {
+        Ok(s)
+    }
+}
+
+fn write_triple(out: &mut String, t: &Triple) {
+    let _ = writeln!(out, "{}\t{}\t{}", t.product.0, t.attr.0, t.value.0);
+}
+
+/// Serialize a dataset to the TSV format.
+pub fn to_tsv(d: &Dataset) -> Result<String, TsvError> {
+    let mut out = String::new();
+    let g = &d.graph;
+    let split = match d.split {
+        Split::Transductive => "transductive",
+        Split::Inductive => "inductive",
+    };
+    let _ = writeln!(out, "#pge-dataset v1 {split}");
+    let _ = writeln!(out, "#titles {}", g.num_products());
+    for i in 0..g.num_products() {
+        let _ = writeln!(out, "{}", check(g.title(ProductId(i as u32)))?);
+    }
+    let _ = writeln!(out, "#attrs {}", g.num_attrs());
+    for i in 0..g.num_attrs() {
+        let _ = writeln!(out, "{}", check(g.attr_name(AttrId(i as u16)))?);
+    }
+    let _ = writeln!(out, "#values {}", g.num_values());
+    for i in 0..g.num_values() {
+        let _ = writeln!(out, "{}", check(g.value_text(ValueId(i as u32)))?);
+    }
+    let _ = writeln!(out, "#graph {}", g.num_triples());
+    for t in g.triples() {
+        write_triple(&mut out, t);
+    }
+    let _ = writeln!(out, "#train {}", d.train.len());
+    for (t, clean) in d.train.iter().zip(&d.train_clean) {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            t.product.0,
+            t.attr.0,
+            t.value.0,
+            if *clean { 1 } else { 0 }
+        );
+    }
+    for (name, set) in [("valid", &d.valid), ("test", &d.test)] {
+        let _ = writeln!(out, "#{name} {}", set.len());
+        for lt in set.iter() {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}",
+                lt.triple.product.0,
+                lt.triple.attr.0,
+                lt.triple.value.0,
+                if lt.correct { 1 } else { 0 }
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a dataset previously produced by [`to_tsv`].
+pub fn from_tsv(s: &str) -> Result<Dataset, TsvError> {
+    let mut lines = s.lines().enumerate();
+    let (ln, header) = lines
+        .next()
+        .ok_or(TsvError::Parse(0, "empty input".into()))?;
+    let mut head = header.split_whitespace();
+    if head.next() != Some("#pge-dataset") || head.next() != Some("v1") {
+        return Err(TsvError::Parse(ln + 1, "bad header".into()));
+    }
+    let split = match head.next() {
+        Some("transductive") => Split::Transductive,
+        Some("inductive") => Split::Inductive,
+        other => return Err(TsvError::Parse(ln + 1, format!("bad split {other:?}"))),
+    };
+
+    /// A parsed section: its declared length and numbered body lines.
+    type Section<'a> = (usize, Vec<(usize, &'a str)>);
+
+    fn section<'a>(
+        lines: &mut impl Iterator<Item = (usize, &'a str)>,
+        name: &str,
+    ) -> Result<Section<'a>, TsvError> {
+        let (ln, hdr) = lines
+            .next()
+            .ok_or(TsvError::Parse(0, format!("missing section {name}")))?;
+        let mut parts = hdr.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        if tag != format!("#{name}") {
+            return Err(TsvError::Parse(ln + 1, format!("expected #{name}, got {tag}")));
+        }
+        let n: usize = parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or(TsvError::Parse(ln + 1, "bad count".into()))?;
+        let body: Vec<(usize, &str)> = lines.take(n).collect();
+        if body.len() != n {
+            return Err(TsvError::Parse(ln + 1, format!("truncated section {name}")));
+        }
+        Ok((n, body))
+    }
+
+    fn parse_ids(ln: usize, line: &str, want: usize) -> Result<Vec<u32>, TsvError> {
+        let ids: Result<Vec<u32>, _> = line.split('\t').map(str::parse).collect();
+        let ids = ids.map_err(|e| TsvError::Parse(ln + 1, format!("bad id: {e}")))?;
+        if ids.len() != want {
+            return Err(TsvError::Parse(
+                ln + 1,
+                format!("expected {want} fields, got {}", ids.len()),
+            ));
+        }
+        Ok(ids)
+    }
+
+    let mut g = ProductGraph::new();
+    let (_, titles) = section(&mut lines, "titles")?;
+    for (_, t) in titles {
+        g.intern_product(t);
+    }
+    let (_, attrs) = section(&mut lines, "attrs")?;
+    for (_, a) in attrs {
+        g.intern_attr(a);
+    }
+    let (_, values) = section(&mut lines, "values")?;
+    for (_, v) in values {
+        g.intern_value(v);
+    }
+    let (_, graph_rows) = section(&mut lines, "graph")?;
+    for (ln, row) in graph_rows {
+        let ids = parse_ids(ln, row, 3)?;
+        g.add_triple(Triple::new(
+            ProductId(ids[0]),
+            AttrId(ids[1] as u16),
+            ValueId(ids[2]),
+        ));
+    }
+    let (_, train_rows) = section(&mut lines, "train")?;
+    let mut train = Vec::with_capacity(train_rows.len());
+    let mut train_clean = Vec::with_capacity(train_rows.len());
+    for (ln, row) in train_rows {
+        let ids = parse_ids(ln, row, 4)?;
+        train.push(Triple::new(
+            ProductId(ids[0]),
+            AttrId(ids[1] as u16),
+            ValueId(ids[2]),
+        ));
+        train_clean.push(ids[3] == 1);
+    }
+    fn labeled<'a>(
+        name: &str,
+        lines: &mut impl Iterator<Item = (usize, &'a str)>,
+        parse_ids: impl Fn(usize, &str, usize) -> Result<Vec<u32>, TsvError>,
+    ) -> Result<Vec<LabeledTriple>, TsvError> {
+        let (_, rows) = section(lines, name)?;
+        rows.into_iter()
+            .map(|(ln, row)| {
+                let ids = parse_ids(ln, row, 4)?;
+                Ok(LabeledTriple {
+                    triple: Triple::new(
+                        ProductId(ids[0]),
+                        AttrId(ids[1] as u16),
+                        ValueId(ids[2]),
+                    ),
+                    correct: ids[3] == 1,
+                })
+            })
+            .collect()
+    }
+    let valid = labeled("valid", &mut lines, parse_ids)?;
+    let test = labeled("test", &mut lines, parse_ids)?;
+
+    Ok(Dataset {
+        graph: g,
+        train,
+        train_clean,
+        valid,
+        test,
+        split,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut g = ProductGraph::new();
+        let t0 = g.add_fact("tortilla chips spicy queso", "flavor", "spicy queso");
+        let t1 = g.add_fact("bean chips", "flavor", "cheddar");
+        let bad = Triple::new(t1.product, t1.attr, t0.value);
+        let mut d = Dataset::new(
+            g,
+            vec![t0, t1],
+            vec![LabeledTriple {
+                triple: t0,
+                correct: true,
+            }],
+            vec![LabeledTriple {
+                triple: bad,
+                correct: false,
+            }],
+        );
+        d.train_clean = vec![true, false];
+        d
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        let text = to_tsv(&d).unwrap();
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(back.graph.num_products(), d.graph.num_products());
+        assert_eq!(back.graph.num_values(), d.graph.num_values());
+        assert_eq!(back.graph.triples(), d.graph.triples());
+        assert_eq!(back.train, d.train);
+        assert_eq!(back.train_clean, d.train_clean);
+        assert_eq!(back.valid, d.valid);
+        assert_eq!(back.test, d.test);
+        assert_eq!(back.split, d.split);
+        assert_eq!(
+            back.graph.title(ProductId(0)),
+            "tortilla chips spicy queso"
+        );
+    }
+
+    #[test]
+    fn rejects_tabs_in_strings() {
+        let mut g = ProductGraph::new();
+        g.add_fact("bad\ttitle", "flavor", "x");
+        let d = Dataset::new(g, vec![], vec![], vec![]);
+        assert!(matches!(
+            to_tsv(&d),
+            Err(TsvError::UnencodableString(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_tsv("").is_err());
+        assert!(from_tsv("#pge-dataset v2 transductive").is_err());
+        assert!(from_tsv("#pge-dataset v1 sideways").is_err());
+        let truncated = "#pge-dataset v1 transductive\n#titles 3\nonly-one";
+        assert!(from_tsv(truncated).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let bad = "#pge-dataset v1 transductive\n#titles 0\n#attrs 0\n#values 0\n#graph 1\nnot-an-id\t0\t0";
+        match from_tsv(bad) {
+            Err(TsvError::Parse(line, _)) => assert_eq!(line, 6),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

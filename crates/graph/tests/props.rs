@@ -1,0 +1,117 @@
+//! Property-based tests for the graph substrate.
+
+use pge_graph::{
+    inject_noise, Dataset, LabeledTriple, NegativeSampler, ProductGraph, SamplingMode, Triple,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random small graph: `n` products each with 1–3 facts over a few
+/// attributes/values.
+fn arb_graph() -> impl Strategy<Value = ProductGraph> {
+    (2usize..30, 2usize..12, 1usize..4).prop_map(|(products, values, attrs)| {
+        let mut g = ProductGraph::new();
+        for p in 0..products {
+            for a in 0..attrs {
+                g.add_fact(
+                    &format!("product {p}"),
+                    &format!("attr{a}"),
+                    &format!("value {}", (p * 7 + a * 3) % values),
+                );
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn sampler_never_returns_true_value(g in arb_graph(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for mode in [SamplingMode::GlobalUniform, SamplingMode::PerAttribute] {
+            let s = NegativeSampler::new(&g, mode);
+            for t in g.triples().iter().take(10) {
+                if let Some(v) = s.sample_one(&mut rng, t) {
+                    prop_assert_ne!(v, t.value);
+                    prop_assert!((v.0 as usize) < g.num_values());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inject_noise_preserves_length_and_flags(
+        g in arb_graph(),
+        frac in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (noisy, clean) = inject_noise(&g, g.triples(), frac, &mut rng);
+        prop_assert_eq!(noisy.len(), g.num_triples());
+        prop_assert_eq!(clean.len(), g.num_triples());
+        for ((orig, new), &is_clean) in g.triples().iter().zip(&noisy).zip(&clean) {
+            if is_clean {
+                prop_assert_eq!(orig, new);
+            } else {
+                prop_assert_eq!(orig.product, new.product);
+                prop_assert_eq!(orig.attr, new.attr);
+                prop_assert_ne!(orig.value, new.value);
+            }
+        }
+    }
+
+    #[test]
+    fn to_inductive_is_always_disjoint(g in arb_graph(), take in 1usize..8) {
+        let triples = g.triples().to_vec();
+        prop_assume!(triples.len() > take);
+        let test: Vec<LabeledTriple> = triples[..take]
+            .iter()
+            .map(|&t| LabeledTriple { triple: t, correct: true })
+            .collect();
+        let train = triples[take..].to_vec();
+        let d = Dataset::new(g, train, vec![], test);
+        let ind = d.to_inductive();
+        prop_assert!(ind.is_entity_disjoint());
+        // Inductive training is a subset of the original.
+        prop_assert!(ind.train.len() <= d.train.len());
+    }
+
+    #[test]
+    fn tsv_round_trip_arbitrary_small_dataset(g in arb_graph(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let triples = g.triples().to_vec();
+        let (train, clean) = inject_noise(&g, &triples, 0.2, &mut rng);
+        let mut d = Dataset::new(g, train, vec![], vec![]);
+        d.train_clean = clean;
+        let text = pge_graph::tsv::to_tsv(&d).unwrap();
+        let back = pge_graph::tsv::from_tsv(&text).unwrap();
+        prop_assert_eq!(back.train, d.train);
+        prop_assert_eq!(back.train_clean, d.train_clean);
+        prop_assert_eq!(back.graph.triples(), d.graph.triples());
+    }
+
+    #[test]
+    fn interning_is_injective(names in prop::collection::hash_set("[a-z ]{1,12}", 1..20)) {
+        let mut g = ProductGraph::new();
+        let ids: Vec<_> = names.iter().map(|n| g.intern_product(n)).collect();
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        prop_assert_eq!(distinct.len(), names.len());
+        for (n, id) in names.iter().zip(&ids) {
+            prop_assert_eq!(g.title(*id), n.as_str());
+        }
+    }
+
+    #[test]
+    fn sample_train_monotone(g in arb_graph(), r1 in 0.0f64..1.0, r2 in 0.0f64..1.0) {
+        let triples = g.triples().to_vec();
+        let d = Dataset::new(g, triples, vec![], vec![]);
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(d.sample_train(lo).train.len() <= d.sample_train(hi).train.len());
+        prop_assert_eq!(d.sample_train(1.0).train.len(), d.train.len());
+    }
+}
+
+// Keep Triple imported for readability of strategies above.
+#[allow(dead_code)]
+fn _use(_: Triple) {}

@@ -1,0 +1,74 @@
+//! Adam hyper-parameters (Kingma & Ba, 2014), used by the paper for
+//! all training runs.
+
+/// Hyper-parameters for the Adam optimizer.
+///
+/// The state (first/second moments) lives inside each
+/// [`crate::Param`]; this struct is just the shared knobs plus the
+/// bias-correction helper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdamHparams {
+    /// Learning rate. The paper sweeps {1e-4, 2e-4, 5e-4}; our rescaled
+    /// datasets train well at 1e-2..1e-3, set per-experiment.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+}
+
+impl Default for AdamHparams {
+    fn default() -> Self {
+        AdamHparams {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl AdamHparams {
+    /// Convenience constructor fixing everything but the learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        AdamHparams {
+            lr,
+            ..Self::default()
+        }
+    }
+
+    /// `(1 - β1^t, 1 - β2^t)` bias-correction denominators for step `t`
+    /// (1-based).
+    #[inline]
+    pub fn bias_corrections(&self, t: u64) -> (f32, f32) {
+        let t = t.max(1) as i32;
+        (
+            1.0 - self.beta1.powi(t),
+            1.0 - self.beta2.powi(t),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_corrections_grow_toward_one() {
+        let hp = AdamHparams::default();
+        let (a1, b1) = hp.bias_corrections(1);
+        let (a2, b2) = hp.bias_corrections(1000);
+        assert!((a1 - 0.1).abs() < 1e-6);
+        assert!((b1 - 0.001).abs() < 1e-6);
+        assert!(a2 > 0.99999 && a2 <= 1.0);
+        assert!(b2 > 0.6); // β2=0.999 ⇒ 1-0.999^1000 ≈ 0.632
+    }
+
+    #[test]
+    fn step_zero_treated_as_one() {
+        let hp = AdamHparams::default();
+        assert_eq!(hp.bias_corrections(0), hp.bias_corrections(1));
+    }
+}

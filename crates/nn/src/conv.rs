@@ -1,0 +1,483 @@
+//! 1-d convolutional text encoder (Fig. 4 of the paper).
+//!
+//! The encoder embeds a token sequence, runs several shallow 1-d
+//! convolutions with *different filter widths* in parallel (capturing
+//! local semantics of different spans), max-pools each feature map
+//! over time, concatenates the pooled features, and projects the
+//! result through a fully-connected tanh layer into the final
+//! text-based representation.
+
+use crate::adam::AdamHparams;
+use crate::embedding::Embedding;
+use crate::gradcheck::HasParams;
+use crate::linear::{Activation, Linear};
+use crate::param::Param;
+use pge_tensor::{init, ops, Matrix};
+use rand::Rng;
+
+/// One 1-d convolution of width `k` over a `L × in_dim` sequence,
+/// with tanh activation and max-over-time pooling fused in.
+#[derive(Clone, Debug)]
+pub struct Conv1d {
+    /// `filters × (k·in_dim)` weights; each row is one flattened filter.
+    w: Param,
+    /// `1 × filters` bias.
+    b: Param,
+    width: usize,
+    in_dim: usize,
+}
+
+/// Backward cache for one [`Conv1d`] application: per filter, the
+/// position of the temporal max and the activated value there.
+#[derive(Clone, Debug)]
+pub struct ConvCache {
+    max_pos: Vec<usize>,
+    max_act: Vec<f32>,
+}
+
+impl Conv1d {
+    pub fn new<R: Rng>(rng: &mut R, width: usize, in_dim: usize, filters: usize) -> Self {
+        assert!(width >= 1 && in_dim >= 1 && filters >= 1);
+        Conv1d {
+            w: Param::new(init::xavier_uniform(rng, filters, width * in_dim)),
+            b: Param::zeros(1, filters),
+            width,
+            in_dim,
+        }
+    }
+
+    #[inline]
+    pub fn filters(&self) -> usize {
+        self.w.rows()
+    }
+
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Max-over-time pooled feature map for sequence `x` (`L × in_dim`,
+    /// `L ≥ width`). Writes the pooled vector into `out`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut [f32]) {
+        self.apply(x, out, None);
+    }
+
+    /// Training forward: pooled features plus cache.
+    pub fn forward(&self, x: &Matrix) -> (Vec<f32>, ConvCache) {
+        let f = self.filters();
+        let mut out = vec![0.0; f];
+        let mut cache = ConvCache {
+            max_pos: vec![0; f],
+            max_act: vec![0.0; f],
+        };
+        self.apply(x, &mut out, Some(&mut cache));
+        (out, cache)
+    }
+
+    fn apply(&self, x: &Matrix, out: &mut [f32], mut cache: Option<&mut ConvCache>) {
+        debug_assert_eq!(x.cols(), self.in_dim);
+        assert!(
+            x.rows() >= self.width,
+            "sequence length {} shorter than filter width {}",
+            x.rows(),
+            self.width
+        );
+        let positions = x.rows() - self.width + 1;
+        let window = self.width * self.in_dim;
+        let xs = x.as_slice();
+        let bias = self.b.value.as_slice();
+        for (f, of) in out.iter_mut().enumerate() {
+            let wrow = self.w.value.row(f);
+            let mut best = f32::NEG_INFINITY;
+            let mut best_pos = 0;
+            for i in 0..positions {
+                // Rows are contiguous, so a width-k window starting at
+                // row i is one contiguous slice of length k·in_dim.
+                let win = &xs[i * self.in_dim..i * self.in_dim + window];
+                let pre = ops::dot(wrow, win) + bias[f];
+                let act = pre.tanh();
+                if act > best {
+                    best = act;
+                    best_pos = i;
+                }
+            }
+            *of = best;
+            if let Some(c) = cache.as_deref_mut() {
+                c.max_pos[f] = best_pos;
+                c.max_act[f] = best;
+            }
+        }
+    }
+
+    /// Accumulate parameter grads and add the input gradient into
+    /// `dx` (same shape as the forward input).
+    pub fn backward(&mut self, x: &Matrix, cache: &ConvCache, grad_out: &[f32], dx: &mut Matrix) {
+        debug_assert_eq!(grad_out.len(), self.filters());
+        debug_assert_eq!((dx.rows(), dx.cols()), (x.rows(), x.cols()));
+        let window = self.width * self.in_dim;
+        let db = self.b.grad.as_mut_slice();
+        for (f, &g_out) in grad_out.iter().enumerate() {
+            if g_out == 0.0 {
+                continue;
+            }
+            let t = cache.max_act[f];
+            let g = g_out * ops::tanh_deriv_from_output(t);
+            let i = cache.max_pos[f];
+            db[f] += g;
+            let lo = i * self.in_dim;
+            {
+                let xwin = &x.as_slice()[lo..lo + window];
+                ops::axpy(g, xwin, self.w.grad.row_mut(f));
+            }
+            let wrow = self.w.value.row(f).to_vec();
+            ops::axpy(g, &wrow, &mut dx.as_mut_slice()[lo..lo + window]);
+        }
+    }
+
+    pub fn adam_step(&mut self, hp: &AdamHparams, t: u64) {
+        self.w.adam_step(hp, t);
+        self.b.adam_step(hp, t);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// Configuration of the CNN text encoder.
+#[derive(Clone, Debug)]
+pub struct CnnConfig {
+    /// Vocabulary size (id 0 is the padding token by convention).
+    pub vocab: usize,
+    /// Word-embedding dimension.
+    pub word_dim: usize,
+    /// Filter widths of the parallel convolutions. The paper sweeps
+    /// widths in {1,2,3,4} across three CNNs; we default to [1,2,3].
+    pub widths: Vec<usize>,
+    /// Feature maps per convolution.
+    pub filters_per_width: usize,
+    /// Output (entity-embedding) dimension after the FC projection.
+    pub out_dim: usize,
+    /// Token sequences are truncated to this length.
+    pub max_len: usize,
+}
+
+impl CnnConfig {
+    /// Small defaults suitable for the rescaled experiments.
+    pub fn small(vocab: usize, out_dim: usize) -> Self {
+        CnnConfig {
+            vocab,
+            word_dim: 32,
+            widths: vec![1, 2, 3],
+            filters_per_width: 16,
+            out_dim,
+            max_len: 24,
+        }
+    }
+}
+
+/// Backward cache of one [`TextCnnEncoder::forward`] call.
+#[derive(Clone, Debug)]
+pub struct CnnEncCache {
+    padded: Vec<u32>,
+    x: Matrix,
+    conv: Vec<(Vec<f32>, ConvCache)>,
+    proj: crate::linear::LinearCache,
+}
+
+/// The paper's text encoder: word embeddings → parallel Conv1d +
+/// max-over-time → concat → FC(tanh).
+#[derive(Clone, Debug)]
+pub struct TextCnnEncoder {
+    words: Embedding,
+    convs: Vec<Conv1d>,
+    proj: Linear,
+    cfg: CnnConfig,
+}
+
+impl TextCnnEncoder {
+    /// Build with randomly-initialized word embeddings.
+    pub fn new<R: Rng>(rng: &mut R, cfg: CnnConfig) -> Self {
+        let words = Embedding::new(rng, cfg.vocab, cfg.word_dim);
+        Self::with_embeddings(rng, cfg, words)
+    }
+
+    /// Build on top of pre-trained word embeddings (word2vec init, as
+    /// in the paper). The table is fine-tuned end to end.
+    pub fn with_embeddings<R: Rng>(rng: &mut R, cfg: CnnConfig, words: Embedding) -> Self {
+        assert_eq!(words.len(), cfg.vocab, "embedding table size != cfg.vocab");
+        assert_eq!(words.dim(), cfg.word_dim, "embedding dim != cfg.word_dim");
+        assert!(!cfg.widths.is_empty(), "need at least one filter width");
+        let convs: Vec<Conv1d> = cfg
+            .widths
+            .iter()
+            .map(|&w| Conv1d::new(rng, w, cfg.word_dim, cfg.filters_per_width))
+            .collect();
+        let concat = cfg.widths.len() * cfg.filters_per_width;
+        let proj = Linear::new(rng, concat, cfg.out_dim, Activation::Tanh);
+        TextCnnEncoder {
+            words,
+            convs,
+            proj,
+            cfg,
+        }
+    }
+
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.cfg.out_dim
+    }
+
+    #[inline]
+    pub fn config(&self) -> &CnnConfig {
+        &self.cfg
+    }
+
+    fn min_len(&self) -> usize {
+        self.cfg.widths.iter().copied().max().unwrap_or(1)
+    }
+
+    fn pad(&self, tokens: &[u32]) -> Vec<u32> {
+        crate::pad_tokens(tokens, self.min_len(), self.cfg.max_len.max(self.min_len()), 0)
+    }
+
+    /// Inference-only encoding (`&self`, no caches) — safe to call from
+    /// many threads concurrently.
+    pub fn infer(&self, tokens: &[u32]) -> Vec<f32> {
+        let padded = self.pad(tokens);
+        let x = self.words.gather(&padded);
+        let f = self.cfg.filters_per_width;
+        let mut h = vec![0.0; self.convs.len() * f];
+        for (ci, conv) in self.convs.iter().enumerate() {
+            conv.infer_into(&x, &mut h[ci * f..(ci + 1) * f]);
+        }
+        self.proj.infer(&h)
+    }
+
+    /// Training forward: final embedding plus backward cache.
+    pub fn forward(&self, tokens: &[u32]) -> (Vec<f32>, CnnEncCache) {
+        let padded = self.pad(tokens);
+        let x = self.words.gather(&padded);
+        let f = self.cfg.filters_per_width;
+        let mut h = vec![0.0; self.convs.len() * f];
+        let mut conv_caches = Vec::with_capacity(self.convs.len());
+        for (ci, conv) in self.convs.iter().enumerate() {
+            let (out, cache) = conv.forward(&x);
+            h[ci * f..(ci + 1) * f].copy_from_slice(&out);
+            conv_caches.push((out, cache));
+        }
+        let (e, proj_cache) = self.proj.forward(&h);
+        (
+            e,
+            CnnEncCache {
+                padded,
+                x,
+                conv: conv_caches,
+                proj: proj_cache,
+            },
+        )
+    }
+
+    /// Backward from dL/d(embedding); accumulates into all parameter
+    /// grads including the word-embedding rows used by this sequence.
+    pub fn backward(&mut self, cache: &CnnEncCache, grad_out: &[f32]) {
+        let dh = self.proj.backward(&cache.proj, grad_out);
+        let f = self.cfg.filters_per_width;
+        let mut dx = Matrix::zeros(cache.x.rows(), cache.x.cols());
+        for (ci, conv) in self.convs.iter_mut().enumerate() {
+            let (_, conv_cache) = &cache.conv[ci];
+            conv.backward(&cache.x, conv_cache, &dh[ci * f..(ci + 1) * f], &mut dx);
+        }
+        self.words.accumulate_seq_grad(&cache.padded, &dx);
+    }
+
+    /// Optimizer step over all parameters (sparse for the word table).
+    pub fn adam_step(&mut self, hp: &AdamHparams, t: u64) {
+        self.words.adam_step(hp, t);
+        for c in &mut self.convs {
+            c.adam_step(hp, t);
+        }
+        self.proj.adam_step(hp, t);
+    }
+
+    /// Approximate multiply–accumulate count for encoding one sequence
+    /// of `len` tokens (used by the scalability study).
+    pub fn flops(&self, len: usize) -> u64 {
+        let len = len.clamp(self.min_len(), self.cfg.max_len.max(self.min_len()));
+        let mut total = 0u64;
+        for c in &self.convs {
+            let positions = (len - c.width + 1) as u64;
+            total += positions * (c.width * self.cfg.word_dim) as u64 * c.filters() as u64;
+        }
+        total += (self.proj.input_dim() * self.proj.output_dim()) as u64;
+        total
+    }
+
+    /// Borrow the word-embedding table (tests / analysis).
+    pub fn word_embeddings(&self) -> &Embedding {
+        &self.words
+    }
+}
+
+impl HasParams for TextCnnEncoder {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![self.words.param_mut()];
+        for c in &mut self.convs {
+            ps.extend(c.params_mut());
+        }
+        ps.extend(self.proj.params_mut());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_cfg() -> CnnConfig {
+        CnnConfig {
+            vocab: 12,
+            word_dim: 4,
+            widths: vec![1, 2],
+            filters_per_width: 3,
+            out_dim: 5,
+            max_len: 6,
+        }
+    }
+
+    #[test]
+    fn conv_known_value_single_filter() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv1d::new(&mut rng, 1, 1, 1);
+        let mut ps = conv.params_mut();
+        ps[0].value = Matrix::from_rows(&[vec![1.0]]);
+        ps[1].value = Matrix::zeros(1, 1);
+        drop(ps);
+        // width-1, identity filter: output = max(tanh(x_i))
+        let x = Matrix::from_rows(&[vec![-0.5], vec![0.8], vec![0.2]]);
+        let mut out = [0.0];
+        conv.infer_into(&x, &mut out);
+        assert!((out[0] - 0.8f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv_cache_records_argmax() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv1d::new(&mut rng, 1, 1, 1);
+        let mut ps = conv.params_mut();
+        ps[0].value = Matrix::from_rows(&[vec![1.0]]);
+        ps[1].value = Matrix::zeros(1, 1);
+        drop(ps);
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.9], vec![0.3]]);
+        let (_, cache) = conv.forward(&x);
+        assert_eq!(cache.max_pos, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than filter width")]
+    fn conv_rejects_short_sequences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv1d::new(&mut rng, 3, 2, 1);
+        let x = Matrix::zeros(2, 2);
+        let mut out = [0.0];
+        conv.infer_into(&x, &mut out);
+    }
+
+    #[test]
+    fn encoder_infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = TextCnnEncoder::new(&mut rng, tiny_cfg());
+        let tokens = [3u32, 5, 7, 1];
+        let (e, _) = enc.forward(&tokens);
+        assert_eq!(e, enc.infer(&tokens));
+        assert_eq!(e.len(), 5);
+    }
+
+    #[test]
+    fn encoder_handles_empty_and_long_input() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = TextCnnEncoder::new(&mut rng, tiny_cfg());
+        let short = enc.infer(&[]);
+        assert_eq!(short.len(), 5);
+        assert!(short.iter().all(|x| x.is_finite()));
+        let long: Vec<u32> = (0..50).map(|i| (i % 12) as u32).collect();
+        let e = enc.infer(&long);
+        assert!(e.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn similar_token_sequences_produce_similar_embeddings() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let enc = TextCnnEncoder::new(&mut rng, tiny_cfg());
+        let a = enc.infer(&[2, 3, 4, 5]);
+        let b = enc.infer(&[2, 3, 4, 5]);
+        let c = enc.infer(&[9, 10, 11, 8]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gradcheck_full_encoder() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut enc = TextCnnEncoder::new(&mut rng, tiny_cfg());
+        // Spread the word embeddings out: with the default tiny init
+        // the max-pooling pre-activations are nearly tied across
+        // positions and finite differences flip the argmax.
+        enc.words.param_mut().value.scale(8.0);
+        let tokens = [3u32, 5, 7, 1, 2];
+        let weights: Vec<f32> = (0..5).map(|i| 0.5 - 0.3 * i as f32).collect();
+        let loss = |enc: &TextCnnEncoder| -> f32 {
+            enc.infer(&tokens)
+                .iter()
+                .zip(&weights)
+                .map(|(e, w)| e * w)
+                .sum()
+        };
+        let (_, cache) = enc.forward(&tokens);
+        enc.backward(&cache, &weights);
+        // NOTE: max-over-time pooling makes the loss only piecewise
+        // smooth; with a tiny net and small eps the argmax is stable,
+        // so finite differences remain valid.
+        gradcheck::check_param_grads(&mut enc, loss, 3e-2, "TextCnnEncoder");
+    }
+
+    #[test]
+    fn adam_step_reduces_simple_loss() {
+        // Train the encoder to push one embedding coordinate up: loss
+        // should fall monotonically-ish over a few steps.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut enc = TextCnnEncoder::new(&mut rng, tiny_cfg());
+        let tokens = [1u32, 2, 3];
+        let hp = AdamHparams::with_lr(0.05);
+        let loss_of = |e: &TextCnnEncoder| -e.infer(&tokens)[0];
+        let before = loss_of(&enc);
+        for t in 1..=30 {
+            let (e, cache) = enc.forward(&tokens);
+            let mut g = vec![0.0; e.len()];
+            g[0] = -1.0; // d(-e0)/de
+            enc.backward(&cache, &g);
+            enc.adam_step(&hp, t);
+        }
+        let after = loss_of(&enc);
+        assert!(
+            after < before,
+            "training did not reduce loss: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn flops_monotone_in_length() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let enc = TextCnnEncoder::new(&mut rng, tiny_cfg());
+        assert!(enc.flops(6) >= enc.flops(3));
+        assert!(enc.flops(3) > 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Central-finite-difference gradient verification.
+//!
+//! Every layer and every scoring function in this workspace is
+//! verified against numeric differentiation. The helpers here are used
+//! from `#[cfg(test)]` code across crates, so they live in the library
+//! proper rather than a test module.
+
+use crate::param::Param;
+
+/// Anything that can expose its learnable parameters for checking.
+pub trait HasParams {
+    /// Mutable references to all parameters, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+}
+
+/// Perturbation size for central differences. With `f32` arithmetic,
+/// ~5e-3 balances truncation error (∝ eps²) against rounding error
+/// (∝ 1/eps).
+pub const EPS: f32 = 5e-3;
+
+/// Numeric gradient of `loss` with respect to an input slice.
+pub fn numeric_input_grad(x: &[f32], mut loss: impl FnMut(&[f32]) -> f32) -> Vec<f32> {
+    let mut xp = x.to_vec();
+    let mut out = vec![0.0; x.len()];
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + EPS;
+        let fp = loss(&xp);
+        xp[i] = orig - EPS;
+        let fm = loss(&xp);
+        xp[i] = orig;
+        out[i] = (fp - fm) / (2.0 * EPS);
+    }
+    out
+}
+
+/// Compare two gradients with a mixed absolute/relative criterion.
+///
+/// # Panics
+/// Panics (with `label` and the offending index) when any element
+/// differs by more than `tol · max(1, |a|, |n|)`.
+pub fn assert_close(analytic: &[f32], numeric: &[f32], tol: f32, label: &str) {
+    assert_eq!(
+        analytic.len(),
+        numeric.len(),
+        "{label}: gradient length mismatch"
+    );
+    for (i, (&a, &n)) in analytic.iter().zip(numeric).enumerate() {
+        let scale = 1.0f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() <= tol * scale,
+            "{label}: grad mismatch at {i}: analytic={a} numeric={n} (tol={tol})"
+        );
+    }
+}
+
+/// Verify the *accumulated* parameter gradients of `obj` against
+/// numeric differentiation of `loss`.
+///
+/// The caller must have already run its forward + backward pass so
+/// that `obj`'s parameter `.grad` fields hold the analytic gradient of
+/// exactly the same scalar that `loss` recomputes (via inference-only
+/// paths, so no caches are disturbed).
+///
+/// # Panics
+/// Panics on any mismatch beyond `tol` (see [`assert_close`]).
+pub fn check_param_grads<T: HasParams>(
+    obj: &mut T,
+    mut loss: impl FnMut(&T) -> f32,
+    tol: f32,
+    label: &str,
+) {
+    let n_params = obj.params_mut().len();
+    for pi in 0..n_params {
+        let n = obj.params_mut()[pi].value.len();
+        let analytic = obj.params_mut()[pi].grad.as_slice().to_vec();
+        let mut numeric = vec![0.0; n];
+        for i in 0..n {
+            let orig = {
+                let mut ps = obj.params_mut();
+                let v = ps[pi].value.as_mut_slice();
+                let o = v[i];
+                v[i] = o + EPS;
+                o
+            };
+            let fp = loss(obj);
+            {
+                let mut ps = obj.params_mut();
+                ps[pi].value.as_mut_slice()[i] = orig - EPS;
+            }
+            let fm = loss(obj);
+            {
+                let mut ps = obj.params_mut();
+                ps[pi].value.as_mut_slice()[i] = orig;
+            }
+            numeric[i] = (fp - fm) / (2.0 * EPS);
+        }
+        assert_close(&analytic, &numeric, tol, &format!("{label} (param {pi})"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pge_tensor::Matrix;
+
+    struct Quad {
+        p: Param,
+    }
+
+    impl HasParams for Quad {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.p]
+        }
+    }
+
+    impl Quad {
+        // loss = Σ (x_i - i)²  ⇒  dL/dx_i = 2(x_i - i)
+        fn loss(&self) -> f32 {
+            self.p
+                .value
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (x - i as f32) * (x - i as f32))
+                .sum()
+        }
+        fn backward(&mut self) {
+            let vals = self.p.value.as_slice().to_vec();
+            for (i, g) in self.p.grad.as_mut_slice().iter_mut().enumerate() {
+                *g = 2.0 * (vals[i] - i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_passes() {
+        let mut q = Quad {
+            p: Param::new(Matrix::from_rows(&[vec![0.5, -0.25, 2.0]])),
+        };
+        q.backward();
+        check_param_grads(&mut q, |q| q.loss(), 1e-2, "quad");
+    }
+
+    #[test]
+    #[should_panic(expected = "grad mismatch")]
+    fn wrong_gradient_fails() {
+        let mut q = Quad {
+            p: Param::new(Matrix::from_rows(&[vec![0.5, -0.25, 2.0]])),
+        };
+        q.backward();
+        q.p.grad.as_mut_slice()[1] += 1.0; // corrupt
+        check_param_grads(&mut q, |q| q.loss(), 1e-2, "quad");
+    }
+
+    #[test]
+    fn numeric_input_grad_linear_fn() {
+        let x = [1.0, 2.0, 3.0];
+        let g = numeric_input_grad(&x, |x| 2.0 * x[0] - x[1] + 0.5 * x[2]);
+        assert_close(&g, &[2.0, -1.0, 0.5], 1e-2, "linear fn");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assert_close_checks_len() {
+        assert_close(&[1.0], &[1.0, 2.0], 1e-2, "len");
+    }
+}

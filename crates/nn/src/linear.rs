@@ -1,0 +1,228 @@
+//! Fully-connected layer `y = act(W·x + b)`.
+
+use crate::adam::AdamHparams;
+use crate::param::Param;
+use pge_tensor::{init, ops};
+use rand::Rng;
+
+/// Pointwise nonlinearity applied after the affine transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Hyperbolic tangent — the paper's choice for the projection from
+    /// text representation to final entity embedding.
+    Tanh,
+    /// Rectified linear unit — used inside transformer FFN blocks.
+    Relu,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, y: &mut [f32]) {
+        match self {
+            Activation::None => {}
+            Activation::Tanh => ops::tanh_inplace(y),
+            Activation::Relu => ops::relu_inplace(y),
+        }
+    }
+
+    /// Multiply `grad` by the activation derivative, expressed in
+    /// terms of the *activated output* `y`.
+    #[inline]
+    fn backprop(self, y: &[f32], grad: &mut [f32]) {
+        match self {
+            Activation::None => {}
+            Activation::Tanh => {
+                for (g, &o) in grad.iter_mut().zip(y) {
+                    *g *= ops::tanh_deriv_from_output(o);
+                }
+            }
+            Activation::Relu => {
+                for (g, &o) in grad.iter_mut().zip(y) {
+                    if o <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cache produced by [`Linear::forward`]: the input and the activated
+/// output, both needed by the backward pass.
+#[derive(Clone, Debug)]
+pub struct LinearCache {
+    x: Vec<f32>,
+    y: Vec<f32>,
+}
+
+/// A dense layer with weight `W: out×in`, bias `b: out`, and an
+/// optional activation.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: Param,
+    b: Param,
+    act: Activation,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new<R: Rng>(rng: &mut R, input: usize, output: usize, act: Activation) -> Self {
+        Linear {
+            w: Param::new(init::xavier_uniform(rng, output, input)),
+            b: Param::zeros(1, output),
+            act,
+        }
+    }
+
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Inference-only forward pass: no cache, `&self`.
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.affine(x);
+        self.act.apply(&mut y);
+        y
+    }
+
+    fn affine(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.input_dim());
+        let mut y = self.b.value.as_slice().to_vec();
+        for (o, yo) in y.iter_mut().enumerate() {
+            *yo += ops::dot(self.w.value.row(o), x);
+        }
+        y
+    }
+
+    /// Training forward pass returning the output and a backward cache.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, LinearCache) {
+        let y = self.infer(x);
+        (
+            y.clone(),
+            LinearCache {
+                x: x.to_vec(),
+                y,
+            },
+        )
+    }
+
+    /// Accumulate parameter gradients and return the input gradient.
+    ///
+    /// `grad_out` is dL/dy (post-activation).
+    pub fn backward(&mut self, cache: &LinearCache, grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.output_dim());
+        let mut g = grad_out.to_vec();
+        self.act.backprop(&cache.y, &mut g);
+        // db += g ; dW[o] += g[o] * x ; dx += Σ_o g[o] * W[o]
+        ops::axpy(1.0, &g, self.b.grad.as_mut_slice());
+        let mut dx = vec![0.0; self.input_dim()];
+        for (o, &go) in g.iter().enumerate() {
+            if go == 0.0 {
+                continue;
+            }
+            ops::axpy(go, &cache.x, self.w.grad.row_mut(o));
+            ops::axpy(go, self.w.value.row(o), &mut dx);
+        }
+        dx
+    }
+
+    /// Dense Adam step for both parameters.
+    pub fn adam_step(&mut self, hp: &AdamHparams, t: u64) {
+        self.w.adam_step(hp, t);
+        self.b.adam_step(hp, t);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Raw parameter access (weight then bias).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+impl crate::gradcheck::HasParams for Linear {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Linear::params_mut(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use pge_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_activation_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(&mut rng, 2, 2, Activation::None);
+        // Overwrite with known weights.
+        let mut ps = l.params_mut();
+        ps[0].value = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        ps[1].value = Matrix::from_rows(&[vec![0.5, -0.5]]);
+        drop(ps);
+        let y = l.infer(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(&mut rng, 5, 3, Activation::Tanh);
+        let x = [0.1, -0.2, 0.3, 0.0, 0.5];
+        let (y, _) = l.forward(&x);
+        assert_eq!(y, l.infer(&x));
+    }
+
+    #[test]
+    fn relu_kills_negative_grads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(&mut rng, 1, 1, Activation::Relu);
+        let mut ps = l.params_mut();
+        ps[0].value = Matrix::from_rows(&[vec![-1.0]]);
+        ps[1].value = Matrix::zeros(1, 1);
+        drop(ps);
+        let (y, cache) = l.forward(&[1.0]);
+        assert_eq!(y, vec![0.0]); // relu(-1) = 0
+        let dx = l.backward(&cache, &[1.0]);
+        assert_eq!(dx, vec![0.0]); // gradient blocked
+    }
+
+    #[test]
+    fn gradcheck_all_activations() {
+        for act in [Activation::None, Activation::Tanh, Activation::Relu] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut l = Linear::new(&mut rng, 4, 3, act);
+            let x = [0.3, -0.7, 0.2, 0.9];
+            // Scalar loss: weighted sum of outputs to break symmetry.
+            let weights = [1.0f32, -2.0, 0.5];
+            let loss = |l: &Linear| -> f32 {
+                l.infer(&x).iter().zip(&weights).map(|(y, w)| y * w).sum()
+            };
+
+            l.zero_grad();
+            let (_, cache) = l.forward(&x);
+            let dx = l.backward(&cache, &weights);
+
+            gradcheck::check_param_grads(&mut l, loss, 2e-2, &format!("{act:?}"));
+
+            let numeric_dx = gradcheck::numeric_input_grad(&x, |x| {
+                l.infer(x).iter().zip(&weights).map(|(y, w)| y * w).sum()
+            });
+            gradcheck::assert_close(&dx, &numeric_dx, 2e-2, &format!("{act:?} input"));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A learnable tensor with its gradient and Adam moment estimates.
+
+use crate::adam::AdamHparams;
+use pge_tensor::Matrix;
+
+/// A parameter tensor plus everything training needs alongside it.
+///
+/// Keeping the gradient and the Adam first/second moments inline (at a
+/// 4× memory cost that is irrelevant at this workspace's scales) means
+/// the optimizer is a pair of methods rather than an external registry
+/// keyed by parameter identity, and sparse row-wise updates for
+/// embedding tables fall out naturally.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+    /// Adam first-moment estimate.
+    m: Matrix,
+    /// Adam second-moment estimate.
+    v: Matrix,
+}
+
+impl Param {
+    /// Wrap an initialized value tensor.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = (value.rows(), value.cols());
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Zero-initialized parameter (used for biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Param::new(Matrix::zeros(rows, cols))
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.value.rows()
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.value.cols()
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Dense Adam step over the whole tensor, then clears the gradient.
+    ///
+    /// `t` is the 1-based global step count used for bias correction.
+    pub fn adam_step(&mut self, hp: &AdamHparams, t: u64) {
+        let (bc1, bc2) = hp.bias_corrections(t);
+        let value = self.value.as_mut_slice();
+        let grad = self.grad.as_mut_slice();
+        let m = self.m.as_mut_slice();
+        let v = self.v.as_mut_slice();
+        for i in 0..value.len() {
+            let g = grad[i];
+            m[i] = hp.beta1 * m[i] + (1.0 - hp.beta1) * g;
+            v[i] = hp.beta2 * v[i] + (1.0 - hp.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            value[i] -= hp.lr * m_hat / (v_hat.sqrt() + hp.eps);
+            grad[i] = 0.0;
+        }
+    }
+
+    /// Sparse ("lazy") Adam step over the listed rows only.
+    ///
+    /// Embedding tables touch a tiny fraction of their rows per batch;
+    /// updating (and zeroing) just those rows keeps the step cost
+    /// proportional to the batch, not the vocabulary. Rows may repeat;
+    /// a repeated row is stepped once per occurrence, which is the
+    /// standard lazy-Adam behaviour and harmless because its gradient
+    /// is cleared by the first step.
+    pub fn adam_step_rows(&mut self, rows: &[usize], hp: &AdamHparams, t: u64) {
+        let (bc1, bc2) = hp.bias_corrections(t);
+        let cols = self.value.cols();
+        let value = self.value.as_mut_slice();
+        let grad = self.grad.as_mut_slice();
+        let m = self.m.as_mut_slice();
+        let v = self.v.as_mut_slice();
+        for &r in rows {
+            let lo = r * cols;
+            for i in lo..lo + cols {
+                let g = grad[i];
+                if g == 0.0 && m[i] == 0.0 && v[i] == 0.0 {
+                    continue;
+                }
+                m[i] = hp.beta1 * m[i] + (1.0 - hp.beta1) * g;
+                v[i] = hp.beta2 * v[i] + (1.0 - hp.beta2) * g * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                value[i] -= hp.lr * m_hat / (v_hat.sqrt() + hp.eps);
+                grad[i] = 0.0;
+            }
+        }
+    }
+
+    /// Plain SGD step (used by word2vec pre-training where Adam's
+    /// memory per vocabulary row is not worth it), then clears grads.
+    pub fn sgd_step(&mut self, lr: f32) {
+        let value = self.value.as_mut_slice();
+        let grad = self.grad.as_mut_slice();
+        for i in 0..value.len() {
+            value[i] -= lr * grad[i];
+            grad[i] = 0.0;
+        }
+    }
+
+    /// L2 norm of the accumulated gradient (diagnostics, tests).
+    pub fn grad_norm(&self) -> f32 {
+        self.grad.frobenius_norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp(lr: f32) -> AdamHparams {
+        AdamHparams {
+            lr,
+            ..AdamHparams::default()
+        }
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut p = Param::new(Matrix::full(1, 2, 1.0));
+        p.grad.as_mut_slice()[0] = 1.0; // positive grad → value decreases
+        p.grad.as_mut_slice()[1] = -1.0; // negative grad → value increases
+        p.adam_step(&hp(0.1), 1);
+        assert!(p.value.as_slice()[0] < 1.0);
+        assert!(p.value.as_slice()[1] > 1.0);
+        // Gradient cleared after the step.
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the very first Adam step has magnitude
+        // ≈ lr regardless of gradient scale.
+        for &g in &[1e-3f32, 1.0, 1e3] {
+            let mut p = Param::new(Matrix::zeros(1, 1));
+            p.grad.as_mut_slice()[0] = g;
+            p.adam_step(&hp(0.01), 1);
+            let step = p.value.as_slice()[0].abs();
+            assert!((step - 0.01).abs() < 1e-3, "g={g} step={step}");
+        }
+    }
+
+    #[test]
+    fn sparse_step_touches_only_listed_rows() {
+        let mut p = Param::new(Matrix::full(3, 2, 1.0));
+        for x in p.grad.as_mut_slice() {
+            *x = 1.0;
+        }
+        p.adam_step_rows(&[1], &hp(0.1), 1);
+        assert_eq!(p.value.row(0), &[1.0, 1.0]);
+        assert!(p.value.row(1)[0] < 1.0);
+        assert_eq!(p.value.row(2), &[1.0, 1.0]);
+        // Row 1's grad cleared, others kept.
+        assert_eq!(p.grad.row(1), &[0.0, 0.0]);
+        assert_eq!(p.grad.row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_step_handles_repeated_rows() {
+        let mut p = Param::new(Matrix::full(2, 2, 1.0));
+        for x in p.grad.as_mut_slice() {
+            *x = 1.0;
+        }
+        let before = p.value.row(0).to_vec();
+        p.adam_step_rows(&[0, 0], &hp(0.1), 1);
+        // Second visit sees zero grad + nonzero moments; it still decays
+        // the moments but must not blow up.
+        assert!(p.value.row(0)[0] < before[0]);
+        assert!(p.value.row(0)[0].is_finite());
+    }
+
+    #[test]
+    fn sgd_step_basic() {
+        let mut p = Param::new(Matrix::full(1, 1, 2.0));
+        p.grad.as_mut_slice()[0] = 0.5;
+        p.sgd_step(1.0);
+        assert_eq!(p.value.as_slice()[0], 1.5);
+        assert_eq!(p.grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(x) = (x-3)², a smoke test that the update rule is
+        // actually Adam and not something sign-flipped.
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        let h = hp(0.1);
+        for t in 1..=500 {
+            let x = p.value.as_slice()[0];
+            p.grad.as_mut_slice()[0] = 2.0 * (x - 3.0);
+            p.adam_step(&h, t);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 0.05);
+    }
+}

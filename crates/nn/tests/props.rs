@@ -1,0 +1,106 @@
+//! Property-based gradient checks over randomized layer shapes.
+
+use pge_nn::gradcheck::{self, HasParams};
+use pge_nn::{Activation, CnnConfig, Linear, Lstm, TextCnnEncoder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn linear_gradcheck_random_shapes(
+        input in 1usize..6,
+        output in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut l = Linear::new(&mut rng, input, output, Activation::Tanh);
+        let x: Vec<f32> = (0..input).map(|i| (i as f32 * 0.37 + seed as f32 * 0.01).sin()).collect();
+        let w: Vec<f32> = (0..output).map(|i| 1.0 - 0.4 * i as f32).collect();
+        let loss = |l: &Linear| -> f32 {
+            l.infer(&x).iter().zip(&w).map(|(y, c)| y * c).sum()
+        };
+        let (_, cache) = l.forward(&x);
+        let _ = l.backward(&cache, &w);
+        gradcheck::check_param_grads(&mut l, loss, 5e-2, "prop Linear");
+    }
+
+    #[test]
+    fn lstm_gradcheck_random_sequences(
+        len in 1usize..5,
+        hidden in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut l = Lstm::new(&mut rng, 12, 3, hidden, 8);
+        let tokens: Vec<u32> = (0..len).map(|i| ((i as u64 + seed) % 12) as u32).collect();
+        let w: Vec<f32> = (0..hidden).map(|i| 0.8 - 0.3 * i as f32).collect();
+        let loss = |l: &Lstm| -> f32 {
+            l.infer(&tokens).iter().zip(&w).map(|(h, c)| h * c).sum()
+        };
+        let (_, cache) = l.forward(&tokens);
+        l.backward(&cache, &w);
+        gradcheck::check_param_grads(&mut l, loss, 5e-2, "prop Lstm");
+    }
+
+    #[test]
+    fn cnn_output_always_finite_and_sized(
+        len in 0usize..30,
+        out_dim in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = TextCnnEncoder::new(
+            &mut rng,
+            CnnConfig {
+                vocab: 20,
+                word_dim: 6,
+                widths: vec![1, 2, 3],
+                filters_per_width: 4,
+                out_dim,
+                max_len: 12,
+            },
+        );
+        let tokens: Vec<u32> = (0..len).map(|i| ((i as u64 * 7 + seed) % 20) as u32).collect();
+        let e = enc.infer(&tokens);
+        prop_assert_eq!(e.len(), out_dim);
+        prop_assert!(e.iter().all(|x| x.is_finite()));
+        // tanh projection keeps outputs bounded.
+        prop_assert!(e.iter().all(|x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn adam_keeps_parameters_finite(seed in 0u64..1000, steps in 1u64..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut l = Linear::new(&mut rng, 4, 3, Activation::None);
+        let hp = pge_nn::AdamHparams::with_lr(0.05);
+        let x = [0.5f32, -0.5, 1.0, -1.0];
+        for t in 1..=steps {
+            let (y, cache) = l.forward(&x);
+            let g: Vec<f32> = y.iter().map(|v| v - 1.0).collect();
+            let _ = l.backward(&cache, &g);
+            l.adam_step(&hp, t);
+        }
+        for p in l.params_mut() {
+            prop_assert!(p.value.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn pad_tokens_contract(
+        tokens in prop::collection::vec(0u32..50, 0..40),
+        min_len in 1usize..6,
+        extra in 0usize..20,
+    ) {
+        let max_len = min_len + extra;
+        let padded = pge_nn::pad_tokens(&tokens, min_len, max_len, 0);
+        prop_assert!(padded.len() >= min_len);
+        prop_assert!(padded.len() <= max_len);
+        // Original prefix preserved.
+        for (a, b) in padded.iter().zip(&tokens) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! A small Fx-style hasher.
+//!
+//! Interning product titles, attribute values, and vocabulary words is
+//! on the hot path of dataset construction, and SipHash (the std
+//! default) is needlessly slow for it. This is the well-known FxHash
+//! mixing function (as used by rustc), implemented here so the
+//! workspace does not need an extra dependency. It is **not** DoS
+//! resistant; do not expose it to untrusted adversarial keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc FxHash function.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Streaming hasher applying the Fx mix to each input word.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Fold in the length so "a" and "a\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with the fast Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the fast Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = FxHasher::default();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&"spicy queso"), hash_of(&"spicy queso"));
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_close_strings() {
+        assert_ne!(hash_of(&"flavor"), hash_of(&"flavors"));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        assert_ne!(hash_of(&""), hash_of(&"\0"));
+    }
+
+    #[test]
+    fn trailing_bytes_affect_hash() {
+        // Inputs longer than one 8-byte word exercising the remainder path.
+        assert_ne!(hash_of(&"abcdefgh1"), hash_of(&"abcdefgh2"));
+        assert_ne!(hash_of(&"abcdefgh"), hash_of(&"abcdefgh\0"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        m.insert("pepper".into(), 1);
+        m.insert("spicy".into(), 2);
+        assert_eq!(m.get("pepper"), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+}

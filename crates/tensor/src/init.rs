@@ -1,0 +1,85 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so every model in the
+//! workspace is reproducible from a single seed.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Uniform in `[-bound, bound]`.
+pub fn uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize, bound: f32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for x in m.as_mut_slice() {
+        *x = rng.gen_range(-bound..=bound);
+    }
+    m
+}
+
+/// Xavier/Glorot uniform: bound = sqrt(6 / (fan_in + fan_out)).
+///
+/// Used for every dense transform in the workspace — it keeps forward
+/// activations and backward gradients at comparable scales, which
+/// matters for the shallow-but-wide encoders trained here.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, bound)
+}
+
+/// Embedding-table initializer: uniform with the conventional
+/// `0.5 / dim` bound used by word2vec-style lookup tables.
+pub fn embedding<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let bound = 0.5 / cols.max(1) as f32;
+    uniform(rng, rows, cols, bound)
+}
+
+/// Uniform phases in `[-π, π]`, for RotatE relation parameters.
+pub fn phases<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    uniform(rng, rows, cols, std::f32::consts::PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(&mut rng, 20, 30, 0.1);
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= 0.1));
+        // Not all-zero: the RNG actually ran.
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = xavier_uniform(&mut rng, 10, 14);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(7), 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(7), 4, 4);
+        assert_eq!(a, b);
+        let c = xavier_uniform(&mut StdRng::seed_from_u64(8), 4, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn phases_within_pi() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = phases(&mut rng, 5, 8);
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= std::f32::consts::PI));
+    }
+
+    #[test]
+    fn embedding_bound_shrinks_with_dim() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = embedding(&mut rng, 6, 100);
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= 0.005));
+    }
+}

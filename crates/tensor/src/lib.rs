@@ -1,0 +1,20 @@
+//! Dense f32 linear algebra and small utilities underpinning the PGE
+//! reproduction.
+//!
+//! The crate deliberately stays tiny and predictable: a row-major
+//! [`Matrix`] type, the elementwise and reduction kernels the neural
+//! layers need ([`ops`]), weight initializers ([`init`]), and an
+//! Fx-style fast hasher ([`fx`]) used for string interning throughout
+//! the workspace.
+//!
+//! Everything is `f32`: the models in this workspace are small enough
+//! that single precision is ample, and it halves memory traffic, which
+//! dominates the training loops.
+
+pub mod fx;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use fx::{FxHashMap, FxHashSet};
+pub use matrix::Matrix;

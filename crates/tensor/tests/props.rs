@@ -1,0 +1,129 @@
+//! Property-based tests for the tensor kernels.
+
+use pge_tensor::{ops, Matrix};
+use proptest::prelude::*;
+
+fn small_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..max_len)
+}
+
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-5.0f32..5.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix(1..8, 1..8)) {
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn matmul_identity_right(m in matrix(1..6, 1..6)) {
+        let i = Matrix::identity(m.cols());
+        let prod = m.matmul(&i);
+        for (a, b) in prod.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_consistent(a in matrix(1..5, 1..5), b in matrix(1..5, 1..5)) {
+        prop_assume!(a.cols() == b.cols());
+        let fast = a.matmul_transposed(&b);
+        let slow = a.matmul(&b.transposed());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(2..4, 2..4),
+        s in -3.0f32..3.0,
+    ) {
+        // a·(I + I·s diag-free check): (a + a)·b == 2(a·b) via axpy.
+        let mut doubled = a.clone();
+        doubled.axpy_assign(1.0, &a);
+        let b = Matrix::identity(a.cols());
+        let left = doubled.matmul(&b);
+        let mut right = a.matmul(&b);
+        right.scale(2.0);
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let _ = s;
+    }
+
+    #[test]
+    fn dot_is_symmetric(v in small_vec(32)) {
+        let w: Vec<f32> = v.iter().rev().cloned().collect();
+        let a = ops::dot(&v, &w);
+        let b = ops::dot(&w, &v);
+        prop_assert!((a - b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn l2_normalize_yields_unit_or_zero(mut v in small_vec(32)) {
+        ops::l2_normalize(&mut v);
+        let n = ops::l2_norm(&v);
+        prop_assert!(n < 1e-6 || (n - 1.0).abs() < 1e-3, "norm {n}");
+    }
+
+    #[test]
+    fn cosine_bounded(
+        (a, b) in (1usize..16).prop_flat_map(|n| {
+            (
+                prop::collection::vec(-10.0f32..10.0, n),
+                prop::collection::vec(-10.0f32..10.0, n),
+            )
+        })
+    ) {
+        let c = ops::cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn softmax_is_distribution(mut v in small_vec(32)) {
+        ops::softmax_inplace(&mut v);
+        prop_assert!(v.iter().all(|&x| x >= 0.0));
+        let s: f32 = v.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-3, "sum {s}");
+    }
+
+    #[test]
+    fn sigmoid_and_log_sigmoid_agree(x in -30.0f32..30.0) {
+        let s = ops::sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let ls = ops::log_sigmoid(x);
+        prop_assert!(ls <= 0.0);
+        prop_assert!((ls - s.ln()).abs() < 1e-3, "x={x} ls={ls} ln(s)={}", s.ln());
+    }
+
+    #[test]
+    fn sigmoid_complement(x in -30.0f32..30.0) {
+        let s = ops::sigmoid(x) + ops::sigmoid(-x);
+        prop_assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l1_dominates_l2(v in small_vec(32)) {
+        prop_assert!(ops::l1_norm(&v) + 1e-4 >= ops::l2_norm(&v));
+    }
+
+    #[test]
+    fn argmax_returns_max(v in small_vec(32)) {
+        let (ix, val) = ops::argmax(&v);
+        prop_assert_eq!(v[ix], val);
+        prop_assert!(v.iter().all(|&x| x <= val));
+    }
+
+    #[test]
+    fn frobenius_matches_flat_l2(m in matrix(1..6, 1..6)) {
+        let f = m.frobenius_norm();
+        let l2 = ops::l2_norm(m.as_slice());
+        prop_assert!((f - l2).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,17 @@
+//! Text processing for the PGE reproduction: tokenization, vocabulary
+//! interning, and word2vec (skip-gram with negative sampling)
+//! pre-training.
+//!
+//! The paper initializes its CNN text encoder with 300-d GoogleNews
+//! word2vec vectors. Those are unavailable offline, so [`word2vec`]
+//! trains skip-gram vectors on the *generated* corpus (titles +
+//! attribute values), which provides the property the paper actually
+//! relies on — semantically related words start close together.
+
+pub mod token;
+pub mod vocab;
+pub mod word2vec;
+
+pub use token::tokenize;
+pub use vocab::Vocab;
+pub use word2vec::{train_word2vec, Word2VecConfig};

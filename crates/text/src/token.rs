@@ -1,0 +1,86 @@
+//! Tokenization: lowercase, alphanumeric word splitting, stop-word
+//! removal (the paper's preprocessing removes stop words from raw
+//! texts).
+
+/// English stop words removed during preprocessing. Small on purpose:
+/// product text is short, and aggressive lists would delete signal
+/// like "free" ("gluten free").
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it",
+    "of", "on", "or", "that", "the", "to", "with",
+];
+
+fn is_stop_word(w: &str) -> bool {
+    STOP_WORDS.contains(&w)
+}
+
+/// Lowercase a string and split it into alphanumeric word tokens,
+/// dropping punctuation and stop words.
+///
+/// `"Brand A Tortilla Chips Spicy Queso, 6 - 2 oz bags"` →
+/// `["brand", "tortilla", "chips", "spicy", "queso", "6", "2", "oz",
+/// "bags"]` ("a" is a stop word).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            if !is_stop_word(&cur) {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if !cur.is_empty() && !is_stop_word(&cur) {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits_punctuation() {
+        assert_eq!(
+            tokenize("Spicy Queso, 6 - 2 oz bags"),
+            vec!["spicy", "queso", "6", "2", "oz", "bags"]
+        );
+    }
+
+    #[test]
+    fn removes_stop_words() {
+        assert_eq!(
+            tokenize("the flavor of the chips"),
+            vec!["flavor", "chips"]
+        );
+    }
+
+    #[test]
+    fn keeps_meaningful_short_words() {
+        assert_eq!(tokenize("gluten free"), vec!["gluten", "free"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ,,, !!!").is_empty());
+        assert!(tokenize("the and of").is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_own_output() {
+        let once = tokenize("Pure Mint Shampoo (10 oz)");
+        let joined = once.join(" ");
+        assert_eq!(tokenize(&joined), once);
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        assert_eq!(tokenize("Café Olé"), vec!["café", "olé"]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Word vocabulary with reserved special tokens.
+
+use pge_tensor::FxHashMap;
+
+/// Interned word vocabulary.
+///
+/// Ids 0..=2 are reserved: 0 = `<pad>` (also what convolution padding
+/// gathers), 1 = `<cls>` (Transformer pooling token), 2 = `<unk>`
+/// (words never seen during vocabulary construction — the inductive
+/// setting guarantees these appear).
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    word_to_id: FxHashMap<String, u32>,
+    id_to_word: Vec<String>,
+    /// Token counts observed through [`Vocab::add`] (index-aligned
+    /// with ids); used to build word2vec negative-sampling tables.
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    pub const PAD: u32 = 0;
+    pub const CLS: u32 = 1;
+    pub const UNK: u32 = 2;
+
+    /// New vocabulary containing only the reserved tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            word_to_id: FxHashMap::default(),
+            id_to_word: Vec::new(),
+            counts: Vec::new(),
+        };
+        for w in ["<pad>", "<cls>", "<unk>"] {
+            let id = v.id_to_word.len() as u32;
+            v.word_to_id.insert(w.to_string(), id);
+            v.id_to_word.push(w.to_string());
+            v.counts.push(0);
+        }
+        v
+    }
+
+    /// Number of distinct tokens including the reserved ones.
+    pub fn len(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // reserved tokens always present
+    }
+
+    /// Intern `word`, bumping its count; returns its id.
+    pub fn add(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.word_to_id.get(word) {
+            self.counts[id as usize] += 1;
+            return id;
+        }
+        let id = self.id_to_word.len() as u32;
+        self.word_to_id.insert(word.to_string(), id);
+        self.id_to_word.push(word.to_string());
+        self.counts.push(1);
+        id
+    }
+
+    /// Id of `word` if known.
+    pub fn get(&self, word: &str) -> Option<u32> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// Id of `word`, or `UNK`.
+    pub fn get_or_unk(&self, word: &str) -> u32 {
+        self.get(word).unwrap_or(Self::UNK)
+    }
+
+    /// The word behind an id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn word(&self, id: u32) -> &str {
+        &self.id_to_word[id as usize]
+    }
+
+    /// Observed count for an id.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Intern every token of `tokens` (corpus building).
+    pub fn add_all(&mut self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().map(|t| self.add(t)).collect()
+    }
+
+    /// Encode tokens with `UNK` fallback (inference / test data).
+    pub fn encode(&self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().map(|t| self.get_or_unk(t)).collect()
+    }
+
+    /// Tokenize then encode a raw string.
+    pub fn encode_text(&self, text: &str) -> Vec<u32> {
+        self.encode(&crate::tokenize(text))
+    }
+
+    /// Words in id order, including the reserved tokens.
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.id_to_word.iter().map(String::as_str)
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_tokens_present() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.word(Vocab::PAD), "<pad>");
+        assert_eq!(v.word(Vocab::CLS), "<cls>");
+        assert_eq!(v.word(Vocab::UNK), "<unk>");
+    }
+
+    #[test]
+    fn add_is_idempotent_on_id_and_counts() {
+        let mut v = Vocab::new();
+        let a = v.add("pepper");
+        let b = v.add("pepper");
+        assert_eq!(a, b);
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let mut v = Vocab::new();
+        v.add("spicy");
+        assert_eq!(v.get("never-seen"), None);
+        assert_eq!(v.get_or_unk("never-seen"), Vocab::UNK);
+        assert_eq!(
+            v.encode(&["spicy".into(), "mystery".into()]),
+            vec![3, Vocab::UNK]
+        );
+    }
+
+    #[test]
+    fn encode_text_round_trip() {
+        let mut v = Vocab::new();
+        for t in crate::tokenize("Spicy Queso Chips") {
+            v.add(&t);
+        }
+        let ids = v.encode_text("spicy chips");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(v.word(ids[0]), "spicy");
+        assert_eq!(v.word(ids[1]), "chips");
+    }
+}

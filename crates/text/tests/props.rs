@@ -1,0 +1,65 @@
+//! Property-based tests for tokenization and vocabulary.
+
+use pge_text::{tokenize, Vocab};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokenize_output_is_lowercase_alphanumeric(s in ".{0,60}") {
+        for tok in tokenize(&s) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            // Lowercasing must be a fixed point. (Not `!is_uppercase()`:
+            // characters like '𝓐' are uppercase-category with no
+            // lowercase mapping, and survive tokenization unchanged.)
+            prop_assert_eq!(tok.to_lowercase(), tok);
+        }
+    }
+
+    #[test]
+    fn tokenize_is_idempotent(s in "[a-zA-Z0-9 ,.-]{0,60}") {
+        let once = tokenize(&s);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn vocab_add_then_get_round_trips(words in prop::collection::vec("[a-z]{1,10}", 1..20)) {
+        let mut v = Vocab::new();
+        let ids: Vec<u32> = words.iter().map(|w| v.add(w)).collect();
+        for (w, &id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.get(w), Some(id));
+            prop_assert_eq!(v.word(id), w.as_str());
+        }
+    }
+
+    #[test]
+    fn encode_never_panics_and_uses_unk(words in prop::collection::vec("[a-z]{1,10}", 0..20)) {
+        let v = Vocab::new(); // knows only reserved tokens
+        let ids = v.encode(&words);
+        prop_assert_eq!(ids.len(), words.len());
+        prop_assert!(ids.iter().all(|&id| id == Vocab::UNK));
+    }
+
+    #[test]
+    fn counts_accumulate(word in "[a-z]{1,8}", n in 1usize..20) {
+        let mut v = Vocab::new();
+        let mut id = 0;
+        for _ in 0..n {
+            id = v.add(&word);
+        }
+        prop_assert_eq!(v.count(id), n as u64);
+    }
+
+    #[test]
+    fn vocab_len_is_unique_words_plus_reserved(
+        words in prop::collection::vec("[a-z]{1,6}", 0..30),
+    ) {
+        let mut v = Vocab::new();
+        for w in &words {
+            v.add(w);
+        }
+        let distinct: std::collections::HashSet<_> = words.iter().collect();
+        prop_assert_eq!(v.len(), distinct.len() + 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! `pge` — command-line error detection for product catalogs.
+//!
+//! ```text
+//! pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]
+//! pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]
+//! pge detect   --data data.tsv --model model.pge [--top N]
+//! pge eval     --data data.tsv --model model.pge
+//! ```
+//!
+//! `generate` writes a synthetic labeled dataset; `train` fits
+//! PGE(CNN) on its training split and saves the model; `detect` ranks
+//! the dataset's test triples by suspicion; `eval` reports PR AUC,
+//! R@P, and thresholded accuracy.
+
+use pge::core::{load_model, save_model, train_pge, Detector, PgeConfig, ScoreKind};
+use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
+use pge::eval::{average_precision, recall_at_precision, Scored};
+use pge::graph::tsv::{from_tsv, to_tsv};
+use pge::graph::{Dataset, Triple};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]\n  \
+         pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n  \
+         pge detect   --data data.tsv --model model.pge [--top N]\n  \
+         pge eval     --data data.tsv --model model.pge"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i + 1 < args.len() + 1 {
+        let Some(key) = args.get(i) else { break };
+        if let Some(name) = key.strip_prefix("--") {
+            match args.get(i + 1) {
+                Some(v) => {
+                    flags.insert(name.to_string(), v.clone());
+                    i += 2;
+                }
+                None => usage(),
+            }
+        } else {
+            usage();
+        }
+    }
+    flags
+}
+
+fn load_dataset(path: &str) -> Dataset {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    from_tsv(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    let get = |k: &str| flags.get(k).cloned();
+    let require = |k: &str| {
+        get(k).unwrap_or_else(|| {
+            eprintln!("missing --{k}");
+            usage()
+        })
+    };
+
+    match cmd.as_str() {
+        "generate" => {
+            let kind = require("kind");
+            let out = require("out");
+            let seed: u64 = get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+            let dataset = match kind.as_str() {
+                "catalog" => {
+                    let products: usize =
+                        get("products").and_then(|s| s.parse().ok()).unwrap_or(1000);
+                    generate_catalog(&CatalogConfig {
+                        products,
+                        labeled: products / 3,
+                        seed,
+                        ..CatalogConfig::default()
+                    })
+                }
+                "fb" => generate_fbkg(&FbkgConfig {
+                    seed,
+                    ..FbkgConfig::default()
+                }),
+                _ => usage(),
+            };
+            let text = to_tsv(&dataset).expect("generated datasets serialize");
+            std::fs::write(&out, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            let s = dataset.stats();
+            println!(
+                "wrote {out}: {} products, {} values, {} train / {} valid / {} test triples",
+                s.products, s.values, s.train, s.valid, s.test
+            );
+        }
+        "train" => {
+            let data = load_dataset(&require("data"));
+            let out = require("out");
+            let cfg = PgeConfig {
+                epochs: get("epochs").and_then(|s| s.parse().ok()).unwrap_or(12),
+                score: match get("score").as_deref() {
+                    Some("transe") => ScoreKind::TransE,
+                    _ => ScoreKind::RotatE,
+                },
+                ..PgeConfig::default()
+            };
+            println!("training {} on {} triples ...", cfg.label(), data.train.len());
+            let trained = train_pge(&data, &cfg);
+            println!(
+                "done in {:.1}s (loss {:.3} -> {:.3})",
+                trained.train_secs,
+                trained.epoch_losses.first().unwrap_or(&0.0),
+                trained.epoch_losses.last().unwrap_or(&0.0)
+            );
+            let text = save_model(&trained.model).expect("CNN models persist");
+            std::fs::write(&out, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1)
+            });
+            println!("model saved to {out}");
+        }
+        "detect" => {
+            let data = load_dataset(&require("data"));
+            let model_text = std::fs::read_to_string(require("model")).unwrap_or_else(|e| {
+                eprintln!("cannot read model: {e}");
+                exit(1)
+            });
+            let model = load_model(&model_text, &data.graph).unwrap_or_else(|e| {
+                eprintln!("cannot load model: {e}");
+                exit(1)
+            });
+            let top: usize = get("top").and_then(|s| s.parse().ok()).unwrap_or(20);
+            let det = Detector::fit(&model, &data.graph, &data.valid);
+            println!(
+                "threshold {:.3} (validation accuracy {:.3})",
+                det.threshold, det.valid_accuracy
+            );
+            let triples: Vec<Triple> = data.test.iter().map(|lt| lt.triple).collect();
+            let order = det.rank_errors(&data.graph, &triples);
+            println!("top {top} suspicious test triples:");
+            for &ix in order.iter().take(top) {
+                let t = triples[ix];
+                println!(
+                    "  {} | {} | {}",
+                    data.graph.title(t.product),
+                    data.graph.attr_name(t.attr),
+                    data.graph.value_text(t.value)
+                );
+            }
+        }
+        "eval" => {
+            let data = load_dataset(&require("data"));
+            let model_text = std::fs::read_to_string(require("model")).unwrap_or_else(|e| {
+                eprintln!("cannot read model: {e}");
+                exit(1)
+            });
+            let model = load_model(&model_text, &data.graph).unwrap_or_else(|e| {
+                eprintln!("cannot load model: {e}");
+                exit(1)
+            });
+            let det = Detector::fit(&model, &data.graph, &data.valid);
+            let triples: Vec<Triple> = data.test.iter().map(|lt| lt.triple).collect();
+            let scores = det.scores(&data.graph, &triples);
+            let scored: Vec<Scored> = scores
+                .iter()
+                .zip(&data.test)
+                .map(|(&f, lt)| Scored::new(-f, !lt.correct))
+                .collect();
+            println!("test triples: {}", data.test.len());
+            println!("PR AUC:   {:.3}", average_precision(&scored));
+            for p in [0.7, 0.8, 0.9] {
+                println!("R@P={p}:  {:.3}", recall_at_precision(&scored, p));
+            }
+            println!("accuracy: {:.3}", det.accuracy(&data.graph, &data.test));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,56 @@
+//! # PGE — Robust Product Graph Embedding Learning for Error Detection
+//!
+//! A from-scratch Rust reproduction of *Cheng, Li, Xu, Dong, Sun,
+//! "PGE: Robust Product Graph Embedding Learning for Error Detection",
+//! PVLDB 15(6), 2022*.
+//!
+//! This umbrella crate re-exports the workspace so applications can
+//! depend on a single crate:
+//!
+//! ```
+//! use pge::datagen::{generate_catalog, CatalogConfig};
+//! use pge::core::{train_pge, Detector, PgeConfig};
+//!
+//! // Generate a small synthetic product catalog with labeled errors.
+//! let data = generate_catalog(&CatalogConfig {
+//!     products: 120,
+//!     labeled: 40,
+//!     ..CatalogConfig::tiny()
+//! });
+//!
+//! // Train PGE and fit the detection threshold on validation data.
+//! let mut cfg = PgeConfig::tiny();
+//! cfg.epochs = 2; // doc-test speed
+//! let trained = train_pge(&data, &cfg);
+//! let detector = Detector::fit(&trained.model, &data.graph, &data.valid);
+//!
+//! // Flag suspicious triples in the test split.
+//! let flagged = data
+//!     .test
+//!     .iter()
+//!     .filter(|lt| detector.is_error(&data.graph, &lt.triple))
+//!     .count();
+//! assert!(flagged <= data.test.len());
+//! ```
+//!
+//! ## Layout
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`tensor`] | dense f32 matrices, kernels, fast hashing |
+//! | [`nn`] | CNN / LSTM / Transformer layers, Adam, gradcheck |
+//! | [`text`] | tokenizer, vocabulary, word2vec |
+//! | [`graph`] | product-graph store, splits, sampling, noise |
+//! | [`datagen`] | synthetic Amazon-like catalog + FB15K-237-like KG |
+//! | [`core`] | the PGE model, noise-aware training, detection |
+//! | [`baselines`] | KGE, CKRL, DKRL, SSP, LSTM/Transformer, RotatE+, Union |
+//! | [`eval`] | PR AUC, R@P, thresholds, histograms, tables |
+
+pub use pge_baselines as baselines;
+pub use pge_core as core;
+pub use pge_datagen as datagen;
+pub use pge_eval as eval;
+pub use pge_graph as graph;
+pub use pge_nn as nn;
+pub use pge_tensor as tensor;
+pub use pge_text as text;

@@ -1,0 +1,149 @@
+//! Every baseline runs end to end on both generated datasets and
+//! produces sane, finite plausibility scores through the shared
+//! `ErrorDetector` interface.
+
+use pge::baselines::{
+    train_ckrl, train_dkrl, train_kge, train_nlp, train_rotate_plus, train_ssp, CkrlConfig,
+    DkrlConfig, KgeConfig, NlpArch, NlpConfig, SspConfig, Union,
+};
+use pge::core::{ErrorDetector, ScoreKind};
+use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
+use pge::graph::Dataset;
+
+fn catalog() -> Dataset {
+    generate_catalog(&CatalogConfig {
+        products: 150,
+        labeled: 50,
+        seed: 31,
+        ..CatalogConfig::default()
+    })
+}
+
+fn fbkg() -> Dataset {
+    generate_fbkg(&FbkgConfig {
+        triples: 600,
+        labeled: 100,
+        seed: 32,
+        ..FbkgConfig::tiny()
+    })
+}
+
+fn check_detector(det: &dyn ErrorDetector, d: &Dataset) {
+    assert!(!det.name().is_empty());
+    let triples: Vec<_> = d.test.iter().map(|lt| lt.triple).collect();
+    let scores = det.plausibility_all(&d.graph, &triples);
+    assert_eq!(scores.len(), triples.len());
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "{} produced non-finite scores",
+        det.name()
+    );
+    // Scores must not be constant (a constant scorer can't rank).
+    let min = scores.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    assert!(max > min, "{} produced constant scores", det.name());
+}
+
+#[test]
+fn all_kge_variants_run_on_both_datasets() {
+    for data in [catalog(), fbkg()] {
+        for score in [
+            ScoreKind::TransE,
+            ScoreKind::DistMult,
+            ScoreKind::ComplEx,
+            ScoreKind::RotatE,
+        ] {
+            let m = train_kge(
+                &data,
+                &KgeConfig {
+                    score,
+                    epochs: 3,
+                    ..KgeConfig::tiny()
+                },
+            );
+            check_detector(&m, &data);
+        }
+    }
+}
+
+#[test]
+fn nlp_baselines_run() {
+    let data = catalog();
+    for arch in [NlpArch::Lstm, NlpArch::Transformer] {
+        let m = train_nlp(
+            &data,
+            &NlpConfig {
+                epochs: 2,
+                ..NlpConfig::tiny(arch)
+            },
+        );
+        check_detector(&m, &data);
+    }
+}
+
+#[test]
+fn joint_embedding_baselines_run() {
+    let data = catalog();
+    let dkrl = train_dkrl(
+        &data,
+        &DkrlConfig {
+            epochs: 2,
+            ..DkrlConfig::tiny()
+        },
+    );
+    check_detector(&dkrl, &data);
+    let ssp = train_ssp(
+        &data,
+        &SspConfig {
+            epochs: 3,
+            ..SspConfig::tiny()
+        },
+    );
+    check_detector(&ssp, &data);
+}
+
+#[test]
+fn ckrl_and_rotate_plus_run() {
+    let data = catalog();
+    let ckrl = train_ckrl(
+        &data,
+        &CkrlConfig {
+            epochs: 3,
+            ..CkrlConfig::tiny()
+        },
+    );
+    check_detector(&ckrl, &data);
+    assert_eq!(ckrl.confidence.len(), data.train.len());
+
+    let rp = train_rotate_plus(
+        &data,
+        &KgeConfig {
+            epochs: 3,
+            ..KgeConfig::tiny()
+        },
+    );
+    check_detector(&rp, &data);
+    assert_eq!(ErrorDetector::name(&rp), "RotatE+");
+}
+
+#[test]
+fn union_composes_two_detectors() {
+    let data = catalog();
+    let a = train_kge(
+        &data,
+        &KgeConfig {
+            epochs: 2,
+            ..KgeConfig::tiny()
+        },
+    );
+    let b = train_nlp(
+        &data,
+        &NlpConfig {
+            epochs: 1,
+            ..NlpConfig::tiny(NlpArch::Lstm)
+        },
+    );
+    let u = Union::new(&a, &b);
+    check_detector(&u, &data);
+    assert!(u.prefers_batch());
+}

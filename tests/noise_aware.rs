@@ -1,0 +1,116 @@
+//! Noise-aware mechanism integration tests (§3.3, §4.5, Fig. 5/6).
+
+use pge::core::{train_pge, PgeConfig};
+use pge::datagen::{generate_catalog, CatalogConfig};
+use pge::eval::Histogram;
+
+fn noisy_catalog(noise: f64) -> pge::graph::Dataset {
+    generate_catalog(&CatalogConfig {
+        products: 250,
+        labeled: 80,
+        train_noise: noise,
+        seed: 21,
+        ..CatalogConfig::default()
+    })
+}
+
+fn cfg(noise_aware: bool) -> PgeConfig {
+    PgeConfig {
+        epochs: 10,
+        noise_aware,
+        ..PgeConfig::tiny()
+    }
+}
+
+#[test]
+fn confidence_separates_clean_from_injected_noise() {
+    let d = noisy_catalog(0.15);
+    // Confidence moves by at most `confidence_lr` per epoch, so the
+    // short test budget needs the aggressive schedule Fig. 5 uses.
+    let trained = train_pge(
+        &d,
+        &PgeConfig {
+            epochs: 12,
+            confidence_lr: 0.08,
+            alpha: 0.9,
+            confidence_warmup: 2,
+            ..cfg(true)
+        },
+    );
+    let mut clean = Histogram::unit(10);
+    let mut noisy = Histogram::unit(10);
+    let (mut clean_sum, mut noisy_sum) = (0.0f32, 0.0f32);
+    for (i, &is_clean) in d.train_clean.iter().enumerate() {
+        let c = trained.confidence.get(i);
+        if is_clean {
+            clean.add(c);
+            clean_sum += c;
+        } else {
+            noisy.add(c);
+            noisy_sum += c;
+        }
+    }
+    // Noisy triples must be marked down more often and sit lower on
+    // average.
+    let clean_down = clean.fraction_below(0.5);
+    let noisy_down = noisy.fraction_below(0.5);
+    assert!(
+        noisy_down > clean_down + 0.05,
+        "markdown rates: clean {clean_down:.3}, noisy {noisy_down:.3}"
+    );
+    let clean_mean = clean_sum / clean.total() as f32;
+    let noisy_mean = noisy_sum / noisy.total() as f32;
+    assert!(
+        noisy_mean < clean_mean - 0.05,
+        "mean confidence: clean {clean_mean:.3}, noisy {noisy_mean:.3}"
+    );
+}
+
+#[test]
+fn confidences_stay_in_unit_interval() {
+    let d = noisy_catalog(0.10);
+    let trained = train_pge(&d, &cfg(true));
+    assert!(trained
+        .confidence
+        .scores()
+        .iter()
+        .all(|&c| (0.0..=1.0).contains(&c)));
+}
+
+#[test]
+fn disabling_noise_aware_keeps_all_confidences_at_one() {
+    let d = noisy_catalog(0.10);
+    let trained = train_pge(&d, &cfg(false));
+    assert!(trained.confidence.scores().iter().all(|&c| c == 1.0));
+}
+
+#[test]
+fn appended_artificial_noise_is_flagged() {
+    // Fig. 5(b): append corruptions and check their confidences drop.
+    let mut d = noisy_catalog(0.0);
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(77)
+    };
+    let (train, clean) =
+        pge::graph::noise::append_noise(&d.graph, &d.train, d.train.len() / 10, &mut rng);
+    d.train = train;
+    d.train_clean = clean;
+    let trained = train_pge(&d, &cfg(true));
+    let mean = |sel: bool| {
+        let xs: Vec<f32> = d
+            .train_clean
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == sel)
+            .map(|(i, _)| trained.confidence.get(i))
+            .collect();
+        xs.iter().sum::<f32>() / xs.len() as f32
+    };
+    assert!(
+        mean(true) > mean(false),
+        "clean mean {} vs injected-noise mean {}",
+        mean(true),
+        mean(false)
+    );
+}

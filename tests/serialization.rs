@@ -1,0 +1,50 @@
+//! TSV serialization round-trips for generated datasets.
+
+use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
+use pge::graph::tsv::{from_tsv, to_tsv};
+
+#[test]
+fn catalog_round_trips_through_tsv() {
+    let d = generate_catalog(&CatalogConfig::tiny());
+    let text = to_tsv(&d).expect("generated text has no tabs/newlines");
+    let back = from_tsv(&text).expect("parses");
+    assert_eq!(back.graph.num_products(), d.graph.num_products());
+    assert_eq!(back.graph.num_values(), d.graph.num_values());
+    assert_eq!(back.graph.triples(), d.graph.triples());
+    assert_eq!(back.train, d.train);
+    assert_eq!(back.train_clean, d.train_clean);
+    assert_eq!(back.valid, d.valid);
+    assert_eq!(back.test, d.test);
+}
+
+#[test]
+fn fbkg_round_trips_through_tsv() {
+    let d = generate_fbkg(&FbkgConfig::tiny());
+    let text = to_tsv(&d).unwrap();
+    let back = from_tsv(&text).unwrap();
+    assert_eq!(back.train, d.train);
+    assert_eq!(back.test, d.test);
+}
+
+#[test]
+fn inductive_flag_round_trips() {
+    let d = generate_catalog(&CatalogConfig {
+        allow_unseen_values: true,
+        ..CatalogConfig::tiny()
+    })
+    .to_inductive();
+    let text = to_tsv(&d).unwrap();
+    let back = from_tsv(&text).unwrap();
+    assert_eq!(back.split, pge::graph::Split::Inductive);
+    assert!(back.is_entity_disjoint());
+}
+
+#[test]
+fn tsv_is_diffable_text() {
+    let d = generate_catalog(&CatalogConfig::tiny());
+    let a = to_tsv(&d).unwrap();
+    let b = to_tsv(&d).unwrap();
+    assert_eq!(a, b, "serialization must be deterministic");
+    assert!(a.lines().count() > 100);
+    assert!(a.starts_with("#pge-dataset v1"));
+}
