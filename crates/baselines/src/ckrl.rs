@@ -251,7 +251,13 @@ mod tests {
         let (noisy, clean) = inject_noise(&d.graph, &d.train, 0.15, &mut rng);
         d.train = noisy;
         d.train_clean = clean;
-        let m = train_ckrl(&d, &CkrlConfig { epochs: 30, ..CkrlConfig::tiny() });
+        let m = train_ckrl(
+            &d,
+            &CkrlConfig {
+                epochs: 30,
+                ..CkrlConfig::tiny()
+            },
+        );
         let mean = |sel: bool| {
             let xs: Vec<f32> = d
                 .train_clean
@@ -281,7 +287,13 @@ mod tests {
     #[test]
     fn detector_name() {
         let d = structured_dataset();
-        let m = train_ckrl(&d, &CkrlConfig { epochs: 1, ..CkrlConfig::tiny() });
+        let m = train_ckrl(
+            &d,
+            &CkrlConfig {
+                epochs: 1,
+                ..CkrlConfig::tiny()
+            },
+        );
         assert_eq!(m.name(), "CKRL");
     }
 }

@@ -202,8 +202,7 @@ pub fn train_dkrl(dataset: &Dataset, cfg: &DkrlConfig) -> DkrlModel {
 
                 // --- Description energy E_D (separate loss). ---
                 {
-                    let (h, cache_h) =
-                        encoder.forward(&title_tokens[triple.product.0 as usize]);
+                    let (h, cache_h) = encoder.forward(&title_tokens[triple.product.0 as usize]);
                     let (t, cache_t) = encoder.forward(&value_tokens[triple.value.0 as usize]);
                     let mut dh = vec![0.0f32; dim];
                     let mut dt = vec![0.0f32; dim];
@@ -310,7 +309,13 @@ mod tests {
     #[test]
     fn lambda_mixes_the_two_energies() {
         let d = texty_dataset();
-        let mut m = train_dkrl(&d, &DkrlConfig { epochs: 2, ..DkrlConfig::tiny() });
+        let mut m = train_dkrl(
+            &d,
+            &DkrlConfig {
+                epochs: 2,
+                ..DkrlConfig::tiny()
+            },
+        );
         let t = d.test[0].triple;
         m.lambda = 1.0;
         let s_only = m.score(&t);
@@ -323,7 +328,13 @@ mod tests {
     #[test]
     fn vocab_from_training_text() {
         let d = texty_dataset();
-        let m = train_dkrl(&d, &DkrlConfig { epochs: 1, ..DkrlConfig::tiny() });
+        let m = train_dkrl(
+            &d,
+            &DkrlConfig {
+                epochs: 1,
+                ..DkrlConfig::tiny()
+            },
+        );
         assert!(m.vocab.get("spicy").is_some());
         assert_eq!(m.name(), "DKRL");
     }

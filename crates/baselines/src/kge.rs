@@ -156,7 +156,15 @@ pub(crate) fn train_kge_weighted(
                 dr.iter_mut().for_each(|x| *x = 0.0);
                 dt.iter_mut().for_each(|x| *x = 0.0);
                 let f_pos = scorer.score(&h, &r, &t);
-                scorer.backward(&h, &r, &t, -w * ops::sigmoid(-f_pos), &mut dh, &mut dr, &mut dt);
+                scorer.backward(
+                    &h,
+                    &r,
+                    &t,
+                    -w * ops::sigmoid(-f_pos),
+                    &mut dh,
+                    &mut dr,
+                    &mut dt,
+                );
                 tails.accumulate_grad(triple.value.0, &dt);
                 // Negative weights: uniform 1/k or self-adversarial
                 // softmax(α·f_neg) (hard negatives dominate).
@@ -223,11 +231,7 @@ mod tests {
         for p in 0..40u32 {
             for v in 0..3u32 {
                 let value = 2 * v + (p % 2);
-                train.push(g.add_fact(
-                    &format!("p{p}"),
-                    "r",
-                    &format!("v{value}"),
-                ));
+                train.push(g.add_fact(&format!("p{p}"), "r", &format!("v{value}")));
             }
         }
         // Test: correct = matching parity (held out), incorrect = off.
@@ -315,7 +319,13 @@ mod tests {
     #[test]
     fn detector_trait_plumbs_through() {
         let d = parity_dataset();
-        let m = train_kge(&d, &KgeConfig { epochs: 2, ..KgeConfig::tiny() });
+        let m = train_kge(
+            &d,
+            &KgeConfig {
+                epochs: 2,
+                ..KgeConfig::tiny()
+            },
+        );
         let triples: Vec<Triple> = d.test.iter().map(|lt| lt.triple).collect();
         let scores = m.plausibility_all(&d.graph, &triples);
         assert_eq!(scores.len(), triples.len());

@@ -28,8 +28,7 @@ impl OpenTagLexicon {
     /// Build the lexicon from the values observed in `train`.
     pub fn build(graph: &ProductGraph, train: &[Triple]) -> Self {
         let mut seen: Vec<FxHashSet<ValueId>> = vec![FxHashSet::default(); graph.num_attrs()];
-        let mut per_attr: Vec<Vec<(Vec<String>, ValueId)>> =
-            vec![Vec::new(); graph.num_attrs()];
+        let mut per_attr: Vec<Vec<(Vec<String>, ValueId)>> = vec![Vec::new(); graph.num_attrs()];
         for t in train {
             if seen[t.attr.0 as usize].insert(t.value) {
                 let toks = tokenize(graph.value_text(t.value));
@@ -100,13 +99,7 @@ pub fn train_rotate_plus(dataset: &Dataset, cfg: &KgeConfig) -> KgeModel {
         .valid
         .iter()
         .chain(&dataset.test)
-        .map(|lt| {
-            (
-                lt.triple.product.0,
-                lt.triple.attr.0,
-                lt.triple.value.0,
-            )
-        })
+        .map(|lt| (lt.triple.product.0, lt.triple.attr.0, lt.triple.value.0))
         .collect();
     for t in extracted {
         let key = (t.product.0, t.attr.0, t.value.0);

@@ -17,8 +17,8 @@ use pge_core::ErrorDetector;
 use pge_graph::{Dataset, NegativeSampler, ProductGraph, SamplingMode, Triple};
 use pge_nn::{AdamHparams, Embedding};
 use pge_tensor::{ops, Matrix};
-use pge_text::word2vec::{train_word2vec, Word2VecConfig};
 use pge_text::tokenize;
+use pge_text::word2vec::{train_word2vec, Word2VecConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -277,7 +277,11 @@ mod tests {
         let mut g = ProductGraph::new();
         let mut train = Vec::new();
         for p in 0..40u32 {
-            let flavor = if p % 2 == 0 { "spicy hot" } else { "sweet honey" };
+            let flavor = if p % 2 == 0 {
+                "spicy hot"
+            } else {
+                "sweet honey"
+            };
             let title = format!("brand{p} {flavor} chips pack {p}");
             train.push(g.add_fact(&title, "flavor", flavor));
         }
@@ -329,7 +333,13 @@ mod tests {
     #[test]
     fn score_is_finite_and_bounded_by_gamma() {
         let d = dataset();
-        let m = train_ssp(&d, &SspConfig { epochs: 2, ..SspConfig::tiny() });
+        let m = train_ssp(
+            &d,
+            &SspConfig {
+                epochs: 2,
+                ..SspConfig::tiny()
+            },
+        );
         for lt in &d.test {
             let f = m.score(&lt.triple);
             assert!(f.is_finite());
@@ -340,7 +350,13 @@ mod tests {
     #[test]
     fn name() {
         let d = dataset();
-        let m = train_ssp(&d, &SspConfig { epochs: 1, ..SspConfig::tiny() });
+        let m = train_ssp(
+            &d,
+            &SspConfig {
+                epochs: 1,
+                ..SspConfig::tiny()
+            },
+        );
         assert_eq!(ErrorDetector::name(&m), "SSP");
     }
 }

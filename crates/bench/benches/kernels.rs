@@ -68,7 +68,9 @@ fn bench_scorers(c: &mut Criterion) {
         ScoreKind::ComplEx,
     ] {
         let s = Scorer::new(kind, 6.0);
-        let r: Vec<f32> = (0..s.rel_dim(d)).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let r: Vec<f32> = (0..s.rel_dim(d))
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         c.bench_function(&format!("score/{}", kind.name()), |b| {
             b.iter(|| black_box(s.score(&h, &r, &t)))
         });

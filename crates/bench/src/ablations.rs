@@ -35,7 +35,9 @@ fn run(d: &Dataset, cfg: &PgeConfig, label: &str, t: &mut Table) {
 /// report.
 pub fn ablations(scale: &Scale) -> String {
     let d = scale.amazon();
-    let header = ["Variant", "PR AUC", "R@P=0.7", "R@P=0.8", "R@P=0.9", "Time (s)"];
+    let header = [
+        "Variant", "PR AUC", "R@P=0.7", "R@P=0.8", "R@P=0.9", "Time (s)",
+    ];
     let mut out = String::new();
 
     // 1. Scoring function.

@@ -43,7 +43,11 @@ fn main() {
         }
         i += 2;
     }
-    let scale = Scale { seed, ..Scale::default() }.scaled(scale_f);
+    let scale = Scale {
+        seed,
+        ..Scale::default()
+    }
+    .scaled(scale_f);
     let d = if dataset_name == "fb" {
         scale.fb()
     } else {

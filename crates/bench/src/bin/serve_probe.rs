@@ -1,0 +1,324 @@
+//! `serve_probe` — loopback load probe for `pge-serve`.
+//!
+//! Trains a small model, starts the scoring server twice (embedding
+//! cache on, then `cache_cap = 0`), drives both over 127.0.0.1 with a
+//! repeated-title workload, and writes `BENCH_serve.json` with
+//! throughput, client-side p50/p99 latency, and the cache hit rate.
+//!
+//! ```text
+//! serve_probe [--clients N] [--requests N] [--batch N] [--out FILE]
+//! ```
+//!
+//! The repeated-title workload is the cache's best case: every request
+//! scores the same handful of entities, so after warm-up the encoder
+//! is never consulted. The probe prints the cached/uncached throughput
+//! ratio at the end; ≥2× is the expectation this probe exists to
+//! check.
+
+use pge_core::{train_pge, Detector, PgeConfig, PgeModel};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use pge_graph::{Dataset, ProductGraph};
+use pge_serve::json::Json;
+use pge_serve::{start, ServeConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+struct ProbeStats {
+    label: String,
+    cache_cap: usize,
+    requests: usize,
+    items: usize,
+    elapsed_sec: f64,
+    throughput_items_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+impl ProbeStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("cache_cap".into(), Json::Num(self.cache_cap as f64)),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("items".into(), Json::Num(self.items as f64)),
+            ("elapsed_sec".into(), Json::Num(self.elapsed_sec)),
+            (
+                "throughput_items_per_sec".into(),
+                Json::Num(self.throughput_items_per_sec),
+            ),
+            ("p50_ms".into(), Json::Num(self.p50_ms)),
+            ("p99_ms".into(), Json::Num(self.p99_ms)),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("cache_misses".into(), Json::Num(self.cache_misses as f64)),
+            ("cache_hit_rate".into(), Json::Num(self.cache_hit_rate)),
+        ])
+    }
+}
+
+/// A keep-alive HTTP client on one connection: write the request,
+/// read headers, then exactly `content-length` body bytes.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to probe server");
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn post_score(&mut self, body: &str) -> (u16, String) {
+        let raw = format!(
+            "POST /v1/score HTTP/1.1\r\nhost: probe\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        self.writer.write_all(raw.as_bytes()).expect("send request");
+
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header line");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content-length value");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8 body"))
+    }
+}
+
+/// Request body scoring the same few entities over and over — the
+/// workload a storefront produces when one hot product is re-checked
+/// on every update.
+fn repeated_title_body(data: &Dataset, batch: usize) -> String {
+    let distinct = 8.min(data.test.len());
+    Json::Arr(
+        (0..batch)
+            .map(|i| {
+                let t = data.test[i % distinct].triple;
+                Json::Obj(vec![
+                    (
+                        "title".into(),
+                        Json::Str(data.graph.title(t.product).into()),
+                    ),
+                    (
+                        "attr".into(),
+                        Json::Str(data.graph.attr_name(t.attr).into()),
+                    ),
+                    (
+                        "value".into(),
+                        Json::Str(data.graph.value_text(t.value).into()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+    .to_string()
+}
+
+fn metric(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name).map(str::trim))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{name} missing from metrics"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn probe(
+    label: &str,
+    model: PgeModel,
+    graph: ProductGraph,
+    threshold: f32,
+    body: &str,
+    batch: usize,
+    clients: usize,
+    requests_per_client: usize,
+    cache_cap: usize,
+) -> ProbeStats {
+    let handle = start(
+        model,
+        graph,
+        threshold,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_cap,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start probe server");
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut lat = Vec::with_capacity(requests_per_client);
+                    for _ in 0..requests_per_client {
+                        let t0 = Instant::now();
+                        let (status, resp) = client.post_score(body);
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(status, 200, "probe request failed: {resp}");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let metrics = handle.metrics_text();
+    let hits = metric(&metrics, "pge_cache_hits_total ");
+    let misses = metric(&metrics, "pge_cache_misses_total ");
+    handle.shutdown();
+
+    latencies.sort_unstable_by(f64::total_cmp);
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+    let requests = clients * requests_per_client;
+    let items = requests * batch;
+    ProbeStats {
+        label: label.to_string(),
+        cache_cap,
+        requests,
+        items,
+        elapsed_sec: elapsed,
+        throughput_items_per_sec: items as f64 / elapsed,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let clients = flag("--clients", 4);
+    let requests_per_client = flag("--requests", 50);
+    let batch = flag("--batch", 64);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    eprintln!("training probe model ...");
+    let data = generate_catalog(&CatalogConfig {
+        products: 200,
+        labeled: 80,
+        seed: 11,
+        ..CatalogConfig::tiny()
+    });
+    // Full-size embedding dims (not `tiny`): the probe measures the
+    // cache against realistic encoder cost, where inference dominates
+    // HTTP + JSON overhead.
+    let trained = train_pge(
+        &data,
+        &PgeConfig {
+            epochs: 4,
+            ..PgeConfig::default()
+        },
+    );
+    let threshold = Detector::fit(&trained.model, &data.graph, &data.valid).threshold;
+    let body = repeated_title_body(&data, batch);
+
+    eprintln!(
+        "probing: {clients} clients x {requests_per_client} requests x {batch} items/request"
+    );
+    let cached = probe(
+        "cached",
+        trained.model.clone(),
+        data.graph.clone(),
+        threshold,
+        &body,
+        batch,
+        clients,
+        requests_per_client,
+        4096,
+    );
+    let uncached = probe(
+        "uncached",
+        trained.model,
+        data.graph,
+        threshold,
+        &body,
+        batch,
+        clients,
+        requests_per_client,
+        0,
+    );
+
+    let speedup = cached.throughput_items_per_sec / uncached.throughput_items_per_sec;
+    for s in [&cached, &uncached] {
+        eprintln!(
+            "{:>9}: {:>9.0} items/s  p50 {:.2} ms  p99 {:.2} ms  hit rate {:.1}%",
+            s.label,
+            s.throughput_items_per_sec,
+            s.p50_ms,
+            s.p99_ms,
+            s.cache_hit_rate * 100.0
+        );
+    }
+    eprintln!("cached/uncached throughput: {speedup:.2}x");
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve_probe".into())),
+        ("clients".into(), Json::Num(clients as f64)),
+        (
+            "requests_per_client".into(),
+            Json::Num(requests_per_client as f64),
+        ),
+        ("batch".into(), Json::Num(batch as f64)),
+        ("throughput_speedup".into(), Json::Num(speedup)),
+        (
+            "runs".into(),
+            Json::Arr(vec![cached.to_json(), uncached.to_json()]),
+        ),
+    ]);
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    println!("{out}");
+}

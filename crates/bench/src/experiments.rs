@@ -52,12 +52,9 @@ fn threads() -> usize {
         .unwrap_or(1)
 }
 
-fn eval_method(
-    tm: &TrainedMethod,
-    dataset: &Dataset,
-    precisions: &[f32],
-) -> MethodScores {
-    let (pr_auc, r_at_p) = evaluate_detector(tm.detector.as_ref(), dataset, &dataset.test, precisions);
+fn eval_method(tm: &TrainedMethod, dataset: &Dataset, precisions: &[f32]) -> MethodScores {
+    let (pr_auc, r_at_p) =
+        evaluate_detector(tm.detector.as_ref(), dataset, &dataset.test, precisions);
     MethodScores {
         name: tm.method.label().to_string(),
         pr_auc,
@@ -96,12 +93,21 @@ pub fn table2(scale: &Scale) -> String {
     let mut t = Table::new(
         "Table 2: Data statistics",
         &[
-            "Dataset", "#Relations", "#Entities", "#Products", "#Values", "#Train", "#Valid",
+            "Dataset",
+            "#Relations",
+            "#Entities",
+            "#Products",
+            "#Values",
+            "#Train",
+            "#Valid",
             "#Test",
         ],
     );
     let mut extra = String::new();
-    for (name, d) in [("Amazon-like", scale.amazon()), ("FB15K-237-like", scale.fb())] {
+    for (name, d) in [
+        ("Amazon-like", scale.amazon()),
+        ("FB15K-237-like", scale.fb()),
+    ] {
         let s = d.stats();
         t.row(&[
             name.to_string(),
@@ -289,7 +295,8 @@ pub fn fig2(amazon_rows: &[MethodScores]) -> String {
         "PGE(CNN)-RotatE",
         "Union of Transformer and PGE(CNN)-RotatE",
     ];
-    let mut out = String::from("== Figure 2: PGE vs RotatE vs Transformer (Amazon-like, transductive) ==\n");
+    let mut out =
+        String::from("== Figure 2: PGE vs RotatE vs Transformer (Amazon-like, transductive) ==\n");
     for metric_ix in 0..4usize {
         let metric = match metric_ix {
             0 => "PR AUC ",
@@ -321,7 +328,8 @@ pub fn fig2(amazon_rows: &[MethodScores]) -> String {
 /// labeled-triple injection and (b) artificial-noise injection.
 pub fn fig5(scale: &Scale) -> String {
     let base = scale.amazon();
-    let mut out = String::from("== Figure 5: confidence-score distributions (PGE(CNN)-RotatE) ==\n");
+    let mut out =
+        String::from("== Figure 5: confidence-score distributions (PGE(CNN)-RotatE) ==\n");
 
     // (a) Inject human-labeled-style correct + incorrect triples into
     // training and learn confidences for them.

@@ -16,7 +16,10 @@ pub trait ErrorDetector: Sync {
     /// Plausibility of many triples; the default is a serial loop,
     /// overridden where batch inference is cheaper.
     fn plausibility_all(&self, graph: &ProductGraph, triples: &[Triple]) -> Vec<f32> {
-        triples.iter().map(|t| self.plausibility(graph, t)).collect()
+        triples
+            .iter()
+            .map(|t| self.plausibility(graph, t))
+            .collect()
     }
 
     /// `true` when scores are only meaningful batch-wise (e.g. rank
@@ -112,10 +115,7 @@ mod tests {
     fn parallel_handles_small_input() {
         let (g, ts) = graph_with(3);
         let d = Dummy;
-        assert_eq!(
-            plausibility_parallel(&d, &g, &ts, 8),
-            vec![0.0, 1.0, 2.0]
-        );
+        assert_eq!(plausibility_parallel(&d, &g, &ts, 8), vec![0.0, 1.0, 2.0]);
         assert!(plausibility_parallel(&d, &g, &[], 4).is_empty());
         let _ = (ProductId(0), AttrId(0), ValueId(0));
     }

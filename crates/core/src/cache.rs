@@ -1,0 +1,362 @@
+//! Embedding caching for inference paths.
+//!
+//! Encoding an entity is by far the most expensive step of scoring a
+//! triple — the CNN/BERT forward pass dwarfs the O(dim) scorer — and
+//! real workloads are heavily skewed toward a small set of hot titles
+//! and values. [`EmbeddingCache`] is a sharded LRU keyed by the
+//! *exact* entity text in front of any [`EmbeddingProvider`].
+//!
+//! Consistency invariant: because the key is the exact text and the
+//! encoder is a pure function of that text, a cache hit returns the
+//! byte-identical vector the provider would have produced. Caching
+//! can therefore never change a score, only its latency.
+
+use crate::api::ErrorDetector;
+use crate::model::PgeModel;
+use parking_lot::RwLock;
+use pge_graph::{AttrId, ProductGraph, Triple};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Anything that can turn entity text into an embedding vector.
+///
+/// [`PgeModel`] is the canonical provider; [`CachedModel`] layers an
+/// [`EmbeddingCache`] over it without the call sites caring which
+/// they hold.
+pub trait EmbeddingProvider: Sync {
+    fn embed(&self, text: &str) -> Vec<f32>;
+}
+
+impl EmbeddingProvider for PgeModel {
+    fn embed(&self, text: &str) -> Vec<f32> {
+        self.embed_text(text)
+    }
+}
+
+const SHARDS: usize = 16;
+
+struct Entry {
+    vec: Vec<f32>,
+    /// Logical clock of the last access; eviction removes the
+    /// smallest. Atomic so the read-locked hit path can bump it.
+    stamp: AtomicU64,
+}
+
+/// Sharded LRU text → embedding cache.
+///
+/// Reads take a shard read lock and bump the entry's access stamp;
+/// only misses take the write lock. A capacity of 0 disables caching
+/// entirely (every lookup is a pass-through miss).
+pub struct EmbeddingCache {
+    shards: Vec<RwLock<HashMap<String, Entry>>>,
+    cap_per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EmbeddingCache {
+    /// Cache holding at most `capacity` embeddings across all shards.
+    pub fn new(capacity: usize) -> Self {
+        EmbeddingCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            cap_per_shard: capacity.div_ceil(SHARDS),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, text: &str) -> &RwLock<HashMap<String, Entry>> {
+        // FNV-1a; shard count is fixed so the modulo bias is moot.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in text.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// The embedding for `text`, computing it with `f` on a miss.
+    pub fn get_or_compute(&self, text: &str, f: impl FnOnce() -> Vec<f32>) -> Vec<f32> {
+        if self.cap_per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return f();
+        }
+        let shard = self.shard(text);
+        {
+            let map = shard.read();
+            if let Some(e) = map.get(text) {
+                e.stamp.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return e.vec.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let vec = f();
+        let mut map = shard.write();
+        // A racing thread may have inserted meanwhile; keep whichever
+        // is present (the vectors are identical by construction).
+        if !map.contains_key(text) {
+            if map.len() >= self.cap_per_shard {
+                if let Some(coldest) = map
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                    .map(|(k, _)| k.clone())
+                {
+                    map.remove(&coldest);
+                }
+            }
+            map.insert(
+                text.to_string(),
+                Entry {
+                    vec: vec.clone(),
+                    stamp: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+                },
+            );
+        }
+        vec
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of embeddings currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`PgeModel`] scoring through an [`EmbeddingCache`].
+///
+/// Implements [`ErrorDetector`], so batch detection and evaluation
+/// (`Detector::fit`, `plausibility_parallel`, ...) transparently gain
+/// the cache: graph entities are looked up by their text, which
+/// repeats heavily across triples of the same product.
+pub struct CachedModel<'a> {
+    model: &'a PgeModel,
+    cache: &'a EmbeddingCache,
+}
+
+impl<'a> CachedModel<'a> {
+    pub fn new(model: &'a PgeModel, cache: &'a EmbeddingCache) -> Self {
+        CachedModel { model, cache }
+    }
+
+    pub fn model(&self) -> &PgeModel {
+        self.model
+    }
+
+    pub fn cache(&self) -> &EmbeddingCache {
+        self.cache
+    }
+
+    /// Cached [`PgeModel::score_fact`].
+    pub fn score_fact(&self, title: &str, attr: AttrId, value: &str) -> f32 {
+        let h = self.embed(title);
+        let v = self.embed(value);
+        self.model.scorer().score(&h, self.model.relation(attr), &v)
+    }
+
+    /// Cached [`PgeModel::score_text_triple`].
+    pub fn score_text_triple(&self, title: &str, attr: &str, value: &str) -> Option<f32> {
+        self.model
+            .lookup_attr(attr)
+            .map(|a| self.score_fact(title, a, value))
+    }
+}
+
+impl EmbeddingProvider for CachedModel<'_> {
+    fn embed(&self, text: &str) -> Vec<f32> {
+        self.cache
+            .get_or_compute(text, || self.model.embed_text(text))
+    }
+}
+
+impl ErrorDetector for CachedModel<'_> {
+    fn name(&self) -> String {
+        self.model.name()
+    }
+
+    fn plausibility(&self, graph: &ProductGraph, t: &Triple) -> f32 {
+        self.score_fact(graph.title(t.product), t.attr, graph.value_text(t.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::plausibility_parallel;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counted(counter: &AtomicUsize) -> impl Fn() -> Vec<f32> + '_ {
+        move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            vec![1.0, 2.0]
+        }
+    }
+
+    #[test]
+    fn hit_skips_compute_and_counts() {
+        let c = EmbeddingCache::new(64);
+        let calls = AtomicUsize::new(0);
+        assert_eq!(c.get_or_compute("apple", counted(&calls)), vec![1.0, 2.0]);
+        assert_eq!(c.get_or_compute("apple", counted(&calls)), vec![1.0, 2.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = EmbeddingCache::new(0);
+        let calls = AtomicUsize::new(0);
+        c.get_or_compute("apple", counted(&calls));
+        c.get_or_compute("apple", counted(&calls));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(c.hits(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_shard() {
+        // Single-slot shards: any two keys in the same shard contend.
+        let c = EmbeddingCache::new(1);
+        let mut texts: Vec<String> = (0..40).map(|i| format!("key{i}")).collect();
+        // Find two keys in the same shard.
+        let shard_of = |c: &EmbeddingCache, t: &str| c.shard(t) as *const _ as usize;
+        let first = texts.remove(0);
+        let second = texts
+            .into_iter()
+            .find(|t| shard_of(&c, t) == shard_of(&c, &first))
+            .expect("40 keys over 16 shards must collide");
+        let calls = AtomicUsize::new(0);
+        c.get_or_compute(&first, counted(&calls));
+        c.get_or_compute(&second, counted(&calls)); // evicts `first`
+        c.get_or_compute(&first, counted(&calls)); // recompute
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn recency_protects_hot_entries() {
+        let c = EmbeddingCache::new(SHARDS * 2); // two slots per shard
+        let shard_of = |t: &str| c.shard(t) as *const _ as usize;
+        let keys: Vec<String> = (0..100).map(|i| format!("k{i}")).collect();
+        let target = shard_of(&keys[0]);
+        let mut same: Vec<&String> = keys.iter().filter(|k| shard_of(k) == target).collect();
+        assert!(same.len() >= 3, "need 3 colliding keys");
+        same.truncate(3);
+        let calls = AtomicUsize::new(0);
+        c.get_or_compute(same[0], counted(&calls));
+        c.get_or_compute(same[1], counted(&calls));
+        c.get_or_compute(same[0], counted(&calls)); // refresh [0]
+        c.get_or_compute(same[2], counted(&calls)); // evicts [1], not [0]
+        c.get_or_compute(same[0], counted(&calls)); // still cached
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = EmbeddingCache::new(128);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..200 {
+                        let text = format!("t{}", i % 20);
+                        let v = c.get_or_compute(&text, || vec![i as f32 % 20.0]);
+                        assert_eq!(v.len(), 1);
+                    }
+                });
+            }
+        });
+        assert!(c.hits() + c.misses() == 8 * 200);
+        assert!(c.len() <= 20);
+    }
+
+    // CachedModel equivalence against the raw model.
+    fn tiny_setup() -> (ProductGraph, PgeModel) {
+        use crate::encoder::TextEncoder;
+        use crate::score::{ScoreKind, Scorer};
+        use pge_nn::CnnConfig;
+        use pge_text::{tokenize, Vocab};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut g = ProductGraph::new();
+        g.add_fact("spicy tortilla chips", "flavor", "spicy");
+        g.add_fact("sweet honey granola", "flavor", "sweet");
+        g.add_fact("sweet honey granola", "grain", "oats");
+        let mut vocab = Vocab::new();
+        for i in 0..g.num_products() {
+            for w in tokenize(g.title(pge_graph::ProductId(i as u32))) {
+                vocab.add(&w);
+            }
+        }
+        for i in 0..g.num_values() {
+            for w in tokenize(g.value_text(pge_graph::ValueId(i as u32))) {
+                vocab.add(&w);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let words = pge_nn::Embedding::new(&mut rng, vocab.len(), 8);
+        let enc = TextEncoder::cnn(
+            &mut rng,
+            CnnConfig {
+                vocab: vocab.len(),
+                word_dim: 8,
+                widths: vec![1, 2],
+                filters_per_width: 4,
+                out_dim: 6,
+                max_len: 12,
+            },
+            words,
+        );
+        let scorer = Scorer::new(ScoreKind::TransE, 4.0);
+        let relations = pge_nn::Embedding::new_xavier(&mut rng, g.num_attrs(), scorer.rel_dim(6));
+        let model = PgeModel::new(vocab, enc, relations, scorer, &g);
+        (g, model)
+    }
+
+    #[test]
+    fn cached_scores_are_bit_identical() {
+        let (g, model) = tiny_setup();
+        let cache = EmbeddingCache::new(256);
+        let cm = CachedModel::new(&model, &cache);
+        for t in g.triples() {
+            let raw = model.score_triple(t);
+            // Twice: once populating, once from cache.
+            assert_eq!(cm.plausibility(&g, t), raw);
+            assert_eq!(cm.plausibility(&g, t), raw);
+        }
+        assert!(cache.hits() > 0, "repeat scoring must hit the cache");
+        let st = cm.score_text_triple("spicy tortilla chips", "flavor", "spicy");
+        assert_eq!(
+            st,
+            model.score_text_triple("spicy tortilla chips", "flavor", "spicy")
+        );
+        assert_eq!(cm.score_text_triple("x", "nope", "y"), None);
+    }
+
+    #[test]
+    fn cached_model_works_under_plausibility_parallel() {
+        let (g, model) = tiny_setup();
+        let cache = EmbeddingCache::new(256);
+        let cm = CachedModel::new(&model, &cache);
+        let triples: Vec<Triple> = g.triples().iter().cycle().take(200).copied().collect();
+        let raw: Vec<f32> = triples.iter().map(|t| model.score_triple(t)).collect();
+        let cached = plausibility_parallel(&cm, &g, &triples, 4);
+        assert_eq!(raw, cached);
+    }
+}

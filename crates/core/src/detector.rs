@@ -8,7 +8,11 @@ use pge_graph::{LabeledTriple, ProductGraph, Triple};
 
 impl ErrorDetector for PgeModel {
     fn name(&self) -> String {
-        format!("PGE({})-{}", self.encoder().kind().name(), self.scorer().kind.name())
+        format!(
+            "PGE({})-{}",
+            self.encoder().kind().name(),
+            self.scorer().kind.name()
+        )
     }
 
     fn plausibility(&self, _graph: &ProductGraph, t: &Triple) -> f32 {

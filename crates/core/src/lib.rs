@@ -22,6 +22,7 @@
 //!   treats them uniformly.
 
 pub mod api;
+pub mod cache;
 pub mod confidence;
 pub mod corpus;
 pub mod detector;
@@ -32,6 +33,7 @@ pub mod score;
 pub mod trainer;
 
 pub use api::ErrorDetector;
+pub use cache::{CachedModel, EmbeddingCache, EmbeddingProvider};
 pub use confidence::ConfidenceStore;
 pub use detector::Detector;
 pub use encoder::{EncoderKind, TextEncoder};

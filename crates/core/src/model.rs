@@ -25,6 +25,9 @@ pub struct PgeModel {
     pub(crate) title_tokens: Vec<Vec<u32>>,
     /// Token-id cache for every value string in the graph.
     pub(crate) value_tokens: Vec<Vec<u32>>,
+    /// Attribute names in id order, so raw-text facts can be scored
+    /// without holding the graph (relations are closed-world).
+    pub(crate) attr_names: Vec<String>,
 }
 
 impl PgeModel {
@@ -42,6 +45,9 @@ impl PgeModel {
         let value_tokens = (0..graph.num_values())
             .map(|i| vocab.encode(&tokenize(graph.value_text(pge_graph::ValueId(i as u32)))))
             .collect();
+        let attr_names = (0..graph.num_attrs())
+            .map(|i| graph.attr_name(AttrId(i as u16)).to_string())
+            .collect();
         PgeModel {
             vocab,
             encoder,
@@ -49,6 +55,7 @@ impl PgeModel {
             scorer,
             title_tokens,
             value_tokens,
+            attr_names,
         }
     }
 
@@ -89,13 +96,43 @@ impl PgeModel {
         self.scorer.score(&h, self.relation(t.attr), &v)
     }
 
+    /// Embed a piece of raw text (title or value) — tokenize, encode
+    /// against the training vocabulary, and run the text encoder.
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        self.encoder.infer(&self.vocab.encode(&tokenize(text)))
+    }
+
     /// Score a fact given *raw text* — the fully inductive entry
     /// point: neither the title nor the value needs to exist in the
     /// graph (unknown words fall back to `<unk>`).
     pub fn score_fact(&self, title: &str, attr: AttrId, value: &str) -> f32 {
-        let h = self.encoder.infer(&self.vocab.encode(&tokenize(title)));
-        let v = self.encoder.infer(&self.vocab.encode(&tokenize(value)));
+        let h = self.embed_text(title);
+        let v = self.embed_text(value);
         self.scorer.score(&h, self.relation(attr), &v)
+    }
+
+    /// Resolve an attribute by name (attributes are closed-world: a
+    /// relation vector only exists for attributes seen in training).
+    pub fn lookup_attr(&self, name: &str) -> Option<AttrId> {
+        self.attr_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// Attribute names known to the model, in id order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Fully text-level scoring: `(title, attribute name, value)`,
+    /// none of which needs to exist in any graph. Returns `None` when
+    /// the attribute is unknown — there is no relation vector to score
+    /// against, which is different from an unknown *word* (those fall
+    /// back to `<unk>`).
+    pub fn score_text_triple(&self, title: &str, attr: &str, value: &str) -> Option<f32> {
+        self.lookup_attr(attr)
+            .map(|a| self.score_fact(title, a, value))
     }
 }
 
@@ -178,6 +215,22 @@ mod tests {
         // And it equals scoring the literal unk sequence.
         let f2 = m.score_fact("unkish bogus trio", t.attr, "spicy queso");
         assert!((f - f2).abs() < 1e-6, "pure-unk sequences must agree");
+    }
+
+    #[test]
+    fn score_text_triple_resolves_attrs_by_name() {
+        let g = tiny_graph();
+        let m = tiny_model(&g);
+        let t = g.triples()[0];
+        let by_name = m
+            .score_text_triple("spicy tortilla chips", "flavor", "spicy queso")
+            .unwrap();
+        assert_eq!(
+            by_name,
+            m.score_fact("spicy tortilla chips", t.attr, "spicy queso")
+        );
+        assert_eq!(m.score_text_triple("x", "no-such-attr", "y"), None);
+        assert_eq!(m.attr_names(), &["flavor".to_string()]);
     }
 
     #[test]

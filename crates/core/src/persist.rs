@@ -236,8 +236,7 @@ pub fn load_model(text: &str, graph: &ProductGraph) -> Result<PgeModel, PersistE
                 if i >= slice.len() {
                     return Err(bad(vln, "too many values"));
                 }
-                let bits = u32::from_str_radix(tok, 16)
-                    .map_err(|_| bad(vln, "bad value"))?;
+                let bits = u32::from_str_radix(tok, 16).map_err(|_| bad(vln, "bad value"))?;
                 slice[i] = f32::from_bits(bits);
                 count += 1;
             }
@@ -283,7 +282,9 @@ mod tests {
         // Inductive scoring also matches.
         let attr = d.graph.lookup_attr("flavor").unwrap();
         assert_eq!(
-            trained.model.score_fact("totally new spicy snack", attr, "spicy"),
+            trained
+                .model
+                .score_fact("totally new spicy snack", attr, "spicy"),
             loaded.score_fact("totally new spicy snack", attr, "spicy"),
         );
     }

@@ -62,7 +62,10 @@ impl Scorer {
                 ent_dim / 2
             }
             ScoreKind::ComplEx => {
-                assert!(ent_dim.is_multiple_of(2), "ComplEx needs an even entity dim");
+                assert!(
+                    ent_dim.is_multiple_of(2),
+                    "ComplEx needs an even entity dim"
+                );
                 ent_dim
             }
         }

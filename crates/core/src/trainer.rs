@@ -202,12 +202,8 @@ pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
 
     // 2. Negative sampler + confidence store.
     let sampler = NegativeSampler::new(graph, cfg.sampling);
-    let mut confidence = ConfidenceStore::new(
-        dataset.train.len(),
-        cfg.alpha,
-        cfg.beta,
-        cfg.confidence_lr,
-    );
+    let mut confidence =
+        ConfidenceStore::new(dataset.train.len(), cfg.alpha, cfg.beta, cfg.confidence_lr);
 
     // 3. Minibatch Adam over Eq. (3)/(6).
     let hp = AdamHparams::with_lr(cfg.lr);
@@ -381,9 +377,11 @@ mod tests {
         let d = tiny_dataset();
         // Per-attribute negatives make "the other flavor" a frequent
         // corruption, which this tiny dataset needs to separate the
-        // two flavors per-title within few epochs.
+        // two flavors per-title within few epochs; the bumped learning
+        // rate gets the margin clear of noise in that budget.
         let cfg = PgeConfig {
-            epochs: 20,
+            epochs: 30,
+            lr: 1e-2,
             sampling: SamplingMode::PerAttribute,
             ..PgeConfig::tiny()
         };
@@ -432,8 +430,7 @@ mod tests {
         let mut d = tiny_dataset();
         // Corrupt 20% of training triples.
         let mut rng = StdRng::seed_from_u64(99);
-        let (noisy, clean) =
-            pge_graph::inject_noise(&d.graph, &d.train, 0.2, &mut rng);
+        let (noisy, clean) = pge_graph::inject_noise(&d.graph, &d.train, 0.2, &mut rng);
         d.train = noisy;
         d.train_clean = clean;
         let cfg = PgeConfig {

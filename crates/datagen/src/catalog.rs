@@ -155,7 +155,11 @@ fn generate_product(rng: &mut StdRng, cfg: &CatalogConfig) -> Product {
     let base_phrase = choice(rng, pool).to_string();
     let phrase = maybe_variant(rng, &base_phrase, cfg.value_variant_rate);
     let brand = format!("{} {}", choice(rng, BRAND_HEADS), choice(rng, BRAND_TAILS));
-    let category = format!("{}-{}", pt.name.replace(' ', "-"), choice(rng, CATEGORY_SUFFIXES));
+    let category = format!(
+        "{}-{}",
+        pt.name.replace(' ', "-"),
+        choice(rng, CATEGORY_SUFFIXES)
+    );
 
     // 2–3 cluster ingredients + occasionally one cross-cluster filler.
     let mut ingredients = Vec::new();
@@ -180,8 +184,7 @@ fn generate_product(rng: &mut StdRng, cfg: &CatalogConfig) -> Product {
 
     let size = choice(rng, SIZES).to_string();
     let form = form_for(pt.domain, rng);
-    let material = (pt.domain == "household")
-        .then(|| choice(rng, MISC_VALUES).to_string());
+    let material = (pt.domain == "household").then(|| choice(rng, MISC_VALUES).to_string());
 
     // Title assembly. The title mentions the *base* phrase: real
     // titles rarely spell out the catalog's exact variant string, so
@@ -326,9 +329,7 @@ fn corrupt(
     };
     let value = match mode {
         ErrorMode::SemanticSwap => pool.swap_value(rng, p)?,
-        ErrorMode::CrossAttribute => pool
-            .misc_value(rng)
-            .or_else(|| pool.swap_value(rng, p))?,
+        ErrorMode::CrossAttribute => pool.misc_value(rng).or_else(|| pool.swap_value(rng, p))?,
         ErrorMode::SpuriousSuffix => {
             // e.g. "mint shampoo and conditioner set"
             let type_words = p
@@ -433,8 +434,7 @@ pub fn generate_catalog(cfg: &CatalogConfig) -> Dataset {
     }
 
     // Inject unlabeled training noise.
-    let (train, train_clean) =
-        pge_graph::inject_noise(&graph, &train, cfg.train_noise, &mut rng);
+    let (train, train_clean) = pge_graph::inject_noise(&graph, &train, cfg.train_noise, &mut rng);
 
     // Transductive guarantee: drop labeled triples whose value never
     // occurs in (post-noise) training. Rare — it needs the value's
@@ -489,7 +489,15 @@ mod tests {
         assert!(labeled > cfg.labeled / 2, "labeled={labeled}");
         assert!(labeled <= cfg.labeled);
         // Attribute inventory includes the labeled and structural ones.
-        for a in ["flavor", "scent", "ingredient", "brand", "category", "size", "form"] {
+        for a in [
+            "flavor",
+            "scent",
+            "ingredient",
+            "brand",
+            "category",
+            "size",
+            "form",
+        ] {
             assert!(d.graph.lookup_attr(a).is_some(), "missing attr {a}");
         }
     }
@@ -506,8 +514,7 @@ mod tests {
     #[test]
     fn transductive_values_all_seen_in_training() {
         let d = generate_catalog(&CatalogConfig::tiny());
-        let train_values: std::collections::HashSet<_> =
-            d.train.iter().map(|t| t.value).collect();
+        let train_values: std::collections::HashSet<_> = d.train.iter().map(|t| t.value).collect();
         for lt in d.valid.iter().chain(&d.test) {
             assert!(
                 train_values.contains(&lt.triple.value),

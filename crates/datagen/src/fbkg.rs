@@ -87,8 +87,21 @@ impl FbkgConfig {
 }
 
 const TYPE_WORDS: &[&str] = &[
-    "person", "film", "place", "organization", "award", "genre", "profession", "language",
-    "team", "school", "song", "event", "book", "instrument", "cuisine",
+    "person",
+    "film",
+    "place",
+    "organization",
+    "award",
+    "genre",
+    "profession",
+    "language",
+    "team",
+    "school",
+    "song",
+    "event",
+    "book",
+    "instrument",
+    "cuisine",
 ];
 
 const CLUSTER_WORDS: &[&str] = &[
@@ -96,8 +109,8 @@ const CLUSTER_WORDS: &[&str] = &[
 ];
 
 const SYLLABLES: &[&str] = &[
-    "vel", "tra", "kor", "mun", "zal", "ir", "bas", "ne", "ol", "dri", "fex", "ga", "hul",
-    "rim", "sto", "qua",
+    "vel", "tra", "kor", "mun", "zal", "ir", "bas", "ne", "ol", "dri", "fex", "ga", "hul", "rim",
+    "sto", "qua",
 ];
 
 struct Entity {
@@ -228,8 +241,7 @@ pub fn generate_fbkg(cfg: &FbkgConfig) -> Dataset {
     for i in 0..n_labeled_pos {
         let base = triples[rng.gen_range(0..triples.len())];
         let pool = &pools[base.attr.0 as usize];
-        let type_consistent =
-            rng.gen_bool(cfg.hard_negative_frac) && pool.len() >= 2;
+        let type_consistent = rng.gen_bool(cfg.hard_negative_frac) && pool.len() >= 2;
         let _ = i;
         let mut v;
         loop {
@@ -329,12 +341,7 @@ mod tests {
         };
         let d = generate_fbkg(&cfg);
         let g = &d.graph;
-        let cluster_word = |s: &str| {
-            CLUSTER_WORDS
-                .iter()
-                .find(|w| s.ends_with(*w))
-                .copied()
-        };
+        let cluster_word = |s: &str| CLUSTER_WORDS.iter().find(|w| s.ends_with(*w)).copied();
         use std::collections::HashMap;
         let mut mapping: HashMap<(u16, &str), &str> = HashMap::new();
         for t in g.triples() {

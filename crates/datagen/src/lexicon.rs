@@ -24,45 +24,110 @@ pub struct Cluster {
 pub const CLUSTERS: &[Cluster] = &[
     Cluster {
         name: "spicy",
-        flavors: &["spicy", "spicy queso", "hot chili", "fiery habanero", "chili lime", "carolina reaper spicy"],
+        flavors: &[
+            "spicy",
+            "spicy queso",
+            "hot chili",
+            "fiery habanero",
+            "chili lime",
+            "carolina reaper spicy",
+        ],
         scents: &[],
-        ingredients: &["chipotle pepper", "chipotle pepper powder", "cayenne pepper", "jalapeno powder", "carolina reaper", "red chili flakes", "paprika extract", "ground chili pepper"],
+        ingredients: &[
+            "chipotle pepper",
+            "chipotle pepper powder",
+            "cayenne pepper",
+            "jalapeno powder",
+            "carolina reaper",
+            "red chili flakes",
+            "paprika extract",
+            "ground chili pepper",
+        ],
     },
     Cluster {
         name: "sweet",
-        flavors: &["sweet", "honey roasted", "caramel", "maple brown sugar", "sweet bbq"],
+        flavors: &[
+            "sweet",
+            "honey roasted",
+            "caramel",
+            "maple brown sugar",
+            "sweet bbq",
+        ],
         scents: &["warm sugar", "honey almond"],
-        ingredients: &["cane sugar", "honey", "caramel syrup", "molasses", "maple syrup", "brown sugar"],
+        ingredients: &[
+            "cane sugar",
+            "honey",
+            "caramel syrup",
+            "molasses",
+            "maple syrup",
+            "brown sugar",
+        ],
     },
     Cluster {
         name: "cheese",
-        flavors: &["cheddar", "nacho cheese", "parmesan garlic", "white cheddar"],
+        flavors: &[
+            "cheddar",
+            "nacho cheese",
+            "parmesan garlic",
+            "white cheddar",
+        ],
         scents: &[],
-        ingredients: &["cheddar cheese", "parmesan cheese", "milk solids", "whey powder", "cheese cultures"],
+        ingredients: &[
+            "cheddar cheese",
+            "parmesan cheese",
+            "milk solids",
+            "whey powder",
+            "cheese cultures",
+        ],
     },
     Cluster {
         name: "chocolate",
         flavors: &["chocolate", "dark chocolate", "chocolate fudge", "cocoa"],
         scents: &["cocoa butter"],
-        ingredients: &["cocoa powder", "cocoa butter", "chocolate liquor", "dark chocolate chips"],
+        ingredients: &[
+            "cocoa powder",
+            "cocoa butter",
+            "chocolate liquor",
+            "dark chocolate chips",
+        ],
     },
     Cluster {
         name: "citrus",
         flavors: &["lemon", "orange zest", "key lime", "citrus blast"],
-        scents: &["citrus", "lemon verbena", "orange blossom", "grapefruit zest"],
-        ingredients: &["lemon juice", "citric acid", "orange oil", "lime concentrate"],
+        scents: &[
+            "citrus",
+            "lemon verbena",
+            "orange blossom",
+            "grapefruit zest",
+        ],
+        ingredients: &[
+            "lemon juice",
+            "citric acid",
+            "orange oil",
+            "lime concentrate",
+        ],
     },
     Cluster {
         name: "mint",
         flavors: &["mint", "peppermint", "spearmint"],
         scents: &["fresh mint", "peppermint", "eucalyptus mint"],
-        ingredients: &["peppermint oil", "menthol", "spearmint leaves", "mint extract"],
+        ingredients: &[
+            "peppermint oil",
+            "menthol",
+            "spearmint leaves",
+            "mint extract",
+        ],
     },
     Cluster {
         name: "berry",
         flavors: &["strawberry", "mixed berry", "blueberry", "raspberry"],
         scents: &["berry bliss", "strawberry fields"],
-        ingredients: &["strawberry puree", "dried blueberries", "raspberry concentrate", "elderberry extract"],
+        ingredients: &[
+            "strawberry puree",
+            "dried blueberries",
+            "raspberry concentrate",
+            "elderberry extract",
+        ],
     },
     Cluster {
         name: "vanilla",
@@ -73,8 +138,19 @@ pub const CLUSTERS: &[Cluster] = &[
     Cluster {
         name: "floral",
         flavors: &[],
-        scents: &["lavender", "rose petal", "jasmine", "lavender chamomile", "wild rose"],
-        ingredients: &["lavender oil", "rose water", "jasmine extract", "chamomile extract"],
+        scents: &[
+            "lavender",
+            "rose petal",
+            "jasmine",
+            "lavender chamomile",
+            "wild rose",
+        ],
+        ingredients: &[
+            "lavender oil",
+            "rose water",
+            "jasmine extract",
+            "chamomile extract",
+        ],
     },
     Cluster {
         name: "coconut",
@@ -85,14 +161,40 @@ pub const CLUSTERS: &[Cluster] = &[
     Cluster {
         name: "herbal",
         flavors: &["green tea", "ginger"],
-        scents: &["tea tree oil", "eucalyptus", "herbal blend", "tea tree oil and blue cypress", "rosemary mint"],
-        ingredients: &["tea tree oil", "eucalyptus oil", "aloe vera", "ginger root", "green tea extract", "blue cypress oil"],
+        scents: &[
+            "tea tree oil",
+            "eucalyptus",
+            "herbal blend",
+            "tea tree oil and blue cypress",
+            "rosemary mint",
+        ],
+        ingredients: &[
+            "tea tree oil",
+            "eucalyptus oil",
+            "aloe vera",
+            "ginger root",
+            "green tea extract",
+            "blue cypress oil",
+        ],
     },
     Cluster {
         name: "savory",
-        flavors: &["bbq", "smoky bacon", "sea salt", "sour cream and onion", "ranch"],
+        flavors: &[
+            "bbq",
+            "smoky bacon",
+            "sea salt",
+            "sour cream and onion",
+            "ranch",
+        ],
         scents: &[],
-        ingredients: &["smoked paprika", "onion powder", "garlic powder", "sea salt", "tomato powder", "dehydrated spices"],
+        ingredients: &[
+            "smoked paprika",
+            "onion powder",
+            "garlic powder",
+            "sea salt",
+            "tomato powder",
+            "dehydrated spices",
+        ],
     },
 ];
 
@@ -112,36 +214,156 @@ pub struct ProductType {
 /// such domains; category strings below are multiplied by style
 /// suffixes in the generator).
 pub const PRODUCT_TYPES: &[ProductType] = &[
-    ProductType { name: "tortilla chips", domain: "grocery", flavored: true },
-    ProductType { name: "bean chips", domain: "grocery", flavored: true },
-    ProductType { name: "potato crisps", domain: "grocery", flavored: true },
-    ProductType { name: "popcorn", domain: "grocery", flavored: true },
-    ProductType { name: "granola bars", domain: "grocery", flavored: true },
-    ProductType { name: "cookies", domain: "grocery", flavored: true },
-    ProductType { name: "trail mix", domain: "grocery", flavored: true },
-    ProductType { name: "crackers", domain: "grocery", flavored: true },
-    ProductType { name: "peanut brittle", domain: "grocery", flavored: true },
-    ProductType { name: "salsa", domain: "grocery", flavored: true },
-    ProductType { name: "sparkling water", domain: "beverage", flavored: true },
-    ProductType { name: "iced tea", domain: "beverage", flavored: true },
-    ProductType { name: "coffee", domain: "beverage", flavored: true },
-    ProductType { name: "energy drink", domain: "beverage", flavored: true },
-    ProductType { name: "fruit juice", domain: "beverage", flavored: true },
-    ProductType { name: "shampoo", domain: "beauty", flavored: false },
-    ProductType { name: "hair conditioner", domain: "beauty", flavored: false },
-    ProductType { name: "body wash", domain: "beauty", flavored: false },
-    ProductType { name: "hand soap", domain: "beauty", flavored: false },
-    ProductType { name: "body lotion", domain: "beauty", flavored: false },
-    ProductType { name: "lip balm", domain: "beauty", flavored: true },
-    ProductType { name: "scented candle", domain: "household", flavored: false },
-    ProductType { name: "air freshener", domain: "household", flavored: false },
-    ProductType { name: "dish soap", domain: "household", flavored: false },
-    ProductType { name: "laundry detergent", domain: "household", flavored: false },
-    ProductType { name: "surface cleaner", domain: "household", flavored: false },
-    ProductType { name: "dog treats", domain: "pet", flavored: true },
-    ProductType { name: "cat food", domain: "pet", flavored: true },
-    ProductType { name: "vitamin gummies", domain: "drug", flavored: true },
-    ProductType { name: "cough drops", domain: "drug", flavored: true },
+    ProductType {
+        name: "tortilla chips",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "bean chips",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "potato crisps",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "popcorn",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "granola bars",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "cookies",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "trail mix",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "crackers",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "peanut brittle",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "salsa",
+        domain: "grocery",
+        flavored: true,
+    },
+    ProductType {
+        name: "sparkling water",
+        domain: "beverage",
+        flavored: true,
+    },
+    ProductType {
+        name: "iced tea",
+        domain: "beverage",
+        flavored: true,
+    },
+    ProductType {
+        name: "coffee",
+        domain: "beverage",
+        flavored: true,
+    },
+    ProductType {
+        name: "energy drink",
+        domain: "beverage",
+        flavored: true,
+    },
+    ProductType {
+        name: "fruit juice",
+        domain: "beverage",
+        flavored: true,
+    },
+    ProductType {
+        name: "shampoo",
+        domain: "beauty",
+        flavored: false,
+    },
+    ProductType {
+        name: "hair conditioner",
+        domain: "beauty",
+        flavored: false,
+    },
+    ProductType {
+        name: "body wash",
+        domain: "beauty",
+        flavored: false,
+    },
+    ProductType {
+        name: "hand soap",
+        domain: "beauty",
+        flavored: false,
+    },
+    ProductType {
+        name: "body lotion",
+        domain: "beauty",
+        flavored: false,
+    },
+    ProductType {
+        name: "lip balm",
+        domain: "beauty",
+        flavored: true,
+    },
+    ProductType {
+        name: "scented candle",
+        domain: "household",
+        flavored: false,
+    },
+    ProductType {
+        name: "air freshener",
+        domain: "household",
+        flavored: false,
+    },
+    ProductType {
+        name: "dish soap",
+        domain: "household",
+        flavored: false,
+    },
+    ProductType {
+        name: "laundry detergent",
+        domain: "household",
+        flavored: false,
+    },
+    ProductType {
+        name: "surface cleaner",
+        domain: "household",
+        flavored: false,
+    },
+    ProductType {
+        name: "dog treats",
+        domain: "pet",
+        flavored: true,
+    },
+    ProductType {
+        name: "cat food",
+        domain: "pet",
+        flavored: true,
+    },
+    ProductType {
+        name: "vitamin gummies",
+        domain: "drug",
+        flavored: true,
+    },
+    ProductType {
+        name: "cough drops",
+        domain: "drug",
+        flavored: true,
+    },
 ];
 
 /// Category style suffixes; `category = "{type}-{suffix}"` multiplies
@@ -150,28 +372,51 @@ pub const CATEGORY_SUFFIXES: &[&str] = &["classic", "organic", "family", "travel
 
 /// Brand-name syllables (first parts).
 pub const BRAND_HEADS: &[&str] = &[
-    "nova", "sun", "pure", "glow", "crisp", "peak", "blue", "ever", "true", "wild",
-    "happy", "golden", "prime", "fresh", "urban", "terra", "luna", "vital", "zen", "amber",
+    "nova", "sun", "pure", "glow", "crisp", "peak", "blue", "ever", "true", "wild", "happy",
+    "golden", "prime", "fresh", "urban", "terra", "luna", "vital", "zen", "amber",
 ];
 
 /// Brand-name tails.
 pub const BRAND_TAILS: &[&str] = &[
-    "foods", "farms", "labs", "works", "organics", "essentials", "naturals", "goods",
-    "pantry", "botanics",
+    "foods",
+    "farms",
+    "labs",
+    "works",
+    "organics",
+    "essentials",
+    "naturals",
+    "goods",
+    "pantry",
+    "botanics",
 ];
 
 /// Marketing fillers that may appear in titles (noise words; some are
 /// the paper's own examples like "Gluten Free, Vegan Snack").
 pub const MARKETING: &[&str] = &[
-    "gluten free", "vegan snack", "high protein and fiber", "non gmo", "family size",
-    "resealable bag", "no artificial colors", "keto friendly", "for women and men",
+    "gluten free",
+    "vegan snack",
+    "high protein and fiber",
+    "non gmo",
+    "family size",
+    "resealable bag",
+    "no artificial colors",
+    "keto friendly",
+    "for women and men",
     "value pack",
 ];
 
 /// Size phrases for titles.
 pub const SIZES: &[&str] = &[
-    "6 - 2 oz bags", "5.5 ounce pack of 6", "10 oz", "12 ounce pack of 3", "16 oz family size",
-    "2 oz single serve", "24 count", "1 lb bag", "8.5 fl oz", "pack of 4",
+    "6 - 2 oz bags",
+    "5.5 ounce pack of 6",
+    "10 oz",
+    "12 ounce pack of 3",
+    "16 oz family size",
+    "2 oz single serve",
+    "24 count",
+    "1 lb bag",
+    "8.5 fl oz",
+    "pack of 4",
 ];
 
 /// Surface-variant prefixes for labeled-attribute and ingredient
@@ -180,7 +425,14 @@ pub const SIZES: &[&str] = &[
 /// "chipotle pepper" and "ground chipotle pepper" as unrelated
 /// entities.
 pub const VALUE_PREFIXES: &[&str] = &[
-    "organic", "ground", "natural", "premium", "dehydrated", "roasted", "raw", "fine",
+    "organic",
+    "ground",
+    "natural",
+    "premium",
+    "dehydrated",
+    "roasted",
+    "raw",
+    "fine",
 ];
 
 /// Surface-variant suffixes ("chipotle pepper powder").
@@ -191,23 +443,39 @@ pub const VALUE_SUFFIXES: &[&str] = &["powder", "blend", "extract", "mix", "piec
 /// real catalog's boilerplate ingredients do, keeping graph structure
 /// informative but not trivially separable.
 pub const NEUTRAL_INGREDIENTS: &[&str] = &[
-    "water", "salt", "citric acid", "natural flavors", "sunflower oil", "rice flour",
-    "corn starch", "soy lecithin", "glycerin", "xanthan gum",
+    "water",
+    "salt",
+    "citric acid",
+    "natural flavors",
+    "sunflower oil",
+    "rice flour",
+    "corn starch",
+    "soy lecithin",
+    "glycerin",
+    "xanthan gum",
 ];
 
 /// Materials / non-food values used for cross-attribute error
 /// injection (the "flavor: bamboo" / "flavor: octopus" cases of
 /// Table 6).
 pub const MISC_VALUES: &[&str] = &[
-    "bamboo", "octopus", "stainless steel", "aqua", "mesh", "ceramic", "plastic handle",
-    "cotton blend", "rose gold", "matte black",
+    "bamboo",
+    "octopus",
+    "stainless steel",
+    "aqua",
+    "mesh",
+    "ceramic",
+    "plastic handle",
+    "cotton blend",
+    "rose gold",
+    "matte black",
 ];
 
 /// Find the cluster a (flavor|scent) phrase belongs to, if any.
 pub fn cluster_of_phrase(phrase: &str) -> Option<&'static Cluster> {
-    CLUSTERS
-        .iter()
-        .find(|c| c.flavors.contains(&phrase) || c.scents.contains(&phrase) || c.ingredients.contains(&phrase))
+    CLUSTERS.iter().find(|c| {
+        c.flavors.contains(&phrase) || c.scents.contains(&phrase) || c.ingredients.contains(&phrase)
+    })
 }
 
 #[cfg(test)]

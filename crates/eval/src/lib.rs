@@ -12,7 +12,7 @@ pub mod pr;
 pub mod report;
 pub mod threshold;
 
-pub use hist::Histogram;
+pub use hist::{AtomicHistogram, Histogram};
 pub use pr::{average_precision, pr_curve, recall_at_precision, Scored};
 pub use report::Table;
 pub use threshold::best_accuracy_threshold;

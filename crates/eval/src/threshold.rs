@@ -57,10 +57,7 @@ pub fn accuracy_at(pairs: &[(f32, bool)], theta: f32) -> f32 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let hits = pairs
-        .iter()
-        .filter(|(s, c)| (*s > theta) == *c)
-        .count();
+    let hits = pairs.iter().filter(|(s, c)| (*s > theta) == *c).count();
     hits as f32 / pairs.len() as f32
 }
 

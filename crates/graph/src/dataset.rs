@@ -149,10 +149,7 @@ mod tests {
             ("p2", "flavor", "v0"),
             ("p3", "flavor", "v3"),
         ];
-        let triples: Vec<Triple> = facts
-            .iter()
-            .map(|(t, a, v)| g.add_fact(t, a, v))
-            .collect();
+        let triples: Vec<Triple> = facts.iter().map(|(t, a, v)| g.add_fact(t, a, v)).collect();
         let test = vec![
             LabeledTriple {
                 triple: triples[3],

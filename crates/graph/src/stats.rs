@@ -71,7 +71,10 @@ impl GraphStats {
             "singleton values: {:.1}%\n",
             self.singleton_value_fraction * 100.0
         ));
-        out.push_str(&format!("values per attribute: {:?}\n", self.values_per_attr));
+        out.push_str(&format!(
+            "values per attribute: {:?}\n",
+            self.values_per_attr
+        ));
         out
     }
 }

@@ -215,7 +215,11 @@ mod tests {
     fn sample() -> ProductGraph {
         let mut g = ProductGraph::new();
         g.add_fact("tortilla chips spicy queso", "flavor", "spicy queso");
-        g.add_fact("tortilla chips spicy queso", "ingredient", "chipotle pepper");
+        g.add_fact(
+            "tortilla chips spicy queso",
+            "ingredient",
+            "chipotle pepper",
+        );
         g.add_fact("bean chips spicy", "flavor", "spicy");
         g.add_fact("bean chips spicy", "ingredient", "chipotle pepper");
         g

@@ -125,7 +125,10 @@ pub fn from_tsv(s: &str) -> Result<Dataset, TsvError> {
         let mut parts = hdr.split_whitespace();
         let tag = parts.next().unwrap_or("");
         if tag != format!("#{name}") {
-            return Err(TsvError::Parse(ln + 1, format!("expected #{name}, got {tag}")));
+            return Err(TsvError::Parse(
+                ln + 1,
+                format!("expected #{name}, got {tag}"),
+            ));
         }
         let n: usize = parts
             .next()
@@ -194,11 +197,7 @@ pub fn from_tsv(s: &str) -> Result<Dataset, TsvError> {
             .map(|(ln, row)| {
                 let ids = parse_ids(ln, row, 4)?;
                 Ok(LabeledTriple {
-                    triple: Triple::new(
-                        ProductId(ids[0]),
-                        AttrId(ids[1] as u16),
-                        ValueId(ids[2]),
-                    ),
+                    triple: Triple::new(ProductId(ids[0]), AttrId(ids[1] as u16), ValueId(ids[2])),
                     correct: ids[3] == 1,
                 })
             })
@@ -255,10 +254,7 @@ mod tests {
         assert_eq!(back.valid, d.valid);
         assert_eq!(back.test, d.test);
         assert_eq!(back.split, d.split);
-        assert_eq!(
-            back.graph.title(ProductId(0)),
-            "tortilla chips spicy queso"
-        );
+        assert_eq!(back.graph.title(ProductId(0)), "tortilla chips spicy queso");
     }
 
     #[test]
@@ -266,10 +262,7 @@ mod tests {
         let mut g = ProductGraph::new();
         g.add_fact("bad\ttitle", "flavor", "x");
         let d = Dataset::new(g, vec![], vec![], vec![]);
-        assert!(matches!(
-            to_tsv(&d),
-            Err(TsvError::UnencodableString(_))
-        ));
+        assert!(matches!(to_tsv(&d), Err(TsvError::UnencodableString(_))));
     }
 
     #[test]

@@ -44,10 +44,7 @@ impl AdamHparams {
     #[inline]
     pub fn bias_corrections(&self, t: u64) -> (f32, f32) {
         let t = t.max(1) as i32;
-        (
-            1.0 - self.beta1.powi(t),
-            1.0 - self.beta2.powi(t),
-        )
+        (1.0 - self.beta1.powi(t), 1.0 - self.beta2.powi(t))
     }
 }
 

@@ -243,7 +243,12 @@ impl TextCnnEncoder {
     }
 
     fn pad(&self, tokens: &[u32]) -> Vec<u32> {
-        crate::pad_tokens(tokens, self.min_len(), self.cfg.max_len.max(self.min_len()), 0)
+        crate::pad_tokens(
+            tokens,
+            self.min_len(),
+            self.cfg.max_len.max(self.min_len()),
+            0,
+        )
     }
 
     /// Inference-only encoding (`&self`, no caches) — safe to call from

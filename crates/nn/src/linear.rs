@@ -105,13 +105,7 @@ impl Linear {
     /// Training forward pass returning the output and a backward cache.
     pub fn forward(&self, x: &[f32]) -> (Vec<f32>, LinearCache) {
         let y = self.infer(x);
-        (
-            y.clone(),
-            LinearCache {
-                x: x.to_vec(),
-                y,
-            },
-        )
+        (y.clone(), LinearCache { x: x.to_vec(), y })
     }
 
     /// Accumulate parameter gradients and return the input gradient.
@@ -209,9 +203,8 @@ mod tests {
             let x = [0.3, -0.7, 0.2, 0.9];
             // Scalar loss: weighted sum of outputs to break symmetry.
             let weights = [1.0f32, -2.0, 0.5];
-            let loss = |l: &Linear| -> f32 {
-                l.infer(&x).iter().zip(&weights).map(|(y, w)| y * w).sum()
-            };
+            let loss =
+                |l: &Linear| -> f32 { l.infer(&x).iter().zip(&weights).map(|(y, w)| y * w).sum() };
 
             l.zero_grad();
             let (_, cache) = l.forward(&x);

@@ -48,7 +48,13 @@ pub struct LstmCache {
 }
 
 impl Lstm {
-    pub fn new<R: Rng>(rng: &mut R, vocab: usize, word_dim: usize, hidden: usize, max_len: usize) -> Self {
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        vocab: usize,
+        word_dim: usize,
+        hidden: usize,
+        max_len: usize,
+    ) -> Self {
         let words = Embedding::new(rng, vocab, word_dim);
         let w = Param::new(init::xavier_uniform(rng, 4 * hidden, word_dim + hidden));
         let mut b = Param::zeros(1, 4 * hidden);
@@ -66,7 +72,12 @@ impl Lstm {
     }
 
     /// Build on pre-trained word embeddings.
-    pub fn with_embeddings<R: Rng>(rng: &mut R, words: Embedding, hidden: usize, max_len: usize) -> Self {
+    pub fn with_embeddings<R: Rng>(
+        rng: &mut R,
+        words: Embedding,
+        hidden: usize,
+        max_len: usize,
+    ) -> Self {
         let word_dim = words.dim();
         let w = Param::new(init::xavier_uniform(rng, 4 * hidden, word_dim + hidden));
         let mut b = Param::zeros(1, 4 * hidden);
@@ -108,12 +119,7 @@ impl Lstm {
         for (r, zr) in z.iter_mut().enumerate() {
             *zr += ops::dot(self.w.value.row(r), &xh);
         }
-        let (mut i, mut f, mut g, mut o) = (
-            vec![0.0; h],
-            vec![0.0; h],
-            vec![0.0; h],
-            vec![0.0; h],
-        );
+        let (mut i, mut f, mut g, mut o) = (vec![0.0; h], vec![0.0; h], vec![0.0; h], vec![0.0; h]);
         for k in 0..h {
             i[k] = ops::sigmoid(z[k]);
             f[k] = ops::sigmoid(z[h + k]);

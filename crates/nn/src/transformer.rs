@@ -347,7 +347,11 @@ impl Block {
                 for j in 0..l {
                     let ds = p[(i, j)] * (dp[j] - dot_pp) * scale;
                     if ds != 0.0 {
-                        ops::axpy(ds, &cache.k.row(j)[off..off + dh], &mut dq.row_mut(i)[off..off + dh]);
+                        ops::axpy(
+                            ds,
+                            &cache.k.row(j)[off..off + dh],
+                            &mut dq.row_mut(i)[off..off + dh],
+                        );
                         let qi = cache.q.row(i)[off..off + dh].to_vec();
                         ops::axpy(ds, &qi, &mut dk.row_mut(j)[off..off + dh]);
                     }
@@ -410,7 +414,10 @@ impl TransformerEncoder {
     pub const CLS: u32 = 1;
 
     pub fn new<R: Rng>(rng: &mut R, cfg: TransformerConfig) -> Self {
-        assert!(cfg.dim.is_multiple_of(cfg.heads), "dim must divide into heads");
+        assert!(
+            cfg.dim.is_multiple_of(cfg.heads),
+            "dim must divide into heads"
+        );
         let words = Embedding::new(rng, cfg.vocab, cfg.dim);
         let pos = Param::new(init::uniform(rng, cfg.max_len, cfg.dim, 0.02));
         let blocks = (0..cfg.layers)

@@ -1,0 +1,253 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Enough of RFC 9112 for a JSON API behind a trusted load balancer:
+//! request line + headers + `Content-Length` bodies, keep-alive, and
+//! hard limits on head and body size. No chunked transfer coding
+//! (`411 Length Required` is returned when a body has no length).
+
+use std::io::{self, BufRead, Write};
+
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any bytes: the peer closed an idle connection.
+    Closed,
+    /// Malformed framing; the connection should be dropped after the
+    /// given status is sent.
+    Bad {
+        status: u16,
+        reason: &'static str,
+    },
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn bad(status: u16, reason: &'static str) -> ReadError {
+    ReadError::Bad { status, reason }
+}
+
+/// Read one request from `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ReadError::Closed);
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        return Err(bad(431, "request line too long"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(bad(400, "malformed request line"));
+    }
+    let http11 = version == "HTTP/1.1";
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(bad(400, "eof in headers"));
+        }
+        head_bytes += h.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad(431, "headers too large"));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        let Some((k, v)) = h.split_once(':') else {
+            return Err(bad(400, "malformed header"));
+        };
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        keep_alive: http11,
+    };
+    match req.header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => req.keep_alive = false,
+        Some(c) if c.contains("keep-alive") => req.keep_alive = true,
+        _ => {}
+    }
+
+    if req.header("transfer-encoding").is_some() {
+        return Err(bad(411, "chunked bodies unsupported"));
+    }
+    let len = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| bad(400, "bad content-length"))?,
+        None if req.method == "POST" || req.method == "PUT" => 0,
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(bad(413, "body too large"));
+    }
+    if len > 0 {
+        let mut body = vec![0u8; len];
+        io::Read::read_exact(reader, &mut body)?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a response with the given extra headers.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", status, status_reason(status))?;
+    write!(w, "content-type: {content_type}\r\n")?;
+    write!(w, "content-length: {}\r\n", body.len())?;
+    write!(
+        w,
+        "connection: {}\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    for (k, v) in extra_headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn req(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get() {
+        let r = req("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.keep_alive);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = req("POST /v1/score HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert_eq!(r.header("Content-Length"), Some("4"));
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let r = req("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        // HTTP/1.0 defaults to close.
+        let r = req("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn eof_reports_closed() {
+        assert!(matches!(req(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        for raw in ["GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / SPDY/3\r\n\r\n"] {
+            match req(raw) {
+                Err(ReadError::Bad { status: 400, .. }) => {}
+                other => panic!("{raw:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(req(&raw), Err(ReadError::Bad { status: 413, .. })));
+    }
+
+    #[test]
+    fn chunked_is_rejected() {
+        let raw = "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        assert!(matches!(req(raw), Err(ReadError::Bad { status: 411, .. })));
+    }
+
+    #[test]
+    fn response_framing() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "text/plain",
+            &[("retry-after", "1")],
+            b"busy",
+            false,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(s.contains("retry-after: 1\r\n"));
+        assert!(s.contains("content-length: 4\r\n"));
+        assert!(s.contains("connection: close\r\n"));
+        assert!(s.ends_with("\r\nbusy"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Service counters and the Prometheus text exposition.
+
+use pge_core::EmbeddingCache;
+use pge_eval::AtomicHistogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Metrics {
+    /// Accepted `POST /v1/score` requests (excludes rejects).
+    pub requests_total: AtomicU64,
+    /// Triples scored.
+    pub items_total: AtomicU64,
+    /// Micro-batches drained by workers.
+    pub batches_total: AtomicU64,
+    /// Requests shed with 503 (queue full).
+    pub rejected_total: AtomicU64,
+    /// Requests refused with 4xx (malformed).
+    pub bad_requests_total: AtomicU64,
+    /// End-to-end request latency (enqueue → reply ready), seconds.
+    pub latency: AtomicHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests_total: AtomicU64::new(0),
+            items_total: AtomicU64::new(0),
+            batches_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            bad_requests_total: AtomicU64::new(0),
+            // 100µs … ~6.5s in ×2 steps.
+            latency: AtomicHistogram::exponential(1e-4, 2.0, 16),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Render the Prometheus text format (version 0.0.4).
+    pub fn render(&self, cache: &EmbeddingCache) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "pge_score_requests_total",
+            "Accepted scoring requests.",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "pge_score_items_total",
+            "Triples scored.",
+            self.items_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "pge_score_batches_total",
+            "Micro-batches executed.",
+            self.batches_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "pge_score_rejected_total",
+            "Requests shed with 503 because the queue was full.",
+            self.rejected_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "pge_bad_requests_total",
+            "Malformed requests refused with 4xx.",
+            self.bad_requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "pge_cache_hits_total",
+            "Embedding cache hits.",
+            cache.hits(),
+        );
+        counter(
+            &mut out,
+            "pge_cache_misses_total",
+            "Embedding cache misses.",
+            cache.misses(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP pge_cache_resident Embeddings currently cached."
+        );
+        let _ = writeln!(out, "# TYPE pge_cache_resident gauge");
+        let _ = writeln!(out, "pge_cache_resident {}", cache.len());
+
+        let name = "pge_request_latency_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Request latency from enqueue to scored reply."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let counts = self.latency.bucket_counts();
+        let mut cumulative = 0u64;
+        for (bound, c) in self.latency.bounds().iter().zip(&counts) {
+            cumulative += c;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.latency.sum());
+        let _ = writeln!(out, "{name}_count {cumulative}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_prometheus_text() {
+        let m = Metrics::default();
+        Metrics::inc(&m.requests_total);
+        Metrics::add(&m.items_total, 7);
+        m.latency.observe(0.002);
+        let cache = EmbeddingCache::new(8);
+        cache.get_or_compute("x", || vec![0.0]);
+        cache.get_or_compute("x", || vec![0.0]);
+        let text = m.render(&cache);
+        assert!(text.contains("pge_score_requests_total 1"), "{text}");
+        assert!(text.contains("pge_score_items_total 7"));
+        assert!(text.contains("pge_cache_hits_total 1"));
+        assert!(text.contains("pge_cache_misses_total 1"));
+        assert!(text.contains("pge_cache_resident 1"));
+        assert!(text.contains("pge_request_latency_seconds_count 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        // Buckets are cumulative: every bucket after 0.002 reports 1.
+        assert!(text.contains("le=\"0.0002\"} 0"));
+        assert!(text.contains("le=\"0.0032\"} 1"));
+    }
+}

@@ -1,0 +1,467 @@
+//! The serving pipeline: accept loop → bounded queue → scoring
+//! workers, with an embedding cache shared by all workers.
+//!
+//! ```text
+//!   TcpListener ──accept──▶ connection threads (parse HTTP + JSON)
+//!        │                        │ try_push (never blocks; full → 503)
+//!        │                  BoundedQueue<Job>
+//!        │                        │ pop_batch (micro-batching)
+//!        ▼                        ▼
+//!   stop flag              scoring workers ──▶ plausibility_parallel
+//!                                 │                  │
+//!                                 │            EmbeddingCache
+//!                                 └─ reply channels back to conns
+//! ```
+//!
+//! Consistency: the cache is keyed by exact entity text and the
+//! encoder is a pure function of that text, so served scores are
+//! bit-identical to offline [`pge_core::Detector`] scores regardless
+//! of cache hits, evictions, or batch boundaries.
+
+use crate::http::{self, ReadError, Request};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use pge_core::api::plausibility_parallel;
+use pge_core::{CachedModel, EmbeddingCache, ErrorDetector, PgeModel};
+use pge_graph::{AttrId, ProductGraph, ProductId, Triple, ValueId};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 = ephemeral).
+    pub addr: String,
+    /// Scoring worker threads draining the queue.
+    pub workers: usize,
+    /// Embedding cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Bounded queue capacity in requests; overflow is shed with 503.
+    pub queue_cap: usize,
+    /// Maximum requests per micro-batch.
+    pub max_batch: usize,
+    /// Threads for `plausibility_parallel` within one micro-batch
+    /// (only engages on batches large enough to beat its serial
+    /// cutoff).
+    pub batch_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 2,
+            cache_cap: 4096,
+            queue_cap: 256,
+            max_batch: 32,
+            batch_threads: 2,
+        }
+    }
+}
+
+/// One triple to score, as raw text.
+#[derive(Debug, Clone)]
+pub struct ScoreItem {
+    pub title: String,
+    pub attr: String,
+    pub value: String,
+}
+
+/// Outcome for one item. `None` fields mean the attribute was unknown
+/// to the model (no relation vector exists to score against).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemScore {
+    pub plausibility: Option<f32>,
+    pub is_error: Option<bool>,
+}
+
+struct Job {
+    items: Vec<ScoreItem>,
+    reply: mpsc::SyncSender<Vec<ItemScore>>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    model: PgeModel,
+    graph: ProductGraph,
+    /// Plausibility ≤ threshold classifies as error.
+    threshold: f32,
+    cache: EmbeddingCache,
+    metrics: Metrics,
+    queue: BoundedQueue<Job>,
+    stop: AtomicBool,
+    cfg: ServeConfig,
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current metrics in Prometheus text format.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render(&self.shared.cache)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued requests,
+    /// join the workers.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // New pushes now fail; whatever is queued still gets scored.
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Start serving `model` over `graph` with the given fitted
+/// `threshold`. Returns once the listener is bound.
+pub fn start(
+    model: PgeModel,
+    graph: ProductGraph,
+    threshold: f32,
+    cfg: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        model,
+        graph,
+        threshold,
+        cache: EmbeddingCache::new(cfg.cache_cap),
+        metrics: Metrics::default(),
+        queue: BoundedQueue::new(cfg.queue_cap.max(1)),
+        stop: AtomicBool::new(false),
+        cfg: cfg.clone(),
+    });
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("pge-score-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("pge-accept".into())
+            .spawn(move || accept_loop(listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = shared.clone();
+                // Connection threads are detached; they exit when the
+                // peer closes, on idle timeout, or at shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("pge-conn".into())
+                    .spawn(move || connection_loop(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(req) => {
+                let keep_alive = req.keep_alive && !shared.stop.load(Ordering::SeqCst);
+                if respond(&mut writer, shared, &req, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Bad { status, reason }) => {
+                Metrics::inc(&shared.metrics.bad_requests_total);
+                let body = error_json(reason);
+                let _ = http::write_response(
+                    &mut writer,
+                    status,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+            Err(ReadError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle keep-alive connection: hang up at shutdown,
+                // otherwise keep waiting.
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(ReadError::Io(_)) => return,
+        }
+    }
+}
+
+fn error_json(message: &str) -> String {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))]).to_string()
+}
+
+fn respond(w: &mut impl Write, shared: &Shared, req: &Request, keep_alive: bool) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => http::write_response(w, 200, "text/plain", &[], b"ok\n", keep_alive),
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render(&shared.cache);
+            http::write_response(
+                w,
+                200,
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        ("POST", "/v1/score") => {
+            let (status, extra, body) = handle_score(shared, &req.body);
+            let extra: Vec<(&str, &str)> = extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            http::write_response(
+                w,
+                status,
+                "application/json",
+                &extra,
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        (_, "/healthz" | "/metrics" | "/v1/score") => http::write_response(
+            w,
+            405,
+            "application/json",
+            &[],
+            error_json("method not allowed").as_bytes(),
+            keep_alive,
+        ),
+        _ => http::write_response(
+            w,
+            404,
+            "application/json",
+            &[],
+            error_json("no such endpoint").as_bytes(),
+            keep_alive,
+        ),
+    }
+}
+
+type ExtraHeaders = Vec<(&'static str, String)>;
+
+fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
+    let bad = |msg: &str| {
+        Metrics::inc(&shared.metrics.bad_requests_total);
+        (400, Vec::new(), error_json(msg))
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return bad("body is not UTF-8");
+    };
+    let parsed = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return bad(&e.to_string()),
+    };
+    let Some(raw_items) = parsed.as_array() else {
+        return bad("expected a JSON array of {title, attr, value}");
+    };
+    let mut items = Vec::with_capacity(raw_items.len());
+    for (i, it) in raw_items.iter().enumerate() {
+        let field = |k: &str| it.get(k).and_then(Json::as_str);
+        match (field("title"), field("attr"), field("value")) {
+            (Some(t), Some(a), Some(v)) => items.push(ScoreItem {
+                title: t.to_string(),
+                attr: a.to_string(),
+                value: v.to_string(),
+            }),
+            _ => {
+                return bad(&format!(
+                    "item {i}: expected string fields title, attr, value"
+                ))
+            }
+        }
+    }
+    if items.is_empty() {
+        Metrics::inc(&shared.metrics.requests_total);
+        return (200, Vec::new(), "[]".to_string());
+    }
+
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job = Job {
+        items,
+        reply: tx,
+        enqueued: Instant::now(),
+    };
+    if let Err((_job, e)) = shared.queue.try_push(job) {
+        debug_assert!(matches!(e, PushError::Full | PushError::Closed));
+        Metrics::inc(&shared.metrics.rejected_total);
+        return (
+            503,
+            vec![("retry-after", "1".to_string())],
+            error_json("scoring queue full, retry later"),
+        );
+    }
+    Metrics::inc(&shared.metrics.requests_total);
+    match rx.recv_timeout(Duration::from_secs(30)) {
+        Ok(scores) => {
+            let arr = Json::Arr(
+                scores
+                    .iter()
+                    .map(|s| {
+                        let mut pairs = vec![
+                            (
+                                "plausibility".to_string(),
+                                s.plausibility.map_or(Json::Null, |p| Json::Num(p as f64)),
+                            ),
+                            (
+                                "is_error".to_string(),
+                                s.is_error.map_or(Json::Null, Json::Bool),
+                            ),
+                        ];
+                        if s.plausibility.is_none() {
+                            pairs.push((
+                                "detail".to_string(),
+                                Json::Str("unknown attribute".into()),
+                            ));
+                        }
+                        Json::Obj(pairs)
+                    })
+                    .collect(),
+            );
+            (200, Vec::new(), arr.to_string())
+        }
+        Err(_) => (500, Vec::new(), error_json("scoring timed out")),
+    }
+}
+
+/// An [`ErrorDetector`] view of one micro-batch: synthetic triple `i`
+/// scores flattened item `i`, so the batch flows through the same
+/// `plausibility_parallel` path as offline detection — including its
+/// serial cutoff for small batches.
+struct BatchAdapter<'a> {
+    cm: &'a CachedModel<'a>,
+    items: &'a [(ScoreItem, AttrId)],
+}
+
+impl ErrorDetector for BatchAdapter<'_> {
+    fn name(&self) -> String {
+        "serve-batch".into()
+    }
+
+    fn plausibility(&self, _graph: &ProductGraph, t: &Triple) -> f32 {
+        let (item, attr) = &self.items[t.product.0 as usize];
+        self.cm.score_fact(&item.title, *attr, &item.value)
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let cm = CachedModel::new(&shared.model, &shared.cache);
+    let mut jobs: Vec<Job> = Vec::new();
+    while shared.queue.pop_batch(shared.cfg.max_batch, &mut jobs) {
+        Metrics::inc(&shared.metrics.batches_total);
+
+        // Flatten scorable items; (job index, item index) per entry.
+        let mut flat: Vec<(ScoreItem, AttrId)> = Vec::new();
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        for (ji, job) in jobs.iter().enumerate() {
+            for (ii, item) in job.items.iter().enumerate() {
+                if let Some(attr) = shared.model.lookup_attr(&item.attr) {
+                    flat.push((item.clone(), attr));
+                    slots.push((ji, ii));
+                }
+            }
+        }
+
+        let synthetic: Vec<Triple> = (0..flat.len())
+            .map(|i| Triple::new(ProductId(i as u32), AttrId(0), ValueId(0)))
+            .collect();
+        let adapter = BatchAdapter {
+            cm: &cm,
+            items: &flat,
+        };
+        let scores = plausibility_parallel(
+            &adapter,
+            &shared.graph,
+            &synthetic,
+            shared.cfg.batch_threads.max(1),
+        );
+
+        let mut results: Vec<Vec<ItemScore>> = jobs
+            .iter()
+            .map(|j| {
+                vec![
+                    ItemScore {
+                        plausibility: None,
+                        is_error: None,
+                    };
+                    j.items.len()
+                ]
+            })
+            .collect();
+        for ((ji, ii), score) in slots.into_iter().zip(&scores) {
+            results[ji][ii] = ItemScore {
+                plausibility: Some(*score),
+                is_error: Some(*score <= shared.threshold),
+            };
+        }
+
+        let total_items: usize = jobs.iter().map(|j| j.items.len()).sum();
+        Metrics::add(&shared.metrics.items_total, total_items as u64);
+        for (job, result) in jobs.drain(..).zip(results) {
+            shared
+                .metrics
+                .latency
+                .observe(job.enqueued.elapsed().as_secs_f64());
+            // The receiver may have timed out and gone; that's fine.
+            let _ = job.reply.send(result);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! SIGINT/SIGTERM → a global shutdown flag.
+//!
+//! There is no `libc` crate in the build environment, so the handler
+//! registration goes through a direct FFI declaration of `signal(2)`.
+//! The handler only stores to an atomic — the one thing that is
+//! async-signal-safe — and the serving loop polls the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Has a shutdown signal (SIGINT or SIGTERM) been received?
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Trip the flag programmatically (used by tests and by the CLI on
+/// fatal errors).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        /// POSIX `signal(2)`; the return value (previous handler) is
+        /// pointer-sized.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {
+        // No signal handling off Unix; ctrl-c terminates the process.
+    }
+}
+
+/// Install handlers for SIGINT and SIGTERM that set the flag.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_latches() {
+        // Single test touching the global flag (tests in this module
+        // would race each other otherwise).
+        install_handlers();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -73,7 +73,10 @@ mod tests {
     fn phases_within_pi() {
         let mut rng = StdRng::seed_from_u64(3);
         let m = phases(&mut rng, 5, 8);
-        assert!(m.as_slice().iter().all(|&x| x.abs() <= std::f32::consts::PI));
+        assert!(m
+            .as_slice()
+            .iter()
+            .all(|&x| x.abs() <= std::f32::consts::PI));
     }
 
     #[test]

@@ -6,8 +6,8 @@
 /// product text is short, and aggressive lists would delete signal
 /// like "free" ("gluten free").
 const STOP_WORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it",
-    "of", "on", "or", "that", "the", "to", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it", "of",
+    "on", "or", "that", "the", "to", "with",
 ];
 
 fn is_stop_word(w: &str) -> bool {
@@ -54,10 +54,7 @@ mod tests {
 
     #[test]
     fn removes_stop_words() {
-        assert_eq!(
-            tokenize("the flavor of the chips"),
-            vec!["flavor", "chips"]
-        );
+        assert_eq!(tokenize("the flavor of the chips"), vec!["flavor", "chips"]);
     }
 
     #[test]

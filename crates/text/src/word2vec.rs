@@ -112,7 +112,13 @@ pub fn train_word2vec(vocab: &Vocab, sentences: &[Vec<u32>], cfg: &Word2VecConfi
                         if let Some(neg) = table.sample(&mut rng) {
                             if neg != ctx {
                                 sgns_pair(
-                                    &mut input, &mut output, center, neg, 0.0, lr, &mut grad_in,
+                                    &mut input,
+                                    &mut output,
+                                    center,
+                                    neg,
+                                    0.0,
+                                    lr,
+                                    &mut grad_in,
                                 );
                             }
                         }

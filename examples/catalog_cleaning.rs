@@ -60,7 +60,11 @@ fn main() {
     let mut true_positives = 0;
     for &i in order.iter().take(15) {
         let t = &data.train[i];
-        let flag = if data.train_clean[i] { "  (clean)" } else { "**ERROR**" };
+        let flag = if data.train_clean[i] {
+            "  (clean)"
+        } else {
+            "**ERROR**"
+        };
         if !data.train_clean[i] {
             true_positives += 1;
         }

@@ -20,8 +20,14 @@ fn main() {
     });
     let trained = train_pge(&data, &PgeConfig::default());
     let model = &trained.model;
-    let flavor = data.graph.lookup_attr("flavor").expect("flavor attribute exists");
-    let scent = data.graph.lookup_attr("scent").expect("scent attribute exists");
+    let flavor = data
+        .graph
+        .lookup_attr("flavor")
+        .expect("flavor attribute exists");
+    let scent = data
+        .graph
+        .lookup_attr("scent")
+        .expect("scent attribute exists");
 
     // Brand-new listings that are in no graph: the entry point is raw
     // text. Each case pairs a plausible value with an implausible one.

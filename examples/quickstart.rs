@@ -40,7 +40,10 @@ fn main() {
         "threshold θ = {:.3} (validation accuracy {:.3})",
         detector.threshold, detector.valid_accuracy
     );
-    println!("test accuracy: {:.3}", detector.accuracy(&data.graph, &data.test));
+    println!(
+        "test accuracy: {:.3}",
+        detector.accuracy(&data.graph, &data.test)
+    );
 
     // 4. Show the five most suspicious test triples.
     let triples: Vec<_> = data.test.iter().map(|lt| lt.triple).collect();
@@ -50,7 +53,11 @@ fn main() {
         let lt = &data.test[ix];
         println!(
             "  [{}] ({}, {}, {})",
-            if lt.correct { "actually correct" } else { "true error" },
+            if lt.correct {
+                "actually correct"
+            } else {
+                "true error"
+            },
             data.graph.title(lt.triple.product),
             data.graph.attr_name(lt.triple.attr),
             data.graph.value_text(lt.triple.value),

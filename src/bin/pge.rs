@@ -5,18 +5,22 @@
 //! pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]
 //! pge detect   --data data.tsv --model model.pge [--top N]
 //! pge eval     --data data.tsv --model model.pge
+//! pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]
+//!              [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]
 //! ```
 //!
 //! `generate` writes a synthetic labeled dataset; `train` fits
 //! PGE(CNN) on its training split and saves the model; `detect` ranks
 //! the dataset's test triples by suspicion; `eval` reports PR AUC,
-//! R@P, and thresholded accuracy.
+//! R@P, and thresholded accuracy; `serve` answers scoring requests
+//! over HTTP (see `pge-serve`).
 
 use pge::core::{load_model, save_model, train_pge, Detector, PgeConfig, ScoreKind};
 use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
 use pge::eval::{average_precision, recall_at_precision, Scored};
 use pge::graph::tsv::{from_tsv, to_tsv};
 use pge::graph::{Dataset, Triple};
+use pge::serve::ServeConfig;
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -25,29 +29,37 @@ fn usage() -> ! {
         "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]\n  \
          pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n  \
          pge detect   --data data.tsv --model model.pge [--top N]\n  \
-         pge eval     --data data.tsv --model model.pge"
+         pge eval     --data data.tsv --model model.pge\n  \
+         pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]\n               \
+         [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]"
     );
     exit(2)
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Parse `--flag value` pairs. A flag followed by another flag (or by
+/// the end of the arguments) is boolean and maps to `"true"` — so
+/// `--no-cache` works with or without an explicit value.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
-    while i + 1 < args.len() + 1 {
-        let Some(key) = args.get(i) else { break };
-        if let Some(name) = key.strip_prefix("--") {
-            match args.get(i + 1) {
-                Some(v) => {
-                    flags.insert(name.to_string(), v.clone());
-                    i += 2;
-                }
-                None => usage(),
+    while i < args.len() {
+        let arg = &args[i];
+        let name = arg
+            .strip_prefix("--")
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| format!("unexpected argument '{arg}'"))?;
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                flags.insert(name.to_string(), v.clone());
+                i += 2;
             }
-        } else {
-            usage();
+            _ => {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
         }
     }
-    flags
+    Ok(flags)
 }
 
 fn load_dataset(path: &str) -> Dataset {
@@ -64,7 +76,10 @@ fn load_dataset(path: &str) -> Dataset {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    let flags = parse_flags(&args[1..]);
+    let flags = parse_flags(&args[1..]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
     let get = |k: &str| flags.get(k).cloned();
     let require = |k: &str| {
         get(k).unwrap_or_else(|| {
@@ -117,7 +132,11 @@ fn main() {
                 },
                 ..PgeConfig::default()
             };
-            println!("training {} on {} triples ...", cfg.label(), data.train.len());
+            println!(
+                "training {} on {} triples ...",
+                cfg.label(),
+                data.train.len()
+            );
             let trained = train_pge(&data, &cfg);
             println!(
                 "done in {:.1}s (loss {:.3} -> {:.3})",
@@ -186,6 +205,107 @@ fn main() {
             }
             println!("accuracy: {:.3}", det.accuracy(&data.graph, &data.test));
         }
+        "serve" => {
+            let data = load_dataset(&require("data"));
+            let model_text = std::fs::read_to_string(require("model")).unwrap_or_else(|e| {
+                eprintln!("cannot read model: {e}");
+                exit(1)
+            });
+            let model = load_model(&model_text, &data.graph).unwrap_or_else(|e| {
+                eprintln!("cannot load model: {e}");
+                exit(1)
+            });
+            let det = Detector::fit(&model, &data.graph, &data.valid);
+            let threshold = det.threshold;
+            println!(
+                "threshold {:.3} (validation accuracy {:.3})",
+                det.threshold, det.valid_accuracy
+            );
+            let parsed =
+                |k: &str, default: usize| get(k).and_then(|s| s.parse().ok()).unwrap_or(default);
+            let defaults = ServeConfig::default();
+            let cfg = ServeConfig {
+                addr: get("addr").unwrap_or(defaults.addr),
+                workers: parsed("threads", defaults.workers),
+                cache_cap: if flags.contains_key("no-cache") {
+                    0
+                } else {
+                    parsed("cache-cap", defaults.cache_cap)
+                },
+                queue_cap: parsed("queue-cap", defaults.queue_cap).max(1),
+                ..defaults
+            };
+            let graph = data.graph;
+            let handle = pge::serve::start(model, graph, threshold, cfg).unwrap_or_else(|e| {
+                eprintln!("cannot start server: {e}");
+                exit(1)
+            });
+            pge::serve::install_handlers();
+            println!("serving on http://{} — ctrl-c to stop", handle.local_addr());
+            while !pge::serve::shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            println!("shutting down, draining in-flight requests ...");
+            handle.shutdown();
+        }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_value_flags() {
+        let f = parse_flags(&strings(&["--data", "d.tsv", "--model", "m.pge"])).unwrap();
+        assert_eq!(f.get("data").map(String::as_str), Some("d.tsv"));
+        assert_eq!(f.get("model").map(String::as_str), Some("m.pge"));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_args_yield_no_flags() {
+        assert!(parse_flags(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn trailing_flag_is_boolean() {
+        let f = parse_flags(&strings(&["--data", "d.tsv", "--no-cache"])).unwrap();
+        assert_eq!(f.get("no-cache").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let f = parse_flags(&strings(&["--no-cache", "--threads", "4"])).unwrap();
+        assert_eq!(f.get("no-cache").map(String::as_str), Some("true"));
+        assert_eq!(f.get("threads").map(String::as_str), Some("4"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let f = parse_flags(&strings(&["--offset", "-5"])).unwrap();
+        assert_eq!(f.get("offset").map(String::as_str), Some("-5"));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(parse_flags(&strings(&["stray"])).is_err());
+        assert!(parse_flags(&strings(&["--ok", "v", "stray"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bare_double_dash() {
+        assert!(parse_flags(&strings(&["--"])).is_err());
+    }
+
+    #[test]
+    fn later_occurrence_wins() {
+        let f = parse_flags(&strings(&["--seed", "1", "--seed", "2"])).unwrap();
+        assert_eq!(f.get("seed").map(String::as_str), Some("2"));
     }
 }

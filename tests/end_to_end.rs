@@ -23,8 +23,14 @@ fn small_catalog() -> pge::graph::Dataset {
 }
 
 fn fast_cfg() -> PgeConfig {
+    // Per-attribute negatives: catalog errors are within-attribute
+    // value swaps, so "the other value of this attribute" is the
+    // corruption the model must learn to reject — global-uniform
+    // negatives mostly contrast against other attributes' values and
+    // need several times the epochs for the same separation.
     PgeConfig {
-        epochs: 8,
+        epochs: 20,
+        sampling: pge::graph::SamplingMode::PerAttribute,
         ..PgeConfig::tiny()
     }
 }

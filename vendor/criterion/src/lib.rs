@@ -1,0 +1,230 @@
+//! Offline mini-criterion.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock harness: per bench, a warm-up pass sizes the iteration
+//! count, then `sample_size` samples are timed and the median ns/iter
+//! is printed. Under `--test` (as passed by `cargo test --benches`)
+//! each bench runs exactly once for correctness checking.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The mini harness times
+/// the routine per invocation regardless, so the variants only guide
+/// batch sizing upstream; they are accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First free argument (skipping flags and the bench binary
+        // path) filters benchmark names, like upstream.
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && *a != "bench")
+            .cloned();
+        Criterion {
+            sample_size: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measured: Vec::new(),
+        };
+        if self.test_mode {
+            f(&mut b);
+            println!("test {name} ... ok");
+            return self;
+        }
+        // Warm-up call sizes iteration counts inside Bencher::iter.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.measured.clear();
+            f(&mut b);
+            if let Some(&ns) = b.measured.last() {
+                samples.push(ns);
+            }
+        }
+        samples.sort_unstable_by(f64::total_cmp);
+        if samples.is_empty() {
+            println!("{name:<50} (no measurement)");
+        } else {
+            let median = samples[samples.len() / 2];
+            let lo = samples[0];
+            let hi = samples[samples.len() - 1];
+            println!("{name:<50} {median:>12.1} ns/iter (min {lo:.1}, max {hi:.1})");
+        }
+        self
+    }
+}
+
+pub struct Bencher {
+    test_mode: bool,
+    /// ns/iter measured by each `iter`/`iter_batched` call.
+    measured: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Size the iteration count so one sample takes ~5ms.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (Duration::from_millis(5).as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.measured.push(total.as_nanos() as f64 / iters as f64);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        // Measure only the routine, excluding setup, until we have
+        // ~5ms of measured work (at least 3 iterations).
+        while iters < 3 || total < Duration::from_millis(5) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if iters >= 10_000 {
+                break;
+            }
+        }
+        self.measured.push(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+            filter: None,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+            filter: Some("matmul".into()),
+        };
+        let mut ran = false;
+        c.bench_function("encoder/infer", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 5,
+            test_mode: true,
+            filter: None,
+        };
+        let mut calls = 0;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam` crate, implemented on top of
+//! `std::thread::scope` (the workspace only uses scoped threads).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Matches `crossbeam::thread::scope`'s `Result` alias.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Placeholder passed to spawned closures. Upstream crossbeam
+    /// passes a `&Scope` so children can themselves spawn; callers in
+    /// this workspace ignore it (`|_| ...`), so nested spawning is
+    /// intentionally unsupported here.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope(());
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope(()))),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined
+    /// before returning. Unlike upstream (which collects panics from
+    /// unjoined children), child panics surface on `join()` or, for
+    /// unjoined children, propagate when the std scope exits.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            let mut rest: &mut [u64] = &mut out;
+            let mut handles = Vec::new();
+            for part in data.chunks(2) {
+                let (head, tail) = rest.split_at_mut(part.len());
+                rest = tail;
+                handles.push(s.spawn(move |_| {
+                    for (o, x) in head.iter_mut().zip(part) {
+                        *o = x * 10;
+                    }
+                    part.len()
+                }));
+            }
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 4);
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

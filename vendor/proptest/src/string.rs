@@ -1,0 +1,197 @@
+//! Regex-subset string generation for string-literal strategies.
+//!
+//! Supports the patterns the workspace's tests use:
+//!   * `.`            — any printable ASCII character
+//!   * `[a-z0-9 ,.-]` — character classes with ranges and literals
+//!   * `{m,n}` / `{n}`— bounded repetition of the preceding item
+//!   * plain literal characters
+//!
+//! Anything fancier (alternation, groups, anchors) is rejected loudly
+//! so a new test can't silently get the wrong distribution.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// Inclusive ranges of admissible chars.
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    item: Item,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let item = match chars[i] {
+            '.' => {
+                i += 1;
+                // Printable ASCII, space through tilde.
+                Item::Class(vec![(' ', '~')])
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                assert!(
+                    chars.get(i).copied() != Some('^'),
+                    "negated classes unsupported in pattern {pattern:?}"
+                );
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    chars.get(i) == Some(&']'),
+                    "unterminated class in pattern {pattern:?}"
+                );
+                i += 1;
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                Item::Class(ranges)
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '^' | '$' => {
+                panic!(
+                    "unsupported regex feature {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Item::Literal(c)
+            }
+            c => {
+                i += 1;
+                Item::Literal(c)
+            }
+        };
+        // Optional {m,n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad repetition lower bound"),
+                    hi.parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n: usize = spec.parse().expect("bad repetition count");
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { item, min, max });
+    }
+    pieces
+}
+
+fn class_size(ranges: &[(char, char)]) -> u64 {
+    ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum()
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let mut k = rng.below(class_size(ranges));
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if k < span {
+            return char::from_u32(lo as u32 + k as u32).expect("class range is valid chars");
+        }
+        k -= span;
+    }
+    unreachable!("class pick out of bounds")
+}
+
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &piece.item {
+                Item::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+                Item::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z0-9 ,.-]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            let s = generate_from_pattern(".{0,10}", &mut rng);
+            assert!(s.chars().count() <= 10);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn bounded_repetition_honors_min() {
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::from_seed(14);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+        assert_eq!(generate_from_pattern(r"a\.b", &mut rng), "a.b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn alternation_is_rejected() {
+        let mut rng = TestRng::from_seed(15);
+        let _ = generate_from_pattern("a|b", &mut rng);
+    }
+}
