@@ -71,6 +71,22 @@ fn main() {
         let _ = writeln!(out, "{s}");
     };
 
+    // Stamp the run so archived outputs stay attributable to a source
+    // revision and configuration. The `#` prefix keeps the line out of
+    // any table-diffing tooling.
+    emit(&format!(
+        "# manifest {}",
+        pge_obs::manifest_event(
+            "repro",
+            seed,
+            &[
+                ("experiment".into(), experiment.clone()),
+                ("scale".into(), scale_f.to_string()),
+                ("cap_secs".into(), cap.to_string()),
+            ],
+        )
+    ));
+
     let run_fig2_and_table3 = |emit: &mut dyn FnMut(&str)| {
         let r = table3(&scale);
         emit(&r.report);

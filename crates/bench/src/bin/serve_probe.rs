@@ -307,6 +307,20 @@ fn main() {
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("serve_probe".into())),
+        (
+            "manifest".into(),
+            Json::Obj(vec![
+                (
+                    "git_rev".into(),
+                    pge_obs::git_rev().map_or(Json::Null, Json::Str),
+                ),
+                ("ts_ms".into(), Json::Num(pge_obs::unix_time_ms() as f64)),
+                (
+                    "version".into(),
+                    Json::Str(env!("CARGO_PKG_VERSION").into()),
+                ),
+            ]),
+        ),
         ("clients".into(), Json::Num(clients as f64)),
         (
             "requests_per_client".into(),

@@ -15,8 +15,11 @@ use crate::api::ErrorDetector;
 use crate::model::PgeModel;
 use parking_lot::RwLock;
 use pge_graph::{AttrId, ProductGraph, Triple};
+use pge_obs::AtomicHistogram;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Anything that can turn entity text into an embedding vector.
 ///
@@ -53,6 +56,10 @@ pub struct EmbeddingCache {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional latency sink for encoder forward passes. Only the
+    /// miss path pays the timing cost (two `Instant` reads around a
+    /// CNN forward, i.e. noise); the hit path never touches it.
+    encode_hist: OnceLock<Arc<AtomicHistogram>>,
 }
 
 impl EmbeddingCache {
@@ -64,7 +71,15 @@ impl EmbeddingCache {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            encode_hist: OnceLock::new(),
         }
+    }
+
+    /// Record every encoder forward pass (cache miss) into `hist` —
+    /// the `pge_serve_stage_encode_seconds` feed. First caller wins;
+    /// later installs are ignored.
+    pub fn install_encode_histogram(&self, hist: Arc<AtomicHistogram>) {
+        let _ = self.encode_hist.set(hist);
     }
 
     fn shard(&self, text: &str) -> &RwLock<HashMap<String, Entry>> {
@@ -81,7 +96,7 @@ impl EmbeddingCache {
     pub fn get_or_compute(&self, text: &str, f: impl FnOnce() -> Vec<f32>) -> Vec<f32> {
         if self.cap_per_shard == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return f();
+            return self.timed_compute(f);
         }
         let shard = self.shard(text);
         {
@@ -96,7 +111,7 @@ impl EmbeddingCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let vec = f();
+        let vec = self.timed_compute(f);
         let mut map = shard.write();
         // A racing thread may have inserted meanwhile; keep whichever
         // is present (the vectors are identical by construction).
@@ -119,6 +134,20 @@ impl EmbeddingCache {
             );
         }
         vec
+    }
+
+    /// Run the encoder, observing its wall time when a histogram is
+    /// installed.
+    fn timed_compute(&self, f: impl FnOnce() -> Vec<f32>) -> Vec<f32> {
+        match self.encode_hist.get() {
+            Some(h) => {
+                let start = Instant::now();
+                let vec = f();
+                h.observe(start.elapsed().as_secs_f64());
+                vec
+            }
+            None => f(),
+        }
     }
 
     pub fn hits(&self) -> u64 {
@@ -265,6 +294,24 @@ mod tests {
         c.get_or_compute(same[2], counted(&calls)); // evicts [1], not [0]
         c.get_or_compute(same[0], counted(&calls)); // still cached
         assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn encode_histogram_observes_misses_only() {
+        let c = EmbeddingCache::new(64);
+        let h = Arc::new(AtomicHistogram::exponential(1e-6, 2.0, 20));
+        c.install_encode_histogram(h.clone());
+        let calls = AtomicUsize::new(0);
+        c.get_or_compute("apple", counted(&calls)); // miss → observed
+        c.get_or_compute("apple", counted(&calls)); // hit → not observed
+        c.get_or_compute("pear", counted(&calls)); // miss → observed
+        assert_eq!(h.count(), 2);
+        // Later installs are ignored; the first histogram keeps feeding.
+        let other = Arc::new(AtomicHistogram::exponential(1e-6, 2.0, 20));
+        c.install_encode_histogram(other.clone());
+        c.get_or_compute("plum", counted(&calls));
+        assert_eq!(h.count(), 3);
+        assert_eq!(other.count(), 0);
     }
 
     #[test]

@@ -83,6 +83,47 @@ impl ConfidenceStore {
         }
         self.c.iter().filter(|&&c| c < 0.5).count() as f32 / self.c.len() as f32
     }
+
+    /// Mean confidence (0 for an empty store).
+    pub fn mean(&self) -> f32 {
+        if self.c.is_empty() {
+            return 0.0;
+        }
+        self.c.iter().sum::<f32>() / self.c.len() as f32
+    }
+
+    /// Fraction of C in `[0, 0.1] ∪ [0.9, 1]` — how polarized the
+    /// scores are. The β term of Eq. (6) exists to drive this toward 1;
+    /// tracking it per epoch is the direct diagnostic that the relaxed
+    /// objective is behaving like the binary one it approximates.
+    pub fn polarized_fraction(&self) -> f32 {
+        if self.c.is_empty() {
+            return 0.0;
+        }
+        let polar = self.c.iter().filter(|&&c| c <= 0.1 || c >= 0.9).count();
+        polar as f32 / self.c.len() as f32
+    }
+
+    /// Uniform-bin histogram of the scores over `[0, 1]` (Fig. 5).
+    pub fn histogram(&self, bins: usize) -> Vec<u64> {
+        let bins = bins.max(1);
+        let mut counts = vec![0u64; bins];
+        for &c in &self.c {
+            let b = ((c * bins as f32) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        counts
+    }
+
+    /// Snapshot for the run log's per-epoch `confidence` block.
+    pub fn telemetry(&self, bins: usize) -> pge_obs::ConfidenceTelemetry {
+        pge_obs::ConfidenceTelemetry {
+            mean: self.mean(),
+            polarized_frac: self.polarized_fraction(),
+            marked_down_frac: self.fraction_marked_down(),
+            hist: self.histogram(bins),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +210,49 @@ mod tests {
             s.update(1, 10.0);
         }
         assert!((s.fraction_marked_down() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polarization_diagnostics() {
+        let mut s = ConfidenceStore::new(4, 0.5, 0.1, 0.5);
+        // Initial state: everything at the C=1 pole.
+        assert_eq!(s.polarized_fraction(), 1.0);
+        assert_eq!(s.mean(), 1.0);
+        // Slam two to 0, leave two at 1 → still fully polarized,
+        // mean halves.
+        for _ in 0..50 {
+            s.update(0, 100.0);
+            s.update(1, 100.0);
+        }
+        assert_eq!(s.polarized_fraction(), 1.0);
+        assert!((s.mean() - 0.5).abs() < 1e-6);
+        let hist = s.histogram(10);
+        assert_eq!(hist[0], 2);
+        assert_eq!(hist[9], 2);
+        assert_eq!(hist.iter().sum::<u64>(), 4);
+        let t = s.telemetry(10);
+        assert_eq!(t.polarized_frac, 1.0);
+        assert_eq!(t.marked_down_frac, 0.5);
+        assert_eq!(t.hist, hist);
+    }
+
+    #[test]
+    fn midscale_confidence_is_not_polarized() {
+        let mut s = ConfidenceStore::new(1, 0.5, 0.0, 0.1);
+        // A few high-loss steps from C=1 leave C mid-scale.
+        for _ in 0..3 {
+            s.update(0, 2.0);
+        }
+        let c = s.get(0);
+        assert!(c > 0.1 && c < 0.9, "C = {c}");
+        assert_eq!(s.polarized_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_store_diagnostics_are_zero() {
+        let s = ConfidenceStore::new(0, 0.5, 0.1, 0.05);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.polarized_fraction(), 0.0);
+        assert_eq!(s.histogram(4), vec![0, 0, 0, 0]);
     }
 }

@@ -5,6 +5,7 @@
 use crate::api::{plausibility_parallel, ErrorDetector};
 use crate::model::PgeModel;
 use pge_graph::{LabeledTriple, ProductGraph, Triple};
+use pge_obs::span;
 
 impl ErrorDetector for PgeModel {
     fn name(&self) -> String {
@@ -44,6 +45,7 @@ impl<'a, D: ErrorDetector> Detector<'a, D> {
         valid: &[LabeledTriple],
         threads: usize,
     ) -> Self {
+        let _s = span("detect.fit");
         let triples: Vec<Triple> = valid.iter().map(|lt| lt.triple).collect();
         let scores = plausibility_parallel(method, graph, &triples, threads);
         let pairs: Vec<(f32, bool)> = scores
@@ -67,6 +69,7 @@ impl<'a, D: ErrorDetector> Detector<'a, D> {
 
     /// Score a batch (parallel) and return plausibilities.
     pub fn scores(&self, graph: &ProductGraph, triples: &[Triple]) -> Vec<f32> {
+        let _s = span("detect.score");
         plausibility_parallel(self.method, graph, triples, self.threads)
     }
 

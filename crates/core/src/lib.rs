@@ -40,4 +40,4 @@ pub use encoder::{EncoderKind, TextEncoder};
 pub use model::PgeModel;
 pub use persist::{load_model, save_model, PersistError};
 pub use score::{ScoreKind, Scorer};
-pub use trainer::{train_pge, PgeConfig, TrainedPge};
+pub use trainer::{train_pge, train_pge_with_log, PgeConfig, TrainedPge};

@@ -11,11 +11,15 @@ use crate::model::PgeModel;
 use crate::score::{ScoreKind, Scorer};
 use pge_graph::{Dataset, NegativeSampler, SamplingMode};
 use pge_nn::{AdamHparams, CnnConfig, Embedding, TransformerConfig};
+use pge_obs::{epoch_event, span, EpochTelemetry, RunLog};
 use pge_tensor::ops;
 use pge_text::word2vec::{train_word2vec, Word2VecConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// Bins of the per-epoch confidence histogram in the run log.
+const CONFIDENCE_HIST_BINS: usize = 10;
 
 /// All the knobs of a PGE training run.
 #[derive(Clone, Debug)]
@@ -135,20 +139,34 @@ pub struct TrainedPge {
     pub train_secs: f64,
     /// Mean triple loss per epoch (diagnostics; must trend down).
     pub epoch_losses: Vec<f32>,
+    /// Full per-epoch telemetry (superset of `epoch_losses`): loss,
+    /// throughput, negative-sampling stats, and — on noise-aware runs
+    /// — the confidence distribution with its polarization fraction.
+    pub telemetry: Vec<EpochTelemetry>,
 }
 
 /// Train PGE on a dataset's training split.
 pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
+    train_pge_with_log(dataset, cfg, None)
+}
+
+/// [`train_pge`], streaming each epoch's telemetry into `log` as it
+/// completes (so a killed run keeps every finished epoch).
+pub fn train_pge_with_log(dataset: &Dataset, cfg: &PgeConfig, log: Option<&RunLog>) -> TrainedPge {
     let start = Instant::now();
     let graph = &dataset.graph;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // 1. Corpus + word2vec initialization (§3.1).
-    let corpus = crate::corpus::build_corpus(graph, &dataset.train);
+    let corpus = {
+        let _s = span("train.corpus");
+        crate::corpus::build_corpus(graph, &dataset.train)
+    };
     let scorer = Scorer::new(cfg.score, cfg.gamma);
     let encoder = match cfg.encoder {
         EncoderKind::Cnn => {
             let vectors = if cfg.word2vec_epochs > 0 {
+                let _s = span("train.word2vec");
                 train_word2vec(
                     &corpus.vocab,
                     &corpus.sentences,
@@ -211,10 +229,13 @@ pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
     let mut order: Vec<usize> = (0..dataset.train.len()).collect();
     let mut step: u64 = 0;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut telemetry = Vec::with_capacity(cfg.epochs);
     let mut dh = vec![0.0f32; ent_dim];
     let mut dr = vec![0.0f32; model.scorer.rel_dim(ent_dim)];
     let mut dv = vec![0.0f32; ent_dim];
     for epoch in 0..cfg.epochs {
+        let _epoch_span = span("train.epoch");
+        let epoch_start = Instant::now();
         // Fisher–Yates shuffle.
         for i in (1..order.len()).rev() {
             order.swap(i, rng.gen_range(0..=i));
@@ -222,6 +243,7 @@ pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
         let confidence_active = cfg.noise_aware && epoch >= cfg.confidence_warmup;
         let mut loss_sum = 0.0f64;
         let mut loss_n = 0usize;
+        let mut negs_drawn = 0usize;
         for batch in order.chunks(cfg.batch.max(1)) {
             step += 1;
             for &i in batch {
@@ -237,6 +259,7 @@ pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
                 if negs.is_empty() {
                     continue;
                 }
+                negs_drawn += negs.len();
                 // Loss bookkeeping (Eq. 3 per-triple term).
                 let mut l_i = -ops::log_sigmoid(f_pos);
                 let w = if confidence_active {
@@ -290,6 +313,26 @@ pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
         } else {
             (loss_sum / loss_n as f64) as f32
         });
+        let secs = epoch_start.elapsed().as_secs_f64();
+        let t = EpochTelemetry {
+            epoch,
+            mean_loss: *epoch_losses.last().unwrap(),
+            triples: loss_n,
+            negatives: negs_drawn,
+            secs,
+            triples_per_sec: if secs > 0.0 {
+                loss_n as f64 / secs
+            } else {
+                0.0
+            },
+            confidence: cfg
+                .noise_aware
+                .then(|| confidence.telemetry(CONFIDENCE_HIST_BINS)),
+        };
+        if let Some(log) = log {
+            log.write(&epoch_event(&t));
+        }
+        telemetry.push(t);
     }
 
     TrainedPge {
@@ -297,6 +340,7 @@ pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
         confidence,
         train_secs: start.elapsed().as_secs_f64(),
         epoch_losses,
+        telemetry,
     }
 }
 
@@ -455,6 +499,97 @@ mod tests {
             mean_clean > mean_noisy,
             "clean {mean_clean} vs noisy {mean_noisy}"
         );
+    }
+
+    #[test]
+    fn telemetry_tracks_confidence_polarization() {
+        let mut d = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(99);
+        let (noisy, clean) = pge_graph::inject_noise(&d.graph, &d.train, 0.2, &mut rng);
+        d.train = noisy;
+        d.train_clean = clean;
+        // A stronger β than the defaults so re-polarization completes
+        // within the test's epoch budget (the dynamic, not the speed,
+        // is what's under test).
+        let cfg = PgeConfig {
+            epochs: 20,
+            beta: 0.3,
+            confidence_lr: 0.1,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        assert_eq!(out.telemetry.len(), cfg.epochs);
+        for (i, t) in out.telemetry.iter().enumerate() {
+            assert_eq!(t.epoch, i);
+            assert_eq!(t.mean_loss, out.epoch_losses[i]);
+            assert!(t.triples > 0 && t.negatives >= t.triples);
+            let conf = t.confidence.as_ref().expect("noise-aware run");
+            assert_eq!(conf.hist.iter().sum::<u64>() as usize, d.train.len());
+        }
+        // During warmup every C sits at its 1.0 init → fully polarized.
+        let frac = |e: usize| out.telemetry[e].confidence.as_ref().unwrap().polarized_frac;
+        for e in 0..cfg.confidence_warmup {
+            assert_eq!(frac(e), 1.0, "epoch {e} is pre-activation");
+        }
+        // Activation moves scores off the pole; by the end the β term
+        // has re-polarized most of them (the Eq. 6 dynamic).
+        let post: Vec<f32> = (cfg.confidence_warmup..cfg.epochs).map(frac).collect();
+        let dip = post.iter().copied().fold(f32::INFINITY, f32::min);
+        let last = *post.last().unwrap();
+        assert!(dip < 1.0, "confidence never left the pole: {post:?}");
+        assert!(
+            last > dip && last > 0.5,
+            "polarization did not recover: dip {dip}, last {last}, trend {post:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_confidence_absent_without_noise_aware() {
+        let d = tiny_dataset();
+        let cfg = PgeConfig {
+            noise_aware: false,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        assert_eq!(out.telemetry.len(), cfg.epochs);
+        assert!(out.telemetry.iter().all(|t| t.confidence.is_none()));
+    }
+
+    #[test]
+    fn train_with_log_streams_epoch_events() {
+        use pge_obs::json::parse;
+        use std::io;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let d = tiny_dataset();
+        let buf = Buf::default();
+        let log = RunLog::to_writer(buf.clone());
+        let cfg = PgeConfig::tiny();
+        let out = train_pge_with_log(&d, &cfg, Some(&log));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), cfg.epochs);
+        for (i, line) in lines.iter().enumerate() {
+            let e = parse(line).unwrap();
+            assert_eq!(e.get("event").unwrap().as_str(), Some("epoch"));
+            assert_eq!(e.get("epoch").unwrap().as_f64(), Some(i as f64));
+            assert_eq!(
+                e.get("mean_loss").unwrap().as_f64(),
+                Some(out.epoch_losses[i] as f64)
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! Fixed-range histograms (Fig. 5's confidence-score distributions)
-//! and a lock-free variant for concurrent latency recording.
+//! Fixed-range histograms (Fig. 5's confidence-score distributions).
+//!
+//! The lock-free [`AtomicHistogram`] used for concurrent latency
+//! recording lives in `pge-obs` now (every subsystem shares it); it is
+//! re-exported here so existing `pge_eval::AtomicHistogram` callers
+//! keep compiling.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use pge_obs::AtomicHistogram;
 
 /// A histogram over a fixed `[lo, hi]` range with uniform bins.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,112 +99,6 @@ impl Histogram {
     }
 }
 
-/// A histogram with explicit ascending bucket upper bounds that can
-/// be observed from many threads without locking — `observe` is two
-/// relaxed atomic adds, so it is safe on a request hot path. Built
-/// for latency tracking (Prometheus-style cumulative `le` buckets),
-/// but the value domain is arbitrary.
-#[derive(Debug)]
-pub struct AtomicHistogram {
-    /// Ascending upper bounds; values above the last bound land in an
-    /// implicit `+Inf` bucket.
-    bounds: Vec<f64>,
-    /// One counter per bound plus the `+Inf` overflow bucket.
-    counts: Vec<AtomicU64>,
-    /// Sum of observations in fixed-point microunits (value × 1e6),
-    /// so the hot path needs no float CAS loop.
-    sum_micro: AtomicU64,
-}
-
-impl AtomicHistogram {
-    /// # Panics
-    /// Panics if `bounds` is empty, non-finite, or not strictly
-    /// ascending.
-    pub fn new(bounds: Vec<f64>) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bound");
-        assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
-            "bounds must be finite and strictly ascending"
-        );
-        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
-        AtomicHistogram {
-            bounds,
-            counts,
-            sum_micro: AtomicU64::new(0),
-        }
-    }
-
-    /// Geometric bucket ladder `start, start*factor, ...` — the usual
-    /// shape for latencies, where tail resolution matters at every
-    /// scale.
-    ///
-    /// # Panics
-    /// Panics unless `start > 0`, `factor > 1`, and `n >= 1`.
-    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
-        assert!(start > 0.0 && factor > 1.0 && n >= 1, "bad bucket ladder");
-        let mut bounds = Vec::with_capacity(n);
-        let mut b = start;
-        for _ in 0..n {
-            bounds.push(b);
-            b *= factor;
-        }
-        AtomicHistogram::new(bounds)
-    }
-
-    /// Record one observation. Negative values count toward the first
-    /// bucket (and clamp to 0 in the sum).
-    pub fn observe(&self, x: f64) {
-        let ix = self.bounds.partition_point(|b| *b < x);
-        self.counts[ix].fetch_add(1, Ordering::Relaxed);
-        let micro = (x.max(0.0) * 1e6) as u64;
-        self.sum_micro.fetch_add(micro, Ordering::Relaxed);
-    }
-
-    pub fn bounds(&self) -> &[f64] {
-        &self.bounds
-    }
-
-    /// Per-bucket counts (last entry is the `+Inf` bucket). A racing
-    /// `observe` may or may not be included — each counter is read
-    /// atomically but the vector is not a consistent snapshot.
-    pub fn bucket_counts(&self) -> Vec<u64> {
-        self.counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect()
-    }
-
-    pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Sum of observations (microunit resolution).
-    pub fn sum(&self) -> f64 {
-        self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0 <= q <= 1`), i.e. a conservative estimate in bucket
-    /// resolution. Observations beyond the last bound report the last
-    /// bound. Returns `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<f64> {
-        let counts = self.bucket_counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (ix, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Some(self.bounds[ix.min(self.bounds.len() - 1)]);
-            }
-        }
-        Some(self.bounds[self.bounds.len() - 1])
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,56 +147,21 @@ mod tests {
     }
 
     #[test]
-    fn atomic_buckets_and_overflow() {
-        let h = AtomicHistogram::new(vec![1.0, 10.0, 100.0]);
-        for x in [0.5, 1.0, 5.0, 50.0, 500.0] {
-            h.observe(x);
-        }
-        // partition_point(< x): exact bound values land in their own
-        // bucket (le semantics).
-        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
-        assert_eq!(h.count(), 5);
-        assert!((h.sum() - 556.5).abs() < 1e-3);
+    fn single_bin_histogram_saturates_correctly() {
+        let mut h = Histogram::unit(1);
+        h.add_all([0.0, 0.5, 1.0, 2.0, -1.0]);
+        assert_eq!(h.counts(), &[5]);
+        assert!((h.fraction_below(1.0) - 1.0).abs() < 1e-6);
     }
 
     #[test]
-    fn atomic_quantiles() {
-        let h = AtomicHistogram::exponential(1.0, 2.0, 8); // 1,2,4,...,128
-        for _ in 0..90 {
-            h.observe(1.5); // bucket le=2
-        }
-        for _ in 0..10 {
-            h.observe(100.0); // bucket le=128
-        }
-        assert_eq!(h.quantile(0.5), Some(2.0));
-        assert_eq!(h.quantile(0.99), Some(128.0));
-        assert_eq!(
-            AtomicHistogram::exponential(1.0, 2.0, 3).quantile(0.5),
-            None
-        );
-    }
-
-    #[test]
-    fn atomic_observe_is_thread_safe() {
-        let h = AtomicHistogram::exponential(1e-6, 4.0, 12);
-        std::thread::scope(|s| {
-            for t in 0..8 {
-                let h = &h;
-                s.spawn(move || {
-                    for i in 0..1000 {
-                        h.observe((t * 1000 + i) as f64 * 1e-6);
-                    }
-                });
-            }
-        });
-        assert_eq!(h.count(), 8000);
-    }
-
-    #[test]
-    fn values_beyond_last_bound_report_last_bound() {
-        let h = AtomicHistogram::new(vec![1.0]);
-        h.observe(99.0);
-        assert_eq!(h.quantile(0.5), Some(1.0));
+    fn reexported_atomic_histogram_still_works() {
+        // The shared implementation moved to pge-obs; the old path
+        // must keep functioning for downstream callers.
+        let h = AtomicHistogram::exponential(1e-4, 2.0, 4);
+        h.observe(2e-4);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), Some(2e-4));
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! A lock-free histogram for concurrent latency/value recording.
+//!
+//! Moved here from `pge-eval` (which re-exports it) so that metrics
+//! registries, span timers, and the serving stack share one
+//! implementation. `observe` is two relaxed atomic adds, so it is
+//! safe on a request hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A histogram with explicit ascending bucket upper bounds that can
+/// be observed from many threads without locking. Built for latency
+/// tracking (Prometheus-style cumulative `le` buckets), but the value
+/// domain is arbitrary.
+///
+/// Edge-case contract:
+/// * `NaN` observations are dropped (counted nowhere) — they carry no
+///   ordering information, and Prometheus clients do the same;
+/// * `+Inf` (and any value beyond the last bound) lands in the
+///   overflow bucket, visible via [`AtomicHistogram::overflow_count`];
+/// * the running sum saturates instead of wrapping, and each
+///   observation's contribution is clamped to what fits in the
+///   fixed-point accumulator.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    /// Ascending upper bounds; values above the last bound land in an
+    /// implicit `+Inf` bucket.
+    bounds: Vec<f64>,
+    /// One counter per bound plus the `+Inf` overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations in fixed-point microunits (value × 1e6),
+    /// so the hot path needs no float CAS loop.
+    sum_micro: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite and strictly ascending"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        AtomicHistogram {
+            bounds,
+            counts,
+            sum_micro: AtomicU64::new(0),
+        }
+    }
+
+    /// Geometric bucket ladder `start, start*factor, ...` — the usual
+    /// shape for latencies, where tail resolution matters at every
+    /// scale.
+    ///
+    /// # Panics
+    /// Panics unless `start > 0`, `factor > 1`, and `n >= 1`.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n >= 1, "bad bucket ladder");
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        AtomicHistogram::new(bounds)
+    }
+
+    /// Record one observation. Negative values count toward the first
+    /// bucket (and clamp to 0 in the sum); `NaN` is dropped.
+    pub fn observe(&self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let ix = self.bounds.partition_point(|b| *b < x);
+        self.counts[ix].fetch_add(1, Ordering::Relaxed);
+        // Clamp the fixed-point contribution so one huge observation
+        // cannot wrap the accumulator on its own; saturate the sum so
+        // long-running processes degrade to "pegged" rather than
+        // wrapping to nonsense.
+        let micro = (x.max(0.0) * 1e6).min(u64::MAX as f64 / 2.0) as u64;
+        let _ = self
+            .sum_micro
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(micro))
+            });
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the `+Inf` bucket). A racing
+    /// `observe` may or may not be included — each counter is read
+    /// atomically but the vector is not a consistent snapshot.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Observations that exceeded the last bound (the `+Inf` bucket).
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[self.counts.len() - 1].load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (microunit resolution, saturating).
+    pub fn sum(&self) -> f64 {
+        self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0 <= q <= 1`), i.e. a conservative estimate in bucket
+    /// resolution. Quantiles that land in the overflow bucket report
+    /// the last bound — the histogram cannot resolve beyond it (check
+    /// [`AtomicHistogram::overflow_count`] when that matters).
+    /// Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (ix, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bounds[ix.min(self.bounds.len() - 1)]);
+            }
+        }
+        Some(self.bounds[self.bounds.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_buckets_and_overflow() {
+        let h = AtomicHistogram::new(vec![1.0, 10.0, 100.0]);
+        for x in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            h.observe(x);
+        }
+        // partition_point(< x): exact bound values land in their own
+        // bucket (le semantics).
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.overflow_count(), 1);
+        assert!((h.sum() - 556.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn atomic_quantiles() {
+        let h = AtomicHistogram::exponential(1.0, 2.0, 8); // 1,2,4,...,128
+        for _ in 0..90 {
+            h.observe(1.5); // bucket le=2
+        }
+        for _ in 0..10 {
+            h.observe(100.0); // bucket le=128
+        }
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.99), Some(128.0));
+        assert_eq!(
+            AtomicHistogram::exponential(1.0, 2.0, 3).quantile(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn atomic_observe_is_thread_safe() {
+        let h = AtomicHistogram::exponential(1e-6, 4.0, 12);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 * 1e-6);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn values_beyond_last_bound_report_last_bound() {
+        let h = AtomicHistogram::new(vec![1.0]);
+        h.observe(99.0);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.overflow_count(), 1);
+    }
+
+    #[test]
+    fn single_bucket_saturation_stays_consistent() {
+        let h = AtomicHistogram::new(vec![2.5]);
+        for _ in 0..100 {
+            h.observe(1.0); // in-range
+        }
+        for _ in 0..100 {
+            h.observe(1e9); // all overflow
+        }
+        assert_eq!(h.count(), 200);
+        assert_eq!(h.overflow_count(), 100);
+        assert_eq!(h.bucket_counts(), vec![100, 100]);
+        // Every resolvable quantile reports the only bound.
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(2.5));
+        }
+    }
+
+    #[test]
+    fn nan_is_dropped_and_infinity_overflows() {
+        let h = AtomicHistogram::new(vec![1.0, 2.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        h.observe(f64::INFINITY);
+        assert_eq!((h.count(), h.overflow_count()), (1, 1));
+        assert!(h.sum().is_finite());
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = AtomicHistogram::new(vec![1.0]);
+        for _ in 0..4 {
+            h.observe(f64::MAX);
+        }
+        assert_eq!(h.count(), 4);
+        // Saturated, not wrapped: the sum is pegged at the max.
+        assert!(h.sum() >= u64::MAX as f64 / 2.0 / 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram needs at least one bound")]
+    fn rejects_empty_bounds() {
+        let _ = AtomicHistogram::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_bounds() {
+        let _ = AtomicHistogram::new(vec![2.0, 1.0]);
+    }
+}

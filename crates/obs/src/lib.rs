@@ -1,0 +1,42 @@
+//! `pge-obs` — unified observability for the PGE stack.
+//!
+//! Zero-dependency building blocks shared by training, evaluation,
+//! serving, and benchmarking:
+//!
+//! * [`registry`] — a [`MetricsRegistry`] of named counters, gauges,
+//!   and histograms with a Prometheus text renderer;
+//! * [`hist`] — the lock-free [`AtomicHistogram`] (moved here from
+//!   `pge-eval`, which re-exports it);
+//! * [`span`] — hierarchical [`span`](span()) timers with near-zero
+//!   cost while disabled;
+//! * [`runlog`] — the [`RunLog`] JSONL event sink and the typed
+//!   events it records (run manifest, per-epoch training telemetry
+//!   with the Eq. 6 confidence-polarization diagnostic, eval results,
+//!   serve snapshots, span totals);
+//! * [`report`] — the `pge report` renderer over a run log;
+//! * [`json`] — the shared JSON parser/serializer (re-exported by
+//!   `pge-serve` for its wire protocol);
+//! * [`manifest`] — wall-clock and git-revision stamps.
+//!
+//! Metric naming convention: `pge_<subsystem>_<name>{_unit}` — see
+//! DESIGN.md §11 for the full schema.
+
+pub mod hist;
+pub mod json;
+pub mod manifest;
+pub mod registry;
+pub mod report;
+pub mod runlog;
+pub mod span;
+
+pub use hist::AtomicHistogram;
+pub use manifest::{git_rev, unix_time_ms};
+pub use registry::{global, Counter, Gauge, MetricsRegistry};
+pub use report::{render_report, sparkline};
+pub use runlog::{
+    epoch_event, eval_event, manifest_event, serve_event, spans_event, ConfidenceTelemetry,
+    EpochTelemetry, EvalTelemetry, RunLog,
+};
+pub use span::{
+    reset_spans, set_spans_enabled, span, span_snapshot, spans_enabled, SpanGuard, SpanRecord,
+};

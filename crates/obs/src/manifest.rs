@@ -1,0 +1,83 @@
+//! Run-manifest helpers: wall-clock stamps and the source revision,
+//! resolved without shelling out to `git`.
+
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_time_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// The current git commit hash, read straight from `.git` (searching
+/// upward from the working directory). `None` outside a repository or
+/// on any read failure — manifests degrade, they don't fail.
+pub fn git_rev() -> Option<String> {
+    let start = std::env::current_dir().ok()?;
+    git_rev_from(&start)
+}
+
+/// As [`git_rev`], searching upward from `start`.
+pub fn git_rev_from(start: &Path) -> Option<String> {
+    let mut dir: Option<&Path> = Some(start);
+    while let Some(d) = dir {
+        let git = d.join(".git");
+        if git.is_dir() {
+            return read_head(&git);
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn read_head(git_dir: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        let direct = git_dir.join(refname);
+        if let Ok(hash) = std::fs::read_to_string(direct) {
+            return valid_hash(hash.trim()).map(str::to_string);
+        }
+        // Packed refs: `<hash> <refname>` lines.
+        let packed = std::fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+        packed.lines().find_map(|l| {
+            let (hash, name) = l.split_once(' ')?;
+            (name == refname && valid_hash(hash).is_some()).then(|| hash.to_string())
+        })
+    } else {
+        valid_hash(head).map(str::to_string)
+    }
+}
+
+fn valid_hash(s: &str) -> Option<&str> {
+    (s.len() >= 7 && s.chars().all(|c| c.is_ascii_hexdigit())).then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_is_sane() {
+        let t = unix_time_ms();
+        // After 2020-01-01 and before 2100.
+        assert!(t > 1_577_836_800_000 && t < 4_102_444_800_000, "{t}");
+    }
+
+    #[test]
+    fn git_rev_resolves_in_this_repo() {
+        // The workspace is a git repository; the hash must parse.
+        if let Some(rev) = git_rev() {
+            assert!(rev.len() >= 7, "{rev}");
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn missing_repo_yields_none() {
+        assert_eq!(git_rev_from(Path::new("/nonexistent/nowhere")), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! A registry of named counters, gauges, and histograms with a
+//! Prometheus text renderer (exposition format 0.0.4).
+//!
+//! Naming convention: `pge_<subsystem>_<name>{_unit}` — e.g.
+//! `pge_serve_stage_encode_seconds`, `pge_train_epochs_total`. The
+//! registry enforces the character set (Prometheus' `[a-zA-Z0-9_:]`)
+//! and that one name keeps one kind for the life of the process.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`AtomicHistogram`]) are `Arc`s:
+//! register once at startup, stash the handle, and update it on the
+//! hot path with relaxed atomics — the registry lock is only taken at
+//! registration and render time.
+
+use crate::hist::AtomicHistogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value — only for mirroring an *external* monotone
+    /// source (e.g. a cache's own hit counter) into the registry just
+    /// before rendering; never mix with `inc`/`add` on the same
+    /// counter.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as `f64` bits in
+/// an atomic so `set`/`get` need no lock.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A set of named metrics rendered together. Most binaries use one
+/// registry per process ([`global`]); `pge-serve` owns one per server
+/// so concurrently running servers (e.g. in tests) don't share state.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Entry>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    /// Panics on an invalid metric name or if `name` is already
+    /// registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.register(name, help, || Metric::Counter(Arc::default())) {
+            Metric::Counter(c) => c,
+            m => panic!("metric {name} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    /// As [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.register(name, help, || Metric::Gauge(Arc::default())) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric {name} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name`; `bounds` only apply on
+    /// first registration.
+    ///
+    /// # Panics
+    /// As [`MetricsRegistry::counter`], or if `bounds` are invalid on
+    /// first registration.
+    pub fn histogram(&self, name: &str, help: &str, bounds: Vec<f64>) -> Arc<AtomicHistogram> {
+        match self.register(name, help, || {
+            Metric::Histogram(Arc::new(AtomicHistogram::new(bounds)))
+        }) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric {name} already registered as a {}", m.kind()),
+        }
+    }
+
+    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut map = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: make(),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Metric::Counter(c.clone()),
+            Metric::Gauge(g) => Metric::Gauge(g.clone()),
+            Metric::Histogram(h) => Metric::Histogram(h.clone()),
+        }
+    }
+
+    /// Render every metric in the Prometheus text format, sorted by
+    /// name.
+    pub fn render(&self) -> String {
+        let map = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, entry) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", entry.help);
+            let _ = writeln!(out, "# TYPE {name} {}", entry.metric.kind());
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (bound, c) in h.bounds().iter().zip(&counts) {
+                        cumulative += c;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    cumulative += counts.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {cumulative}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry. Binaries that expose one metrics
+/// endpoint (or print one report) per process register here.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("pge_test_items_total", "Items seen.");
+        c.inc();
+        c.add(2);
+        let g = r.gauge("pge_test_resident", "Resident entries.");
+        g.set(7.5);
+        let text = r.render();
+        assert!(
+            text.contains("# TYPE pge_test_items_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("pge_test_items_total 3"));
+        assert!(text.contains("# TYPE pge_test_resident gauge"));
+        assert!(text.contains("pge_test_resident 7.5"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("pge_test_latency_seconds", "Latency.", vec![0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.render();
+        assert!(
+            text.contains("pge_test_latency_seconds_bucket{le=\"0.1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pge_test_latency_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("pge_test_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("pge_test_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn reregistration_returns_same_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("pge_x_total", "x");
+        let b = r.counter("pge_x_total", "different help ignored");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn output_is_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("pge_b_total", "b");
+        r.counter("pge_a_total", "a");
+        let text = r.render();
+        let a = text.find("pge_a_total").unwrap();
+        let b = text.find("pge_b_total").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("pge_x_total", "x");
+        r.gauge("pge_x_total", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_rejected() {
+        MetricsRegistry::new().counter("pge metrics with spaces", "nope");
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let c = global().counter("pge_global_probe_total", "probe");
+        c.inc();
+        assert_eq!(global().counter("pge_global_probe_total", "probe").get(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! `pge report` — turn a JSONL run log into a human-readable summary:
+//! loss-curve sparkline, confidence-polarization trend, eval metrics,
+//! serve latency quantiles, and the hottest spans.
+
+use crate::json::{parse, Json};
+use std::fmt::Write as _;
+
+const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a Unicode block sparkline (empty input → "").
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return '·';
+            }
+            if hi <= lo {
+                return TICKS[3];
+            }
+            let t = (v - lo) / (hi - lo);
+            TICKS[((t * (TICKS.len() - 1) as f64).round() as usize).min(TICKS.len() - 1)]
+        })
+        .collect()
+}
+
+fn num(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+/// Summarize a whole run log. Lines that fail to parse are counted
+/// and reported, not fatal — a truncated tail (crashed run) must not
+/// hide the epochs that did complete.
+pub fn render_report(jsonl: &str) -> Result<String, String> {
+    let mut manifests: Vec<Json> = Vec::new();
+    let mut epochs: Vec<Json> = Vec::new();
+    let mut evals: Vec<Json> = Vec::new();
+    let mut serves: Vec<Json> = Vec::new();
+    let mut spans: Vec<Json> = Vec::new();
+    let mut bad_lines = 0usize;
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(v) = parse(line) else {
+            bad_lines += 1;
+            continue;
+        };
+        match v.get("event").and_then(Json::as_str) {
+            Some("manifest") => manifests.push(v),
+            Some("epoch") => epochs.push(v),
+            Some("eval") => evals.push(v),
+            Some("serve") => serves.push(v),
+            Some("spans") => spans.push(v),
+            _ => bad_lines += 1,
+        }
+    }
+    if manifests.is_empty() && epochs.is_empty() && evals.is_empty() && serves.is_empty() {
+        return Err("no recognizable run-log events".into());
+    }
+
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "pge run report");
+    let _ = writeln!(w, "==============");
+    for m in &manifests {
+        let kind = m.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let seed = num(m, "seed").unwrap_or(f64::NAN);
+        let rev = m
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .map(|r| r.chars().take(10).collect::<String>())
+            .unwrap_or_else(|| "unknown".into());
+        let _ = writeln!(w, "run: {kind}  seed {seed}  git {rev}");
+        if let Some(Json::Obj(pairs)) = m.get("config") {
+            for (k, v) in pairs {
+                if let Json::Str(s) = v {
+                    let _ = writeln!(w, "  {k} = {s}");
+                }
+            }
+        }
+    }
+
+    if !epochs.is_empty() {
+        let losses: Vec<f64> = epochs.iter().filter_map(|e| num(e, "mean_loss")).collect();
+        let tput: Vec<f64> = epochs
+            .iter()
+            .filter_map(|e| num(e, "triples_per_sec"))
+            .collect();
+        let _ = writeln!(w, "\ntraining: {} epochs", epochs.len());
+        if let (Some(first), Some(last)) = (losses.first(), losses.last()) {
+            let _ = writeln!(
+                w,
+                "  loss   {first:.4} -> {last:.4}   {}",
+                sparkline(&losses)
+            );
+        }
+        if !tput.is_empty() {
+            let mean = tput.iter().sum::<f64>() / tput.len() as f64;
+            let _ = writeln!(w, "  speed  {mean:.0} triples/s mean");
+        }
+        let polar: Vec<f64> = epochs
+            .iter()
+            .filter_map(|e| e.get("confidence").and_then(|c| num(c, "polarized_frac")))
+            .collect();
+        if let (Some(first), Some(last)) = (polar.first(), polar.last()) {
+            let _ = writeln!(
+                w,
+                "  confidence polarization {first:.3} -> {last:.3}   {}",
+                sparkline(&polar)
+            );
+        } else {
+            let _ = writeln!(w, "  confidence: noise-aware mechanism off");
+        }
+        if let Some(md) = epochs
+            .last()
+            .and_then(|e| e.get("confidence").and_then(|c| num(c, "marked_down_frac")))
+        {
+            let _ = writeln!(w, "  marked down {:.1}% of training triples", md * 100.0);
+        }
+    }
+
+    for e in &evals {
+        let _ = write!(w, "\neval: ");
+        match num(e, "pr_auc") {
+            Some(auc) => {
+                let _ = write!(w, "PR AUC {auc:.3}  ");
+            }
+            None => {
+                let _ = write!(w, "PR AUC n/a  ");
+            }
+        }
+        let _ = writeln!(
+            w,
+            "threshold {:.3}  valid acc {:.3}  ({} test triples)",
+            num(e, "threshold").unwrap_or(f64::NAN),
+            num(e, "valid_accuracy").unwrap_or(f64::NAN),
+            num(e, "test_triples").unwrap_or(0.0)
+        );
+    }
+
+    for s in &serves {
+        let _ = writeln!(
+            w,
+            "\nserve: {} requests, {} items, {} batches, {} rejected",
+            num(s, "requests_total").unwrap_or(0.0),
+            num(s, "items_total").unwrap_or(0.0),
+            num(s, "batches_total").unwrap_or(0.0),
+            num(s, "rejected_total").unwrap_or(0.0),
+        );
+        if let (Some(p50), Some(p99)) = (num(s, "latency_p50_ms"), num(s, "latency_p99_ms")) {
+            let _ = writeln!(w, "  latency p50 {p50:.2} ms  p99 {p99:.2} ms");
+        }
+        if let (Some(h), Some(m)) = (num(s, "cache_hits"), num(s, "cache_misses")) {
+            let rate = if h + m > 0.0 {
+                h / (h + m) * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(w, "  cache hit rate {rate:.1}%  ({h} hits / {m} misses)");
+        }
+    }
+
+    // Merge every spans event: each command in a shared pipeline file
+    // (train, then detect, then serve) snapshots its own process.
+    let mut merged: std::collections::BTreeMap<String, (f64, f64)> =
+        std::collections::BTreeMap::new();
+    for ev in &spans {
+        if let Some(Json::Arr(items)) = ev.get("spans") {
+            for s in items {
+                let (Some(path), Some(count), Some(total)) = (
+                    s.get("path").and_then(Json::as_str),
+                    num(s, "count"),
+                    num(s, "total_secs"),
+                ) else {
+                    continue;
+                };
+                let e = merged.entry(path.to_string()).or_insert((0.0, 0.0));
+                e.0 += count;
+                e.1 += total;
+            }
+        }
+    }
+    if !merged.is_empty() {
+        let mut rows: Vec<(String, f64, f64)> =
+            merged.into_iter().map(|(p, (c, t))| (p, c, t)).collect();
+        rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+        let _ = writeln!(w, "\nspans (by total time):");
+        for (path, count, total) in rows.iter().take(10) {
+            let _ = writeln!(w, "  {total:>9.3}s  x{count:<6} {path}");
+        }
+    }
+
+    if bad_lines > 0 {
+        let _ = writeln!(w, "\n({bad_lines} unrecognized/corrupt lines skipped)");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runlog::{
+        epoch_event, eval_event, manifest_event, serve_event, ConfidenceTelemetry, EpochTelemetry,
+        EvalTelemetry,
+    };
+
+    fn sample_log() -> String {
+        let mut lines = Vec::new();
+        lines.push(manifest_event("train", 13, &[("epochs".into(), "3".into())]).to_string());
+        for (i, loss) in [1.5, 0.9, 0.4].iter().enumerate() {
+            lines.push(
+                epoch_event(&EpochTelemetry {
+                    epoch: i,
+                    mean_loss: *loss,
+                    triples: 100,
+                    negatives: 300,
+                    secs: 0.5,
+                    triples_per_sec: 200.0,
+                    confidence: Some(ConfidenceTelemetry {
+                        mean: 0.9,
+                        polarized_frac: 0.5 + 0.1 * i as f32,
+                        marked_down_frac: 0.05,
+                        hist: vec![5, 0, 95],
+                    }),
+                })
+                .to_string(),
+            );
+        }
+        lines.push(
+            eval_event(&EvalTelemetry {
+                pr_auc: Some(0.91),
+                threshold: -3.2,
+                valid_accuracy: 0.95,
+                test_triples: 40,
+            })
+            .to_string(),
+        );
+        lines.push(
+            serve_event(&[
+                ("requests_total", 120.0),
+                ("items_total", 480.0),
+                ("batches_total", 30.0),
+                ("rejected_total", 0.0),
+                ("latency_p50_ms", 2.1),
+                ("latency_p99_ms", 8.4),
+                ("cache_hits", 400.0),
+                ("cache_misses", 80.0),
+            ])
+            .to_string(),
+        );
+        lines.join("\n") + "\n"
+    }
+
+    #[test]
+    fn renders_all_sections() {
+        let report = render_report(&sample_log()).unwrap();
+        assert!(report.contains("pge run report"), "{report}");
+        assert!(report.contains("run: train  seed 13"));
+        assert!(report.contains("training: 3 epochs"));
+        assert!(report.contains("loss   1.5000 -> 0.4000"));
+        assert!(report.contains("confidence polarization 0.500 -> 0.700"));
+        assert!(report.contains("PR AUC 0.910"));
+        assert!(report.contains("serve: 120 requests"));
+        assert!(report.contains("p99 8.40 ms"));
+        assert!(report.contains("cache hit rate 83.3%"));
+    }
+
+    #[test]
+    fn spans_from_multiple_commands_are_merged() {
+        // Two processes snapshotting into one pipeline file: the
+        // report must show both, summing any shared paths.
+        let log = concat!(
+            r#"{"event":"manifest","ts_ms":1,"kind":"train","seed":1,"git_rev":null,"version":"0","config":{}}"#,
+            "\n",
+            r#"{"event":"spans","ts_ms":2,"spans":[{"path":"train.epoch","count":3,"total_secs":2.5}]}"#,
+            "\n",
+            r#"{"event":"spans","ts_ms":3,"spans":[{"path":"detect.score","count":2,"total_secs":0.5},{"path":"train.epoch","count":1,"total_secs":0.5}]}"#,
+            "\n"
+        );
+        let report = render_report(log).unwrap();
+        assert!(report.contains("train.epoch"), "{report}");
+        assert!(report.contains("detect.score"), "{report}");
+        assert!(report.contains("3.000s  x4"), "{report}");
+    }
+
+    #[test]
+    fn corrupt_tail_is_skipped_not_fatal() {
+        let log = sample_log() + "{\"event\":\"epoch\",\"mean_lo";
+        let report = render_report(&log).unwrap();
+        assert!(report.contains("1 unrecognized/corrupt lines skipped"));
+        assert!(report.contains("training: 3 epochs"));
+    }
+
+    #[test]
+    fn empty_log_is_an_error() {
+        assert!(render_report("").is_err());
+        assert!(render_report("not json\n").is_err());
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0]), "▄▄");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+        assert_eq!(sparkline(&[f64::NAN, 1.0]).chars().next(), Some('·'));
+    }
+}

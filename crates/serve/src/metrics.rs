@@ -1,122 +1,130 @@
-//! Service counters and the Prometheus text exposition.
+//! Service metrics on the shared `pge-obs` registry.
+//!
+//! Every counter/gauge/histogram is registered in a per-server
+//! [`MetricsRegistry`] (servers in one process — e.g. tests — must
+//! not share state) and rendered by the registry's Prometheus text
+//! renderer. The pre-registry metric names are load-bearing
+//! (dashboards scrape them): `/metrics` output must stay a superset
+//! of them — see `legacy_names_still_exposed`.
+//!
+//! New in the per-stage latency breakdown (all histograms, seconds):
+//!
+//! * `pge_serve_stage_queue_wait_seconds` — enqueue → worker pickup;
+//! * `pge_serve_stage_batch_assembly_seconds` — flattening one
+//!   micro-batch (per batch);
+//! * `pge_serve_stage_encode_seconds` — one encoder forward pass
+//!   (observed per embedding-cache miss; hits skip the encoder);
+//! * `pge_serve_stage_score_seconds` — scoring one micro-batch
+//!   (includes encode time for any misses inside the batch).
 
 use pge_core::EmbeddingCache;
-use pge_eval::AtomicHistogram;
-use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use pge_obs::{AtomicHistogram, Counter, Gauge, MetricsRegistry};
+use std::sync::Arc;
 
 pub struct Metrics {
+    registry: MetricsRegistry,
     /// Accepted `POST /v1/score` requests (excludes rejects).
-    pub requests_total: AtomicU64,
+    pub requests_total: Arc<Counter>,
     /// Triples scored.
-    pub items_total: AtomicU64,
+    pub items_total: Arc<Counter>,
     /// Micro-batches drained by workers.
-    pub batches_total: AtomicU64,
+    pub batches_total: Arc<Counter>,
     /// Requests shed with 503 (queue full).
-    pub rejected_total: AtomicU64,
+    pub rejected_total: Arc<Counter>,
     /// Requests refused with 4xx (malformed).
-    pub bad_requests_total: AtomicU64,
+    pub bad_requests_total: Arc<Counter>,
     /// End-to-end request latency (enqueue → reply ready), seconds.
-    pub latency: AtomicHistogram,
+    pub latency: Arc<AtomicHistogram>,
+    /// Stage: enqueue → worker pickup, per job.
+    pub stage_queue_wait: Arc<AtomicHistogram>,
+    /// Stage: micro-batch flattening, per batch.
+    pub stage_batch_assembly: Arc<AtomicHistogram>,
+    /// Stage: one encoder forward pass, per cache miss.
+    pub stage_encode: Arc<AtomicHistogram>,
+    /// Stage: micro-batch scoring, per batch.
+    pub stage_score: Arc<AtomicHistogram>,
+    // Mirrored from the EmbeddingCache's own atomics at render time.
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_resident: Arc<Gauge>,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
+        let r = MetricsRegistry::new();
+        // 100µs … ~6.5s in ×2 steps.
+        let latency_bounds = || {
+            let mut v = Vec::with_capacity(16);
+            let mut b = 1e-4;
+            for _ in 0..16 {
+                v.push(b);
+                b *= 2.0;
+            }
+            v
+        };
+        // Stages start finer: 10µs … ~0.65s.
+        let stage_bounds = || {
+            let mut v = Vec::with_capacity(16);
+            let mut b = 1e-5;
+            for _ in 0..16 {
+                v.push(b);
+                b *= 2.0;
+            }
+            v
+        };
         Metrics {
-            requests_total: AtomicU64::new(0),
-            items_total: AtomicU64::new(0),
-            batches_total: AtomicU64::new(0),
-            rejected_total: AtomicU64::new(0),
-            bad_requests_total: AtomicU64::new(0),
-            // 100µs … ~6.5s in ×2 steps.
-            latency: AtomicHistogram::exponential(1e-4, 2.0, 16),
+            requests_total: r.counter("pge_score_requests_total", "Accepted scoring requests."),
+            items_total: r.counter("pge_score_items_total", "Triples scored."),
+            batches_total: r.counter("pge_score_batches_total", "Micro-batches executed."),
+            rejected_total: r.counter(
+                "pge_score_rejected_total",
+                "Requests shed with 503 because the queue was full.",
+            ),
+            bad_requests_total: r.counter(
+                "pge_bad_requests_total",
+                "Malformed requests refused with 4xx.",
+            ),
+            latency: r.histogram(
+                "pge_request_latency_seconds",
+                "Request latency from enqueue to scored reply.",
+                latency_bounds(),
+            ),
+            stage_queue_wait: r.histogram(
+                "pge_serve_stage_queue_wait_seconds",
+                "Time a request waits in the bounded queue before a worker picks it up.",
+                stage_bounds(),
+            ),
+            stage_batch_assembly: r.histogram(
+                "pge_serve_stage_batch_assembly_seconds",
+                "Time to flatten and attr-resolve one micro-batch.",
+                stage_bounds(),
+            ),
+            stage_encode: r.histogram(
+                "pge_serve_stage_encode_seconds",
+                "One text-encoder forward pass (observed on embedding-cache misses).",
+                stage_bounds(),
+            ),
+            stage_score: r.histogram(
+                "pge_serve_stage_score_seconds",
+                "Scoring one micro-batch (includes encode time for misses in the batch).",
+                stage_bounds(),
+            ),
+            cache_hits: r.counter("pge_cache_hits_total", "Embedding cache hits."),
+            cache_misses: r.counter("pge_cache_misses_total", "Embedding cache misses."),
+            cache_resident: r.gauge("pge_cache_resident", "Embeddings currently cached."),
+            registry: r,
         }
     }
 }
 
 impl Metrics {
-    pub fn inc(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Render the Prometheus text format (version 0.0.4).
+    /// Render the Prometheus text format (version 0.0.4), mirroring
+    /// the cache's own counters into the registry first.
     pub fn render(&self, cache: &EmbeddingCache) -> String {
-        let mut out = String::new();
-        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
-        };
-        counter(
-            &mut out,
-            "pge_score_requests_total",
-            "Accepted scoring requests.",
-            self.requests_total.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "pge_score_items_total",
-            "Triples scored.",
-            self.items_total.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "pge_score_batches_total",
-            "Micro-batches executed.",
-            self.batches_total.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "pge_score_rejected_total",
-            "Requests shed with 503 because the queue was full.",
-            self.rejected_total.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "pge_bad_requests_total",
-            "Malformed requests refused with 4xx.",
-            self.bad_requests_total.load(Ordering::Relaxed),
-        );
-        counter(
-            &mut out,
-            "pge_cache_hits_total",
-            "Embedding cache hits.",
-            cache.hits(),
-        );
-        counter(
-            &mut out,
-            "pge_cache_misses_total",
-            "Embedding cache misses.",
-            cache.misses(),
-        );
-        let _ = writeln!(
-            out,
-            "# HELP pge_cache_resident Embeddings currently cached."
-        );
-        let _ = writeln!(out, "# TYPE pge_cache_resident gauge");
-        let _ = writeln!(out, "pge_cache_resident {}", cache.len());
-
-        let name = "pge_request_latency_seconds";
-        let _ = writeln!(
-            out,
-            "# HELP {name} Request latency from enqueue to scored reply."
-        );
-        let _ = writeln!(out, "# TYPE {name} histogram");
-        let counts = self.latency.bucket_counts();
-        let mut cumulative = 0u64;
-        for (bound, c) in self.latency.bounds().iter().zip(&counts) {
-            cumulative += c;
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
-        }
-        cumulative += counts.last().copied().unwrap_or(0);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-        let _ = writeln!(out, "{name}_sum {}", self.latency.sum());
-        let _ = writeln!(out, "{name}_count {cumulative}");
-        out
+        self.cache_hits.set(cache.hits());
+        self.cache_misses.set(cache.misses());
+        self.cache_resident.set(cache.len() as f64);
+        self.registry.render()
     }
 }
 
@@ -127,8 +135,8 @@ mod tests {
     #[test]
     fn renders_prometheus_text() {
         let m = Metrics::default();
-        Metrics::inc(&m.requests_total);
-        Metrics::add(&m.items_total, 7);
+        m.requests_total.inc();
+        m.items_total.add(7);
         m.latency.observe(0.002);
         let cache = EmbeddingCache::new(8);
         cache.get_or_compute("x", || vec![0.0]);
@@ -144,5 +152,52 @@ mod tests {
         // Buckets are cumulative: every bucket after 0.002 reports 1.
         assert!(text.contains("le=\"0.0002\"} 0"));
         assert!(text.contains("le=\"0.0032\"} 1"));
+    }
+
+    /// Compat guard: the registry migration must keep `/metrics` a
+    /// superset of every pre-migration metric name, with unchanged
+    /// types. Removing or renaming any of these breaks scrapers.
+    #[test]
+    fn legacy_names_still_exposed() {
+        let m = Metrics::default();
+        let text = m.render(&EmbeddingCache::new(4));
+        for (name, kind) in [
+            ("pge_score_requests_total", "counter"),
+            ("pge_score_items_total", "counter"),
+            ("pge_score_batches_total", "counter"),
+            ("pge_score_rejected_total", "counter"),
+            ("pge_bad_requests_total", "counter"),
+            ("pge_cache_hits_total", "counter"),
+            ("pge_cache_misses_total", "counter"),
+            ("pge_cache_resident", "gauge"),
+            ("pge_request_latency_seconds", "histogram"),
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} {kind}")),
+                "missing legacy metric {name} ({kind}) in:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_histograms_exposed() {
+        let m = Metrics::default();
+        m.stage_queue_wait.observe(0.001);
+        m.stage_batch_assembly.observe(0.0001);
+        m.stage_encode.observe(0.01);
+        m.stage_score.observe(0.02);
+        let text = m.render(&EmbeddingCache::new(4));
+        for name in [
+            "pge_serve_stage_queue_wait_seconds",
+            "pge_serve_stage_batch_assembly_seconds",
+            "pge_serve_stage_encode_seconds",
+            "pge_serve_stage_score_seconds",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} histogram")),
+                "missing stage metric {name} in:\n{text}"
+            );
+            assert!(text.contains(&format!("{name}_count 1")), "{name} count");
+        }
     }
 }

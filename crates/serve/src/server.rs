@@ -25,6 +25,7 @@ use crate::queue::{BoundedQueue, PushError};
 use pge_core::api::plausibility_parallel;
 use pge_core::{CachedModel, EmbeddingCache, ErrorDetector, PgeModel};
 use pge_graph::{AttrId, ProductGraph, ProductId, Triple, ValueId};
+use pge_obs::{manifest_event, serve_event, RunLog};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,6 +49,9 @@ pub struct ServeConfig {
     /// (only engages on batches large enough to beat its serial
     /// cutoff).
     pub batch_threads: usize,
+    /// Append run-log events (manifest at start, serving snapshot at
+    /// shutdown) to this JSONL file. `None` disables run logging.
+    pub runlog_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +63,7 @@ impl Default for ServeConfig {
             queue_cap: 256,
             max_batch: 32,
             batch_threads: 2,
+            runlog_path: None,
         }
     }
 }
@@ -95,6 +100,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     stop: AtomicBool,
     cfg: ServeConfig,
+    runlog: Option<RunLog>,
 }
 
 /// A running server; dropping the handle does NOT stop it — call
@@ -129,6 +135,21 @@ impl ServerHandle {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(log) = &self.shared.runlog {
+            let m = &self.shared.metrics;
+            let ms = |q: f64| m.latency.quantile(q).unwrap_or(0.0) * 1e3;
+            log.write(&serve_event(&[
+                ("requests_total", m.requests_total.get() as f64),
+                ("items_total", m.items_total.get() as f64),
+                ("batches_total", m.batches_total.get() as f64),
+                ("rejected_total", m.rejected_total.get() as f64),
+                ("bad_requests_total", m.bad_requests_total.get() as f64),
+                ("cache_hits", self.shared.cache.hits() as f64),
+                ("cache_misses", self.shared.cache.misses() as f64),
+                ("latency_p50_ms", ms(0.5)),
+                ("latency_p99_ms", ms(0.99)),
+            ]));
+        }
     }
 }
 
@@ -144,15 +165,40 @@ pub fn start(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let cache = EmbeddingCache::new(cfg.cache_cap);
+    let metrics = Metrics::default();
+    cache.install_encode_histogram(metrics.stage_encode.clone());
+
+    let runlog = match &cfg.runlog_path {
+        Some(path) => {
+            let log = RunLog::create(path)?;
+            log.write(&manifest_event(
+                "serve",
+                0,
+                &[
+                    ("addr".into(), addr.to_string()),
+                    ("workers".into(), cfg.workers.to_string()),
+                    ("cache_cap".into(), cfg.cache_cap.to_string()),
+                    ("queue_cap".into(), cfg.queue_cap.to_string()),
+                    ("max_batch".into(), cfg.max_batch.to_string()),
+                    ("batch_threads".into(), cfg.batch_threads.to_string()),
+                ],
+            ));
+            Some(log)
+        }
+        None => None,
+    };
+
     let shared = Arc::new(Shared {
         model,
         graph,
         threshold,
-        cache: EmbeddingCache::new(cfg.cache_cap),
-        metrics: Metrics::default(),
+        cache,
+        metrics,
         queue: BoundedQueue::new(cfg.queue_cap.max(1)),
         stop: AtomicBool::new(false),
         cfg: cfg.clone(),
+        runlog,
     });
 
     let workers = (0..cfg.workers.max(1))
@@ -218,7 +264,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             }
             Err(ReadError::Closed) => return,
             Err(ReadError::Bad { status, reason }) => {
-                Metrics::inc(&shared.metrics.bad_requests_total);
+                shared.metrics.bad_requests_total.inc();
                 let body = error_json(reason);
                 let _ = http::write_response(
                     &mut writer,
@@ -300,7 +346,7 @@ type ExtraHeaders = Vec<(&'static str, String)>;
 
 fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
     let bad = |msg: &str| {
-        Metrics::inc(&shared.metrics.bad_requests_total);
+        shared.metrics.bad_requests_total.inc();
         (400, Vec::new(), error_json(msg))
     };
     let Ok(text) = std::str::from_utf8(body) else {
@@ -330,7 +376,7 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
         }
     }
     if items.is_empty() {
-        Metrics::inc(&shared.metrics.requests_total);
+        shared.metrics.requests_total.inc();
         return (200, Vec::new(), "[]".to_string());
     }
 
@@ -342,14 +388,14 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
     };
     if let Err((_job, e)) = shared.queue.try_push(job) {
         debug_assert!(matches!(e, PushError::Full | PushError::Closed));
-        Metrics::inc(&shared.metrics.rejected_total);
+        shared.metrics.rejected_total.inc();
         return (
             503,
             vec![("retry-after", "1".to_string())],
             error_json("scoring queue full, retry later"),
         );
     }
-    Metrics::inc(&shared.metrics.requests_total);
+    shared.metrics.requests_total.inc();
     match rx.recv_timeout(Duration::from_secs(30)) {
         Ok(scores) => {
             let arr = Json::Arr(
@@ -406,9 +452,17 @@ fn worker_loop(shared: &Shared) {
     let cm = CachedModel::new(&shared.model, &shared.cache);
     let mut jobs: Vec<Job> = Vec::new();
     while shared.queue.pop_batch(shared.cfg.max_batch, &mut jobs) {
-        Metrics::inc(&shared.metrics.batches_total);
+        shared.metrics.batches_total.inc();
+        // Queue wait: enqueue → this worker picking the job up.
+        for job in &jobs {
+            shared
+                .metrics
+                .stage_queue_wait
+                .observe(job.enqueued.elapsed().as_secs_f64());
+        }
 
         // Flatten scorable items; (job index, item index) per entry.
+        let assembly_start = Instant::now();
         let mut flat: Vec<(ScoreItem, AttrId)> = Vec::new();
         let mut slots: Vec<(usize, usize)> = Vec::new();
         for (ji, job) in jobs.iter().enumerate() {
@@ -419,20 +473,32 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         }
-
         let synthetic: Vec<Triple> = (0..flat.len())
             .map(|i| Triple::new(ProductId(i as u32), AttrId(0), ValueId(0)))
             .collect();
+        shared
+            .metrics
+            .stage_batch_assembly
+            .observe(assembly_start.elapsed().as_secs_f64());
+
         let adapter = BatchAdapter {
             cm: &cm,
             items: &flat,
         };
+        // Score time covers the whole micro-batch; encoder forwards on
+        // cache misses happen inside it and are additionally broken
+        // out in `stage_encode` via the cache's histogram hook.
+        let score_start = Instant::now();
         let scores = plausibility_parallel(
             &adapter,
             &shared.graph,
             &synthetic,
             shared.cfg.batch_threads.max(1),
         );
+        shared
+            .metrics
+            .stage_score
+            .observe(score_start.elapsed().as_secs_f64());
 
         let mut results: Vec<Vec<ItemScore>> = jobs
             .iter()
@@ -454,7 +520,7 @@ fn worker_loop(shared: &Shared) {
         }
 
         let total_items: usize = jobs.iter().map(|j| j.items.len()).sum();
-        Metrics::add(&shared.metrics.items_total, total_items as u64);
+        shared.metrics.items_total.add(total_items as u64);
         for (job, result) in jobs.drain(..).zip(results) {
             shared
                 .metrics

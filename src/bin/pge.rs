@@ -3,10 +3,13 @@
 //! ```text
 //! pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]
 //! pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]
-//! pge detect   --data data.tsv --model model.pge [--top N]
-//! pge eval     --data data.tsv --model model.pge
+//!              [--runlog run.jsonl]
+//! pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]
+//! pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]
 //! pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]
 //!              [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]
+//!              [--runlog run.jsonl]
+//! pge report   run.jsonl
 //! ```
 //!
 //! `generate` writes a synthetic labeled dataset; `train` fits
@@ -14,12 +17,21 @@
 //! the dataset's test triples by suspicion; `eval` reports PR AUC,
 //! R@P, and thresholded accuracy; `serve` answers scoring requests
 //! over HTTP (see `pge-serve`).
+//!
+//! `--runlog` appends structured JSONL telemetry (run manifest,
+//! per-epoch training records, eval results, serve snapshots, span
+//! timings) to the given file; successive commands can share one file
+//! and `pge report` summarizes it.
 
-use pge::core::{load_model, save_model, train_pge, Detector, PgeConfig, ScoreKind};
+use pge::core::{load_model, save_model, train_pge_with_log, Detector, PgeConfig, ScoreKind};
 use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
 use pge::eval::{average_precision, recall_at_precision, Scored};
 use pge::graph::tsv::{from_tsv, to_tsv};
 use pge::graph::{Dataset, Triple};
+use pge::obs::{
+    eval_event, manifest_event, render_report, set_spans_enabled, spans_event, EvalTelemetry,
+    RunLog,
+};
 use pge::serve::ServeConfig;
 use std::collections::HashMap;
 use std::process::exit;
@@ -27,13 +39,28 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]\n  \
-         pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n  \
-         pge detect   --data data.tsv --model model.pge [--top N]\n  \
-         pge eval     --data data.tsv --model model.pge\n  \
+         pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n               \
+         [--runlog run.jsonl]\n  \
+         pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]\n  \
+         pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]\n  \
          pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]\n               \
-         [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]"
+         [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache] [--runlog run.jsonl]\n  \
+         pge report   run.jsonl"
     );
     exit(2)
+}
+
+/// Open the `--runlog` sink if requested, enabling span timers for
+/// the rest of the process (they stay disabled — near-zero cost —
+/// otherwise).
+fn open_runlog(path: Option<String>) -> Option<RunLog> {
+    let path = path?;
+    let log = RunLog::create(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open runlog {path}: {e}");
+        exit(1)
+    });
+    set_spans_enabled(true);
+    Some(log)
 }
 
 /// Parse `--flag value` pairs. A flag followed by another flag (or by
@@ -76,6 +103,22 @@ fn load_dataset(path: &str) -> Dataset {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    // `report` takes a positional path, which parse_flags rejects.
+    if cmd == "report" {
+        let [_, path] = args.as_slice() else { usage() };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        match render_report(&text) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("cannot summarize {path}: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
     let flags = parse_flags(&args[1..]).unwrap_or_else(|e| {
         eprintln!("{e}");
         usage()
@@ -122,7 +165,8 @@ fn main() {
             );
         }
         "train" => {
-            let data = load_dataset(&require("data"));
+            let data_path = require("data");
+            let data = load_dataset(&data_path);
             let out = require("out");
             let cfg = PgeConfig {
                 epochs: get("epochs").and_then(|s| s.parse().ok()).unwrap_or(12),
@@ -132,12 +176,29 @@ fn main() {
                 },
                 ..PgeConfig::default()
             };
+            let log = open_runlog(get("runlog"));
+            if let Some(log) = &log {
+                log.write(&manifest_event(
+                    "train",
+                    cfg.seed,
+                    &[
+                        ("data".into(), data_path.clone()),
+                        ("out".into(), out.clone()),
+                        ("label".into(), cfg.label()),
+                        ("epochs".into(), cfg.epochs.to_string()),
+                        ("batch".into(), cfg.batch.to_string()),
+                        ("negatives".into(), cfg.negatives.to_string()),
+                        ("noise_aware".into(), cfg.noise_aware.to_string()),
+                        ("train_triples".into(), data.train.len().to_string()),
+                    ],
+                ));
+            }
             println!(
                 "training {} on {} triples ...",
                 cfg.label(),
                 data.train.len()
             );
-            let trained = train_pge(&data, &cfg);
+            let trained = train_pge_with_log(&data, &cfg, log.as_ref());
             println!(
                 "done in {:.1}s (loss {:.3} -> {:.3})",
                 trained.train_secs,
@@ -149,6 +210,9 @@ fn main() {
                 eprintln!("cannot write {out}: {e}");
                 exit(1)
             });
+            if let Some(log) = &log {
+                log.write(&spans_event());
+            }
             println!("model saved to {out}");
         }
         "detect" => {
@@ -162,6 +226,17 @@ fn main() {
                 exit(1)
             });
             let top: usize = get("top").and_then(|s| s.parse().ok()).unwrap_or(20);
+            let log = open_runlog(get("runlog"));
+            if let Some(log) = &log {
+                log.write(&manifest_event(
+                    "detect",
+                    0,
+                    &[
+                        ("top".into(), top.to_string()),
+                        ("test_triples".into(), data.test.len().to_string()),
+                    ],
+                ));
+            }
             let det = Detector::fit(&model, &data.graph, &data.valid);
             println!(
                 "threshold {:.3} (validation accuracy {:.3})",
@@ -179,6 +254,15 @@ fn main() {
                     data.graph.value_text(t.value)
                 );
             }
+            if let Some(log) = &log {
+                log.write(&eval_event(&EvalTelemetry {
+                    pr_auc: None,
+                    threshold: det.threshold as f64,
+                    valid_accuracy: det.valid_accuracy as f64,
+                    test_triples: data.test.len(),
+                }));
+                log.write(&spans_event());
+            }
         }
         "eval" => {
             let data = load_dataset(&require("data"));
@@ -190,6 +274,14 @@ fn main() {
                 eprintln!("cannot load model: {e}");
                 exit(1)
             });
+            let log = open_runlog(get("runlog"));
+            if let Some(log) = &log {
+                log.write(&manifest_event(
+                    "eval",
+                    0,
+                    &[("test_triples".into(), data.test.len().to_string())],
+                ));
+            }
             let det = Detector::fit(&model, &data.graph, &data.valid);
             let triples: Vec<Triple> = data.test.iter().map(|lt| lt.triple).collect();
             let scores = det.scores(&data.graph, &triples);
@@ -198,12 +290,22 @@ fn main() {
                 .zip(&data.test)
                 .map(|(&f, lt)| Scored::new(-f, !lt.correct))
                 .collect();
+            let pr_auc = average_precision(&scored);
             println!("test triples: {}", data.test.len());
-            println!("PR AUC:   {:.3}", average_precision(&scored));
+            println!("PR AUC:   {pr_auc:.3}");
             for p in [0.7, 0.8, 0.9] {
                 println!("R@P={p}:  {:.3}", recall_at_precision(&scored, p));
             }
             println!("accuracy: {:.3}", det.accuracy(&data.graph, &data.test));
+            if let Some(log) = &log {
+                log.write(&eval_event(&EvalTelemetry {
+                    pr_auc: Some(pr_auc as f64),
+                    threshold: det.threshold as f64,
+                    valid_accuracy: det.valid_accuracy as f64,
+                    test_triples: data.test.len(),
+                }));
+                log.write(&spans_event());
+            }
         }
         "serve" => {
             let data = load_dataset(&require("data"));
@@ -233,6 +335,7 @@ fn main() {
                     parsed("cache-cap", defaults.cache_cap)
                 },
                 queue_cap: parsed("queue-cap", defaults.queue_cap).max(1),
+                runlog_path: get("runlog"),
                 ..defaults
             };
             let graph = data.graph;

@@ -45,6 +45,7 @@
 //! | [`core`] | the PGE model, noise-aware training, detection |
 //! | [`baselines`] | KGE, CKRL, DKRL, SSP, LSTM/Transformer, RotatE+, Union |
 //! | [`eval`] | PR AUC, R@P, thresholds, histograms, tables |
+//! | [`obs`] | metrics registry, span timers, JSONL run logs |
 //! | [`serve`] | online scoring service: HTTP, micro-batching, cache |
 
 pub use pge_baselines as baselines;
@@ -53,6 +54,7 @@ pub use pge_datagen as datagen;
 pub use pge_eval as eval;
 pub use pge_graph as graph;
 pub use pge_nn as nn;
+pub use pge_obs as obs;
 pub use pge_serve as serve;
 pub use pge_tensor as tensor;
 pub use pge_text as text;

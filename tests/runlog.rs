@@ -1,0 +1,151 @@
+//! End-to-end run-log tests: drive the real `pge` binary through a
+//! generate → train → detect pipeline sharing one `--runlog` file,
+//! then validate the JSONL schema and the `pge report` rendering.
+//!
+//! The golden fixture under `tests/fixtures/` pins the event schema:
+//! if a field is renamed or dropped, the fixture test fails before any
+//! dashboard parsing these logs does.
+
+use pge::obs::json::{parse, Json};
+use pge::obs::render_report;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_runlog.jsonl");
+    std::fs::read_to_string(path).expect("golden fixture exists")
+}
+
+#[test]
+fn golden_runlog_renders_every_section() {
+    let report = render_report(&golden()).expect("golden log renders");
+    for needle in [
+        "pge run report",
+        "run: train  seed 13  git 0123456789",
+        "run: eval",
+        "run: serve",
+        "training: 3 epochs",
+        "loss   1.5033 -> 1.1955",
+        "confidence polarization 1.000 -> 0.918",
+        "marked down 4.6% of training triples",
+        "eval: PR AUC 0.643",
+        "serve: 120 requests, 480 items, 30 batches, 0 rejected",
+        "latency p50 2.10 ms  p99 8.40 ms",
+        "cache hit rate 83.3%",
+        "train.epoch",
+        "detect.score",
+    ] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+}
+
+#[test]
+fn golden_runlog_lines_parse_with_required_fields() {
+    for line in golden().lines() {
+        let v = parse(line).expect("fixture line parses");
+        let event = v.get("event").and_then(Json::as_str).expect("event tag");
+        assert!(v.get("ts_ms").and_then(Json::as_f64).is_some(), "{line}");
+        match event {
+            "manifest" => {
+                for key in ["kind", "seed", "git_rev", "version", "config"] {
+                    assert!(v.get(key).is_some(), "manifest missing {key}: {line}");
+                }
+            }
+            "epoch" => {
+                for key in [
+                    "epoch",
+                    "mean_loss",
+                    "triples",
+                    "negatives",
+                    "triples_per_sec",
+                ] {
+                    assert!(v.get(key).is_some(), "epoch missing {key}: {line}");
+                }
+            }
+            "eval" => {
+                for key in ["pr_auc", "threshold", "valid_accuracy", "test_triples"] {
+                    assert!(v.get(key).is_some(), "eval missing {key}: {line}");
+                }
+            }
+            "serve" => {
+                for key in ["requests_total", "items_total", "latency_p99_ms"] {
+                    assert!(v.get(key).is_some(), "serve missing {key}: {line}");
+                }
+            }
+            "spans" => {
+                assert!(v.get("spans").and_then(Json::as_array).is_some(), "{line}");
+            }
+            other => panic!("unknown event kind {other}: {line}"),
+        }
+    }
+}
+
+/// Run the real binary; panics on spawn failure, returns stdout.
+fn pge(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_pge"))
+        .args(args)
+        .output()
+        .expect("spawn pge");
+    assert!(
+        out.status.success(),
+        "pge {args:?} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn cli_pipeline_shares_one_runlog() {
+    let dir = std::env::temp_dir().join(format!("pge-cli-runlog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let (data, model, log) = (p("data.tsv"), p("model.pge"), p("run.jsonl"));
+
+    pge(&[
+        "generate",
+        "--kind",
+        "catalog",
+        "--out",
+        &data,
+        "--products",
+        "40",
+        "--seed",
+        "7",
+    ]);
+    pge(&[
+        "train", "--data", &data, "--out", &model, "--epochs", "1", "--runlog", &log,
+    ]);
+    pge(&[
+        "detect", "--data", &data, "--model", &model, "--top", "3", "--runlog", &log,
+    ]);
+
+    // Both commands appended to one file; every line is valid JSON.
+    let text = std::fs::read_to_string(&log).expect("runlog written");
+    let events: Vec<String> = text
+        .lines()
+        .map(|l| {
+            parse(l)
+                .expect("valid JSON line")
+                .get("event")
+                .and_then(Json::as_str)
+                .expect("event tag")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(
+        events.iter().filter(|e| *e == "manifest").count(),
+        2,
+        "one manifest per command: {events:?}"
+    );
+    assert!(events.contains(&"epoch".to_string()), "{events:?}");
+    assert!(events.contains(&"eval".to_string()), "{events:?}");
+    assert!(events.contains(&"spans".to_string()), "{events:?}");
+
+    // The report subcommand renders it.
+    let report = pge(&["report", &log]);
+    for needle in ["run: train", "run: detect", "training: 1 epochs", "spans"] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -261,3 +261,81 @@ fn malformed_requests_get_4xx_not_5xx() {
     assert_eq!(status, 404);
     handle.shutdown();
 }
+
+#[test]
+fn metrics_expose_stage_latency_breakdown() {
+    let (data, _threshold, _offline, handle) = serve_tiny(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let addr = handle.local_addr();
+    let (status, _) = post_score(addr, &body_for(&data, &[0, 1, 2]));
+    assert_eq!(status, 200);
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    // Legacy names survive the registry migration...
+    for name in [
+        "pge_score_requests_total",
+        "pge_cache_hits_total",
+        "pge_request_latency_seconds_count",
+    ] {
+        assert!(metrics.contains(name), "missing {name} in:\n{metrics}");
+    }
+    // ...and the per-stage breakdown rides along. A scored request
+    // passes through every stage except encode-on-hit, so each stage
+    // histogram must have observations (the batch had misses too:
+    // a fresh cache).
+    for name in [
+        "pge_serve_stage_queue_wait_seconds",
+        "pge_serve_stage_batch_assembly_seconds",
+        "pge_serve_stage_encode_seconds",
+        "pge_serve_stage_score_seconds",
+    ] {
+        let count_line = metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}_count ")))
+            .unwrap_or_else(|| panic!("missing {name}_count in:\n{metrics}"));
+        let count: u64 = count_line.trim().parse().expect("count parses");
+        assert!(count > 0, "{name} recorded nothing");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn runlog_records_manifest_and_serve_snapshot() {
+    let dir = std::env::temp_dir().join(format!("pge-serve-runlog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("serve.jsonl");
+    let (data, _threshold, _offline, handle) = serve_tiny(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        runlog_path: Some(path.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    });
+    let addr = handle.local_addr();
+    let (status, _) = post_score(addr, &body_for(&data, &[0, 1]));
+    assert_eq!(status, 200);
+    handle.shutdown();
+
+    let text = std::fs::read_to_string(&path).expect("runlog written");
+    let events: Vec<Json> = text
+        .lines()
+        .map(|l| json::parse(l).expect("valid JSON line"))
+        .collect();
+    let kind = |e: &Json| e.get("event").and_then(Json::as_str).map(String::from);
+    assert_eq!(kind(&events[0]).as_deref(), Some("manifest"));
+    assert_eq!(
+        events[0].get("kind").and_then(Json::as_str),
+        Some("serve"),
+        "manifest kind"
+    );
+    let snapshot = events
+        .iter()
+        .find(|e| kind(e).as_deref() == Some("serve"))
+        .expect("serve snapshot event");
+    let n = |k: &str| snapshot.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+    assert_eq!(n("requests_total"), 1.0);
+    assert_eq!(n("items_total"), 2.0);
+    assert!(n("latency_p99_ms") >= 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
