@@ -1,0 +1,153 @@
+//! `train_probe` — data-parallel training throughput probe.
+//!
+//! Trains the same PGE(CNN) model on a synthetic catalog at several
+//! worker-thread counts, verifies the runs are bit-identical (the
+//! gradient-lane reduction guarantee, see DESIGN.md), and writes
+//! `BENCH_train.json` with per-run epoch throughput and the speedup
+//! of each thread count over the serial run.
+//!
+//! ```text
+//! train_probe [--products N] [--epochs N] [--out FILE]
+//! ```
+//!
+//! Numbers are reported against `host_cpus`: on a single-core host
+//! the multi-threaded runs cannot beat serial and the probe says so
+//! honestly rather than fabricating a speedup.
+
+use pge_core::{resolve_threads, train_pge, PgeConfig};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use pge_graph::Triple;
+use pge_serve::json::Json;
+
+struct Run {
+    threads: usize,
+    elapsed_sec: f64,
+    triples_per_sec: f64,
+    speedup_vs_serial: f64,
+    final_loss: f64,
+    bit_identical_to_serial: bool,
+}
+
+impl Run {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("elapsed_sec".into(), Json::Num(self.elapsed_sec)),
+            ("triples_per_sec".into(), Json::Num(self.triples_per_sec)),
+            (
+                "speedup_vs_serial".into(),
+                Json::Num(self.speedup_vs_serial),
+            ),
+            ("final_loss".into(), Json::Num(self.final_loss)),
+            (
+                "bit_identical_to_serial".into(),
+                Json::Bool(self.bit_identical_to_serial),
+            ),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let products = flag("--products", 300);
+    let epochs = flag("--epochs", 3);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_train.json".to_string());
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let data = generate_catalog(&CatalogConfig {
+        products,
+        labeled: products / 3,
+        seed: 11,
+        ..CatalogConfig::tiny()
+    });
+    let probe_triples: Vec<Triple> = data.test.iter().map(|lt| lt.triple).collect();
+
+    let mut counts = vec![1usize, 2, 4, resolve_threads(0)];
+    counts.sort_unstable();
+    counts.dedup();
+
+    eprintln!(
+        "training {} triples x {epochs} epochs at threads {counts:?} (host has {host_cpus} cpu(s))",
+        data.train.len()
+    );
+    let mut runs: Vec<Run> = Vec::new();
+    let mut serial_scores: Vec<f32> = Vec::new();
+    let mut serial_rate = 0.0;
+    for &threads in &counts {
+        let trained = train_pge(
+            &data,
+            &PgeConfig {
+                epochs,
+                threads,
+                ..PgeConfig::default()
+            },
+        );
+        let scores: Vec<f32> = probe_triples
+            .iter()
+            .map(|t| trained.model.score_triple(t))
+            .collect();
+        let rate = (epochs * data.train.len()) as f64 / trained.train_secs;
+        if threads == 1 {
+            serial_scores = scores.clone();
+            serial_rate = rate;
+        }
+        let identical = scores == serial_scores;
+        assert!(
+            identical,
+            "threads={threads} diverged from the serial run — determinism broken"
+        );
+        eprintln!(
+            "threads {threads}: {:.1}s, {rate:.0} triples/s, {:.2}x vs serial",
+            trained.train_secs,
+            rate / serial_rate
+        );
+        runs.push(Run {
+            threads,
+            elapsed_sec: trained.train_secs,
+            triples_per_sec: rate,
+            speedup_vs_serial: rate / serial_rate,
+            final_loss: trained.epoch_losses.last().copied().unwrap_or(0.0) as f64,
+            bit_identical_to_serial: identical,
+        });
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("train_probe".into())),
+        (
+            "manifest".into(),
+            Json::Obj(vec![
+                (
+                    "git_rev".into(),
+                    pge_obs::git_rev().map_or(Json::Null, Json::Str),
+                ),
+                ("ts_ms".into(), Json::Num(pge_obs::unix_time_ms() as f64)),
+                (
+                    "version".into(),
+                    Json::Str(env!("CARGO_PKG_VERSION").into()),
+                ),
+            ]),
+        ),
+        ("host_cpus".into(), Json::Num(host_cpus as f64)),
+        ("products".into(), Json::Num(products as f64)),
+        ("train_triples".into(), Json::Num(data.train.len() as f64)),
+        ("epochs".into(), Json::Num(epochs as f64)),
+        (
+            "runs".into(),
+            Json::Arr(runs.iter().map(Run::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    println!("{out}");
+}

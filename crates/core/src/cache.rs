@@ -52,7 +52,8 @@ struct Entry {
 /// entirely (every lookup is a pass-through miss).
 pub struct EmbeddingCache {
     shards: Vec<RwLock<HashMap<String, Entry>>>,
-    cap_per_shard: usize,
+    /// Per-shard capacities summing to exactly the requested total.
+    shard_caps: Vec<usize>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -65,9 +66,16 @@ pub struct EmbeddingCache {
 impl EmbeddingCache {
     /// Cache holding at most `capacity` embeddings across all shards.
     pub fn new(capacity: usize) -> Self {
+        // Distribute the budget so Σ shard_caps == capacity. The old
+        // `capacity.div_ceil(SHARDS)` per-shard cap let the cache hold
+        // up to SHARDS-1 entries more than requested. Shards with a
+        // zero quota act as pass-throughs.
+        let shard_caps = (0..SHARDS)
+            .map(|i| capacity / SHARDS + usize::from(i < capacity % SHARDS))
+            .collect();
         EmbeddingCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            cap_per_shard: capacity.div_ceil(SHARDS),
+            shard_caps,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -82,23 +90,25 @@ impl EmbeddingCache {
         let _ = self.encode_hist.set(hist);
     }
 
-    fn shard(&self, text: &str) -> &RwLock<HashMap<String, Entry>> {
+    fn shard_idx(&self, text: &str) -> usize {
         // FNV-1a; shard count is fixed so the modulo bias is moot.
         let mut h: u64 = 0xcbf29ce484222325;
         for b in text.as_bytes() {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        &self.shards[(h % SHARDS as u64) as usize]
+        (h % SHARDS as u64) as usize
     }
 
     /// The embedding for `text`, computing it with `f` on a miss.
     pub fn get_or_compute(&self, text: &str, f: impl FnOnce() -> Vec<f32>) -> Vec<f32> {
-        if self.cap_per_shard == 0 {
+        let idx = self.shard_idx(text);
+        let cap = self.shard_caps[idx];
+        if cap == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return self.timed_compute(f);
         }
-        let shard = self.shard(text);
+        let shard = &self.shards[idx];
         {
             let map = shard.read();
             if let Some(e) = map.get(text) {
@@ -116,7 +126,7 @@ impl EmbeddingCache {
         // A racing thread may have inserted meanwhile; keep whichever
         // is present (the vectors are identical by construction).
         if !map.contains_key(text) {
-            if map.len() >= self.cap_per_shard {
+            if map.len() >= cap {
                 if let Some(coldest) = map
                     .iter()
                     .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
@@ -264,8 +274,10 @@ mod tests {
         // Single-slot shards: any two keys in the same shard contend.
         let c = EmbeddingCache::new(1);
         let mut texts: Vec<String> = (0..40).map(|i| format!("key{i}")).collect();
-        // Find two keys in the same shard.
-        let shard_of = |c: &EmbeddingCache, t: &str| c.shard(t) as *const _ as usize;
+        // Find two keys in the same shard (the one holding the whole
+        // capacity-1 budget — quota-0 shards pass through, which also
+        // yields one compute per lookup).
+        let shard_of = |c: &EmbeddingCache, t: &str| c.shard_idx(t);
         let first = texts.remove(0);
         let second = texts
             .into_iter()
@@ -279,9 +291,28 @@ mod tests {
     }
 
     #[test]
+    fn resident_count_never_exceeds_capacity() {
+        // Regression: the per-shard cap used to round up
+        // (`capacity.div_ceil(SHARDS)`), so e.g. capacity 17 allowed
+        // 2 entries in all 16 shards = 32 resident embeddings.
+        for capacity in [1, 5, 16, 17, 31, 100] {
+            let c = EmbeddingCache::new(capacity);
+            let calls = AtomicUsize::new(0);
+            for i in 0..capacity * 8 {
+                c.get_or_compute(&format!("text{i}"), counted(&calls));
+            }
+            assert!(
+                c.len() <= capacity,
+                "capacity {capacity} holds {} entries",
+                c.len()
+            );
+        }
+    }
+
+    #[test]
     fn recency_protects_hot_entries() {
         let c = EmbeddingCache::new(SHARDS * 2); // two slots per shard
-        let shard_of = |t: &str| c.shard(t) as *const _ as usize;
+        let shard_of = |t: &str| c.shard_idx(t);
         let keys: Vec<String> = (0..100).map(|i| format!("k{i}")).collect();
         let target = shard_of(&keys[0]);
         let mut same: Vec<&String> = keys.iter().filter(|k| shard_of(k) == target).collect();

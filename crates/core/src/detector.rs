@@ -62,9 +62,13 @@ impl<'a, D: ErrorDetector> Detector<'a, D> {
         }
     }
 
-    /// Classify one triple: `true` = flagged as an error.
+    /// Classify one triple: `true` = flagged as an error. A triple is
+    /// an error when its plausibility is *not above* θ, so a NaN score
+    /// (untrustworthy by definition) is flagged — matching the
+    /// `score > θ` rule used for accuracy.
     pub fn is_error(&self, graph: &ProductGraph, t: &Triple) -> bool {
-        self.method.plausibility(graph, t) <= self.threshold
+        let p = self.method.plausibility(graph, t);
+        p.is_nan() || p <= self.threshold
     }
 
     /// Score a batch (parallel) and return plausibilities.
@@ -112,10 +116,18 @@ fn best_threshold(pairs: &[(f32, bool)]) -> (f32, f32) {
     if pairs.is_empty() {
         return (0.0, 0.0);
     }
-    let mut sorted = pairs.to_vec();
+    // NaN scores never satisfy `score > θ` (always predicted
+    // incorrect), so they add a constant to the accuracy and must be
+    // excluded from the sweep — a NaN group would never advance the
+    // dedup loop below (`NaN == NaN` is false) and `fit` used to hang.
+    let nan_hits = pairs.iter().filter(|(s, c)| s.is_nan() && !*c).count() as f32;
+    let n = pairs.len() as f32;
+    let mut sorted: Vec<(f32, bool)> = pairs.iter().copied().filter(|(s, _)| !s.is_nan()).collect();
+    if sorted.is_empty() {
+        return (0.0, nan_hits / n);
+    }
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let n = sorted.len() as f32;
-    let mut hits = sorted.iter().filter(|(_, c)| *c).count() as f32;
+    let mut hits = sorted.iter().filter(|(_, c)| *c).count() as f32 + nan_hits;
     let mut best_acc = hits / n;
     let mut best_theta = sorted[0].0 - 1.0;
     let mut i = 0;
@@ -204,6 +216,38 @@ mod tests {
         let test = labeled(10..20, 10); // all correct, all above θ
         assert!((det.accuracy(&g, &test) - 1.0).abs() < 1e-6);
         assert_eq!(det.accuracy(&g, &[]), 0.0);
+    }
+
+    /// NaN for even value ids, the id itself otherwise.
+    struct NanById;
+
+    impl ErrorDetector for NanById {
+        fn name(&self) -> String {
+            "nan-by-id".into()
+        }
+        fn plausibility(&self, _g: &ProductGraph, t: &Triple) -> f32 {
+            if t.value.0.is_multiple_of(2) {
+                f32::NAN
+            } else {
+                t.value.0 as f32
+            }
+        }
+    }
+
+    #[test]
+    fn fit_terminates_with_nan_plausibilities() {
+        // Regression: a NaN score used to wedge the threshold sweep in
+        // an infinite loop, hanging `fit` (and `pge eval` with it).
+        let g = graph();
+        let valid = labeled(0..10, 5);
+        let det = Detector::fit(&NanById, &g, &valid);
+        assert!(det.threshold.is_finite());
+        assert!((0.0..=1.0).contains(&det.valid_accuracy));
+        // NaN-scored and low-scored triples are flagged; a correct
+        // high-scored one is not.
+        assert!(det.is_error(&g, &valid[0].triple)); // NaN score
+        assert!(det.is_error(&g, &valid[1].triple)); // score 1
+        assert!(!det.is_error(&g, &valid[9].triple)); // score 9
     }
 
     #[test]

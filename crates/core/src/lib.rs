@@ -40,4 +40,6 @@ pub use encoder::{EncoderKind, TextEncoder};
 pub use model::PgeModel;
 pub use persist::{load_model, save_model, PersistError};
 pub use score::{ScoreKind, Scorer};
-pub use trainer::{train_pge, train_pge_with_log, PgeConfig, TrainedPge};
+pub use trainer::{
+    resolve_threads, train_pge, train_pge_with_log, PgeConfig, TrainedPge, GRAD_LANES,
+};

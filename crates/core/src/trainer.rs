@@ -4,13 +4,32 @@
 //! assemble the text encoder + relation table → minibatch Adam over
 //! the negative-sampling objective (Eq. 3), weighted per-triple by the
 //! learnable confidence scores of the noise-aware mechanism (Eq. 6).
+//!
+//! # Deterministic data parallelism
+//!
+//! With the CNN encoder, each minibatch is split across
+//! [`GRAD_LANES`] fixed *virtual lanes*: batch position `p` always
+//! belongs to lane `p % GRAD_LANES`, each lane accumulates encoder and
+//! relation gradients into its own buffer, and the buffers are reduced
+//! in lane order before the single Adam step. Worker threads own
+//! contiguous lane ranges, so the thread count decides only *who*
+//! computes a lane, never which lane a triple lands in or the order of
+//! the floating-point reduction — a run with `threads = 8` is
+//! bit-identical to `threads = 1` at the same seed. Negative sampling
+//! draws from a per-triple RNG stream (seeded from `(seed, epoch,
+//! dataset index)`), which keeps the drawn corruptions independent of
+//! the partition as well. The BERT-style encoder keeps the legacy
+//! serial loop (its backward pass still mutates inline gradients) and
+//! ignores `threads`.
 
 use crate::confidence::ConfidenceStore;
 use crate::encoder::{EncoderKind, TextEncoder};
 use crate::model::PgeModel;
 use crate::score::{ScoreKind, Scorer};
-use pge_graph::{Dataset, NegativeSampler, SamplingMode};
-use pge_nn::{AdamHparams, CnnConfig, Embedding, TransformerConfig};
+use pge_graph::{Dataset, NegativeSampler, SamplingMode, Triple};
+use pge_nn::{
+    AdamHparams, CnnConfig, Embedding, SparseRowGrads, TextCnnEncoder, TransformerConfig,
+};
 use pge_obs::{epoch_event, span, EpochTelemetry, RunLog};
 use pge_tensor::ops;
 use pge_text::word2vec::{train_word2vec, Word2VecConfig};
@@ -20,6 +39,41 @@ use std::time::Instant;
 
 /// Bins of the per-epoch confidence histogram in the run log.
 const CONFIDENCE_HIST_BINS: usize = 10;
+
+/// Number of fixed gradient lanes the data-parallel trainer splits a
+/// minibatch across. Results are bit-identical for any worker count
+/// from 1 to `GRAD_LANES` because the triple → lane assignment and the
+/// lane reduction order depend only on this constant, never on the
+/// thread count (which is capped here).
+pub const GRAD_LANES: usize = 32;
+
+/// Resolve a requested thread count: `0` means auto-detect from
+/// [`std::thread::available_parallelism`]; everything is clamped to
+/// `1..=GRAD_LANES`.
+pub fn resolve_threads(requested: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    n.clamp(1, GRAD_LANES)
+}
+
+/// SplitMix64 finalizer — decorrelates nearby seed inputs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of the private RNG stream for one training triple in one
+/// epoch. Keyed by the triple's *dataset index* (not its batch
+/// position), so negative sampling is independent of both the shuffle
+/// and the lane/thread partition.
+fn triple_stream_seed(seed: u64, epoch: usize, index: usize) -> u64 {
+    splitmix64(splitmix64(seed ^ splitmix64(epoch as u64)) ^ index as u64)
+}
 
 /// All the knobs of a PGE training run.
 #[derive(Clone, Debug)]
@@ -70,6 +124,11 @@ pub struct PgeConfig {
     /// with a handful of attributes — tune per dataset like the
     /// paper's grid search does.
     pub rotate_phase_init: bool,
+    /// Worker threads for data-parallel training: `0` = auto-detect
+    /// (`available_parallelism`), otherwise clamped to
+    /// `1..=GRAD_LANES`. Any value yields bit-identical results at a
+    /// given seed (see the module docs); only wall-clock time changes.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -97,6 +156,7 @@ impl Default for PgeConfig {
             confidence_warmup: 3,
             word2vec_epochs: 2,
             rotate_phase_init: false,
+            threads: 0,
             seed: 13,
         }
     }
@@ -143,6 +203,110 @@ pub struct TrainedPge {
     /// throughput, negative-sampling stats, and — on noise-aware runs
     /// — the confidence distribution with its polarization fraction.
     pub telemetry: Vec<EpochTelemetry>,
+}
+
+/// Accumulation state of one gradient lane: detached encoder and
+/// relation gradients plus the scalar per-lane bookkeeping. Allocated
+/// once and reused across every batch of the run.
+struct Lane {
+    grads: pge_nn::CnnGrads,
+    rel: SparseRowGrads,
+    /// Deferred confidence updates `(dataset index, triple loss)`;
+    /// safe to apply after the batch because each index occurs at most
+    /// once per epoch, so updates to distinct indices commute.
+    conf: Vec<(usize, f32)>,
+    loss_sum: f64,
+    loss_n: usize,
+    negs: usize,
+}
+
+/// Shared read-only context of one batch — everything a worker needs,
+/// behind `Sync` references.
+struct BatchCtx<'a> {
+    enc: &'a TextCnnEncoder,
+    relations: &'a Embedding,
+    scorer: Scorer,
+    title_tokens: &'a [Vec<u32>],
+    value_tokens: &'a [Vec<u32>],
+    train: &'a [Triple],
+    sampler: &'a NegativeSampler,
+    confidence: &'a ConfidenceStore,
+    confidence_active: bool,
+    k: usize,
+    epoch: usize,
+    seed: u64,
+}
+
+/// Process this worker's lanes for one batch: lane `first_lane + j`
+/// (for `lanes[j]`) owns batch positions `≡ lane (mod GRAD_LANES)`.
+/// Pure accumulation — nothing here mutates shared state, so workers
+/// run concurrently against the same `BatchCtx`.
+fn run_lanes(ctx: &BatchCtx, batch: &[usize], lanes: &mut [Lane], first_lane: usize) {
+    let ent_dim = ctx.enc.out_dim();
+    let mut dh = vec![0.0f32; ent_dim];
+    let mut dr = vec![0.0f32; ctx.scorer.rel_dim(ent_dim)];
+    let mut dv = vec![0.0f32; ent_dim];
+    for (j, lane) in lanes.iter_mut().enumerate() {
+        for p in (first_lane + j..batch.len()).step_by(GRAD_LANES) {
+            let i = batch[p];
+            let triple = ctx.train[i];
+            // Private RNG stream per (triple, epoch): negative draws
+            // do not depend on which lane or thread runs this triple.
+            let mut trng = StdRng::seed_from_u64(triple_stream_seed(ctx.seed, ctx.epoch, i));
+            let negs = ctx.sampler.sample(&mut trng, &triple, ctx.k);
+            if negs.is_empty() {
+                continue;
+            }
+            let title_tokens = &ctx.title_tokens[triple.product.0 as usize];
+            let value_tokens = &ctx.value_tokens[triple.value.0 as usize];
+            let (e_t, cache_t) = ctx.enc.forward(title_tokens);
+            let (e_v, cache_v) = ctx.enc.forward(value_tokens);
+            let r = ctx.relations.row(triple.attr.0 as u32);
+            let f_pos = ctx.scorer.score(&e_t, r, &e_v);
+            lane.negs += negs.len();
+            // Loss bookkeeping (Eq. 3 per-triple term).
+            let mut l_i = -ops::log_sigmoid(f_pos);
+            let w = if ctx.confidence_active {
+                ctx.confidence.get(i)
+            } else {
+                1.0
+            };
+            dh.iter_mut().for_each(|x| *x = 0.0);
+            dr.iter_mut().for_each(|x| *x = 0.0);
+            if w > 0.0 {
+                // Positive term: dL/df⁺ = −σ(−f⁺).
+                dv.iter_mut().for_each(|x| *x = 0.0);
+                let df_pos = -w * ops::sigmoid(-f_pos);
+                ctx.scorer
+                    .backward(&e_t, r, &e_v, df_pos, &mut dh, &mut dr, &mut dv);
+                ctx.enc.backward_into(&cache_v, &dv, &mut lane.grads);
+            }
+            let inv_k = 1.0 / negs.len() as f32;
+            for &neg in &negs {
+                let neg_tokens = &ctx.value_tokens[neg.0 as usize];
+                let (e_n, cache_n) = ctx.enc.forward(neg_tokens);
+                let f_neg = ctx.scorer.score(&e_t, r, &e_n);
+                l_i += -inv_k * ops::log_sigmoid(-f_neg);
+                if w > 0.0 {
+                    // Negative term: dL/df⁻ = σ(f⁻)/k.
+                    dv.iter_mut().for_each(|x| *x = 0.0);
+                    let df_neg = w * inv_k * ops::sigmoid(f_neg);
+                    ctx.scorer
+                        .backward(&e_t, r, &e_n, df_neg, &mut dh, &mut dr, &mut dv);
+                    ctx.enc.backward_into(&cache_n, &dv, &mut lane.grads);
+                }
+            }
+            if w > 0.0 {
+                ctx.enc.backward_into(&cache_t, &dh, &mut lane.grads);
+                lane.rel.add_row(triple.attr.0 as usize, &dr);
+            }
+            if ctx.confidence_active {
+                lane.conf.push((i, l_i));
+            }
+            lane.loss_sum += l_i as f64;
+            lane.loss_n += 1;
+        }
+    }
 }
 
 /// Train PGE on a dataset's training split.
@@ -230,12 +394,40 @@ pub fn train_pge_with_log(dataset: &Dataset, cfg: &PgeConfig, log: Option<&RunLo
     let mut step: u64 = 0;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut telemetry = Vec::with_capacity(cfg.epochs);
+    let is_cnn = matches!(model.encoder, TextEncoder::Cnn(_));
+    let workers = if is_cnn {
+        resolve_threads(cfg.threads)
+    } else {
+        1
+    };
+    // Lane buffers (CNN path only), allocated once and reused.
+    let mut lanes: Vec<Lane> = if is_cnn {
+        let TextEncoder::Cnn(enc) = &model.encoder else {
+            unreachable!()
+        };
+        let rel_dim = model.scorer.rel_dim(ent_dim);
+        (0..GRAD_LANES)
+            .map(|_| Lane {
+                grads: enc.grad_buffer(),
+                rel: SparseRowGrads::new(rel_dim),
+                conf: Vec::new(),
+                loss_sum: 0.0,
+                loss_n: 0,
+                negs: 0,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut worker_busy = vec![0.0f64; workers];
+    // Legacy serial scratch (BERT path).
     let mut dh = vec![0.0f32; ent_dim];
     let mut dr = vec![0.0f32; model.scorer.rel_dim(ent_dim)];
     let mut dv = vec![0.0f32; ent_dim];
     for epoch in 0..cfg.epochs {
         let _epoch_span = span("train.epoch");
         let epoch_start = Instant::now();
+        worker_busy.iter_mut().for_each(|b| *b = 0.0);
         // Fisher–Yates shuffle.
         for i in (1..order.len()).rev() {
             order.swap(i, rng.gen_range(0..=i));
@@ -246,64 +438,136 @@ pub fn train_pge_with_log(dataset: &Dataset, cfg: &PgeConfig, log: Option<&RunLo
         let mut negs_drawn = 0usize;
         for batch in order.chunks(cfg.batch.max(1)) {
             step += 1;
-            for &i in batch {
-                let triple = dataset.train[i];
-                let title_tokens = &model.title_tokens[triple.product.0 as usize];
-                let value_tokens = &model.value_tokens[triple.value.0 as usize];
-                let (e_t, cache_t) = model.encoder.forward(title_tokens);
-                let (e_v, cache_v) = model.encoder.forward(value_tokens);
-                let r = model.relations.row(triple.attr.0 as u32).to_vec();
-                let f_pos = model.scorer.score(&e_t, &r, &e_v);
-
-                let negs = sampler.sample(&mut rng, &triple, k);
-                if negs.is_empty() {
-                    continue;
-                }
-                negs_drawn += negs.len();
-                // Loss bookkeeping (Eq. 3 per-triple term).
-                let mut l_i = -ops::log_sigmoid(f_pos);
-                let w = if confidence_active {
-                    confidence.get(i)
-                } else {
-                    1.0
-                };
-
-                dh.iter_mut().for_each(|x| *x = 0.0);
-                dr.iter_mut().for_each(|x| *x = 0.0);
-                if w > 0.0 {
-                    // Positive term: dL/df⁺ = −σ(−f⁺).
-                    dv.iter_mut().for_each(|x| *x = 0.0);
-                    let df_pos = -w * ops::sigmoid(-f_pos);
-                    model
-                        .scorer
-                        .backward(&e_t, &r, &e_v, df_pos, &mut dh, &mut dr, &mut dv);
-                    model.encoder.backward(&cache_v, &dv);
-                }
-                let inv_k = 1.0 / negs.len() as f32;
-                for &neg in &negs {
-                    let neg_tokens = &model.value_tokens[neg.0 as usize];
-                    let (e_n, cache_n) = model.encoder.forward(neg_tokens);
-                    let f_neg = model.scorer.score(&e_t, &r, &e_n);
-                    l_i += -inv_k * ops::log_sigmoid(-f_neg);
-                    if w > 0.0 {
-                        // Negative term: dL/df⁻ = σ(f⁻)/k.
-                        dv.iter_mut().for_each(|x| *x = 0.0);
-                        let df_neg = w * inv_k * ops::sigmoid(f_neg);
-                        model
-                            .scorer
-                            .backward(&e_t, &r, &e_n, df_neg, &mut dh, &mut dr, &mut dv);
-                        model.encoder.backward(&cache_n, &dv);
+            if is_cnn {
+                // Fan out: workers accumulate into their lanes against
+                // a shared read-only model.
+                {
+                    let TextEncoder::Cnn(enc) = &model.encoder else {
+                        unreachable!()
+                    };
+                    let ctx = BatchCtx {
+                        enc,
+                        relations: &model.relations,
+                        scorer: model.scorer,
+                        title_tokens: &model.title_tokens,
+                        value_tokens: &model.value_tokens,
+                        train: &dataset.train,
+                        sampler: &sampler,
+                        confidence: &confidence,
+                        confidence_active,
+                        k,
+                        epoch,
+                        seed: cfg.seed,
+                    };
+                    let per_worker = GRAD_LANES.div_ceil(workers);
+                    if workers == 1 {
+                        let t0 = Instant::now();
+                        run_lanes(&ctx, batch, &mut lanes, 0);
+                        worker_busy[0] += t0.elapsed().as_secs_f64();
+                    } else {
+                        std::thread::scope(|s| {
+                            let handles: Vec<_> = lanes
+                                .chunks_mut(per_worker)
+                                .enumerate()
+                                .map(|(w, chunk)| {
+                                    let ctx = &ctx;
+                                    s.spawn(move || {
+                                        let t0 = Instant::now();
+                                        run_lanes(ctx, batch, chunk, w * per_worker);
+                                        (w, t0.elapsed().as_secs_f64())
+                                    })
+                                })
+                                .collect();
+                            for h in handles {
+                                let (w, busy) = h.join().expect("training worker panicked");
+                                worker_busy[w] += busy;
+                            }
+                        });
                     }
                 }
-                if w > 0.0 {
-                    model.encoder.backward(&cache_t, &dh);
-                    model.relations.accumulate_grad(triple.attr.0 as u32, &dr);
+                // Reduce in fixed lane order — independent of the
+                // thread count — then take the single Adam step.
+                let PgeModel {
+                    encoder, relations, ..
+                } = &mut model;
+                let TextEncoder::Cnn(enc) = encoder else {
+                    unreachable!()
+                };
+                for lane in &mut lanes {
+                    enc.apply_grads(&mut lane.grads);
+                    relations.apply_sparse_grads(&mut lane.rel);
+                    for (i, l_i) in lane.conf.drain(..) {
+                        confidence.update(i, l_i);
+                    }
+                    loss_sum += lane.loss_sum;
+                    loss_n += lane.loss_n;
+                    negs_drawn += lane.negs;
+                    lane.loss_sum = 0.0;
+                    lane.loss_n = 0;
+                    lane.negs = 0;
                 }
-                if confidence_active {
-                    confidence.update(i, l_i);
+            } else {
+                // Legacy serial path: the BERT backward pass still
+                // mutates inline parameter gradients.
+                for &i in batch {
+                    let triple = dataset.train[i];
+                    let title_tokens = &model.title_tokens[triple.product.0 as usize];
+                    let value_tokens = &model.value_tokens[triple.value.0 as usize];
+                    let (e_t, cache_t) = model.encoder.forward(title_tokens);
+                    let (e_v, cache_v) = model.encoder.forward(value_tokens);
+                    let r = model.relations.row(triple.attr.0 as u32).to_vec();
+                    let f_pos = model.scorer.score(&e_t, &r, &e_v);
+
+                    let negs = sampler.sample(&mut rng, &triple, k);
+                    if negs.is_empty() {
+                        continue;
+                    }
+                    negs_drawn += negs.len();
+                    // Loss bookkeeping (Eq. 3 per-triple term).
+                    let mut l_i = -ops::log_sigmoid(f_pos);
+                    let w = if confidence_active {
+                        confidence.get(i)
+                    } else {
+                        1.0
+                    };
+
+                    dh.iter_mut().for_each(|x| *x = 0.0);
+                    dr.iter_mut().for_each(|x| *x = 0.0);
+                    if w > 0.0 {
+                        // Positive term: dL/df⁺ = −σ(−f⁺).
+                        dv.iter_mut().for_each(|x| *x = 0.0);
+                        let df_pos = -w * ops::sigmoid(-f_pos);
+                        model
+                            .scorer
+                            .backward(&e_t, &r, &e_v, df_pos, &mut dh, &mut dr, &mut dv);
+                        model.encoder.backward(&cache_v, &dv);
+                    }
+                    let inv_k = 1.0 / negs.len() as f32;
+                    for &neg in &negs {
+                        let neg_tokens = &model.value_tokens[neg.0 as usize];
+                        let (e_n, cache_n) = model.encoder.forward(neg_tokens);
+                        let f_neg = model.scorer.score(&e_t, &r, &e_n);
+                        l_i += -inv_k * ops::log_sigmoid(-f_neg);
+                        if w > 0.0 {
+                            // Negative term: dL/df⁻ = σ(f⁻)/k.
+                            dv.iter_mut().for_each(|x| *x = 0.0);
+                            let df_neg = w * inv_k * ops::sigmoid(f_neg);
+                            model
+                                .scorer
+                                .backward(&e_t, &r, &e_n, df_neg, &mut dh, &mut dr, &mut dv);
+                            model.encoder.backward(&cache_n, &dv);
+                        }
+                    }
+                    if w > 0.0 {
+                        model.encoder.backward(&cache_t, &dh);
+                        model.relations.accumulate_grad(triple.attr.0 as u32, &dr);
+                    }
+                    if confidence_active {
+                        confidence.update(i, l_i);
+                    }
+                    loss_sum += l_i as f64;
+                    loss_n += 1;
                 }
-                loss_sum += l_i as f64;
-                loss_n += 1;
             }
             model.encoder.adam_step(&hp, step);
             model.relations.adam_step(&hp, step);
@@ -324,6 +588,12 @@ pub fn train_pge_with_log(dataset: &Dataset, cfg: &PgeConfig, log: Option<&RunLo
                 loss_n as f64 / secs
             } else {
                 0.0
+            },
+            threads: workers,
+            worker_utilization: if is_cnn && secs > 0.0 {
+                worker_busy.iter().map(|b| b / secs).collect()
+            } else {
+                Vec::new()
             },
             confidence: cfg
                 .noise_aware
@@ -456,6 +726,68 @@ mod tests {
         let b = train_pge(&d, &PgeConfig::tiny());
         let t = d.test[0].triple;
         assert_eq!(a.model.score_triple(&t), b.model.score_triple(&t));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The tentpole guarantee: the fixed-lane partition and
+        // fixed-order reduction make results *bit-identical* for any
+        // worker count at the same seed.
+        let d = tiny_dataset();
+        let score_all = |out: &TrainedPge| -> Vec<f32> {
+            d.test
+                .iter()
+                .map(|lt| out.model.score_triple(&lt.triple))
+                .collect()
+        };
+        let base = train_pge(
+            &d,
+            &PgeConfig {
+                threads: 1,
+                ..PgeConfig::tiny()
+            },
+        );
+        for threads in [2, 8] {
+            let out = train_pge(
+                &d,
+                &PgeConfig {
+                    threads,
+                    ..PgeConfig::tiny()
+                },
+            );
+            assert_eq!(score_all(&base), score_all(&out), "threads={threads}");
+            assert_eq!(
+                base.epoch_losses, out.epoch_losses,
+                "losses diverged at threads={threads}"
+            );
+            assert_eq!(
+                base.confidence.scores(),
+                out.confidence.scores(),
+                "confidences diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_reports_threads_and_worker_utilization() {
+        let d = tiny_dataset();
+        let cfg = PgeConfig {
+            threads: 2,
+            ..PgeConfig::tiny()
+        };
+        let out = train_pge(&d, &cfg);
+        for t in &out.telemetry {
+            assert_eq!(t.threads, 2);
+            assert_eq!(t.worker_utilization.len(), 2);
+            assert!(t.worker_utilization.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn resolve_threads_clamps_to_lane_count() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(GRAD_LANES + 50), GRAD_LANES);
+        assert!(resolve_threads(0) >= 1, "auto-detect must give >= 1");
     }
 
     #[test]

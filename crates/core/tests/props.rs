@@ -1,7 +1,7 @@
 //! Property-based tests for scoring functions and the confidence
 //! mechanism.
 
-use pge_core::{ConfidenceStore, ScoreKind, Scorer};
+use pge_core::{ConfidenceStore, EmbeddingCache, ScoreKind, Scorer};
 use pge_nn::gradcheck;
 use proptest::prelude::*;
 
@@ -93,6 +93,24 @@ proptest! {
             let c = store.get(0);
             prop_assert!((0.0..=1.0).contains(&c), "C = {c}");
         }
+    }
+
+    #[test]
+    fn cache_len_never_exceeds_capacity(
+        capacity in 0usize..64,
+        keys in prop::collection::vec(0u16..512, 0..300),
+    ) {
+        // Regression: ceil-rounded per-shard caps let the cache hold
+        // up to 15 entries more than the requested capacity.
+        let cache = EmbeddingCache::new(capacity);
+        for k in &keys {
+            let v = cache.get_or_compute(&format!("k{k}"), || vec![f32::from(*k)]);
+            prop_assert_eq!(v, vec![f32::from(*k)]);
+        }
+        prop_assert!(
+            cache.len() <= capacity,
+            "len {} exceeds capacity {}", cache.len(), capacity
+        );
     }
 
     #[test]

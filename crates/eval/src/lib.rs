@@ -15,4 +15,4 @@ pub mod threshold;
 pub use hist::{AtomicHistogram, Histogram};
 pub use pr::{average_precision, pr_curve, recall_at_precision, Scored};
 pub use report::Table;
-pub use threshold::best_accuracy_threshold;
+pub use threshold::{accuracy_at, best_accuracy_threshold};

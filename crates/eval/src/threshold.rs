@@ -14,16 +14,27 @@ pub fn best_accuracy_threshold(pairs: &[(f32, bool)]) -> (f32, f32) {
     if pairs.is_empty() {
         return (0.0, 0.0);
     }
-    let mut sorted: Vec<(f32, bool)> = pairs.to_vec();
+    // A NaN score never satisfies `score > θ`, so NaN items are
+    // predicted incorrect at every threshold: they contribute a
+    // constant to the accuracy and take no part in the sweep. They
+    // must be excluded *before* the dedup loop below — `NaN == NaN`
+    // is false, so a NaN group would never advance `i` and the sweep
+    // used to hang forever.
+    let nan_hits = pairs.iter().filter(|(s, c)| s.is_nan() && !*c).count() as f32;
+    let n = pairs.len() as f32;
+    let mut sorted: Vec<(f32, bool)> = pairs.iter().copied().filter(|(s, _)| !s.is_nan()).collect();
+    if sorted.is_empty() {
+        // Every score is NaN: all thresholds are equivalent.
+        return (0.0, nan_hits / n);
+    }
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let n = sorted.len() as f32;
 
     // Sweep thresholds from below the minimum upward. At θ = -inf all
     // items are predicted correct; moving θ past an item flips that
     // item's prediction to incorrect.
     let correct_total = sorted.iter().filter(|(_, c)| *c).count() as f32;
-    // Start: everything predicted correct.
-    let mut hits = correct_total;
+    // Start: everything (except NaN items) predicted correct.
+    let mut hits = correct_total + nan_hits;
     let mut best_acc = hits / n;
     let mut best_theta = sorted[0].0 - 1.0;
 
@@ -115,6 +126,36 @@ mod tests {
         let pairs = [(0.5, true), (0.5, false), (0.5, true)];
         let (_, acc) = best_accuracy_threshold(&pairs);
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nan_scores_terminate_and_count_as_predicted_incorrect() {
+        // Regression: a NaN score used to wedge the dedup loop forever
+        // (`NaN == NaN` is false, so `i` never advanced).
+        let pairs = [
+            (f32::NAN, false),
+            (0.9, true),
+            (0.2, false),
+            (f32::NAN, true),
+        ];
+        let (theta, acc) = best_accuracy_threshold(&pairs);
+        assert!(theta.is_finite());
+        // NaN is never > θ: the NaN-incorrect item is always a hit and
+        // the NaN-correct one never is; θ in (0.2, 0.9) gets the rest.
+        assert!((acc - 0.75).abs() < 1e-6, "acc={acc}");
+        assert!((accuracy_at(&pairs, theta) - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_nan_scores() {
+        let (theta, acc) = best_accuracy_threshold(&[(f32::NAN, true)]);
+        assert!(theta.is_finite());
+        assert_eq!(acc, 0.0);
+
+        let all_wrong = [(f32::NAN, false), (f32::NAN, false)];
+        let (theta2, acc2) = best_accuracy_threshold(&all_wrong);
+        assert!(theta2.is_finite());
+        assert!((acc2 - 1.0).abs() < 1e-6);
     }
 
     #[test]

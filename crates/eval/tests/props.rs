@@ -1,9 +1,15 @@
 //! Property-based tests for the evaluation metrics.
 
 use pge_eval::{
-    average_precision, best_accuracy_threshold, pr_curve, recall_at_precision, Histogram, Scored,
+    accuracy_at, average_precision, best_accuracy_threshold, pr_curve, recall_at_precision,
+    Histogram, Scored,
 };
 use proptest::prelude::*;
+
+/// Scores that occasionally go NaN, as a diverged model produces.
+fn arb_maybe_nan_score() -> impl Strategy<Value = f32> {
+    (0u32..5, -100.0f32..100.0).prop_map(|(k, s)| if k == 0 { f32::NAN } else { s })
+}
 
 fn arb_scored() -> impl Strategy<Value = Vec<Scored>> {
     prop::collection::vec((-100.0f32..100.0, any::<bool>()), 1..200)
@@ -70,6 +76,21 @@ proptest! {
         let majority = correct.max(1.0 - correct);
         prop_assert!(acc + 1e-6 >= majority, "acc {acc} < majority {majority}");
         prop_assert!(acc <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn best_threshold_survives_nan_scores(
+        pairs in prop::collection::vec((arb_maybe_nan_score(), any::<bool>()), 1..100)
+    ) {
+        // Regression: any NaN score used to hang the sweep forever.
+        let (theta, acc) = best_accuracy_threshold(&pairs);
+        prop_assert!(theta.is_finite(), "theta={theta}");
+        prop_assert!((0.0..=1.0).contains(&acc), "acc={acc}");
+        // The reported accuracy is attained at θ and bounds any probe.
+        prop_assert!((accuracy_at(&pairs, theta) - acc).abs() < 1e-5);
+        for probe in [-200.0, 0.0, 200.0] {
+            prop_assert!(accuracy_at(&pairs, probe) <= acc + 1e-6);
+        }
     }
 
     #[test]

@@ -67,7 +67,16 @@ impl NegativeSampler {
                 return Some(candidate);
             }
         }
-        // Pathological pool; deterministic fallback.
+        // Pathological pool: every draw collided with the true value.
+        // The fallback must respect per-attribute mode — the old
+        // unconditional global 0/1 fallback leaked values from other
+        // attributes into "hard negative" batches.
+        if self.mode == SamplingMode::PerAttribute {
+            let pool = &self.per_attr[triple.attr.0 as usize];
+            if let Some(v) = pool.iter().copied().find(|&v| v != triple.value) {
+                return Some(v);
+            }
+        }
         let alt = if triple.value.0 == 0 { 1 } else { 0 };
         Some(ValueId(alt))
     }
@@ -140,6 +149,26 @@ mod tests {
         // corruption (from the global pool).
         let v = s.sample_one(&mut rng, &g.triples()[0]).unwrap();
         assert_ne!(v, g.triples()[0].value);
+    }
+
+    #[test]
+    fn pathological_fallback_respects_per_attribute_pool() {
+        // Regression: a constant RNG makes all 64 rejection draws hit
+        // the true value, forcing the fallback path — which used to
+        // return the global ValueId(0)/ValueId(1) pair regardless of
+        // mode, leaking out-of-attribute values.
+        let g = graph();
+        let s = NegativeSampler::new(&g, SamplingMode::PerAttribute);
+        let scent_triple = g.triples()[2]; // (p2, scent, mint)
+        let scent_pool: Vec<ValueId> = ["mint", "rose", "lavender"]
+            .iter()
+            .map(|v| g.lookup_value(v).unwrap())
+            .collect();
+        // StepRng(0, 0) always yields index 0 = mint = the true value.
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        let v = s.sample_one(&mut rng, &scent_triple).unwrap();
+        assert!(scent_pool.contains(&v), "fallback {v:?} left the pool");
+        assert_ne!(v, scent_triple.value);
     }
 
     #[test]

@@ -112,26 +112,65 @@ impl Conv1d {
     /// Accumulate parameter grads and add the input gradient into
     /// `dx` (same shape as the forward input).
     pub fn backward(&mut self, x: &Matrix, cache: &ConvCache, grad_out: &[f32], dx: &mut Matrix) {
-        debug_assert_eq!(grad_out.len(), self.filters());
-        debug_assert_eq!((dx.rows(), dx.cols()), (x.rows(), x.cols()));
-        let window = self.width * self.in_dim;
-        let db = self.b.grad.as_mut_slice();
-        for (f, &g_out) in grad_out.iter().enumerate() {
-            if g_out == 0.0 {
-                continue;
-            }
-            let t = cache.max_act[f];
-            let g = g_out * ops::tanh_deriv_from_output(t);
-            let i = cache.max_pos[f];
-            db[f] += g;
-            let lo = i * self.in_dim;
-            {
-                let xwin = &x.as_slice()[lo..lo + window];
-                ops::axpy(g, xwin, self.w.grad.row_mut(f));
-            }
-            let wrow = self.w.value.row(f).to_vec();
-            ops::axpy(g, &wrow, &mut dx.as_mut_slice()[lo..lo + window]);
-        }
+        let Conv1d {
+            w,
+            b,
+            width,
+            in_dim,
+        } = self;
+        conv_backward_impl(
+            &w.value,
+            *width,
+            *in_dim,
+            x,
+            cache,
+            grad_out,
+            &mut w.grad,
+            b.grad.as_mut_slice(),
+            dx,
+        );
+    }
+
+    /// [`Conv1d::backward`] with `&self`, accumulating into external
+    /// buffers `dw` (`filters × k·in_dim`) and `db` (`filters`) —
+    /// the data-parallel variant.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        cache: &ConvCache,
+        grad_out: &[f32],
+        dw: &mut Matrix,
+        db: &mut [f32],
+        dx: &mut Matrix,
+    ) {
+        conv_backward_impl(
+            &self.w.value,
+            self.width,
+            self.in_dim,
+            x,
+            cache,
+            grad_out,
+            dw,
+            db,
+            dx,
+        );
+    }
+
+    /// Fold external gradient buffers into the inline parameter
+    /// gradients, clearing the buffers.
+    pub fn apply_grads(&mut self, dw: &mut Matrix, db: &mut Matrix) {
+        self.w.accumulate_matrix(dw);
+        self.b.accumulate_matrix(db);
+        dw.fill_zero();
+        db.fill_zero();
+    }
+
+    /// Zeroed gradient buffers shaped for [`Conv1d::backward_into`].
+    pub fn grad_buffer(&self) -> (Matrix, Matrix) {
+        (
+            Matrix::zeros(self.w.rows(), self.w.cols()),
+            Matrix::zeros(self.b.rows(), self.b.cols()),
+        )
     }
 
     pub fn adam_step(&mut self, hp: &AdamHparams, t: u64) {
@@ -146,6 +185,39 @@ impl Conv1d {
 
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// Shared backward kernel for [`Conv1d`]: reads the weight value and
+/// accumulates into whichever gradient storage the caller supplies
+/// (inline `Param.grad` or an external per-worker buffer).
+#[allow(clippy::too_many_arguments)]
+fn conv_backward_impl(
+    w_value: &Matrix,
+    width: usize,
+    in_dim: usize,
+    x: &Matrix,
+    cache: &ConvCache,
+    grad_out: &[f32],
+    dw: &mut Matrix,
+    db: &mut [f32],
+    dx: &mut Matrix,
+) {
+    debug_assert_eq!(grad_out.len(), w_value.rows());
+    debug_assert_eq!((dx.rows(), dx.cols()), (x.rows(), x.cols()));
+    let window = width * in_dim;
+    for (f, &g_out) in grad_out.iter().enumerate() {
+        if g_out == 0.0 {
+            continue;
+        }
+        let t = cache.max_act[f];
+        let g = g_out * ops::tanh_deriv_from_output(t);
+        let i = cache.max_pos[f];
+        db[f] += g;
+        let lo = i * in_dim;
+        let xwin = &x.as_slice()[lo..lo + window];
+        ops::axpy(g, xwin, dw.row_mut(f));
+        ops::axpy(g, w_value.row(f), &mut dx.as_mut_slice()[lo..lo + window]);
     }
 }
 
@@ -179,6 +251,22 @@ impl CnnConfig {
             max_len: 24,
         }
     }
+}
+
+/// A detached gradient buffer covering every parameter of a
+/// [`TextCnnEncoder`]: sparse word-embedding rows, per-convolution
+/// weight/bias pairs, and the projection layer. One buffer per worker
+/// lets backward passes run concurrently against a shared `&self`
+/// encoder; [`TextCnnEncoder::apply_grads`] folds buffers back in a
+/// caller-chosen (fixed, hence deterministic) order.
+#[derive(Debug)]
+pub struct CnnGrads {
+    /// Sparse word-embedding row gradients, in first-touch order.
+    pub words: crate::grad::SparseRowGrads,
+    /// `(dW, db)` per convolution, in convolution order.
+    pub convs: Vec<(Matrix, Matrix)>,
+    /// `(dW, db)` of the projection layer.
+    pub proj: (Matrix, Matrix),
 }
 
 /// Backward cache of one [`TextCnnEncoder::forward`] call.
@@ -299,6 +387,53 @@ impl TextCnnEncoder {
             conv.backward(&cache.x, conv_cache, &dh[ci * f..(ci + 1) * f], &mut dx);
         }
         self.words.accumulate_seq_grad(&cache.padded, &dx);
+    }
+
+    /// A zeroed [`CnnGrads`] buffer shaped for this encoder.
+    pub fn grad_buffer(&self) -> CnnGrads {
+        CnnGrads {
+            words: crate::grad::SparseRowGrads::new(self.cfg.word_dim),
+            convs: self.convs.iter().map(Conv1d::grad_buffer).collect(),
+            proj: self.proj.grad_buffer(),
+        }
+    }
+
+    /// [`TextCnnEncoder::backward`] with `&self`, accumulating into an
+    /// external [`CnnGrads`] buffer instead of the inline parameter
+    /// gradients — the data-parallel training path.
+    pub fn backward_into(&self, cache: &CnnEncCache, grad_out: &[f32], g: &mut CnnGrads) {
+        let dh = self
+            .proj
+            .backward_into(&cache.proj, grad_out, &mut g.proj.0, &mut g.proj.1);
+        let f = self.cfg.filters_per_width;
+        let mut dx = Matrix::zeros(cache.x.rows(), cache.x.cols());
+        for (ci, conv) in self.convs.iter().enumerate() {
+            let (_, conv_cache) = &cache.conv[ci];
+            let (dw, db) = &mut g.convs[ci];
+            conv.backward_into(
+                &cache.x,
+                conv_cache,
+                &dh[ci * f..(ci + 1) * f],
+                dw,
+                db.as_mut_slice(),
+                &mut dx,
+            );
+        }
+        g.words.add_seq(&cache.padded, &dx);
+    }
+
+    /// Fold one gradient buffer into the inline parameter gradients
+    /// and clear it for reuse. Call once per buffer, in a fixed order,
+    /// before the optimizer step.
+    pub fn apply_grads(&mut self, g: &mut CnnGrads) {
+        for (row, grad) in g.words.iter() {
+            self.words.accumulate_grad(row as u32, grad);
+        }
+        g.words.clear();
+        for (conv, (dw, db)) in self.convs.iter_mut().zip(&mut g.convs) {
+            conv.apply_grads(dw, db);
+        }
+        self.proj.apply_grads(&mut g.proj.0, &mut g.proj.1);
     }
 
     /// Optimizer step over all parameters (sparse for the word table).
@@ -452,6 +587,44 @@ mod tests {
         // smooth; with a tiny net and small eps the argmax is stable,
         // so finite differences remain valid.
         gradcheck::check_param_grads(&mut enc, loss, 3e-2, "TextCnnEncoder");
+    }
+
+    #[test]
+    fn backward_into_plus_apply_matches_inline_backward() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = TextCnnEncoder::new(&mut rng, tiny_cfg());
+        let mut b = a.clone();
+        let tokens = [3u32, 5, 7, 1, 2];
+        let grad_out = [0.5f32, -1.0, 0.25, 2.0, -0.75];
+
+        let (_, cache_a) = a.forward(&tokens);
+        a.backward(&cache_a, &grad_out);
+
+        let (_, cache_b) = b.forward(&tokens);
+        let mut buf = b.grad_buffer();
+        b.backward_into(&cache_b, &grad_out, &mut buf);
+        b.apply_grads(&mut buf);
+
+        // Bit-identical gradients on every parameter, and the buffer
+        // comes back cleared for reuse.
+        let ga: Vec<Vec<f32>> = a
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.as_slice().to_vec())
+            .collect();
+        let gb: Vec<Vec<f32>> = b
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.as_slice().to_vec())
+            .collect();
+        assert_eq!(ga, gb);
+        assert!(buf.words.is_empty());
+        assert!(buf
+            .convs
+            .iter()
+            .all(|(dw, db)| dw.as_slice().iter().all(|&x| x == 0.0)
+                && db.as_slice().iter().all(|&x| x == 0.0)));
+        assert!(buf.proj.0.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

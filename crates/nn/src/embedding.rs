@@ -103,6 +103,18 @@ impl Embedding {
         }
     }
 
+    /// Fold a detached sparse gradient buffer (from data-parallel
+    /// workers) into the inline row gradients, clearing the buffer.
+    /// Rows are folded in the buffer's first-touch order, so repeated
+    /// reductions over a fixed buffer sequence are deterministic.
+    pub fn apply_sparse_grads(&mut self, g: &mut crate::grad::SparseRowGrads) {
+        debug_assert_eq!(g.dim(), self.dim());
+        for (row, grad) in g.iter() {
+            self.accumulate_grad(row as u32, grad);
+        }
+        g.clear();
+    }
+
     /// Sparse Adam step over the touched rows; clears the touch set.
     pub fn adam_step(&mut self, hp: &AdamHparams, t: u64) {
         self.table.adam_step_rows(&self.touched, hp, t);

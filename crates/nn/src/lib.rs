@@ -15,6 +15,9 @@
 //! * [`lstm::Lstm`] — the LSTM used by the NLP baseline;
 //! * [`transformer::TransformerEncoder`] — the Transformer baseline
 //!   and the "BERT-style" deep text encoder of the scalability study;
+//! * [`grad::SparseRowGrads`] / [`conv::CnnGrads`] — detached gradient
+//!   buffers that let data-parallel workers run backward passes
+//!   against a shared network and reduce in a fixed order;
 //! * [`gradcheck`] — central-finite-difference gradient verification,
 //!   used pervasively by this crate's test-suite.
 //!
@@ -28,6 +31,7 @@
 pub mod adam;
 pub mod conv;
 pub mod embedding;
+pub mod grad;
 pub mod gradcheck;
 pub mod linear;
 pub mod lstm;
@@ -35,8 +39,9 @@ pub mod param;
 pub mod transformer;
 
 pub use adam::AdamHparams;
-pub use conv::{CnnConfig, TextCnnEncoder};
+pub use conv::{CnnConfig, CnnGrads, TextCnnEncoder};
 pub use embedding::Embedding;
+pub use grad::SparseRowGrads;
 pub use linear::{Activation, Linear};
 pub use lstm::Lstm;
 pub use param::Param;

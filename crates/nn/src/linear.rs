@@ -2,7 +2,7 @@
 
 use crate::adam::AdamHparams;
 use crate::param::Param;
-use pge_tensor::{init, ops};
+use pge_tensor::{init, ops, Matrix};
 use rand::Rng;
 
 /// Pointwise nonlinearity applied after the affine transform.
@@ -112,20 +112,39 @@ impl Linear {
     ///
     /// `grad_out` is dL/dy (post-activation).
     pub fn backward(&mut self, cache: &LinearCache, grad_out: &[f32]) -> Vec<f32> {
-        debug_assert_eq!(grad_out.len(), self.output_dim());
-        let mut g = grad_out.to_vec();
-        self.act.backprop(&cache.y, &mut g);
-        // db += g ; dW[o] += g[o] * x ; dx += Σ_o g[o] * W[o]
-        ops::axpy(1.0, &g, self.b.grad.as_mut_slice());
-        let mut dx = vec![0.0; self.input_dim()];
-        for (o, &go) in g.iter().enumerate() {
-            if go == 0.0 {
-                continue;
-            }
-            ops::axpy(go, &cache.x, self.w.grad.row_mut(o));
-            ops::axpy(go, self.w.value.row(o), &mut dx);
-        }
-        dx
+        let Linear { w, b, act } = self;
+        backward_impl(&w.value, *act, cache, grad_out, &mut w.grad, &mut b.grad)
+    }
+
+    /// [`Linear::backward`] with `&self`, accumulating into external
+    /// buffers `dw`/`db` (same shapes as the weight and bias) instead
+    /// of the inline parameter gradients — lets several workers run
+    /// backward passes concurrently against one shared layer.
+    pub fn backward_into(
+        &self,
+        cache: &LinearCache,
+        grad_out: &[f32],
+        dw: &mut Matrix,
+        db: &mut Matrix,
+    ) -> Vec<f32> {
+        backward_impl(&self.w.value, self.act, cache, grad_out, dw, db)
+    }
+
+    /// Fold external gradient buffers (from [`Linear::backward_into`])
+    /// into the inline parameter gradients, clearing the buffers.
+    pub fn apply_grads(&mut self, dw: &mut Matrix, db: &mut Matrix) {
+        self.w.accumulate_matrix(dw);
+        self.b.accumulate_matrix(db);
+        dw.fill_zero();
+        db.fill_zero();
+    }
+
+    /// Zeroed gradient buffers shaped for [`Linear::backward_into`].
+    pub fn grad_buffer(&self) -> (Matrix, Matrix) {
+        (
+            Matrix::zeros(self.w.rows(), self.w.cols()),
+            Matrix::zeros(self.b.rows(), self.b.cols()),
+        )
     }
 
     /// Dense Adam step for both parameters.
@@ -145,6 +164,33 @@ impl Linear {
     }
 }
 
+/// Shared backward kernel: reads the weight value, accumulates into
+/// whichever gradient storage the caller supplies (inline `Param.grad`
+/// or an external per-worker buffer), and returns dL/dx.
+fn backward_impl(
+    w_value: &Matrix,
+    act: Activation,
+    cache: &LinearCache,
+    grad_out: &[f32],
+    dw: &mut Matrix,
+    db: &mut Matrix,
+) -> Vec<f32> {
+    debug_assert_eq!(grad_out.len(), w_value.rows());
+    let mut g = grad_out.to_vec();
+    act.backprop(&cache.y, &mut g);
+    // db += g ; dW[o] += g[o] * x ; dx += Σ_o g[o] * W[o]
+    ops::axpy(1.0, &g, db.as_mut_slice());
+    let mut dx = vec![0.0; w_value.cols()];
+    for (o, &go) in g.iter().enumerate() {
+        if go == 0.0 {
+            continue;
+        }
+        ops::axpy(go, &cache.x, dw.row_mut(o));
+        ops::axpy(go, w_value.row(o), &mut dx);
+    }
+    dx
+}
+
 impl crate::gradcheck::HasParams for Linear {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Linear::params_mut(self)
@@ -155,7 +201,6 @@ impl crate::gradcheck::HasParams for Linear {
 mod tests {
     use super::*;
     use crate::gradcheck;
-    use pge_tensor::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -193,6 +238,37 @@ mod tests {
         assert_eq!(y, vec![0.0]); // relu(-1) = 0
         let dx = l.backward(&cache, &[1.0]);
         assert_eq!(dx, vec![0.0]); // gradient blocked
+    }
+
+    #[test]
+    fn backward_into_matches_inline_backward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(&mut rng, 4, 3, Activation::Tanh);
+        let x = [0.3, -0.7, 0.2, 0.9];
+        let g_out = [1.0f32, -2.0, 0.5];
+        let (_, cache) = l.forward(&x);
+        let (mut dw, mut db) = l.grad_buffer();
+        let dx_ext = l.backward_into(&cache, &g_out, &mut dw, &mut db);
+        let dx_inline = l.backward(&cache, &g_out);
+        assert_eq!(dx_ext, dx_inline);
+        let ps = l.params_mut();
+        assert_eq!(ps[0].grad.as_slice(), dw.as_slice());
+        assert_eq!(ps[1].grad.as_slice(), db.as_slice());
+    }
+
+    #[test]
+    fn apply_grads_folds_and_clears_buffers() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = Linear::new(&mut rng, 2, 2, Activation::None);
+        let (_, cache) = l.forward(&[1.0, -1.0]);
+        let (mut dw, mut db) = l.grad_buffer();
+        l.backward_into(&cache, &[1.0, 1.0], &mut dw, &mut db);
+        let expect_w = dw.as_slice().to_vec();
+        l.apply_grads(&mut dw, &mut db);
+        assert!(dw.as_slice().iter().all(|&x| x == 0.0));
+        assert!(db.as_slice().iter().all(|&x| x == 0.0));
+        let ps = l.params_mut();
+        assert_eq!(ps[0].grad.as_slice(), &expect_w[..]);
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl Param {
         self.grad.fill_zero();
     }
 
+    /// Fold an externally-accumulated gradient buffer (same shape as
+    /// `value`) into this parameter's gradient. Used by data-parallel
+    /// training, where each worker accumulates into its own buffer and
+    /// the buffers are reduced here in a fixed order.
+    pub fn accumulate_matrix(&mut self, g: &Matrix) {
+        self.grad.add_assign(g);
+    }
+
     /// Dense Adam step over the whole tensor, then clears the gradient.
     ///
     /// `t` is the 1-based global step count used for bias correction.

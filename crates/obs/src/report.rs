@@ -102,6 +102,28 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
             let mean = tput.iter().sum::<f64>() / tput.len() as f64;
             let _ = writeln!(w, "  speed  {mean:.0} triples/s mean");
         }
+        // Data-parallel runs log their thread count and per-worker
+        // busy fractions; summarize the last epoch's view.
+        if let Some(threads) = epochs.last().and_then(|e| num(e, "threads")) {
+            if threads > 1.0 {
+                let util: Vec<f64> = epochs
+                    .last()
+                    .and_then(|e| e.get("worker_utilization"))
+                    .and_then(Json::as_array)
+                    .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                    .unwrap_or_default();
+                if util.is_empty() {
+                    let _ = writeln!(w, "  workers {threads:.0}");
+                } else {
+                    let mean_u = util.iter().sum::<f64>() / util.len() as f64;
+                    let _ = writeln!(
+                        w,
+                        "  workers {threads:.0}, mean utilization {:.0}%",
+                        mean_u * 100.0
+                    );
+                }
+            }
+        }
         let polar: Vec<f64> = epochs
             .iter()
             .filter_map(|e| e.get("confidence").and_then(|c| num(c, "polarized_frac")))
@@ -220,6 +242,8 @@ mod tests {
                     negatives: 300,
                     secs: 0.5,
                     triples_per_sec: 200.0,
+                    threads: 4,
+                    worker_utilization: vec![0.95, 0.9, 0.92, 0.88],
                     confidence: Some(ConfidenceTelemetry {
                         mean: 0.9,
                         polarized_frac: 0.5 + 0.1 * i as f32,
@@ -263,6 +287,10 @@ mod tests {
         assert!(report.contains("training: 3 epochs"));
         assert!(report.contains("loss   1.5000 -> 0.4000"));
         assert!(report.contains("confidence polarization 0.500 -> 0.700"));
+        assert!(
+            report.contains("workers 4, mean utilization 91%"),
+            "{report}"
+        );
         assert!(report.contains("PR AUC 0.910"));
         assert!(report.contains("serve: 120 requests"));
         assert!(report.contains("p99 8.40 ms"));

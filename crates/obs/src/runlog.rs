@@ -49,6 +49,12 @@ pub struct EpochTelemetry {
     pub negatives: usize,
     pub secs: f64,
     pub triples_per_sec: f64,
+    /// Worker threads the trainer ran with this epoch.
+    pub threads: usize,
+    /// Per-worker busy fraction (busy seconds / epoch seconds), one
+    /// entry per worker. Empty when the trainer ran a serial path
+    /// (e.g. the BERT encoder) or the epoch took no measurable time.
+    pub worker_utilization: Vec<f64>,
     /// `None` when the noise-aware mechanism is off.
     pub confidence: Option<ConfidenceTelemetry>,
 }
@@ -101,6 +107,13 @@ pub fn epoch_event(t: &EpochTelemetry) -> Json {
     pairs.push(("negatives".into(), Json::Num(t.negatives as f64)));
     pairs.push(("secs".into(), Json::Num(t.secs)));
     pairs.push(("triples_per_sec".into(), Json::Num(t.triples_per_sec)));
+    pairs.push(("threads".into(), Json::Num(t.threads as f64)));
+    if !t.worker_utilization.is_empty() {
+        pairs.push((
+            "worker_utilization".into(),
+            Json::Arr(t.worker_utilization.iter().map(|&u| Json::Num(u)).collect()),
+        ));
+    }
     if let Some(c) = &t.confidence {
         pairs.push((
             "confidence".into(),
@@ -235,6 +248,8 @@ mod tests {
             negatives: 300,
             secs: 0.5,
             triples_per_sec: 200.0,
+            threads: 4,
+            worker_utilization: vec![0.9, 0.85, 0.88, 0.8],
             confidence: Some(ConfidenceTelemetry {
                 mean: 0.875,
                 polarized_frac: 0.75,
@@ -294,6 +309,8 @@ mod tests {
             negatives: 30,
             secs: 0.1,
             triples_per_sec: 100.0,
+            threads: 1,
+            worker_utilization: Vec::new(),
             confidence: None,
         }));
         let line = contents(&buf);

@@ -3,7 +3,7 @@
 //! ```text
 //! pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]
 //! pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]
-//!              [--runlog run.jsonl]
+//!              [--threads N] [--runlog run.jsonl]
 //! pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]
 //! pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]
 //! pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]
@@ -18,12 +18,19 @@
 //! R@P, and thresholded accuracy; `serve` answers scoring requests
 //! over HTTP (see `pge-serve`).
 //!
+//! `train --threads N` splits every minibatch across N worker
+//! threads (default: the machine's available parallelism). Results
+//! are bit-identical for any thread count at a fixed seed — see
+//! DESIGN.md on gradient-lane reduction.
+//!
 //! `--runlog` appends structured JSONL telemetry (run manifest,
 //! per-epoch training records, eval results, serve snapshots, span
 //! timings) to the given file; successive commands can share one file
 //! and `pge report` summarizes it.
 
-use pge::core::{load_model, save_model, train_pge_with_log, Detector, PgeConfig, ScoreKind};
+use pge::core::{
+    load_model, resolve_threads, save_model, train_pge_with_log, Detector, PgeConfig, ScoreKind,
+};
 use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
 use pge::eval::{average_precision, recall_at_precision, Scored};
 use pge::graph::tsv::{from_tsv, to_tsv};
@@ -40,7 +47,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]\n  \
          pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n               \
-         [--runlog run.jsonl]\n  \
+         [--threads N] [--runlog run.jsonl]\n  \
          pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]\n  \
          pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]\n  \
          pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]\n               \
@@ -174,6 +181,9 @@ fn main() {
                     Some("transe") => ScoreKind::TransE,
                     _ => ScoreKind::RotatE,
                 },
+                // 0 = auto (available parallelism); recorded resolved
+                // in the manifest below so runs are reproducible.
+                threads: get("threads").and_then(|s| s.parse().ok()).unwrap_or(0),
                 ..PgeConfig::default()
             };
             let log = open_runlog(get("runlog"));
@@ -189,14 +199,16 @@ fn main() {
                         ("batch".into(), cfg.batch.to_string()),
                         ("negatives".into(), cfg.negatives.to_string()),
                         ("noise_aware".into(), cfg.noise_aware.to_string()),
+                        ("threads".into(), resolve_threads(cfg.threads).to_string()),
                         ("train_triples".into(), data.train.len().to_string()),
                     ],
                 ));
             }
             println!(
-                "training {} on {} triples ...",
+                "training {} on {} triples ({} threads) ...",
                 cfg.label(),
-                data.train.len()
+                data.train.len(),
+                resolve_threads(cfg.threads)
             );
             let trained = train_pge_with_log(&data, &cfg, log.as_ref());
             println!(
