@@ -1,0 +1,205 @@
+//! `scan_probe` — throughput and memory probe for `pge-scan`.
+//!
+//! Trains a small model, synthesizes a catalog-scale raw triple file
+//! (default one million rows: a base catalog replicated with distinct
+//! per-lot titles, so the embedding cache sees a realistic mix of
+//! misses and hits), bulk-scans it with `--jobs 1` and with the full
+//! worker pool, verifies both runs produced identical shard CRCs, and
+//! writes `BENCH_scan.json` with rows/s, shard counts, cache hit
+//! rates, and the process peak RSS.
+//!
+//! ```text
+//! scan_probe [--rows N] [--jobs N] [--out FILE]
+//! ```
+//!
+//! Peak RSS is read from `/proc/self/status` (`VmHWM`) and is a
+//! process-wide high-water mark — the number that matters for the
+//! pipeline's bounded-memory claim: it must stay far below the input
+//! file size.
+
+use pge_core::{train_pge, Detector, PgeConfig};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use pge_obs::json::Json;
+use pge_scan::{scan, Manifest, ScanConfig, ScanOutcome};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// `VmHWM` from /proc/self/status in MiB, or 0 where unavailable.
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Write `rows` raw triples by replicating the base catalog under
+/// fresh per-lot titles. Titles repeat within a lot (one product has
+/// several attributes) but never across lots, so the title cache
+/// works exactly as hard as it would on a real catalog of
+/// `rows / triples-per-product` distinct products.
+fn synthesize_input(path: &Path, base: &[(String, String, String)], rows: u64) -> u64 {
+    let file = std::fs::File::create(path).expect("create probe input");
+    let mut w = BufWriter::new(file);
+    let mut written = 0u64;
+    let mut lot = 0u64;
+    'outer: loop {
+        for (title, attr, value) in base {
+            if written >= rows {
+                break 'outer;
+            }
+            writeln!(w, "{title} lot {lot}\t{attr}\t{value}").expect("write probe input");
+            written += 1;
+        }
+        lot += 1;
+    }
+    w.flush().expect("flush probe input");
+    written
+}
+
+fn outcome_json(label: &str, jobs: usize, o: &ScanOutcome, peak_mib: f64) -> Json {
+    let hit_rate = if o.cache_hits + o.cache_misses > 0 {
+        o.cache_hits as f64 / (o.cache_hits + o.cache_misses) as f64
+    } else {
+        0.0
+    };
+    Json::Obj(vec![
+        ("label".into(), Json::Str(label.into())),
+        ("jobs".into(), Json::Num(jobs as f64)),
+        ("rows".into(), Json::Num(o.rows_scanned as f64)),
+        ("errors_flagged".into(), Json::Num(o.errors_flagged as f64)),
+        ("quarantined".into(), Json::Num(o.quarantined as f64)),
+        ("shards".into(), Json::Num(o.shards_total as f64)),
+        ("elapsed_sec".into(), Json::Num(o.elapsed_sec)),
+        ("rows_per_sec".into(), Json::Num(o.rows_per_sec)),
+        ("cache_hit_rate".into(), Json::Num(hit_rate)),
+        ("peak_rss_mib".into(), Json::Num(peak_mib)),
+    ])
+}
+
+fn shard_crcs(out_dir: &Path) -> Vec<u32> {
+    Manifest::load(out_dir)
+        .expect("load manifest")
+        .expect("manifest exists")
+        .shards
+        .iter()
+        .map(|s| s.crc32)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str, default: u64| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let rows = flag("--rows", 1_000_000);
+    let jobs = flag(
+        "--jobs",
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(8) as u64),
+    ) as usize;
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scan.json".to_string());
+
+    eprintln!("training probe model ...");
+    let data = generate_catalog(&CatalogConfig {
+        products: 200,
+        labeled: 80,
+        seed: 11,
+        ..CatalogConfig::tiny()
+    });
+    let trained = train_pge(
+        &data,
+        &PgeConfig {
+            epochs: 2,
+            ..PgeConfig::default()
+        },
+    );
+    let threshold = Detector::fit(&trained.model, &data.graph, &data.valid).threshold;
+
+    let base: Vec<(String, String, String)> = data
+        .graph
+        .triples()
+        .iter()
+        .map(|t| {
+            (
+                data.graph.title(t.product).to_string(),
+                data.graph.attr_name(t.attr).to_string(),
+                data.graph.value_text(t.value).to_string(),
+            )
+        })
+        .collect();
+
+    let work: PathBuf = std::env::temp_dir().join(format!("pge-scan-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("create probe dir");
+    let input = work.join("catalog.tsv");
+    eprintln!("synthesizing {rows} rows ...");
+    let written = synthesize_input(&input, &base, rows);
+    let input_mib = std::fs::metadata(&input).expect("stat input").len() as f64 / (1024.0 * 1024.0);
+    eprintln!("input: {written} rows, {input_mib:.1} MiB");
+
+    let mut runs = Vec::new();
+    let mut crcs = Vec::new();
+    for (label, j) in [("jobs-1", 1usize), ("jobs-n", jobs)] {
+        let out_dir = work.join(label);
+        let mut cfg = ScanConfig::new(&out_dir);
+        cfg.jobs = j;
+        let o = scan(&trained.model, threshold, &input, &cfg).expect("probe scan");
+        assert!(o.done);
+        let peak = peak_rss_mib();
+        eprintln!(
+            "{label:>7}: {:>9.0} rows/s  {} shards  hit rate {:.1}%  peak RSS {peak:.0} MiB",
+            o.rows_per_sec,
+            o.shards_total,
+            100.0 * o.cache_hits as f64 / (o.cache_hits + o.cache_misses).max(1) as f64,
+        );
+        crcs.push(shard_crcs(&out_dir));
+        runs.push(outcome_json(label, j, &o, peak));
+    }
+    assert_eq!(
+        crcs[0], crcs[1],
+        "jobs 1 and jobs {jobs} must produce identical shards"
+    );
+    eprintln!(
+        "jobs-1 and jobs-{jobs} shard CRCs identical ({} shards)",
+        crcs[0].len()
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("scan_probe".into())),
+        (
+            "manifest".into(),
+            Json::Obj(vec![
+                (
+                    "git_rev".into(),
+                    pge_obs::git_rev().map_or(Json::Null, Json::Str),
+                ),
+                ("ts_ms".into(), Json::Num(pge_obs::unix_time_ms() as f64)),
+                (
+                    "version".into(),
+                    Json::Str(env!("CARGO_PKG_VERSION").into()),
+                ),
+            ]),
+        ),
+        ("rows".into(), Json::Num(written as f64)),
+        ("input_mib".into(), Json::Num(input_mib)),
+        ("jobs".into(), Json::Num(jobs as f64)),
+        ("shards_identical".into(), Json::Bool(true)),
+        ("runs".into(), Json::Arr(runs)),
+    ]);
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    let _ = std::fs::remove_dir_all(&work);
+    println!("{out}");
+}

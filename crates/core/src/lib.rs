@@ -38,7 +38,10 @@ pub use confidence::ConfidenceStore;
 pub use detector::Detector;
 pub use encoder::{EncoderKind, TextEncoder};
 pub use model::PgeModel;
-pub use persist::{load_model, save_model, PersistError};
+pub use persist::{
+    load_model, load_model_auto, load_model_binary, save_model, save_model_binary, PersistError,
+    BINARY_MAGIC,
+};
 pub use score::{ScoreKind, Scorer};
 pub use trainer::{
     resolve_threads, train_pge, train_pge_with_log, PgeConfig, TrainedPge, GRAD_LANES,

@@ -2,9 +2,21 @@
 //! reload it elsewhere.
 //!
 //! A production catalog pipeline trains once and scores continuously;
-//! this module is the hand-off. The format is line-oriented text with
-//! parameters stored as lossless `f32` bit patterns (hex), so a
-//! reloaded model scores *bit-identically*.
+//! this module is the hand-off. Two formats share one header:
+//!
+//! * **text** ([`save_model`]/[`load_model`]) — line-oriented, with
+//!   parameters stored as lossless `f32` bit patterns (hex); good for
+//!   diffing and debugging;
+//! * **binary** ([`save_model_binary`]) — `PGEBIN01` magic, a CRC-32
+//!   over the payload, the same text header, then raw little-endian
+//!   `f32` parameter blocks; ~2.3× smaller and checksummed, so a
+//!   truncated or bit-flipped snapshot is rejected at load instead of
+//!   silently scoring wrong.
+//!
+//! [`load_model_auto`] sniffs the magic and dispatches, so every
+//! consumer (`pge detect/eval/serve/scan`) accepts either format.
+//! Both reload *bit-identically*: a text round-trip and a binary
+//! round-trip produce byte-equal parameters.
 //!
 //! Only the CNN encoder variant is persisted — it is the paper's
 //! deployed configuration (the BERT variant exists for the Table-5
@@ -26,6 +38,8 @@ pub enum PersistError {
     UnsupportedEncoder,
     /// Parse failure with line number and message.
     Parse(usize, String),
+    /// A binary snapshot failed structural or checksum validation.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -35,6 +49,7 @@ impl std::fmt::Display for PersistError {
                 write!(f, "only PGE(CNN) models support persistence")
             }
             PersistError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt model snapshot: {msg}"),
         }
     }
 }
@@ -51,8 +66,9 @@ fn write_param_values(out: &mut String, values: &[f32]) {
     out.push('\n');
 }
 
-/// Serialize a trained PGE(CNN) model.
-pub fn save_model(model: &PgeModel) -> Result<String, PersistError> {
+/// The shared header: everything up to and including the `params N`
+/// line. Both the text and binary formats start with exactly this.
+fn header_text(model: &PgeModel, n_params: usize) -> Result<String, PersistError> {
     let cnn = match &model.encoder {
         TextEncoder::Cnn(c) => c,
         TextEncoder::Bert(_) => return Err(PersistError::UnsupportedEncoder),
@@ -83,11 +99,17 @@ pub fn save_model(model: &PgeModel) -> Result<String, PersistError> {
     for w in model.vocab.words() {
         let _ = writeln!(out, "{w}");
     }
+    let _ = writeln!(out, "params {n_params}");
+    Ok(out)
+}
+
+/// Serialize a trained PGE(CNN) model to the text format.
+pub fn save_model(model: &PgeModel) -> Result<String, PersistError> {
     // Parameters in HasParams order: encoder params then relations.
     let mut clone = model.clone();
     let mut params = clone.encoder.params_mut();
     params.push(clone.relations.param_mut());
-    let _ = writeln!(out, "params {}", params.len());
+    let mut out = header_text(model, params.len())?;
     for p in params {
         let _ = writeln!(out, "shape {} {}", p.value.rows(), p.value.cols());
         write_param_values(&mut out, p.value.as_slice());
@@ -95,10 +117,42 @@ pub fn save_model(model: &PgeModel) -> Result<String, PersistError> {
     Ok(out)
 }
 
-/// Reload a model saved with [`save_model`]. Token caches are rebuilt
-/// for `graph` (pass the graph you intend to score).
-pub fn load_model(text: &str, graph: &ProductGraph) -> Result<PgeModel, PersistError> {
-    let mut lines = text.lines().enumerate();
+/// Leading magic of the checksummed binary snapshot format.
+pub const BINARY_MAGIC: &[u8; 8] = b"PGEBIN01";
+
+/// Serialize a trained PGE(CNN) model to the binary snapshot format:
+/// `PGEBIN01`, a little-endian CRC-32 of the payload, then the payload
+/// (`u32` header length, the text header, and per parameter `u32`
+/// rows, `u32` cols, raw `f32` little-endian values).
+pub fn save_model_binary(model: &PgeModel) -> Result<Vec<u8>, PersistError> {
+    let mut clone = model.clone();
+    let mut params = clone.encoder.params_mut();
+    params.push(clone.relations.param_mut());
+    let header = header_text(model, params.len())?;
+    let mut payload = Vec::with_capacity(header.len() + 64);
+    payload.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    payload.extend_from_slice(header.as_bytes());
+    for p in params {
+        payload.extend_from_slice(&(p.value.rows() as u32).to_le_bytes());
+        payload.extend_from_slice(&(p.value.cols() as u32).to_le_bytes());
+        for v in p.value.as_slice() {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(BINARY_MAGIC.len() + 4 + payload.len());
+    out.extend_from_slice(BINARY_MAGIC);
+    out.extend_from_slice(&pge_tensor::crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Parse the shared header, producing a model skeleton (every
+/// parameter still randomly initialized) plus the declared parameter
+/// count; the caller fills the parameters from its format's body.
+fn parse_header<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+    graph: &ProductGraph,
+) -> Result<(PgeModel, usize), PersistError> {
     let mut next = |what: &str| -> Result<(usize, &str), PersistError> {
         lines
             .next()
@@ -192,18 +246,32 @@ pub fn load_model(text: &str, graph: &ProductGraph) -> Result<PgeModel, PersistE
     let words = Embedding::new(&mut rng, vocab_n, word_dim);
     let encoder = TextEncoder::cnn(&mut rng, cfg, words);
     let relations = Embedding::new(&mut rng, n_rels, scorer.rel_dim(out_dim));
-    let mut model = PgeModel::new(vocab, encoder, relations, scorer, graph);
+    let model = PgeModel::new(vocab, encoder, relations, scorer, graph);
 
     let (ln, params_line) = next("params")?;
     let n_params: usize = params_line
         .strip_prefix("params ")
         .and_then(|x| x.parse().ok())
         .ok_or_else(|| bad(ln, "bad params line"))?;
+    Ok((model, n_params))
+}
+
+/// Reload a model saved with [`save_model`]. Token caches are rebuilt
+/// for `graph` (pass the graph you intend to score).
+pub fn load_model(text: &str, graph: &ProductGraph) -> Result<PgeModel, PersistError> {
+    let mut lines = text.lines().enumerate();
+    let (mut model, n_params) = parse_header(&mut lines, graph)?;
+    let mut next = |what: &str| -> Result<(usize, &str), PersistError> {
+        lines
+            .next()
+            .ok_or_else(|| PersistError::Parse(0, format!("missing {what}")))
+    };
+    let bad = |ln: usize, m: &str| PersistError::Parse(ln + 1, m.to_string());
     {
         let mut params = model.encoder.params_mut();
         params.push(model.relations.param_mut());
         if params.len() != n_params {
-            return Err(bad(ln, "parameter count mismatch"));
+            return Err(PersistError::Parse(0, "parameter count mismatch".into()));
         }
         for p in params {
             let (sln, shape_line) = next("shape")?;
@@ -246,6 +314,88 @@ pub fn load_model(text: &str, graph: &ProductGraph) -> Result<PgeModel, PersistE
         }
     }
     Ok(model)
+}
+
+/// Reload a binary snapshot saved with [`save_model_binary`],
+/// verifying the CRC-32 before trusting a single byte of the payload.
+pub fn load_model_binary(bytes: &[u8], graph: &ProductGraph) -> Result<PgeModel, PersistError> {
+    let corrupt = |m: String| PersistError::Corrupt(m);
+    let rest = bytes
+        .strip_prefix(&BINARY_MAGIC[..])
+        .ok_or_else(|| corrupt("missing PGEBIN01 magic".into()))?;
+    if rest.len() < 4 {
+        return Err(corrupt("truncated before checksum".into()));
+    }
+    let (crc_bytes, payload) = rest.split_at(4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let computed = pge_tensor::crc32(payload);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "CRC-32 mismatch (stored {stored:08x}, computed {computed:08x}) — \
+             the snapshot is truncated or bit-flipped; re-export it"
+        )));
+    }
+    if payload.len() < 4 {
+        return Err(corrupt("payload too short for header length".into()));
+    }
+    let header_len = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    let header = payload
+        .get(4..4 + header_len)
+        .ok_or_else(|| corrupt("header extends past end of payload".into()))?;
+    let header = std::str::from_utf8(header).map_err(|_| corrupt("header is not UTF-8".into()))?;
+    let mut lines = header.lines().enumerate();
+    let (mut model, n_params) = parse_header(&mut lines, graph)?;
+    let mut cur = &payload[4 + header_len..];
+    {
+        let mut params = model.encoder.params_mut();
+        params.push(model.relations.param_mut());
+        if params.len() != n_params {
+            return Err(corrupt("parameter count mismatch".into()));
+        }
+        for p in params {
+            if cur.len() < 8 {
+                return Err(corrupt("truncated parameter block".into()));
+            }
+            let rows = u32::from_le_bytes(cur[..4].try_into().unwrap()) as usize;
+            let cols = u32::from_le_bytes(cur[4..8].try_into().unwrap()) as usize;
+            cur = &cur[8..];
+            if rows != p.value.rows() || cols != p.value.cols() {
+                return Err(corrupt(format!(
+                    "shape mismatch: file {rows}x{cols}, model {}x{}",
+                    p.value.rows(),
+                    p.value.cols()
+                )));
+            }
+            let slice = p.value.as_mut_slice();
+            let need = slice.len() * 4;
+            if cur.len() < need {
+                return Err(corrupt("parameter values truncated".into()));
+            }
+            for (v, chunk) in slice.iter_mut().zip(cur[..need].chunks_exact(4)) {
+                *v = f32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            cur = &cur[need..];
+        }
+    }
+    if !cur.is_empty() {
+        return Err(corrupt("trailing bytes after parameters".into()));
+    }
+    Ok(model)
+}
+
+/// Reload a model from either on-disk format: binary snapshots are
+/// recognized by their leading magic, everything else is parsed as
+/// the text format.
+pub fn load_model_auto(bytes: &[u8], graph: &ProductGraph) -> Result<PgeModel, PersistError> {
+    if bytes.starts_with(&BINARY_MAGIC[..]) {
+        return load_model_binary(bytes, graph);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| {
+        PersistError::Corrupt(
+            "model file is neither the PGEBIN01 binary format nor UTF-8 text".into(),
+        )
+    })?;
+    load_model(text, graph)
 }
 
 #[cfg(test)]
@@ -316,6 +466,105 @@ mod tests {
         match load_model(truncated, &d.graph) {
             Err(PersistError::Parse(_, msg)) => assert!(msg.contains("missing")),
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    /// Every parameter matrix of a model as raw bit patterns, in
+    /// HasParams order — the ground truth for bit-identity claims.
+    fn param_bits(model: &PgeModel) -> Vec<Vec<u32>> {
+        let mut clone = model.clone();
+        let mut params = clone.encoder.params_mut();
+        params.push(clone.relations.param_mut());
+        params
+            .iter()
+            .map(|p| p.value.as_slice().iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn binary_and_text_round_trips_are_bit_identical() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                epochs: 3,
+                ..PgeConfig::tiny()
+            },
+        );
+        let text = save_model(&trained.model).unwrap();
+        let binary = save_model_binary(&trained.model).unwrap();
+        assert!(
+            binary.len() < text.len(),
+            "binary ({}) should undercut hex text ({})",
+            binary.len(),
+            text.len()
+        );
+        let from_text = load_model(&text, &d.graph).unwrap();
+        let from_binary = load_model_binary(&binary, &d.graph).unwrap();
+        assert_eq!(param_bits(&from_text), param_bits(&from_binary));
+        assert_eq!(param_bits(&trained.model), param_bits(&from_binary));
+        // A binary round-trip of the text-loaded model reproduces the
+        // original snapshot byte for byte, and vice versa.
+        assert_eq!(save_model_binary(&from_text).unwrap(), binary);
+        assert_eq!(save_model(&from_binary).unwrap(), text);
+        for t in d.train.iter().take(10) {
+            assert_eq!(
+                trained.model.score_triple(t).to_bits(),
+                from_binary.score_triple(t).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn load_model_auto_detects_both_formats() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                epochs: 1,
+                ..PgeConfig::tiny()
+            },
+        );
+        let text = save_model(&trained.model).unwrap();
+        let binary = save_model_binary(&trained.model).unwrap();
+        let a = load_model_auto(text.as_bytes(), &d.graph).unwrap();
+        let b = load_model_auto(&binary, &d.graph).unwrap();
+        assert_eq!(param_bits(&a), param_bits(&b));
+        // Bytes that are neither format get the corrupt error, not a
+        // text parse attempt on garbage.
+        assert!(matches!(
+            load_model_auto(&[0xff, 0x00, 0xfe], &d.graph),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_crc_is_rejected_with_clear_error() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                epochs: 1,
+                ..PgeConfig::tiny()
+            },
+        );
+        let mut binary = save_model_binary(&trained.model).unwrap();
+        // Flip one payload bit well past the checksum field.
+        let ix = binary.len() - 3;
+        binary[ix] ^= 0x10;
+        match load_model_binary(&binary, &d.graph) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("CRC-32 mismatch"), "unhelpful error: {msg}")
+            }
+            other => panic!("expected CRC failure, got {other:?}"),
+        }
+        // Truncation is equally fatal.
+        let whole = save_model_binary(&trained.model).unwrap();
+        for cut in [3, 9, whole.len() / 2, whole.len() - 1] {
+            assert!(
+                load_model_binary(&whole[..cut], &d.graph).is_err(),
+                "truncation at {cut} must not load"
+            );
         }
     }
 

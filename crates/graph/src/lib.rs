@@ -27,3 +27,4 @@ pub use noise::inject_noise;
 pub use sampler::{NegativeSampler, SamplingMode};
 pub use stats::{graph_stats, GraphStats};
 pub use store::{AttrId, ProductGraph, ProductId, Triple, ValueId};
+pub use tsv::{write_raw_triples, RawTriple, RawTripleError, RawTripleReader};

@@ -5,6 +5,12 @@
 //! free on write (the generators never emit them). Good enough to
 //! persist generated datasets, diff them, or reload them in another
 //! process.
+//!
+//! For catalog-scale inputs that must never be buffered whole, the
+//! streaming [`RawTripleReader`] reads bare `title \t attr \t value`
+//! lines one at a time, reporting malformed lines with their line
+//! number and byte offset so `pge-scan` can quarantine them precisely
+//! and resume mid-file.
 
 use crate::dataset::{Dataset, LabeledTriple, Split};
 use crate::store::{AttrId, ProductGraph, ProductId, Triple, ValueId};
@@ -216,6 +222,206 @@ pub fn from_tsv(s: &str) -> Result<Dataset, TsvError> {
     })
 }
 
+/// One raw-text catalog triple streamed from a bulk-scan input file.
+///
+/// Unlike the id-interned [`Dataset`] format above, scan input is one
+/// `title \t attribute \t value` line per fact, with no header and no
+/// interning — the file never has to fit in memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawTriple {
+    /// 1-based input line number.
+    pub line: usize,
+    /// Byte offset of the start of this line in the input.
+    pub offset: u64,
+    pub title: String,
+    pub attr: String,
+    pub value: String,
+}
+
+/// A line the raw-triple reader could not parse. Carries enough
+/// position information (line number *and* byte offset) for a scan to
+/// quarantine the exact input line and resume past it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawTripleError {
+    /// 1-based input line number.
+    pub line: usize,
+    /// Byte offset of the start of the offending line.
+    pub offset: u64,
+    pub reason: String,
+    /// The offending line, lossily decoded for diagnostics.
+    pub raw: String,
+}
+
+impl RawTripleError {
+    /// True when this is an I/O failure of the underlying reader (the
+    /// stream fuses after one) rather than a malformed line. Scans
+    /// must abort on these instead of quarantining them as data.
+    pub fn is_read_failure(&self) -> bool {
+        self.reason.starts_with("read error")
+    }
+}
+
+impl std::fmt::Display for RawTripleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {} (offset {}): {}: {:?}",
+            self.line, self.offset, self.reason, self.raw
+        )
+    }
+}
+
+impl std::error::Error for RawTripleError {}
+
+/// Streaming line-at-a-time reader of raw `title \t attr \t value`
+/// triples.
+///
+/// Reads one line per `next()` call into a reused buffer — memory
+/// stays O(longest line) no matter how large the input is. Blank
+/// lines and `#` comments are skipped (but still counted, so line
+/// numbers match the file). Malformed lines (non-UTF-8, not exactly
+/// three fields, an empty field) are yielded as [`RawTripleError`]s
+/// rather than aborting the stream.
+pub struct RawTripleReader<R: std::io::BufRead> {
+    inner: R,
+    /// Lines consumed so far (== the line number of the last line).
+    line: usize,
+    /// Byte offset just past the last consumed line.
+    offset: u64,
+    buf: Vec<u8>,
+    /// Set at EOF or after an I/O error: the stream yields nothing
+    /// further (a persistent disk error must not loop forever).
+    fused: bool,
+}
+
+impl<R: std::io::BufRead> RawTripleReader<R> {
+    pub fn new(inner: R) -> Self {
+        Self::with_position(inner, 0, 0)
+    }
+
+    /// Resume mid-file: `inner` must already be positioned at byte
+    /// `offset`, which must be the start of line `lines_done + 1`.
+    pub fn with_position(inner: R, lines_done: usize, offset: u64) -> Self {
+        RawTripleReader {
+            inner,
+            line: lines_done,
+            offset,
+            buf: Vec::new(),
+            fused: false,
+        }
+    }
+
+    /// Lines consumed so far.
+    pub fn lines_done(&self) -> usize {
+        self.line
+    }
+
+    /// Byte offset just past the last consumed line — the position a
+    /// resumed reader should start from.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for RawTripleReader<R> {
+    type Item = Result<RawTriple, RawTripleError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.fused {
+                return None;
+            }
+            self.buf.clear();
+            let start = self.offset;
+            let n = match self.inner.read_until(b'\n', &mut self.buf) {
+                Ok(0) => {
+                    self.fused = true;
+                    return None;
+                }
+                Ok(n) => n,
+                Err(e) => {
+                    // An I/O error mid-stream is unrecoverable for a
+                    // line-oriented reader; surface it once and stop.
+                    self.fused = true;
+                    self.line += 1;
+                    return Some(Err(RawTripleError {
+                        line: self.line,
+                        offset: start,
+                        reason: format!("read error: {e}"),
+                        raw: String::new(),
+                    }));
+                }
+            };
+            self.offset += n as u64;
+            self.line += 1;
+            let mut bytes: &[u8] = &self.buf;
+            if bytes.last() == Some(&b'\n') {
+                bytes = &bytes[..bytes.len() - 1];
+            }
+            if bytes.last() == Some(&b'\r') {
+                bytes = &bytes[..bytes.len() - 1];
+            }
+            if bytes.is_empty() || bytes.first() == Some(&b'#') {
+                continue; // blank line or comment
+            }
+            let text = match std::str::from_utf8(bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    return Some(Err(RawTripleError {
+                        line: self.line,
+                        offset: start,
+                        reason: format!("invalid UTF-8: {e}"),
+                        raw: String::from_utf8_lossy(bytes).into_owned(),
+                    }))
+                }
+            };
+            let fields: Vec<&str> = text.split('\t').collect();
+            if fields.len() != 3 {
+                return Some(Err(RawTripleError {
+                    line: self.line,
+                    offset: start,
+                    reason: format!("expected 3 tab-separated fields, got {}", fields.len()),
+                    raw: text.to_string(),
+                }));
+            }
+            if let Some(i) = fields.iter().position(|f| f.trim().is_empty()) {
+                let name = ["title", "attribute", "value"][i];
+                return Some(Err(RawTripleError {
+                    line: self.line,
+                    offset: start,
+                    reason: format!("empty {name} field"),
+                    raw: text.to_string(),
+                }));
+            }
+            return Some(Ok(RawTriple {
+                line: self.line,
+                offset: start,
+                title: fields[0].to_string(),
+                attr: fields[1].to_string(),
+                value: fields[2].to_string(),
+            }));
+        }
+    }
+}
+
+/// Write every graph triple of `d` as raw `title \t attr \t value`
+/// lines — the bulk-scan input format. Returns the line count.
+pub fn write_raw_triples(d: &Dataset, mut w: impl std::io::Write) -> std::io::Result<u64> {
+    let g = &d.graph;
+    let mut n = 0u64;
+    for t in g.triples() {
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            g.title(t.product),
+            g.attr_name(t.attr),
+            g.value_text(t.value)
+        )?;
+        n += 1;
+    }
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +487,98 @@ mod tests {
             Err(TsvError::Parse(line, _)) => assert_eq!(line, 6),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    // --- RawTripleReader -------------------------------------------
+
+    fn raw(input: &[u8]) -> Vec<Result<RawTriple, RawTripleError>> {
+        RawTripleReader::new(std::io::BufReader::new(input)).collect()
+    }
+
+    #[test]
+    fn raw_reader_parses_good_lines_with_positions() {
+        let input = b"chips\tflavor\tspicy\ngranola\tgrain\toats\n";
+        let rows = raw(input);
+        assert_eq!(rows.len(), 2);
+        let a = rows[0].as_ref().unwrap();
+        assert_eq!((a.line, a.offset), (1, 0));
+        assert_eq!(
+            (&*a.title, &*a.attr, &*a.value),
+            ("chips", "flavor", "spicy")
+        );
+        let b = rows[1].as_ref().unwrap();
+        assert_eq!((b.line, b.offset), (2, 19));
+        assert_eq!(&*b.title, "granola");
+    }
+
+    #[test]
+    fn raw_reader_skips_blanks_and_comments_keeping_line_numbers() {
+        let input = b"# header comment\n\nchips\tflavor\tspicy\r\n\n";
+        let rows = raw(input);
+        assert_eq!(rows.len(), 1);
+        let t = rows[0].as_ref().unwrap();
+        assert_eq!(t.line, 3, "comment and blank still count as lines");
+        assert_eq!(&*t.value, "spicy"); // \r\n stripped
+    }
+
+    #[test]
+    fn raw_reader_quarantines_malformed_lines_and_continues() {
+        let input = b"only-two\tfields\nchips\tflavor\tspicy\na\tb\tc\td\n\t\t\nok\tattr\tval";
+        let rows = raw(input);
+        assert_eq!(rows.len(), 5);
+        let e = rows[0].as_ref().unwrap_err();
+        assert_eq!((e.line, e.offset), (1, 0));
+        assert!(e.reason.contains("got 2"), "{e}");
+        assert!(rows[1].is_ok());
+        let e = rows[2].as_ref().unwrap_err();
+        assert!(e.reason.contains("got 4"), "{e}");
+        let e = rows[3].as_ref().unwrap_err();
+        assert!(e.reason.contains("empty title"), "{e}");
+        // Final line without trailing newline still parses.
+        assert_eq!(&*rows[4].as_ref().unwrap().value, "val");
+    }
+
+    #[test]
+    fn raw_reader_reports_invalid_utf8_with_position() {
+        let input: &[u8] = b"ok\tattr\tval\n\xff\xfe\tbroken\tline\nok2\tattr\tval2\n";
+        let rows = raw(input);
+        assert_eq!(rows.len(), 3);
+        let e = rows[1].as_ref().unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.offset, 12);
+        assert!(e.reason.contains("UTF-8"), "{e}");
+        assert!(rows[2].is_ok(), "reader recovers after a bad line");
+    }
+
+    #[test]
+    fn raw_reader_resumes_from_recorded_position() {
+        let input = b"a\tx\t1\nb\ty\t2\nc\tz\t3\n";
+        let mut first = RawTripleReader::new(std::io::BufReader::new(&input[..]));
+        first.next().unwrap().unwrap();
+        let (lines, offset) = (first.lines_done(), first.offset());
+        assert_eq!((lines, offset), (1, 6));
+        let rest = &input[offset as usize..];
+        let resumed: Vec<_> =
+            RawTripleReader::with_position(std::io::BufReader::new(rest), lines, offset)
+                .map(|r| r.unwrap())
+                .collect();
+        let straight: Vec<_> = raw(input).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(
+            resumed,
+            straight[1..].to_vec(),
+            "positions and content match"
+        );
+    }
+
+    #[test]
+    fn write_raw_triples_round_trips_through_reader() {
+        let d = sample();
+        let mut buf = Vec::new();
+        let n = write_raw_triples(&d, &mut buf).unwrap();
+        assert_eq!(n, d.graph.num_triples() as u64);
+        let rows: Vec<RawTriple> = raw(&buf).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), d.graph.num_triples());
+        assert_eq!(&*rows[0].title, "tortilla chips spicy queso");
+        assert_eq!(&*rows[0].attr, "flavor");
     }
 }

@@ -42,6 +42,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
     let mut epochs: Vec<Json> = Vec::new();
     let mut evals: Vec<Json> = Vec::new();
     let mut serves: Vec<Json> = Vec::new();
+    let mut scans: Vec<Json> = Vec::new();
     let mut spans: Vec<Json> = Vec::new();
     let mut bad_lines = 0usize;
     for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
@@ -54,11 +55,17 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
             Some("epoch") => epochs.push(v),
             Some("eval") => evals.push(v),
             Some("serve") => serves.push(v),
+            Some("scan") => scans.push(v),
             Some("spans") => spans.push(v),
             _ => bad_lines += 1,
         }
     }
-    if manifests.is_empty() && epochs.is_empty() && evals.is_empty() && serves.is_empty() {
+    if manifests.is_empty()
+        && epochs.is_empty()
+        && evals.is_empty()
+        && serves.is_empty()
+        && scans.is_empty()
+    {
         return Err("no recognizable run-log events".into());
     }
 
@@ -186,6 +193,33 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         }
     }
 
+    for s in &scans {
+        let _ = writeln!(
+            w,
+            "\nscan: {} rows in {} shards, {} flagged, {} quarantined",
+            num(s, "rows_total").unwrap_or(0.0),
+            num(s, "shards_total").unwrap_or(0.0),
+            num(s, "errors_total").unwrap_or(0.0),
+            num(s, "quarantined_total").unwrap_or(0.0),
+        );
+        if let Some(rps) = num(s, "rows_per_sec") {
+            let _ = writeln!(w, "  throughput {rps:.0} rows/s");
+        }
+        if let Some(resumed) = num(s, "resumed_rows") {
+            if resumed > 0.0 {
+                let _ = writeln!(w, "  resumed past {resumed} already-scanned rows");
+            }
+        }
+        if let (Some(h), Some(m)) = (num(s, "cache_hits"), num(s, "cache_misses")) {
+            let rate = if h + m > 0.0 {
+                h / (h + m) * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(w, "  cache hit rate {rate:.1}%  ({h} hits / {m} misses)");
+        }
+    }
+
     // Merge every spans event: each command in a shared pipeline file
     // (train, then detect, then serve) snapshots its own process.
     let mut merged: std::collections::BTreeMap<String, (f64, f64)> =
@@ -295,6 +329,32 @@ mod tests {
         assert!(report.contains("serve: 120 requests"));
         assert!(report.contains("p99 8.40 ms"));
         assert!(report.contains("cache hit rate 83.3%"));
+    }
+
+    #[test]
+    fn scan_events_render_their_own_section() {
+        let log = crate::runlog::scan_event(&[
+            ("rows_total", 1_000_000.0),
+            ("shards_total", 31.0),
+            ("errors_total", 52_110.0),
+            ("quarantined_total", 7.0),
+            ("rows_per_sec", 84_211.0),
+            ("resumed_rows", 65_536.0),
+            ("cache_hits", 900.0),
+            ("cache_misses", 100.0),
+        ])
+        .to_string();
+        let report = render_report(&log).unwrap();
+        assert!(
+            report.contains("scan: 1000000 rows in 31 shards, 52110 flagged, 7 quarantined"),
+            "{report}"
+        );
+        assert!(report.contains("throughput 84211 rows/s"), "{report}");
+        assert!(
+            report.contains("resumed past 65536 already-scanned rows"),
+            "{report}"
+        );
+        assert!(report.contains("cache hit rate 90.0%"), "{report}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   the direct Eq. 6 diagnostic;
 //! * `eval` — PR AUC, the chosen threshold, validation accuracy;
 //! * `serve` — a serving snapshot: counters and latency quantiles;
+//! * `scan` — a bulk-scan snapshot: rows scored, shards committed,
+//!   quarantine counts, throughput;
 //! * `spans` — accumulated span timings (see [`crate::span`]).
 //!
 //! Events append; one file can hold a whole train → eval → serve
@@ -147,6 +149,16 @@ pub fn eval_event(t: &EvalTelemetry) -> Json {
 /// `[("requests_total", 120.0), ("latency_p99_ms", 8.5)]`.
 pub fn serve_event(stats: &[(&str, f64)]) -> Json {
     let mut pairs = base("serve");
+    for (k, v) in stats {
+        pairs.push((k.to_string(), Json::Num(*v)));
+    }
+    Json::Obj(pairs)
+}
+
+/// A bulk-scan snapshot from counter pairs, e.g.
+/// `[("rows_total", 1.0e6), ("shards_total", 31.0)]`.
+pub fn scan_event(stats: &[(&str, f64)]) -> Json {
+    let mut pairs = base("scan");
     for (k, v) in stats {
         pairs.push((k.to_string(), Json::Num(*v)));
     }

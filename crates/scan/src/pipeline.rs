@@ -1,0 +1,735 @@
+//! The streaming scan pipeline: reader → worker pool → ordered
+//! committer.
+//!
+//! One reader thread streams the input line-at-a-time
+//! ([`pge_graph::RawTripleReader`]) into fixed-size chunks; a pool of
+//! `jobs` workers scores chunks through a [`CachedModel`] (sharing one
+//! sharded [`EmbeddingCache`]); the committer (the calling thread)
+//! restores chunk order, appends rows to the current shard, routes
+//! malformed and unknown-attribute lines to the quarantine file, and
+//! after every `shard_chunks` chunks makes the shard durable
+//! (flush + fsync + rename) and atomically rewrites the checkpoint
+//! manifest.
+//!
+//! **Determinism.** Scoring is a pure function of the row text (cache
+//! hits return byte-identical vectors), chunk boundaries depend only
+//! on `chunk_size`, and the committer writes chunks strictly in input
+//! order — so the concatenated shard output is byte-identical for any
+//! `jobs`, and a killed scan resumed from its last durable shard
+//! reproduces exactly what an uninterrupted run would have written.
+//!
+//! **Bounded memory.** Both channels are bounded at `2 × jobs`
+//! chunks and the committer's reorder buffer cannot exceed the number
+//! of in-flight chunks, so peak memory is
+//! `O(jobs × chunk_size × row size)` regardless of input size.
+
+use crate::checkpoint::{shard_file_name, Manifest, ShardEntry, MANIFEST_FILE, QUARANTINE_FILE};
+use pge_core::{CachedModel, EmbeddingCache, PgeModel};
+use pge_graph::{RawTriple, RawTripleError, RawTripleReader};
+use pge_obs::span;
+use pge_tensor::Crc32;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Bulk-scan failures.
+#[derive(Debug)]
+pub enum ScanError {
+    /// An I/O failure, with the operation that hit it.
+    Io(String, io::Error),
+    /// On-disk state (checkpoint, shard) failed validation.
+    Corrupt(String),
+    /// The requested scan is inconsistent with the existing
+    /// checkpoint (different knobs, changed input, missing --resume).
+    Mismatch(String),
+}
+
+impl ScanError {
+    pub(crate) fn io(context: String, e: io::Error) -> Self {
+        ScanError::Io(context, e)
+    }
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Io(ctx, e) => write!(f, "{ctx}: {e}"),
+            ScanError::Corrupt(m) => write!(f, "corrupt scan state: {m}"),
+            ScanError::Mismatch(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Knobs of a bulk scan.
+#[derive(Clone, Debug)]
+pub struct ScanConfig {
+    /// Output directory: shards, quarantine, and the checkpoint
+    /// manifest all live here.
+    pub out_dir: PathBuf,
+    /// Worker threads scoring chunks; 0 = auto (available
+    /// parallelism, capped at 8 like the offline detector).
+    pub jobs: usize,
+    /// Rows per chunk (the unit of work handed to one worker).
+    pub chunk_size: usize,
+    /// Chunks per output shard (the unit of durability). A resumed
+    /// scan must reuse the original `chunk_size` and `shard_chunks`.
+    pub shard_chunks: usize,
+    /// Embedding-cache capacity shared by all workers.
+    pub cache_cap: usize,
+    /// Continue from an existing checkpoint instead of insisting on a
+    /// clean output directory.
+    pub resume: bool,
+    /// Commit at most this many shards, then stop as if killed —
+    /// the ops/test hook behind the kill-and-resume guarantees.
+    pub max_shards: Option<u64>,
+}
+
+impl ScanConfig {
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        ScanConfig {
+            out_dir: out_dir.into(),
+            jobs: 0,
+            chunk_size: 2048,
+            shard_chunks: 16,
+            cache_cap: 65_536,
+            resume: false,
+            max_shards: None,
+        }
+    }
+}
+
+/// What a [`scan`] invocation accomplished.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScanOutcome {
+    /// Rows scored by *this* invocation.
+    pub rows_scanned: u64,
+    /// Rows scored across all invocations (committed shards).
+    pub rows_total: u64,
+    /// Rows flagged as errors by this invocation.
+    pub errors_flagged: u64,
+    /// Rows flagged as errors across all committed shards.
+    pub errors_total: u64,
+    /// Lines quarantined by this invocation.
+    pub quarantined: u64,
+    /// Lines quarantined across all invocations.
+    pub quarantined_total: u64,
+    /// Shards committed by this invocation.
+    pub shards_committed: u64,
+    /// Shards on disk in total.
+    pub shards_total: u64,
+    /// Rows skipped because a checkpoint already covered them.
+    pub resumed_rows: u64,
+    /// True when the whole input has been scanned (false after a
+    /// `max_shards` stop).
+    pub done: bool,
+    pub elapsed_sec: f64,
+    /// This invocation's scored rows per second.
+    pub rows_per_sec: f64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// A chunk of parsed input on its way to the workers.
+struct Chunk {
+    idx: u64,
+    rows: Vec<RawTriple>,
+    bad: Vec<RawTripleError>,
+    /// Reader position after this chunk's last line — what the
+    /// checkpoint records when the covering shard commits.
+    end_line: u64,
+    end_offset: u64,
+}
+
+/// A chunk after scoring: `None` = the attribute is unknown to the
+/// model (no relation vector), which quarantines the row.
+struct ScoredChunk {
+    idx: u64,
+    rows: Vec<(RawTriple, Option<f32>)>,
+    bad: Vec<RawTripleError>,
+    end_line: u64,
+    end_offset: u64,
+}
+
+fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        return jobs;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// An output shard being accumulated, not yet durable.
+struct ShardInProgress {
+    tmp: PathBuf,
+    file: BufWriter<File>,
+    crc: Crc32,
+    bytes: u64,
+    rows: u64,
+    errors: u64,
+    chunks: usize,
+}
+
+/// The ordered writer: quarantine sink, current shard, checkpoint.
+struct Committer<'a> {
+    out_dir: &'a Path,
+    manifest: Manifest,
+    threshold: f32,
+    quarantine: File,
+    q_bytes: u64,
+    q_lines: u64,
+    cur: Option<ShardInProgress>,
+    /// Reader position covered by everything appended so far.
+    pos: (u64, u64),
+    /// This invocation's tallies.
+    new_rows: u64,
+    new_errors: u64,
+    new_quarantined: u64,
+    new_shards: u64,
+    line_buf: String,
+}
+
+impl<'a> Committer<'a> {
+    fn shard(&mut self) -> Result<&mut ShardInProgress, ScanError> {
+        if self.cur.is_none() {
+            let tmp = self.out_dir.join(format!(
+                "{}.tmp",
+                shard_file_name(self.manifest.shards.len())
+            ));
+            let file = File::create(&tmp)
+                .map_err(|e| ScanError::io(format!("create {}", tmp.display()), e))?;
+            self.cur = Some(ShardInProgress {
+                tmp,
+                file: BufWriter::new(file),
+                crc: Crc32::new(),
+                bytes: 0,
+                rows: 0,
+                errors: 0,
+                chunks: 0,
+            });
+        }
+        Ok(self.cur.as_mut().unwrap())
+    }
+
+    fn quarantine_line(
+        &mut self,
+        line: usize,
+        offset: u64,
+        reason: &str,
+        raw: &str,
+    ) -> Result<(), ScanError> {
+        self.line_buf.clear();
+        use std::fmt::Write as _;
+        let _ = writeln!(self.line_buf, "{line}\t{offset}\t{reason}\t{raw}");
+        self.quarantine
+            .write_all(self.line_buf.as_bytes())
+            .map_err(|e| ScanError::io("append quarantine".into(), e))?;
+        self.q_bytes += self.line_buf.len() as u64;
+        self.q_lines += 1;
+        self.new_quarantined += 1;
+        Ok(())
+    }
+
+    /// Append one scored chunk: shard rows in input order, malformed
+    /// and unknown-attribute lines merged into the quarantine by line
+    /// number.
+    fn append_chunk(&mut self, c: ScoredChunk) -> Result<(), ScanError> {
+        let _s = span("scan.write");
+        let threshold = self.threshold;
+        let mut bad = c.bad.into_iter().peekable();
+        for (t, score) in c.rows {
+            while bad.peek().is_some_and(|b| b.line < t.line) {
+                let b = bad.next().unwrap();
+                self.quarantine_line(b.line, b.offset, &b.reason, &b.raw)?;
+            }
+            match score {
+                Some(p) => {
+                    let is_error = p.is_nan() || p <= threshold;
+                    self.line_buf.clear();
+                    use std::fmt::Write as _;
+                    let _ = writeln!(
+                        self.line_buf,
+                        "{}\t{}\t{}\t{}\t{}",
+                        t.title,
+                        t.attr,
+                        t.value,
+                        p,
+                        u8::from(is_error)
+                    );
+                    let line = std::mem::take(&mut self.line_buf);
+                    let sp = self.shard()?;
+                    sp.crc.update(line.as_bytes());
+                    sp.bytes += line.len() as u64;
+                    sp.rows += 1;
+                    sp.errors += u64::from(is_error);
+                    let res = sp.file.write_all(line.as_bytes());
+                    self.line_buf = line;
+                    res.map_err(|e| ScanError::io("append shard".into(), e))?;
+                    self.new_rows += 1;
+                    self.new_errors += u64::from(is_error);
+                }
+                None => {
+                    let reason = format!("unknown attribute {:?}", t.attr);
+                    let raw = format!("{}\t{}\t{}", t.title, t.attr, t.value);
+                    self.quarantine_line(t.line, t.offset, &reason, &raw)?;
+                }
+            }
+        }
+        for b in bad {
+            self.quarantine_line(b.line, b.offset, &b.reason, &b.raw)?;
+        }
+        self.pos = (c.end_line, c.end_offset);
+        // Even a chunk with zero scorable rows advances the shard's
+        // chunk count: shard boundaries must depend only on the input,
+        // never on how many rows survived parsing.
+        self.shard()?.chunks += 1;
+        Ok(())
+    }
+
+    /// True when the current shard holds `shard_chunks` chunks.
+    fn shard_full(&self) -> bool {
+        self.cur
+            .as_ref()
+            .is_some_and(|s| s.chunks >= self.manifest.shard_chunks)
+    }
+
+    /// Make the current shard durable and checkpoint: flush + fsync,
+    /// rename to its final name, fsync the quarantine, atomically
+    /// rewrite the manifest.
+    fn commit(&mut self) -> Result<(), ScanError> {
+        let Some(sp) = self.cur.take() else {
+            return Ok(());
+        };
+        let _s = span("scan.commit");
+        let name = shard_file_name(self.manifest.shards.len());
+        let final_path = self.out_dir.join(&name);
+        let file = sp
+            .file
+            .into_inner()
+            .map_err(|e| ScanError::io(format!("flush {name}"), e.into_error()))?;
+        file.sync_all()
+            .map_err(|e| ScanError::io(format!("fsync {name}"), e))?;
+        drop(file);
+        fs::rename(&sp.tmp, &final_path).map_err(|e| ScanError::io(format!("rename {name}"), e))?;
+        self.quarantine
+            .sync_all()
+            .map_err(|e| ScanError::io("fsync quarantine".into(), e))?;
+        self.manifest.shards.push(ShardEntry {
+            file: name,
+            rows: sp.rows,
+            errors: sp.errors,
+            bytes: sp.bytes,
+            crc32: sp.crc.finish(),
+        });
+        self.manifest.lines_done = self.pos.0;
+        self.manifest.input_bytes = self.pos.1;
+        self.manifest.quarantined = self.q_lines;
+        self.manifest.quarantine_bytes = self.q_bytes;
+        self.manifest.store(self.out_dir)?;
+        self.new_shards += 1;
+        Ok(())
+    }
+
+    /// Commit any partial shard and mark the scan complete.
+    fn finalize(&mut self) -> Result<(), ScanError> {
+        self.commit()?;
+        self.manifest.done = true;
+        // Trailing blank/comment lines can advance the reader past
+        // the last committed chunk; record the final position.
+        self.manifest.lines_done = self.manifest.lines_done.max(self.pos.0);
+        self.manifest.input_bytes = self.manifest.input_bytes.max(self.pos.1);
+        self.manifest.store(self.out_dir)
+    }
+}
+
+/// Validate an existing checkpoint against this invocation and the
+/// on-disk shards, returning the manifest to resume from.
+fn validate_resume(
+    m: Manifest,
+    cfg: &ScanConfig,
+    threshold: f32,
+    input_len: u64,
+) -> Result<Manifest, ScanError> {
+    let want = |what: &str, a: String, b: String| {
+        Err(ScanError::Mismatch(format!(
+            "cannot resume: {what} differs from the checkpoint (checkpoint {a}, requested {b}); \
+             rerun with the original settings or start a fresh --out-dir"
+        )))
+    };
+    if m.chunk_size != cfg.chunk_size {
+        return want(
+            "--chunk-size",
+            m.chunk_size.to_string(),
+            cfg.chunk_size.to_string(),
+        );
+    }
+    if m.shard_chunks != cfg.shard_chunks {
+        return want(
+            "--shard-chunks",
+            m.shard_chunks.to_string(),
+            cfg.shard_chunks.to_string(),
+        );
+    }
+    if m.threshold_bits != threshold.to_bits() {
+        return want(
+            "threshold",
+            f32::from_bits(m.threshold_bits).to_string(),
+            threshold.to_string(),
+        );
+    }
+    if m.input_len != input_len {
+        return Err(ScanError::Mismatch(format!(
+            "cannot resume: input file length changed ({} -> {input_len} bytes); \
+             the checkpoint no longer describes this input",
+            m.input_len
+        )));
+    }
+    for s in &m.shards {
+        let path = cfg.out_dir.join(&s.file);
+        let bytes = fs::read(&path)
+            .map_err(|e| ScanError::io(format!("read committed shard {}", path.display()), e))?;
+        if bytes.len() as u64 != s.bytes {
+            return Err(ScanError::Corrupt(format!(
+                "shard {} is {} bytes, checkpoint says {}",
+                s.file,
+                bytes.len(),
+                s.bytes
+            )));
+        }
+        let crc = pge_tensor::crc32(&bytes);
+        if crc != s.crc32 {
+            return Err(ScanError::Corrupt(format!(
+                "shard {} CRC-32 mismatch (file {crc:08x}, checkpoint {:08x})",
+                s.file, s.crc32
+            )));
+        }
+    }
+    Ok(m)
+}
+
+/// Remove stray `*.tmp` files (a kill mid-shard or mid-manifest-write
+/// leaves one; it is not durable state).
+fn remove_stale_tmp(out_dir: &Path) -> Result<(), ScanError> {
+    let entries = fs::read_dir(out_dir)
+        .map_err(|e| ScanError::io(format!("list {}", out_dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanError::io("list out-dir".into(), e))?;
+        if entry.path().extension().is_some_and(|e| e == "tmp") {
+            fs::remove_file(entry.path())
+                .map_err(|e| ScanError::io("remove stale tmp".into(), e))?;
+        }
+    }
+    Ok(())
+}
+
+/// Run a bulk scan of `input` (raw `title \t attr \t value` lines),
+/// scoring every row with `model` and classifying against
+/// `threshold`, writing sharded output + quarantine + checkpoint into
+/// `cfg.out_dir`. See the module docs for the determinism and memory
+/// guarantees.
+pub fn scan(
+    model: &PgeModel,
+    threshold: f32,
+    input: &Path,
+    cfg: &ScanConfig,
+) -> Result<ScanOutcome, ScanError> {
+    let started = Instant::now();
+    fs::create_dir_all(&cfg.out_dir)
+        .map_err(|e| ScanError::io(format!("create {}", cfg.out_dir.display()), e))?;
+    let input_len = fs::metadata(input)
+        .map_err(|e| ScanError::io(format!("stat {}", input.display()), e))?
+        .len();
+
+    let existing = Manifest::load(&cfg.out_dir)?;
+    let manifest = match (cfg.resume, existing) {
+        (false, Some(_)) => {
+            return Err(ScanError::Mismatch(format!(
+                "{} already contains {MANIFEST_FILE}; pass resume to continue it \
+                 or point the scan at a clean directory",
+                cfg.out_dir.display()
+            )))
+        }
+        (true, Some(m)) => validate_resume(m, cfg, threshold, input_len)?,
+        (_, None) => Manifest::fresh(cfg.chunk_size, cfg.shard_chunks, threshold, input_len),
+    };
+    remove_stale_tmp(&cfg.out_dir)?;
+
+    let resumed_rows = manifest.rows_total();
+    if manifest.done {
+        // Nothing to do; report the durable totals.
+        return Ok(ScanOutcome {
+            rows_total: manifest.rows_total(),
+            errors_total: manifest.errors_total(),
+            quarantined_total: manifest.quarantined,
+            shards_total: manifest.shards.len() as u64,
+            resumed_rows,
+            done: true,
+            elapsed_sec: started.elapsed().as_secs_f64(),
+            ..ScanOutcome::default()
+        });
+    }
+
+    // Quarantine: drop any tail written after the last checkpoint,
+    // then append.
+    let q_path = cfg.out_dir.join(QUARANTINE_FILE);
+    let quarantine = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&q_path)
+        .map_err(|e| ScanError::io(format!("open {}", q_path.display()), e))?;
+    let q_len = quarantine
+        .metadata()
+        .map_err(|e| ScanError::io("stat quarantine".into(), e))?
+        .len();
+    if q_len < manifest.quarantine_bytes {
+        return Err(ScanError::Corrupt(format!(
+            "quarantine file is {q_len} bytes, checkpoint says {}",
+            manifest.quarantine_bytes
+        )));
+    }
+    quarantine
+        .set_len(manifest.quarantine_bytes)
+        .map_err(|e| ScanError::io("truncate quarantine".into(), e))?;
+    let mut quarantine = quarantine;
+    quarantine
+        .seek(SeekFrom::End(0))
+        .map_err(|e| ScanError::io("seek quarantine".into(), e))?;
+
+    // Input, positioned just past the last committed shard.
+    let mut in_file =
+        File::open(input).map_err(|e| ScanError::io(format!("open {}", input.display()), e))?;
+    in_file
+        .seek(SeekFrom::Start(manifest.input_bytes))
+        .map_err(|e| ScanError::io("seek input".into(), e))?;
+    let reader = RawTripleReader::with_position(
+        BufReader::new(in_file),
+        manifest.lines_done as usize,
+        manifest.input_bytes,
+    );
+
+    let jobs = resolve_jobs(cfg.jobs);
+    let cache = EmbeddingCache::new(cfg.cache_cap);
+    let cached = CachedModel::new(model, &cache);
+    let reg = pge_obs::global();
+    let rows_ctr = reg.counter("pge_scan_rows_total", "Rows scored by bulk scans");
+    let quar_ctr = reg.counter(
+        "pge_scan_quarantined_total",
+        "Input lines quarantined by bulk scans",
+    );
+    let shard_ctr = reg.counter(
+        "pge_scan_shards_total",
+        "Output shards committed by bulk scans",
+    );
+    let flagged_ctr = reg.counter(
+        "pge_scan_errors_flagged_total",
+        "Rows flagged as errors by bulk scans",
+    );
+
+    let mut committer = Committer {
+        out_dir: &cfg.out_dir,
+        threshold,
+        q_bytes: manifest.quarantine_bytes,
+        q_lines: manifest.quarantined,
+        pos: (manifest.lines_done, manifest.input_bytes),
+        manifest,
+        quarantine,
+        cur: None,
+        new_rows: 0,
+        new_errors: 0,
+        new_quarantined: 0,
+        new_shards: 0,
+        line_buf: String::new(),
+    };
+
+    let stop = AtomicBool::new(false);
+    let chunk_size = cfg.chunk_size;
+    let max_shards = cfg.max_shards;
+
+    let (work_tx, work_rx) = sync_channel::<Chunk>(jobs * 2);
+    let work_rx = Mutex::new(work_rx);
+    let (done_tx, done_rx) = sync_channel::<ScoredChunk>(jobs * 2);
+
+    let run = std::thread::scope(|s| -> Result<bool, ScanError> {
+        for _ in 0..jobs {
+            let work_rx = &work_rx;
+            let done_tx = done_tx.clone();
+            let cached = &cached;
+            s.spawn(move || loop {
+                let chunk = match work_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                    Ok(c) => c,
+                    Err(_) => break, // reader done
+                };
+                let _sp = span("scan.score");
+                let rows = chunk
+                    .rows
+                    .into_iter()
+                    .map(|t| {
+                        let score = cached.score_text_triple(&t.title, &t.attr, &t.value);
+                        (t, score)
+                    })
+                    .collect();
+                let scored = ScoredChunk {
+                    idx: chunk.idx,
+                    rows,
+                    bad: chunk.bad,
+                    end_line: chunk.end_line,
+                    end_offset: chunk.end_offset,
+                };
+                if done_tx.send(scored).is_err() {
+                    break; // committer stopped early
+                }
+            });
+        }
+        drop(done_tx);
+
+        let stop_ref = &stop;
+        let reader_handle = s.spawn(move || -> Result<(), ScanError> {
+            let mut reader = reader;
+            let mut idx = 0u64;
+            loop {
+                if stop_ref.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                let _sp = span("scan.read");
+                let mut rows = Vec::with_capacity(chunk_size.min(8192));
+                let mut bad = Vec::new();
+                let mut eof = false;
+                while rows.len() < chunk_size {
+                    match reader.next() {
+                        Some(Ok(t)) => rows.push(t),
+                        Some(Err(e)) if e.is_read_failure() => {
+                            return Err(ScanError::Io(
+                                format!("read input at line {}", e.line),
+                                io::Error::other(e.reason),
+                            ));
+                        }
+                        Some(Err(e)) => bad.push(e),
+                        None => {
+                            eof = true;
+                            break;
+                        }
+                    }
+                }
+                if !rows.is_empty() || !bad.is_empty() {
+                    let chunk = Chunk {
+                        idx,
+                        rows,
+                        bad,
+                        end_line: reader.lines_done() as u64,
+                        end_offset: reader.offset(),
+                    };
+                    idx += 1;
+                    if work_tx.send(chunk).is_err() {
+                        return Ok(()); // workers gone: early stop
+                    }
+                }
+                if eof {
+                    return Ok(());
+                }
+            }
+        });
+
+        let result = drive_committer(&mut committer, done_rx, max_shards, &stop);
+        let reader_result = reader_handle
+            .join()
+            .unwrap_or_else(|_| Err(ScanError::Corrupt("reader thread panicked".into())));
+        let stopped_early = result?;
+        reader_result?;
+        Ok(stopped_early)
+    });
+    let stopped_early = run?;
+
+    if !stopped_early {
+        committer.finalize()?;
+    }
+
+    rows_ctr.add(committer.new_rows);
+    quar_ctr.add(committer.new_quarantined);
+    shard_ctr.add(committer.new_shards);
+    flagged_ctr.add(committer.new_errors);
+
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok(ScanOutcome {
+        rows_scanned: committer.new_rows,
+        rows_total: committer.manifest.rows_total(),
+        errors_flagged: committer.new_errors,
+        errors_total: committer.manifest.errors_total(),
+        quarantined: committer.new_quarantined,
+        quarantined_total: committer.q_lines,
+        shards_committed: committer.new_shards,
+        shards_total: committer.manifest.shards.len() as u64,
+        resumed_rows,
+        done: !stopped_early,
+        elapsed_sec: elapsed,
+        rows_per_sec: if elapsed > 0.0 {
+            committer.new_rows as f64 / elapsed
+        } else {
+            0.0
+        },
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+    })
+}
+
+/// Consume scored chunks in input order, committing shards as they
+/// fill. Returns `Ok(true)` when the scan stopped early (reached
+/// `max_shards`), `Ok(false)` when every chunk was written.
+fn drive_committer(
+    committer: &mut Committer<'_>,
+    done_rx: Receiver<ScoredChunk>,
+    max_shards: Option<u64>,
+    stop: &AtomicBool,
+) -> Result<bool, ScanError> {
+    let mut pending: BTreeMap<u64, ScoredChunk> = BTreeMap::new();
+    let mut next_idx = 0u64;
+    let mut stopped = false;
+    let mut failure: Option<ScanError> = None;
+    for scored in done_rx.iter() {
+        if stopped {
+            continue; // drain so blocked workers can exit
+        }
+        pending.insert(scored.idx, scored);
+        while let Some(c) = pending.remove(&next_idx) {
+            next_idx += 1;
+            let step = || -> Result<bool, ScanError> {
+                // returns true to stop early
+                committer.append_chunk(c)?;
+                if committer.shard_full() {
+                    committer.commit()?;
+                    if max_shards.is_some_and(|m| committer.new_shards >= m) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            };
+            match step() {
+                Ok(false) => {}
+                Ok(true) => {
+                    stop.store(true, Ordering::Relaxed);
+                    stopped = true;
+                    pending.clear();
+                    break;
+                }
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    stopped = true;
+                    failure = Some(e);
+                    pending.clear();
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(stopped)
+}

@@ -1,0 +1,269 @@
+//! The scan pipeline's headline guarantees, end to end:
+//!
+//! * a scan killed after `k` committed shards, resumed, produces
+//!   output **byte-identical** to a run that was never interrupted —
+//!   including the quarantine file;
+//! * the worker count never changes the output (`jobs 1` == `jobs 8`);
+//! * malformed input lines land in the quarantine with their line
+//!   numbers, and on-disk corruption is detected at resume, not
+//!   silently propagated.
+
+use pge_core::{train_pge, PgeConfig, PgeModel};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use pge_graph::{write_raw_triples, Dataset};
+use pge_scan::{scan, shard_file_name, Manifest, ScanConfig, ScanError, QUARANTINE_FILE};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// One trained world shared by every test in this binary: training
+/// even a tiny model dominates test time, so do it once.
+struct World {
+    dataset: Dataset,
+    model: PgeModel,
+    /// Raw `title \t attr \t value` dump of the whole graph.
+    input: PathBuf,
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let dataset = generate_catalog(&CatalogConfig {
+            products: 80,
+            labeled: 20,
+            seed: 11,
+            ..CatalogConfig::tiny()
+        });
+        let model = train_pge(
+            &dataset,
+            &PgeConfig {
+                epochs: 1,
+                ..PgeConfig::tiny()
+            },
+        )
+        .model;
+        let input = temp_path("input.tsv");
+        let file = fs::File::create(&input).expect("create input");
+        let n = write_raw_triples(&dataset, std::io::BufWriter::new(file)).expect("dump triples");
+        assert!(n > 200, "need a few hundred rows to span many shards");
+        World {
+            dataset,
+            model,
+            input,
+        }
+    })
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pge-scan-it-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn cfg(out: &Path) -> ScanConfig {
+    let mut c = ScanConfig::new(out);
+    c.jobs = 2;
+    c.chunk_size = 32;
+    c.shard_chunks = 2;
+    c
+}
+
+const THRESHOLD: f32 = 0.0;
+
+/// Concatenated contents of every committed shard, in order, plus the
+/// quarantine — the scan's full observable output.
+fn full_output(out_dir: &Path) -> (Vec<u8>, Vec<u8>) {
+    let manifest = Manifest::load(out_dir).unwrap().expect("manifest exists");
+    let mut shards = Vec::new();
+    for (i, s) in manifest.shards.iter().enumerate() {
+        assert_eq!(s.file, shard_file_name(i));
+        shards.extend_from_slice(&fs::read(out_dir.join(&s.file)).unwrap());
+    }
+    let quarantine = fs::read(out_dir.join(QUARANTINE_FILE)).unwrap_or_default();
+    (shards, quarantine)
+}
+
+fn scan_full(out: &Path, jobs: usize) -> (Vec<u8>, Vec<u8>) {
+    let w = world();
+    let mut c = cfg(out);
+    c.jobs = jobs;
+    let outcome = scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+    assert!(outcome.done);
+    assert!(outcome.shards_total >= 4, "want several shards to compare");
+    full_output(out)
+}
+
+#[test]
+fn interrupted_scan_resumes_byte_identical() {
+    let w = world();
+    let baseline_dir = temp_path("baseline");
+    let baseline = scan_full(&baseline_dir, 2);
+
+    for k in [1u64, 3] {
+        let dir = temp_path(&format!("killed-after-{k}"));
+        let mut c = cfg(&dir);
+        c.max_shards = Some(k);
+        c.jobs = 8;
+        let first = scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+        assert!(!first.done, "max_shards must stop the scan early");
+        assert_eq!(first.shards_committed, k);
+
+        // Resume with a different worker count: the output may not
+        // depend on either the interruption or the jobs knob.
+        let mut c = cfg(&dir);
+        c.resume = true;
+        c.jobs = 1;
+        let second = scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+        assert!(second.done);
+        assert_eq!(second.resumed_rows, first.rows_scanned);
+        assert_eq!(
+            full_output(&dir),
+            baseline,
+            "kill after {k} shards + resume diverged from the uninterrupted run"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_output() {
+    let a = scan_full(&temp_path("jobs-1"), 1);
+    let b = scan_full(&temp_path("jobs-8"), 8);
+    assert_eq!(a, b, "jobs 1 and jobs 8 must agree byte-for-byte");
+}
+
+#[test]
+fn resuming_a_finished_scan_is_a_cheap_noop() {
+    let w = world();
+    let dir = temp_path("noop");
+    let outcome = scan(&w.model, THRESHOLD, &w.input, &cfg(&dir)).unwrap();
+    let mut c = cfg(&dir);
+    c.resume = true;
+    let again = scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+    assert!(again.done);
+    assert_eq!(again.rows_scanned, 0, "no rows rescanned");
+    assert_eq!(again.rows_total, outcome.rows_total);
+    assert_eq!(again.resumed_rows, outcome.rows_total);
+}
+
+#[test]
+fn uncheckpointed_quarantine_tail_and_tmp_files_are_dropped_on_resume() {
+    let w = world();
+    let baseline = scan_full(&temp_path("tail-baseline"), 2);
+
+    let dir = temp_path("tail-killed");
+    let mut c = cfg(&dir);
+    c.max_shards = Some(2);
+    scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+    // Simulate a kill mid-write: a partial shard temp file and a
+    // quarantine tail that no checkpoint covers.
+    fs::write(dir.join("shard-9999.tsv.tmp"), b"partial garbage").unwrap();
+    let mut q = fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(dir.join(QUARANTINE_FILE))
+        .unwrap();
+    use std::io::Write as _;
+    q.write_all(b"999\t0\ttorn write\tgarbage\n").unwrap();
+    drop(q);
+
+    let mut c = cfg(&dir);
+    c.resume = true;
+    scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+    assert_eq!(full_output(&dir), baseline, "stale tail must be truncated");
+    assert!(!dir.join("shard-9999.tsv.tmp").exists(), "tmp cleaned up");
+}
+
+#[test]
+fn malformed_and_unknown_lines_are_quarantined_with_positions() {
+    let w = world();
+    // Three good rows with a parse error and an unknown attribute
+    // interleaved.
+    let t = w.dataset.train[0];
+    let attr = w.dataset.graph.attr_name(t.attr);
+    let value = w.dataset.graph.value_text(t.value);
+    let title = w.dataset.graph.title(t.product);
+    let good = format!("{title}\t{attr}\t{value}\n");
+    let input = temp_path("mixed.tsv");
+    let text = format!("{good}only two\tfields\n{good}{title}\tno-such-attribute\t{value}\n{good}");
+    fs::write(&input, &text).unwrap();
+
+    let dir = temp_path("mixed-out");
+    let outcome = scan(&w.model, THRESHOLD, &input, &cfg(&dir)).unwrap();
+    assert_eq!(outcome.rows_scanned, 3);
+    assert_eq!(outcome.quarantined, 2);
+
+    let quarantine = fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+    let lines: Vec<&str> = quarantine.lines().collect();
+    assert_eq!(lines.len(), 2);
+    // Quarantine is ordered by input line and records line numbers.
+    assert!(
+        lines[0].starts_with("2\t"),
+        "parse error on line 2: {quarantine}"
+    );
+    assert!(lines[0].contains("expected 3"), "{quarantine}");
+    assert!(
+        lines[1].starts_with("4\t"),
+        "unknown attr on line 4: {quarantine}"
+    );
+    assert!(lines[1].contains("unknown attribute"), "{quarantine}");
+}
+
+#[test]
+fn resume_with_different_knobs_or_input_is_rejected() {
+    let w = world();
+    let dir = temp_path("mismatch");
+    let mut c = cfg(&dir);
+    c.max_shards = Some(1);
+    scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+
+    // No --resume against a checkpointed directory.
+    let e = scan(&w.model, THRESHOLD, &w.input, &cfg(&dir)).unwrap_err();
+    assert!(matches!(e, ScanError::Mismatch(_)), "{e}");
+
+    // Different chunk size.
+    let mut c = cfg(&dir);
+    c.resume = true;
+    c.chunk_size = 64;
+    let e = scan(&w.model, THRESHOLD, &w.input, &c).unwrap_err();
+    assert!(matches!(e, ScanError::Mismatch(_)), "{e}");
+    assert!(e.to_string().contains("chunk-size"), "{e}");
+
+    // Different threshold: committed classifications would be stale.
+    let mut c = cfg(&dir);
+    c.resume = true;
+    let e = scan(&w.model, -1.5, &w.input, &c).unwrap_err();
+    assert!(matches!(e, ScanError::Mismatch(_)), "{e}");
+
+    // Input changed length since the checkpoint.
+    let grown = temp_path("grown.tsv");
+    let mut bytes = fs::read(&w.input).unwrap();
+    bytes.extend_from_slice(b"extra\tthing\there\n");
+    fs::write(&grown, bytes).unwrap();
+    let mut c = cfg(&dir);
+    c.resume = true;
+    let e = scan(&w.model, THRESHOLD, &grown, &c).unwrap_err();
+    assert!(matches!(e, ScanError::Mismatch(_)), "{e}");
+    assert!(e.to_string().contains("length changed"), "{e}");
+}
+
+#[test]
+fn tampered_shard_is_detected_at_resume() {
+    let w = world();
+    let dir = temp_path("tampered");
+    let mut c = cfg(&dir);
+    c.max_shards = Some(2);
+    scan(&w.model, THRESHOLD, &w.input, &c).unwrap();
+
+    // Flip one byte inside a committed shard, preserving its length.
+    let shard = dir.join(shard_file_name(0));
+    let mut bytes = fs::read(&shard).unwrap();
+    bytes[10] ^= 0x01;
+    fs::write(&shard, &bytes).unwrap();
+
+    let mut c = cfg(&dir);
+    c.resume = true;
+    let e = scan(&w.model, THRESHOLD, &w.input, &c).unwrap_err();
+    assert!(matches!(e, ScanError::Corrupt(_)), "{e}");
+    assert!(e.to_string().contains("CRC-32"), "{e}");
+}

@@ -1,0 +1,104 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over byte streams.
+//!
+//! Used to checksum durable artifacts — binary model snapshots
+//! (`pge-core::persist`) and committed scan shards (`pge-scan`) — so
+//! a truncated or bit-flipped file is rejected at load time instead
+//! of silently producing wrong scores.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xedb8_8320;
+
+/// 256-entry lookup table, built once at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Incremental CRC-32 state for hashing a stream in pieces.
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        for &b in bytes {
+            self.state = t[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The checksum of everything fed so far (the state is unchanged;
+    /// more updates may follow).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Check values from the CRC catalogue (CRC-32/ISO-HDLC).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"hello, product graph";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(data));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        data[17] = 0x5a;
+        let base = crc32(&data);
+        for bit in 0..data.len() * 8 {
+            data[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&data), base, "flip at bit {bit} undetected");
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]
+//!              [--scan-out raw.tsv]
 //! pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]
-//!              [--threads N] [--runlog run.jsonl]
+//!              [--threads N] [--binary] [--runlog run.jsonl]
 //! pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]
 //! pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]
 //! pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]
 //!              [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]
 //!              [--runlog run.jsonl]
+//! pge scan     --data data.tsv --model model.pge --input raw.tsv --out-dir DIR
+//!              [--jobs N] [--chunk-size N] [--shard-chunks N] [--cache-cap N]
+//!              [--resume] [--max-shards N] [--runlog run.jsonl]
 //! pge report   run.jsonl
 //! ```
 //!
@@ -16,7 +20,15 @@
 //! PGE(CNN) on its training split and saves the model; `detect` ranks
 //! the dataset's test triples by suspicion; `eval` reports PR AUC,
 //! R@P, and thresholded accuracy; `serve` answers scoring requests
-//! over HTTP (see `pge-serve`).
+//! over HTTP (see `pge-serve`); `scan` streams a raw
+//! `title \t attr \t value` file through the model and writes sharded
+//! scores with a checkpoint after every shard (see `pge-scan`) —
+//! killed scans rerun with `--resume` and produce byte-identical
+//! output.
+//!
+//! Models save as text by default; `train --binary` writes the
+//! CRC-checksummed binary snapshot instead (~4x smaller, bit-exact).
+//! Every command auto-detects either format on load.
 //!
 //! `train --threads N` splits every minibatch across N worker
 //! threads (default: the machine's available parallelism). Results
@@ -29,29 +41,34 @@
 //! and `pge report` summarizes it.
 
 use pge::core::{
-    load_model, resolve_threads, save_model, train_pge_with_log, Detector, PgeConfig, ScoreKind,
+    load_model_auto, resolve_threads, save_model, save_model_binary, train_pge_with_log, Detector,
+    PgeConfig, PgeModel, ScoreKind,
 };
 use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
 use pge::eval::{average_precision, recall_at_precision, Scored};
-use pge::graph::tsv::{from_tsv, to_tsv};
-use pge::graph::{Dataset, Triple};
+use pge::graph::tsv::{from_tsv, to_tsv, write_raw_triples};
+use pge::graph::{Dataset, ProductGraph, Triple};
 use pge::obs::{
-    eval_event, manifest_event, render_report, set_spans_enabled, spans_event, EvalTelemetry,
-    RunLog,
+    eval_event, manifest_event, render_report, scan_event, set_spans_enabled, spans_event,
+    EvalTelemetry, RunLog,
 };
+use pge::scan::ScanConfig;
 use pge::serve::ServeConfig;
 use std::collections::HashMap;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]\n  \
+        "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N] [--scan-out raw.tsv]\n  \
          pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n               \
-         [--threads N] [--runlog run.jsonl]\n  \
+         [--threads N] [--binary] [--runlog run.jsonl]\n  \
          pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]\n  \
          pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]\n  \
          pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]\n               \
          [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache] [--runlog run.jsonl]\n  \
+         pge scan     --data data.tsv --model model.pge --input raw.tsv --out-dir DIR\n               \
+         [--jobs N] [--chunk-size N] [--shard-chunks N] [--cache-cap N]\n               \
+         [--resume] [--max-shards N] [--runlog run.jsonl]\n  \
          pge report   run.jsonl"
     );
     exit(2)
@@ -94,6 +111,18 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         }
     }
     Ok(flags)
+}
+
+/// Read a model snapshot — text or binary, auto-detected by magic.
+fn load_model_file(path: &str, graph: &ProductGraph) -> PgeModel {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read model {path}: {e}");
+        exit(1)
+    });
+    load_model_auto(&bytes, graph).unwrap_or_else(|e| {
+        eprintln!("cannot load model {path}: {e}");
+        exit(1)
+    })
 }
 
 fn load_dataset(path: &str) -> Dataset {
@@ -165,6 +194,21 @@ fn main() {
                 eprintln!("cannot write {out}: {e}");
                 exit(1)
             });
+            // A raw triple dump (`title \t attr \t value`, no labels)
+            // is the input format `pge scan` consumes.
+            if let Some(scan_out) = get("scan-out") {
+                let file = std::fs::File::create(&scan_out).unwrap_or_else(|e| {
+                    eprintln!("cannot write {scan_out}: {e}");
+                    exit(1)
+                });
+                let n = write_raw_triples(&dataset, std::io::BufWriter::new(file)).unwrap_or_else(
+                    |e| {
+                        eprintln!("cannot write {scan_out}: {e}");
+                        exit(1)
+                    },
+                );
+                println!("wrote {scan_out}: {n} raw triples for bulk scanning");
+            }
             let s = dataset.stats();
             println!(
                 "wrote {out}: {} products, {} values, {} train / {} valid / {} test triples",
@@ -217,8 +261,14 @@ fn main() {
                 trained.epoch_losses.first().unwrap_or(&0.0),
                 trained.epoch_losses.last().unwrap_or(&0.0)
             );
-            let text = save_model(&trained.model).expect("CNN models persist");
-            std::fs::write(&out, text).unwrap_or_else(|e| {
+            let bytes = if flags.contains_key("binary") {
+                save_model_binary(&trained.model).expect("CNN models persist")
+            } else {
+                save_model(&trained.model)
+                    .expect("CNN models persist")
+                    .into_bytes()
+            };
+            std::fs::write(&out, bytes).unwrap_or_else(|e| {
                 eprintln!("cannot write {out}: {e}");
                 exit(1)
             });
@@ -229,14 +279,7 @@ fn main() {
         }
         "detect" => {
             let data = load_dataset(&require("data"));
-            let model_text = std::fs::read_to_string(require("model")).unwrap_or_else(|e| {
-                eprintln!("cannot read model: {e}");
-                exit(1)
-            });
-            let model = load_model(&model_text, &data.graph).unwrap_or_else(|e| {
-                eprintln!("cannot load model: {e}");
-                exit(1)
-            });
+            let model = load_model_file(&require("model"), &data.graph);
             let top: usize = get("top").and_then(|s| s.parse().ok()).unwrap_or(20);
             let log = open_runlog(get("runlog"));
             if let Some(log) = &log {
@@ -278,14 +321,7 @@ fn main() {
         }
         "eval" => {
             let data = load_dataset(&require("data"));
-            let model_text = std::fs::read_to_string(require("model")).unwrap_or_else(|e| {
-                eprintln!("cannot read model: {e}");
-                exit(1)
-            });
-            let model = load_model(&model_text, &data.graph).unwrap_or_else(|e| {
-                eprintln!("cannot load model: {e}");
-                exit(1)
-            });
+            let model = load_model_file(&require("model"), &data.graph);
             let log = open_runlog(get("runlog"));
             if let Some(log) = &log {
                 log.write(&manifest_event(
@@ -321,14 +357,7 @@ fn main() {
         }
         "serve" => {
             let data = load_dataset(&require("data"));
-            let model_text = std::fs::read_to_string(require("model")).unwrap_or_else(|e| {
-                eprintln!("cannot read model: {e}");
-                exit(1)
-            });
-            let model = load_model(&model_text, &data.graph).unwrap_or_else(|e| {
-                eprintln!("cannot load model: {e}");
-                exit(1)
-            });
+            let model = load_model_file(&require("model"), &data.graph);
             let det = Detector::fit(&model, &data.graph, &data.valid);
             let threshold = det.threshold;
             println!(
@@ -362,6 +391,79 @@ fn main() {
             }
             println!("shutting down, draining in-flight requests ...");
             handle.shutdown();
+        }
+        "scan" => {
+            let data = load_dataset(&require("data"));
+            let model = load_model_file(&require("model"), &data.graph);
+            let input = require("input");
+            let out_dir = require("out-dir");
+            let det = Detector::fit(&model, &data.graph, &data.valid);
+            println!(
+                "threshold {:.3} (validation accuracy {:.3})",
+                det.threshold, det.valid_accuracy
+            );
+            let parsed =
+                |k: &str, default: usize| get(k).and_then(|s| s.parse().ok()).unwrap_or(default);
+            let mut cfg = ScanConfig::new(&out_dir);
+            cfg.jobs = parsed("jobs", 0);
+            cfg.chunk_size = parsed("chunk-size", cfg.chunk_size).max(1);
+            cfg.shard_chunks = parsed("shard-chunks", cfg.shard_chunks).max(1);
+            cfg.cache_cap = parsed("cache-cap", cfg.cache_cap);
+            cfg.resume = flags.contains_key("resume");
+            cfg.max_shards = get("max-shards").and_then(|s| s.parse().ok());
+            let log = open_runlog(get("runlog"));
+            if let Some(log) = &log {
+                log.write(&manifest_event(
+                    "scan",
+                    0,
+                    &[
+                        ("input".into(), input.clone()),
+                        ("out_dir".into(), out_dir.clone()),
+                        ("jobs".into(), cfg.jobs.to_string()),
+                        ("chunk_size".into(), cfg.chunk_size.to_string()),
+                        ("shard_chunks".into(), cfg.shard_chunks.to_string()),
+                        ("resume".into(), cfg.resume.to_string()),
+                        ("threshold".into(), det.threshold.to_string()),
+                    ],
+                ));
+            }
+            let outcome =
+                pge::scan::scan(&model, det.threshold, std::path::Path::new(&input), &cfg)
+                    .unwrap_or_else(|e| {
+                        eprintln!("scan failed: {e}");
+                        exit(1)
+                    });
+            println!(
+                "scanned {} rows ({:.0} rows/s): {} flagged, {} quarantined, {} shards in {out_dir}",
+                outcome.rows_scanned,
+                outcome.rows_per_sec,
+                outcome.errors_flagged,
+                outcome.quarantined,
+                outcome.shards_total
+            );
+            if outcome.resumed_rows > 0 {
+                println!(
+                    "  resumed past {} already-scanned rows",
+                    outcome.resumed_rows
+                );
+            }
+            if !outcome.done {
+                println!("  stopped early (max-shards); rerun with --resume to finish");
+            }
+            if let Some(log) = &log {
+                log.write(&scan_event(&[
+                    ("rows_scanned", outcome.rows_scanned as f64),
+                    ("rows_total", outcome.rows_total as f64),
+                    ("errors_total", outcome.errors_total as f64),
+                    ("quarantined_total", outcome.quarantined_total as f64),
+                    ("shards_total", outcome.shards_total as f64),
+                    ("resumed_rows", outcome.resumed_rows as f64),
+                    ("rows_per_sec", outcome.rows_per_sec),
+                    ("cache_hits", outcome.cache_hits as f64),
+                    ("cache_misses", outcome.cache_misses as f64),
+                ]));
+                log.write(&spans_event());
+            }
         }
         _ => usage(),
     }

@@ -47,6 +47,7 @@
 //! | [`eval`] | PR AUC, R@P, thresholds, histograms, tables |
 //! | [`obs`] | metrics registry, span timers, JSONL run logs |
 //! | [`serve`] | online scoring service: HTTP, micro-batching, cache |
+//! | [`scan`] | offline bulk scan: checkpointed streaming pipeline |
 
 pub use pge_baselines as baselines;
 pub use pge_core as core;
@@ -55,6 +56,7 @@ pub use pge_eval as eval;
 pub use pge_graph as graph;
 pub use pge_nn as nn;
 pub use pge_obs as obs;
+pub use pge_scan as scan;
 pub use pge_serve as serve;
 pub use pge_tensor as tensor;
 pub use pge_text as text;
