@@ -13,8 +13,16 @@
 //! Numbers are reported against `host_cpus`: on a single-core host
 //! the multi-threaded runs cannot beat serial and the probe says so
 //! honestly rather than fabricating a speedup.
+//!
+//! The probe also measures epoch-boundary checkpointing: the
+//! wall-clock overhead of writing `trainer.ckpt` every epoch, the
+//! checkpoint size, and a kill-at-mid-run + resume whose final model
+//! must be byte-identical to the uninterrupted serial run.
 
-use pge_core::{resolve_threads, train_pge, PgeConfig};
+use pge_core::{
+    resolve_threads, save_model_binary, train_pge, train_pge_resumable, CheckpointOptions,
+    PgeConfig,
+};
 use pge_datagen::{generate_catalog, CatalogConfig};
 use pge_graph::Triple;
 use pge_serve::json::Json;
@@ -85,6 +93,8 @@ fn main() {
     let mut runs: Vec<Run> = Vec::new();
     let mut serial_scores: Vec<f32> = Vec::new();
     let mut serial_rate = 0.0;
+    let mut serial_secs = 0.0;
+    let mut serial_snapshot: Vec<u8> = Vec::new();
     for &threads in &counts {
         let trained = train_pge(
             &data,
@@ -102,6 +112,8 @@ fn main() {
         if threads == 1 {
             serial_scores = scores.clone();
             serial_rate = rate;
+            serial_secs = trained.train_secs;
+            serial_snapshot = save_model_binary(&trained.model).expect("CNN models persist");
         }
         let identical = scores == serial_scores;
         assert!(
@@ -122,6 +134,59 @@ fn main() {
             bit_identical_to_serial: identical,
         });
     }
+
+    // Checkpointing probe: overhead of the per-epoch trainer.ckpt
+    // write, checkpoint size, and kill+resume bit-identity against the
+    // uninterrupted serial snapshot captured above.
+    let ckpt_dir = std::env::temp_dir().join(format!("pge-train-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let serial_cfg = PgeConfig {
+        epochs,
+        threads: 1,
+        ..PgeConfig::default()
+    };
+    let checkpointed = train_pge_resumable(
+        &data,
+        &serial_cfg,
+        None,
+        Some(&CheckpointOptions::new(&ckpt_dir)),
+    )
+    .expect("checkpointed training");
+    let ckpt_bytes =
+        std::fs::metadata(ckpt_dir.join(pge_core::CHECKPOINT_FILE)).map_or(0, |m| m.len());
+    let ckpt_overhead = if serial_secs > 0.0 {
+        checkpointed.train_secs / serial_secs - 1.0
+    } else {
+        0.0
+    };
+    assert_eq!(
+        save_model_binary(&checkpointed.model).expect("CNN models persist"),
+        serial_snapshot,
+        "checkpointing changed the trained model"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut kill = CheckpointOptions::new(&ckpt_dir);
+    kill.stop_after = Some((epochs / 2).max(1));
+    train_pge_resumable(&data, &serial_cfg, None, Some(&kill)).expect("killed training");
+    let resumed = train_pge_resumable(
+        &data,
+        &serial_cfg,
+        None,
+        Some(&CheckpointOptions::resume(&ckpt_dir)),
+    )
+    .expect("resumed training");
+    let resume_identical =
+        save_model_binary(&resumed.model).expect("CNN models persist") == serial_snapshot;
+    assert!(
+        resume_identical,
+        "kill at epoch {:?} + resume diverged from the uninterrupted run",
+        kill.stop_after
+    );
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    eprintln!(
+        "checkpointing: {ckpt_bytes} B/epoch, {:.1}% overhead, kill+resume bit-identical",
+        ckpt_overhead * 100.0
+    );
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("train_probe".into())),
@@ -146,6 +211,14 @@ fn main() {
         (
             "runs".into(),
             Json::Arr(runs.iter().map(Run::to_json).collect()),
+        ),
+        (
+            "checkpoint".into(),
+            Json::Obj(vec![
+                ("bytes_per_epoch".into(), Json::Num(ckpt_bytes as f64)),
+                ("overhead_frac".into(), Json::Num(ckpt_overhead)),
+                ("resume_bit_identical".into(), Json::Bool(resume_identical)),
+            ]),
         ),
     ]);
     std::fs::write(&out, format!("{report}\n")).expect("write report");

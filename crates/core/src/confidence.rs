@@ -57,6 +57,22 @@ impl ConfidenceStore {
         &self.c
     }
 
+    /// Overwrite every confidence score from a checkpoint. Fails when
+    /// the checkpoint was taken against a different training set size
+    /// — the scores are positional, so a length mismatch means the
+    /// corpus changed underneath the checkpoint.
+    pub fn restore_scores(&mut self, scores: &[f32]) -> Result<(), String> {
+        if scores.len() != self.c.len() {
+            return Err(format!(
+                "confidence table has {} entries but the training set has {} triples",
+                scores.len(),
+                self.c.len()
+            ));
+        }
+        self.c.copy_from_slice(scores);
+        Ok(())
+    }
+
     /// One SGD step on `C_i` given that triple's current loss
     /// `L_triple`; clamps back into `[0,1]` (the relaxation of
     /// Eq. (5) keeps C in the unit interval).
@@ -246,6 +262,17 @@ mod tests {
         let c = s.get(0);
         assert!(c > 0.1 && c < 0.9, "C = {c}");
         assert_eq!(s.polarized_fraction(), 0.0);
+    }
+
+    #[test]
+    fn restore_scores_round_trips_and_rejects_length_mismatch() {
+        let mut s = ConfidenceStore::new(3, 0.5, 0.1, 0.05);
+        s.update(0, 10.0);
+        let saved = s.scores().to_vec();
+        let mut fresh = ConfidenceStore::new(3, 0.5, 0.1, 0.05);
+        fresh.restore_scores(&saved).unwrap();
+        assert_eq!(fresh.scores(), &saved[..]);
+        assert!(fresh.restore_scores(&[1.0, 1.0]).is_err());
     }
 
     #[test]

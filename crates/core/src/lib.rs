@@ -23,6 +23,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod checkpoint;
 pub mod confidence;
 pub mod corpus;
 pub mod detector;
@@ -34,6 +35,10 @@ pub mod trainer;
 
 pub use api::ErrorDetector;
 pub use cache::{CachedModel, EmbeddingCache, EmbeddingProvider};
+pub use checkpoint::{
+    config_hash, data_fingerprint, CheckpointOptions, TrainerState, CHECKPOINT_FILE,
+    CHECKPOINT_MAGIC,
+};
 pub use confidence::ConfidenceStore;
 pub use detector::Detector;
 pub use encoder::{EncoderKind, TextEncoder};
@@ -44,5 +49,6 @@ pub use persist::{
 };
 pub use score::{ScoreKind, Scorer};
 pub use trainer::{
-    resolve_threads, train_pge, train_pge_with_log, PgeConfig, TrainedPge, GRAD_LANES,
+    resolve_threads, train_pge, train_pge_resumable, train_pge_with_log, PgeConfig, TrainedPge,
+    GRAD_LANES,
 };

@@ -40,6 +40,12 @@ pub enum PersistError {
     Parse(usize, String),
     /// A binary snapshot failed structural or checksum validation.
     Corrupt(String),
+    /// An I/O failure while reading or durably writing a snapshot or
+    /// training checkpoint.
+    Io(String),
+    /// A training checkpoint refers to a different config or corpus
+    /// than the one being resumed against.
+    Mismatch(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -50,6 +56,8 @@ impl std::fmt::Display for PersistError {
             }
             PersistError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
             PersistError::Corrupt(msg) => write!(f, "corrupt model snapshot: {msg}"),
+            PersistError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+            PersistError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
         }
     }
 }
@@ -390,6 +398,17 @@ pub fn load_model_auto(bytes: &[u8], graph: &ProductGraph) -> Result<PgeModel, P
     if bytes.starts_with(&BINARY_MAGIC[..]) {
         return load_model_binary(bytes, graph);
     }
+    // A file shorter than the magic that matches a *prefix* of it is a
+    // truncated binary snapshot. Surface the binary CRC/length error
+    // rather than falling through to a baffling text parse error.
+    if !bytes.is_empty() && bytes.len() < BINARY_MAGIC.len() && BINARY_MAGIC.starts_with(bytes) {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot is truncated inside the PGEBIN01 magic ({} of {} bytes) — \
+             the file was cut off mid-write; re-export it",
+            bytes.len(),
+            BINARY_MAGIC.len()
+        )));
+    }
     let text = std::str::from_utf8(bytes).map_err(|_| {
         PersistError::Corrupt(
             "model file is neither the PGEBIN01 binary format nor UTF-8 text".into(),
@@ -536,6 +555,41 @@ mod tests {
             load_model_auto(&[0xff, 0x00, 0xfe], &d.graph),
             Err(PersistError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn truncated_binary_snapshot_reports_corruption_not_text_parse() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                epochs: 1,
+                ..PgeConfig::tiny()
+            },
+        );
+        let binary = save_model_binary(&trained.model).unwrap();
+        // Cuts inside the magic used to fall through to the text
+        // parser and die with "bad header"; they must surface as
+        // binary corruption instead.
+        for cut in 1..BINARY_MAGIC.len() {
+            match load_model_auto(&binary[..cut], &d.graph) {
+                Err(PersistError::Corrupt(msg)) => {
+                    assert!(
+                        msg.contains("truncated"),
+                        "cut {cut}: unhelpful error {msg}"
+                    )
+                }
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // Cuts past the magic take the binary path and fail its CRC or
+        // structural checks — never the text parser.
+        for cut in [BINARY_MAGIC.len(), BINARY_MAGIC.len() + 2, binary.len() / 2] {
+            match load_model_auto(&binary[..cut], &d.graph) {
+                Err(PersistError::Corrupt(_)) => {}
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
     }
 
     #[test]

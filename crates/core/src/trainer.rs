@@ -22,15 +22,17 @@
 //! serial loop (its backward pass still mutates inline gradients) and
 //! ignores `threads`.
 
+use crate::checkpoint::{config_hash, data_fingerprint, CheckpointOptions, TrainerState};
 use crate::confidence::ConfidenceStore;
 use crate::encoder::{EncoderKind, TextEncoder};
 use crate::model::PgeModel;
+use crate::persist::PersistError;
 use crate::score::{ScoreKind, Scorer};
 use pge_graph::{Dataset, NegativeSampler, SamplingMode, Triple};
 use pge_nn::{
     AdamHparams, CnnConfig, Embedding, SparseRowGrads, TextCnnEncoder, TransformerConfig,
 };
-use pge_obs::{epoch_event, span, EpochTelemetry, RunLog};
+use pge_obs::{checkpoint_event, epoch_event, span, EpochTelemetry, RunLog};
 use pge_tensor::ops;
 use pge_text::word2vec::{train_word2vec, Word2VecConfig};
 use rand::rngs::StdRng;
@@ -73,6 +75,16 @@ fn splitmix64(mut z: u64) -> u64 {
 /// and the lane/thread partition.
 fn triple_stream_seed(seed: u64, epoch: usize, index: usize) -> u64 {
     splitmix64(splitmix64(seed ^ splitmix64(epoch as u64)) ^ index as u64)
+}
+
+/// Seed of the epoch's Fisher–Yates shuffle stream. Pure in
+/// `(seed, epoch)` — unlike one RNG threaded across epochs — so a
+/// resumed run regenerates epoch k's permutation without replaying
+/// epochs `0..k` and without serializing any RNG state. The domain
+/// constant (`"SHUF"`) keeps this stream disjoint from
+/// [`triple_stream_seed`]'s.
+fn shuffle_seed(seed: u64, epoch: usize) -> u64 {
+    splitmix64(splitmix64(seed ^ 0x5348_5546) ^ epoch as u64)
 }
 
 /// All the knobs of a PGE training run.
@@ -317,82 +329,150 @@ pub fn train_pge(dataset: &Dataset, cfg: &PgeConfig) -> TrainedPge {
 /// [`train_pge`], streaming each epoch's telemetry into `log` as it
 /// completes (so a killed run keeps every finished epoch).
 pub fn train_pge_with_log(dataset: &Dataset, cfg: &PgeConfig, log: Option<&RunLog>) -> TrainedPge {
+    train_pge_resumable(dataset, cfg, log, None)
+        .expect("training without checkpointing cannot hit a persistence error")
+}
+
+/// [`train_pge_with_log`] with crash-safe epoch-boundary checkpoints.
+///
+/// With `ckpt = Some(opts)`, the full trainer state — model
+/// parameters, Adam moments, the global step, the confidence table,
+/// and the loss history — is written atomically to
+/// `opts.dir/trainer.ckpt` after every epoch, and `opts.resume`
+/// continues from the directory's checkpoint instead of initializing
+/// from scratch. Because every random stream is a pure function of
+/// `(seed, epoch, index)` (negative sampling) or `(seed, epoch)` (the
+/// shuffle), a resumed run is **bit-identical** to an uninterrupted
+/// one at any `--threads`.
+///
+/// Errors: a missing/corrupt/tampered checkpoint, a checkpoint from a
+/// different config or corpus ([`TrainerState::verify`]), a
+/// checkpoint-directory I/O failure, or checkpointing a BERT-encoder
+/// run (the BERT variant is not persistable).
+pub fn train_pge_resumable(
+    dataset: &Dataset,
+    cfg: &PgeConfig,
+    log: Option<&RunLog>,
+    ckpt: Option<&CheckpointOptions>,
+) -> Result<TrainedPge, PersistError> {
     let start = Instant::now();
     let graph = &dataset.graph;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-    // 1. Corpus + word2vec initialization (§3.1).
-    let corpus = {
-        let _s = span("train.corpus");
-        crate::corpus::build_corpus(graph, &dataset.train)
-    };
-    let scorer = Scorer::new(cfg.score, cfg.gamma);
-    let encoder = match cfg.encoder {
-        EncoderKind::Cnn => {
-            let vectors = if cfg.word2vec_epochs > 0 {
-                let _s = span("train.word2vec");
-                train_word2vec(
-                    &corpus.vocab,
-                    &corpus.sentences,
-                    &Word2VecConfig {
-                        dim: cfg.word_dim,
-                        epochs: cfg.word2vec_epochs,
-                        seed: cfg.seed ^ 0x5eed,
-                        ..Default::default()
-                    },
-                )
-            } else {
-                pge_tensor::init::embedding(&mut rng, corpus.vocab.len(), cfg.word_dim)
-            };
-            TextEncoder::cnn(
-                &mut rng,
-                CnnConfig {
-                    vocab: corpus.vocab.len(),
-                    word_dim: cfg.word_dim,
-                    widths: cfg.widths.clone(),
-                    filters_per_width: cfg.filters_per_width,
-                    out_dim: cfg.dim,
-                    max_len: cfg.max_len,
-                },
-                Embedding::from_matrix(vectors),
-            )
-        }
-        EncoderKind::Bert => TextEncoder::bert(
-            &mut rng,
-            TransformerConfig {
-                vocab: corpus.vocab.len(),
-                // The BERT-style encoder's width doubles as the entity
-                // dimension ([CLS] state is the representation).
-                dim: cfg.dim.max(16),
-                heads: 4,
-                layers: 4,
-                ffn_dim: cfg.dim.max(16) * 4,
-                max_len: cfg.max_len.max(8),
-            },
-        ),
-    };
-    let ent_dim = encoder.out_dim();
-    // The paper: "we use randomly initialized learnable vectors to
-    // represent relations". See `PgeConfig::rotate_phase_init` for the
-    // RotatE-specific choice between Xavier and ±π phases.
-    let relations = if cfg.score == ScoreKind::RotatE && cfg.rotate_phase_init {
-        Embedding::new_phases(&mut rng, graph.num_attrs().max(1), scorer.rel_dim(ent_dim))
+    if ckpt.is_some() && cfg.encoder == EncoderKind::Bert {
+        return Err(PersistError::UnsupportedEncoder);
+    }
+    let (cfg_hash, data_fp) = if ckpt.is_some() {
+        (config_hash(cfg), data_fingerprint(dataset))
     } else {
-        Embedding::new_xavier(&mut rng, graph.num_attrs().max(1), scorer.rel_dim(ent_dim))
+        (0, 0)
     };
-    let mut model = PgeModel::new(corpus.vocab, encoder, relations, scorer, graph);
+    let resumed: Option<TrainerState> = match ckpt {
+        Some(opts) if opts.resume => {
+            let state = TrainerState::load(&opts.dir)?;
+            state.verify(cfg_hash, data_fp)?;
+            if let Some(log) = log {
+                log.write(&checkpoint_event(&[(
+                    "resumed_from",
+                    state.epochs_done as f64,
+                )]));
+            }
+            Some(state)
+        }
+        _ => None,
+    };
+
+    // 1. Corpus + word2vec initialization (§3.1) — or, on resume, the
+    // checkpointed parameters and moments verbatim. The snapshot
+    // embeds the vocabulary, so the corpus pass is skipped entirely.
+    let scorer = Scorer::new(cfg.score, cfg.gamma);
+    let mut model = match &resumed {
+        Some(state) => state.restore_model(graph)?,
+        None => {
+            let corpus = {
+                let _s = span("train.corpus");
+                crate::corpus::build_corpus(graph, &dataset.train)
+            };
+            let encoder = match cfg.encoder {
+                EncoderKind::Cnn => {
+                    let vectors = if cfg.word2vec_epochs > 0 {
+                        let _s = span("train.word2vec");
+                        train_word2vec(
+                            &corpus.vocab,
+                            &corpus.sentences,
+                            &Word2VecConfig {
+                                dim: cfg.word_dim,
+                                epochs: cfg.word2vec_epochs,
+                                seed: cfg.seed ^ 0x5eed,
+                                ..Default::default()
+                            },
+                        )
+                    } else {
+                        pge_tensor::init::embedding(&mut rng, corpus.vocab.len(), cfg.word_dim)
+                    };
+                    TextEncoder::cnn(
+                        &mut rng,
+                        CnnConfig {
+                            vocab: corpus.vocab.len(),
+                            word_dim: cfg.word_dim,
+                            widths: cfg.widths.clone(),
+                            filters_per_width: cfg.filters_per_width,
+                            out_dim: cfg.dim,
+                            max_len: cfg.max_len,
+                        },
+                        Embedding::from_matrix(vectors),
+                    )
+                }
+                EncoderKind::Bert => TextEncoder::bert(
+                    &mut rng,
+                    TransformerConfig {
+                        vocab: corpus.vocab.len(),
+                        // The BERT-style encoder's width doubles as the
+                        // entity dimension ([CLS] state is the
+                        // representation).
+                        dim: cfg.dim.max(16),
+                        heads: 4,
+                        layers: 4,
+                        ffn_dim: cfg.dim.max(16) * 4,
+                        max_len: cfg.max_len.max(8),
+                    },
+                ),
+            };
+            let ent_dim = encoder.out_dim();
+            // The paper: "we use randomly initialized learnable vectors
+            // to represent relations". See
+            // `PgeConfig::rotate_phase_init` for the RotatE-specific
+            // choice between Xavier and ±π phases.
+            let relations = if cfg.score == ScoreKind::RotatE && cfg.rotate_phase_init {
+                Embedding::new_phases(&mut rng, graph.num_attrs().max(1), scorer.rel_dim(ent_dim))
+            } else {
+                Embedding::new_xavier(&mut rng, graph.num_attrs().max(1), scorer.rel_dim(ent_dim))
+            };
+            PgeModel::new(corpus.vocab, encoder, relations, scorer, graph)
+        }
+    };
+    let ent_dim = model.encoder.out_dim();
 
     // 2. Negative sampler + confidence store.
     let sampler = NegativeSampler::new(graph, cfg.sampling);
     let mut confidence =
         ConfidenceStore::new(dataset.train.len(), cfg.alpha, cfg.beta, cfg.confidence_lr);
+    if let Some(state) = &resumed {
+        confidence
+            .restore_scores(&state.confidence)
+            .map_err(PersistError::Mismatch)?;
+    }
 
     // 3. Minibatch Adam over Eq. (3)/(6).
     let hp = AdamHparams::with_lr(cfg.lr);
     let k = cfg.negatives.max(1);
     let mut order: Vec<usize> = (0..dataset.train.len()).collect();
-    let mut step: u64 = 0;
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut step: u64 = resumed.as_ref().map_or(0, |s| s.step);
+    let start_epoch = resumed.as_ref().map_or(0, |s| s.epochs_done);
+    let mut epoch_losses = resumed.as_ref().map_or_else(
+        || Vec::with_capacity(cfg.epochs),
+        |s| s.epoch_losses.clone(),
+    );
     let mut telemetry = Vec::with_capacity(cfg.epochs);
     let is_cnn = matches!(model.encoder, TextEncoder::Cnn(_));
     let workers = if is_cnn {
@@ -424,13 +504,20 @@ pub fn train_pge_with_log(dataset: &Dataset, cfg: &PgeConfig, log: Option<&RunLo
     let mut dh = vec![0.0f32; ent_dim];
     let mut dr = vec![0.0f32; model.scorer.rel_dim(ent_dim)];
     let mut dv = vec![0.0f32; ent_dim];
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         let _epoch_span = span("train.epoch");
         let epoch_start = Instant::now();
         worker_busy.iter_mut().for_each(|b| *b = 0.0);
-        // Fisher–Yates shuffle.
+        // Fisher–Yates shuffle over a fresh identity permutation, from
+        // a per-`(seed, epoch)` stream: epoch k's visit order is the
+        // same whether the run started at epoch 0 or resumed from a
+        // checkpoint, and no RNG state survives the epoch.
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i;
+        }
+        let mut shuffle_rng = StdRng::seed_from_u64(shuffle_seed(cfg.seed, epoch));
         for i in (1..order.len()).rev() {
-            order.swap(i, rng.gen_range(0..=i));
+            order.swap(i, shuffle_rng.gen_range(0..=i));
         }
         let confidence_active = cfg.noise_aware && epoch >= cfg.confidence_warmup;
         let mut loss_sum = 0.0f64;
@@ -603,15 +690,44 @@ pub fn train_pge_with_log(dataset: &Dataset, cfg: &PgeConfig, log: Option<&RunLo
             log.write(&epoch_event(&t));
         }
         telemetry.push(t);
+
+        if let Some(opts) = ckpt {
+            let write_start = Instant::now();
+            let bytes = {
+                let _s = span("train.checkpoint");
+                let state = TrainerState::capture(
+                    &model,
+                    &confidence,
+                    epoch + 1,
+                    step,
+                    cfg_hash,
+                    data_fp,
+                    &epoch_losses,
+                )?;
+                state.store(&opts.dir)?
+            };
+            if let Some(log) = log {
+                log.write(&checkpoint_event(&[
+                    ("epoch", (epoch + 1) as f64),
+                    ("bytes", bytes as f64),
+                    ("write_secs", write_start.elapsed().as_secs_f64()),
+                ]));
+            }
+            // Simulated kill for resume tests and CI: the checkpoint
+            // is on disk, the process "dies" here.
+            if opts.stop_after == Some(epoch + 1) {
+                break;
+            }
+        }
     }
 
-    TrainedPge {
+    Ok(TrainedPge {
         model,
         confidence,
         train_secs: start.elapsed().as_secs_f64(),
         epoch_losses,
         telemetry,
-    }
+    })
 }
 
 #[cfg(test)]

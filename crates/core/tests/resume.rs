@@ -1,0 +1,179 @@
+//! Kill-at-every-epoch-boundary resume fuzz (ISSUE 5 tentpole proof).
+//!
+//! For every epoch k, a run checkpointed at k and resumed must finish
+//! with a **byte-identical** model snapshot (CRC-equal by
+//! construction) and confidence table to an uninterrupted run — at
+//! `threads` 1 and 4, and even when the kill and the resume use
+//! *different* thread counts. Tampered checkpoints and mismatched
+//! corpora must be rejected with typed errors.
+
+use pge_core::{
+    save_model_binary, train_pge_resumable, CheckpointOptions, PersistError, PgeConfig, TrainedPge,
+    CHECKPOINT_FILE,
+};
+use pge_graph::{Dataset, ProductGraph};
+use std::path::PathBuf;
+
+fn tiny_dataset() -> Dataset {
+    let mut g = ProductGraph::new();
+    let mut train = Vec::new();
+    for i in 0..24 {
+        let (flavor, ing) = if i % 2 == 0 {
+            ("spicy", "cayenne pepper")
+        } else {
+            ("sweet", "cane sugar")
+        };
+        let title = format!("brand{i} {flavor} snack chips {i}");
+        train.push(g.add_fact(&title, "flavor", flavor));
+        train.push(g.add_fact(&title, "ingredient", ing));
+    }
+    Dataset::new(g, train, vec![], vec![])
+}
+
+fn cfg(threads: usize) -> PgeConfig {
+    PgeConfig {
+        epochs: 4,
+        threads,
+        // Noise-aware on, warmup mid-run, so the fuzz also proves the
+        // confidence table survives the checkpoint bit-exactly.
+        noise_aware: true,
+        confidence_warmup: 1,
+        ..PgeConfig::tiny()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pge-resume-{tag}-{}", std::process::id()));
+    // Stale state from a crashed earlier run must not leak in.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fingerprint(out: &TrainedPge) -> (Vec<u8>, Vec<u32>) {
+    (
+        save_model_binary(&out.model).unwrap(),
+        out.confidence
+            .scores()
+            .iter()
+            .map(|c| c.to_bits())
+            .collect(),
+    )
+}
+
+#[test]
+fn kill_at_every_epoch_resumes_bit_identically() {
+    let d = tiny_dataset();
+    for threads in [1, 4] {
+        let cfg = cfg(threads);
+        let baseline = fingerprint(&train_pge_resumable(&d, &cfg, None, None).unwrap());
+        for kill_after in 1..cfg.epochs {
+            let dir = scratch_dir(&format!("t{threads}k{kill_after}"));
+            let mut opts = CheckpointOptions::new(&dir);
+            opts.stop_after = Some(kill_after);
+            let killed = train_pge_resumable(&d, &cfg, None, Some(&opts)).unwrap();
+            assert_eq!(
+                killed.epoch_losses.len(),
+                kill_after,
+                "stop_after must halt at the boundary"
+            );
+            let resumed =
+                train_pge_resumable(&d, &cfg, None, Some(&CheckpointOptions::resume(&dir)))
+                    .unwrap();
+            let got = fingerprint(&resumed);
+            assert_eq!(
+                got.0, baseline.0,
+                "threads={threads} kill_after={kill_after}: model diverged"
+            );
+            assert_eq!(
+                got.1, baseline.1,
+                "threads={threads} kill_after={kill_after}: confidence diverged"
+            );
+            assert_eq!(resumed.epoch_losses.len(), cfg.epochs);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
+fn resume_may_change_thread_count() {
+    let d = tiny_dataset();
+    let baseline = fingerprint(&train_pge_resumable(&d, &cfg(1), None, None).unwrap());
+    for (kill_threads, resume_threads) in [(1, 4), (4, 1)] {
+        let dir = scratch_dir(&format!("x{kill_threads}{resume_threads}"));
+        let mut opts = CheckpointOptions::new(&dir);
+        opts.stop_after = Some(2);
+        train_pge_resumable(&d, &cfg(kill_threads), None, Some(&opts)).unwrap();
+        let resumed = train_pge_resumable(
+            &d,
+            &cfg(resume_threads),
+            None,
+            Some(&CheckpointOptions::resume(&dir)),
+        )
+        .unwrap();
+        assert_eq!(
+            fingerprint(&resumed),
+            baseline,
+            "kill at --threads {kill_threads}, resume at --threads {resume_threads}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn tampered_checkpoint_is_rejected() {
+    let d = tiny_dataset();
+    let dir = scratch_dir("tamper");
+    let mut opts = CheckpointOptions::new(&dir);
+    opts.stop_after = Some(1);
+    train_pge_resumable(&d, &cfg(1), None, Some(&opts)).unwrap();
+    let path = dir.join(CHECKPOINT_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let ix = bytes.len() / 2;
+    bytes[ix] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    match train_pge_resumable(&d, &cfg(1), None, Some(&CheckpointOptions::resume(&dir))) {
+        Err(PersistError::Corrupt(msg)) => assert!(msg.contains("CRC-32"), "{msg}"),
+        other => panic!("expected Corrupt, got {:?}", other.map(|_| "TrainedPge")),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mismatched_corpus_and_config_are_rejected() {
+    let d = tiny_dataset();
+    let dir = scratch_dir("mismatch");
+    let mut opts = CheckpointOptions::new(&dir);
+    opts.stop_after = Some(1);
+    train_pge_resumable(&d, &cfg(1), None, Some(&opts)).unwrap();
+
+    // Same config, different corpus → corpus-fingerprint rejection.
+    let mut other = tiny_dataset();
+    other.graph.add_fact("brandX cola drink", "flavor", "cola");
+    match train_pge_resumable(
+        &other,
+        &cfg(1),
+        None,
+        Some(&CheckpointOptions::resume(&dir)),
+    ) {
+        Err(PersistError::Mismatch(msg)) => assert!(msg.contains("corpus"), "{msg}"),
+        other => panic!("expected Mismatch, got {:?}", other.map(|_| "TrainedPge")),
+    }
+
+    // Same corpus, different config (lr) → config-hash rejection.
+    let other_cfg = PgeConfig { lr: 0.5, ..cfg(1) };
+    match train_pge_resumable(&d, &other_cfg, None, Some(&CheckpointOptions::resume(&dir))) {
+        Err(PersistError::Mismatch(msg)) => assert!(msg.contains("config"), "{msg}"),
+        other => panic!("expected Mismatch, got {:?}", other.map(|_| "TrainedPge")),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_without_checkpoint_is_a_clear_error() {
+    let d = tiny_dataset();
+    let dir = scratch_dir("absent");
+    match train_pge_resumable(&d, &cfg(1), None, Some(&CheckpointOptions::resume(&dir))) {
+        Err(PersistError::Io(msg)) => assert!(msg.contains("no training checkpoint"), "{msg}"),
+        other => panic!("expected Io, got {:?}", other.map(|_| "TrainedPge")),
+    }
+}

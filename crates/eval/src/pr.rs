@@ -17,53 +17,75 @@ impl Scored {
     }
 }
 
-/// Sort descending by score with a deterministic tiebreak.
+/// Sort descending by score. Relative order *within* a tie block is
+/// irrelevant: every consumer below collapses a tie block into one
+/// operating point, so no per-item tiebreak is needed (or wanted — a
+/// tiebreak on the label is exactly what made tied metrics depend on
+/// hidden ranking choices).
 fn sorted(items: &[Scored]) -> Vec<Scored> {
     let mut v = items.to_vec();
-    // Ties: put negatives first so the curve is the pessimistic one —
-    // metrics then never depend on input order.
-    v.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.positive.cmp(&b.positive))
-    });
+    v.sort_by(|a, b| b.score.total_cmp(&a.score));
     v
 }
 
+/// Walk the descending-sorted items one *distinct score* at a time,
+/// calling `f(tie_positives, tie_len)` per block. A classifier
+/// thresholded on the score can only operate at block boundaries —
+/// it has no way to accept half of an equal-scored block — so these
+/// are the only real operating points, and any per-item walk through
+/// a block fabricates points that depend on sort order.
+fn for_each_tie_block(sorted: &[Scored], mut f: impl FnMut(usize, usize)) {
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j].score.total_cmp(&sorted[i].score).is_eq() {
+            j += 1;
+        }
+        let pos = sorted[i..j].iter().filter(|s| s.positive).count();
+        f(pos, j - i);
+        i = j;
+    }
+}
+
 /// The precision–recall curve as `(recall, precision)` points, one per
-/// rank position. Empty when there are no positives.
+/// *distinct score* (equal-scored items form a single operating
+/// point, so the curve is invariant under permutation of the input).
+/// Empty when there are no positives.
 pub fn pr_curve(items: &[Scored]) -> Vec<(f32, f32)> {
     let total_pos = items.iter().filter(|s| s.positive).count();
     if total_pos == 0 {
         return Vec::new();
     }
-    let mut out = Vec::with_capacity(items.len());
-    let mut tp = 0usize;
-    for (k, s) in sorted(items).into_iter().enumerate() {
-        if s.positive {
-            tp += 1;
-        }
-        out.push((tp as f32 / total_pos as f32, tp as f32 / (k + 1) as f32));
-    }
+    let mut out = Vec::new();
+    let (mut tp, mut n) = (0usize, 0usize);
+    for_each_tie_block(&sorted(items), |pos, len| {
+        tp += pos;
+        n += len;
+        out.push((tp as f32 / total_pos as f32, tp as f32 / n as f32));
+    });
     out
 }
 
 /// PR AUC computed as average precision (step-wise integration of the
-/// PR curve): `AP = Σ_k P(k) · ΔR(k)`. Returns 0 when there are no
-/// positives.
+/// PR curve): `AP = Σ_g ΔR(g) · P(g)` over tie groups `g`, where each
+/// group of equal-scored items contributes its full recall increment
+/// at the group's end-precision. With all-distinct scores this is the
+/// classic `Σ_k P(k) · ΔR(k)`; with ties it is the unique
+/// permutation-invariant value. Returns 0 when there are no positives.
 pub fn average_precision(items: &[Scored]) -> f32 {
     let total_pos = items.iter().filter(|s| s.positive).count();
     if total_pos == 0 {
         return 0.0;
     }
-    let mut ap = 0.0;
-    let mut tp = 0usize;
-    for (k, s) in sorted(items).into_iter().enumerate() {
-        if s.positive {
-            tp += 1;
-            ap += tp as f32 / (k + 1) as f32;
+    let mut ap = 0.0f32;
+    let (mut tp, mut n) = (0usize, 0usize);
+    for_each_tie_block(&sorted(items), |pos, len| {
+        tp += pos;
+        n += len;
+        if pos > 0 {
+            ap += pos as f32 * (tp as f32 / n as f32);
         }
-    }
+    });
     ap / total_pos as f32
 }
 
@@ -157,11 +179,78 @@ mod tests {
     }
 
     #[test]
-    fn tie_handling_is_pessimistic() {
-        // All scores equal: negatives sort first, so AP is the
-        // worst-case ranking: (1/2 + 2/3)... with one negative first:
-        // order -, +, + ⇒ AP = (1/2 + 2/3)/2 = 7/12.
+    fn tied_scores_form_one_operating_point() {
+        // All three scores equal: a threshold accepts all or none, so
+        // the curve has exactly one point, (R=1, P=2/3), and
+        // AP = ΔR · P = 1 · 2/3 — not a value that depends on how the
+        // sort happened to order the tied items.
         let it = items(&[(0.5, true), (0.5, false), (0.5, true)]);
-        assert!((average_precision(&it) - 7.0 / 12.0).abs() < 1e-5);
+        let curve = pr_curve(&it);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].0 - 1.0).abs() < 1e-6);
+        assert!((curve[0].1 - 2.0 / 3.0).abs() < 1e-6);
+        assert!((average_precision(&it) - 2.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn metrics_invariant_under_permutation_of_tied_inputs() {
+        // Duplicated scores with mixed labels: every permutation of
+        // the input must yield bit-identical AP, curve, and R@P.
+        let base = items(&[
+            (0.9, true),
+            (0.7, true),
+            (0.7, false),
+            (0.7, false),
+            (0.4, true),
+            (0.4, false),
+        ]);
+        let reference_ap = average_precision(&base).to_bits();
+        let reference_curve = pr_curve(&base);
+        let reference_rp = recall_at_precision(&base, 0.6).to_bits();
+
+        // Heap's algorithm: all 720 permutations of the six items.
+        fn permutations(v: &mut Vec<Scored>, k: usize, out: &mut Vec<Vec<Scored>>) {
+            if k <= 1 {
+                out.push(v.clone());
+                return;
+            }
+            for i in 0..k {
+                permutations(v, k - 1, out);
+                if k % 2 == 0 {
+                    v.swap(i, k - 1);
+                } else {
+                    v.swap(0, k - 1);
+                }
+            }
+        }
+        let mut all = Vec::new();
+        permutations(&mut base.clone(), base.len(), &mut all);
+        assert_eq!(all.len(), 720);
+        for perm in &all {
+            assert_eq!(average_precision(perm).to_bits(), reference_ap);
+            assert_eq!(pr_curve(perm), reference_curve);
+            assert_eq!(recall_at_precision(perm, 0.6).to_bits(), reference_rp);
+        }
+    }
+
+    #[test]
+    fn grouped_curve_has_one_point_per_distinct_score() {
+        let it = items(&[
+            (0.9, true),
+            (0.7, true),
+            (0.7, false),
+            (0.4, false),
+            (0.4, true),
+        ]);
+        let curve = pr_curve(&it);
+        // Three distinct scores → three operating points.
+        assert_eq!(curve.len(), 3);
+        // Block ends: (1/3, 1/1), (2/3, 2/3), (3/3, 3/5).
+        assert_eq!(curve[0], (1.0 / 3.0, 1.0));
+        assert_eq!(curve[1], (2.0 / 3.0, 2.0 / 3.0));
+        assert_eq!(curve[2], (1.0, 3.0 / 5.0));
+        // AP = (1·1 + 1·(2/3) + 1·(3/5)) / 3.
+        let expect = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((average_precision(&it) - expect).abs() < 1e-6);
     }
 }

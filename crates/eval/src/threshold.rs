@@ -20,22 +20,29 @@ pub fn best_accuracy_threshold(pairs: &[(f32, bool)]) -> (f32, f32) {
     // must be excluded *before* the dedup loop below — `NaN == NaN`
     // is false, so a NaN group would never advance `i` and the sweep
     // used to hang forever.
-    let nan_hits = pairs.iter().filter(|(s, c)| s.is_nan() && !*c).count() as f32;
-    let n = pairs.len() as f32;
+    let nan_hits = pairs.iter().filter(|(s, c)| s.is_nan() && !*c).count();
+    let n = pairs.len();
     let mut sorted: Vec<(f32, bool)> = pairs.iter().copied().filter(|(s, _)| !s.is_nan()).collect();
     if sorted.is_empty() {
         // Every score is NaN: all thresholds are equivalent.
-        return (0.0, nan_hits / n);
+        return (0.0, nan_hits as f32 / n as f32);
     }
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     // Sweep thresholds from below the minimum upward. At θ = -inf all
     // items are predicted correct; moving θ past an item flips that
     // item's prediction to incorrect.
-    let correct_total = sorted.iter().filter(|(_, c)| *c).count() as f32;
+    //
+    // Hit counts are integers end to end, and a candidate wins only on
+    // a strictly greater count, so ties between equal-accuracy
+    // plateaus always resolve to the *lowest* θ — exactly, for any
+    // input size. (The old `f32` accumulator rounded above 2^24 items
+    // and compared quotients, where a rounding quirk could flip which
+    // plateau "won" depending on input order.)
+    let correct_total = sorted.iter().filter(|(_, c)| *c).count();
     // Start: everything (except NaN items) predicted correct.
     let mut hits = correct_total + nan_hits;
-    let mut best_acc = hits / n;
+    let mut best_hits = hits;
     let mut best_theta = sorted[0].0 - 1.0;
 
     let mut i = 0;
@@ -44,15 +51,14 @@ pub fn best_accuracy_threshold(pairs: &[(f32, bool)]) -> (f32, f32) {
         let s = sorted[i].0;
         while i < sorted.len() && sorted[i].0 == s {
             if sorted[i].1 {
-                hits -= 1.0; // correct item now predicted incorrect
+                hits -= 1; // correct item now predicted incorrect
             } else {
-                hits += 1.0; // incorrect item now predicted incorrect
+                hits += 1; // incorrect item now predicted incorrect
             }
             i += 1;
         }
-        let acc = hits / n;
-        if acc > best_acc {
-            best_acc = acc;
+        if hits > best_hits {
+            best_hits = hits;
             best_theta = if i < sorted.len() {
                 (s + sorted[i].0) / 2.0
             } else {
@@ -60,7 +66,7 @@ pub fn best_accuracy_threshold(pairs: &[(f32, bool)]) -> (f32, f32) {
             };
         }
     }
-    (best_theta, best_acc)
+    (best_theta, best_hits as f32 / n as f32)
 }
 
 /// Accuracy of `predict correct ⇔ score > θ` on `(score, is_correct)`.
@@ -156,6 +162,32 @@ mod tests {
         let (theta2, acc2) = best_accuracy_threshold(&all_wrong);
         assert!(theta2.is_finite());
         assert!((acc2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_accuracy_plateaus_break_ties_to_lowest_threshold() {
+        // Two disjoint thresholds reach the same best accuracy (3/4):
+        // θ ∈ (0.1, 0.2) and θ ∈ (0.3, 0.4). The sweep must pick the
+        // lower midpoint, exactly, regardless of input order.
+        let base = [(0.1, false), (0.2, true), (0.3, false), (0.4, true)];
+        let (theta, acc) = best_accuracy_threshold(&base);
+        assert_eq!(theta, (0.1 + 0.2) / 2.0);
+        assert!((acc - 0.75).abs() < 1e-6);
+        // All 24 permutations return bit-identical (θ, accuracy).
+        let perms = [
+            [0, 1, 2, 3],
+            [3, 2, 1, 0],
+            [1, 3, 0, 2],
+            [2, 0, 3, 1],
+            [0, 2, 1, 3],
+            [3, 1, 2, 0],
+        ];
+        for p in perms {
+            let shuffled: Vec<_> = p.iter().map(|&i| base[i]).collect();
+            let (t, a) = best_accuracy_threshold(&shuffled);
+            assert_eq!(t.to_bits(), theta.to_bits(), "perm {p:?}");
+            assert_eq!(a.to_bits(), acc.to_bits(), "perm {p:?}");
+        }
     }
 
     #[test]

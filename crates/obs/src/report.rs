@@ -43,6 +43,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
     let mut evals: Vec<Json> = Vec::new();
     let mut serves: Vec<Json> = Vec::new();
     let mut scans: Vec<Json> = Vec::new();
+    let mut checkpoints: Vec<Json> = Vec::new();
     let mut spans: Vec<Json> = Vec::new();
     let mut bad_lines = 0usize;
     for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
@@ -56,6 +57,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
             Some("eval") => evals.push(v),
             Some("serve") => serves.push(v),
             Some("scan") => scans.push(v),
+            Some("checkpoint") => checkpoints.push(v),
             Some("spans") => spans.push(v),
             _ => bad_lines += 1,
         }
@@ -65,6 +67,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         && evals.is_empty()
         && serves.is_empty()
         && scans.is_empty()
+        && checkpoints.is_empty()
     {
         return Err("no recognizable run-log events".into());
     }
@@ -149,6 +152,27 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
             .and_then(|e| e.get("confidence").and_then(|c| num(c, "marked_down_frac")))
         {
             let _ = writeln!(w, "  marked down {:.1}% of training triples", md * 100.0);
+        }
+    }
+
+    // Trainer-checkpoint provenance: where this run resumed from, and
+    // how far its own checkpoints reach.
+    if !checkpoints.is_empty() {
+        if let Some(from) = checkpoints.iter().find_map(|c| num(c, "resumed_from")) {
+            let _ = writeln!(w, "\ncheckpoint: resumed from epoch {from:.0}");
+        }
+        let writes: Vec<&Json> = checkpoints
+            .iter()
+            .filter(|c| num(c, "epoch").is_some())
+            .collect();
+        if let Some(last) = writes.last() {
+            let _ = writeln!(
+                w,
+                "\ncheckpoint: {} written (through epoch {:.0}, {:.0} KiB each)",
+                writes.len(),
+                num(last, "epoch").unwrap_or(0.0),
+                num(last, "bytes").unwrap_or(0.0) / 1024.0
+            );
         }
     }
 
@@ -355,6 +379,37 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("cache hit rate 90.0%"), "{report}");
+    }
+
+    #[test]
+    fn checkpoint_events_render_provenance() {
+        let mut log = sample_log();
+        log.push_str(&crate::runlog::checkpoint_event(&[("resumed_from", 2.0)]).to_string());
+        log.push('\n');
+        for epoch in [3.0, 4.0] {
+            log.push_str(
+                &crate::runlog::checkpoint_event(&[
+                    ("epoch", epoch),
+                    ("bytes", 81920.0),
+                    ("write_secs", 0.004),
+                ])
+                .to_string(),
+            );
+            log.push('\n');
+        }
+        let report = render_report(&log).unwrap();
+        assert!(
+            report.contains("checkpoint: resumed from epoch 2"),
+            "{report}"
+        );
+        assert!(
+            report.contains("checkpoint: 2 written (through epoch 4, 80 KiB each)"),
+            "{report}"
+        );
+        // A checkpoint-only log is still a recognizable run log.
+        let only =
+            crate::runlog::checkpoint_event(&[("epoch", 1.0), ("bytes", 1024.0)]).to_string();
+        assert!(render_report(&only).is_ok());
     }
 
     #[test]

@@ -155,6 +155,18 @@ pub fn serve_event(stats: &[(&str, f64)]) -> Json {
     Json::Obj(pairs)
 }
 
+/// A trainer-checkpoint event: one per epoch-boundary checkpoint
+/// write (`[("epoch", 3.0), ("bytes", 81920.0), ("write_secs", s)]`)
+/// plus one `[("resumed_from", k)]` record at the start of a resumed
+/// run, so `pge report` can show resume provenance.
+pub fn checkpoint_event(stats: &[(&str, f64)]) -> Json {
+    let mut pairs = base("checkpoint");
+    for (k, v) in stats {
+        pairs.push((k.to_string(), Json::Num(*v)));
+    }
+    Json::Obj(pairs)
+}
+
 /// A bulk-scan snapshot from counter pairs, e.g.
 /// `[("rows_total", 1.0e6), ("shards_total", 31.0)]`.
 pub fn scan_event(stats: &[(&str, f64)]) -> Json {

@@ -4,7 +4,8 @@
 //! pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]
 //!              [--scan-out raw.tsv]
 //! pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]
-//!              [--threads N] [--binary] [--runlog run.jsonl]
+//!              [--threads N] [--binary] [--checkpoint DIR | --resume DIR]
+//!              [--stop-after N] [--runlog run.jsonl]
 //! pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]
 //! pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]
 //! pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]
@@ -30,6 +31,14 @@
 //! CRC-checksummed binary snapshot instead (~4x smaller, bit-exact).
 //! Every command auto-detects either format on load.
 //!
+//! `train --checkpoint DIR` writes the full trainer state (model,
+//! Adam moments, confidence table) atomically to `DIR/trainer.ckpt`
+//! after every epoch; a killed run continues with `--resume DIR` and
+//! finishes **bit-identical** to an uninterrupted run, at any
+//! `--threads`. Resuming against a different dataset or config is
+//! rejected by fingerprint. `--stop-after N` halts after N epochs
+//! (with the checkpoint on disk) to simulate a kill in tests/CI.
+//!
 //! `train --threads N` splits every minibatch across N worker
 //! threads (default: the machine's available parallelism). Results
 //! are bit-identical for any thread count at a fixed seed — see
@@ -41,8 +50,8 @@
 //! and `pge report` summarizes it.
 
 use pge::core::{
-    load_model_auto, resolve_threads, save_model, save_model_binary, train_pge_with_log, Detector,
-    PgeConfig, PgeModel, ScoreKind,
+    load_model_auto, resolve_threads, save_model, save_model_binary, train_pge_resumable,
+    CheckpointOptions, Detector, PgeConfig, PgeModel, ScoreKind,
 };
 use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
 use pge::eval::{average_precision, recall_at_precision, Scored};
@@ -61,7 +70,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N] [--scan-out raw.tsv]\n  \
          pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n               \
-         [--threads N] [--binary] [--runlog run.jsonl]\n  \
+         [--threads N] [--binary] [--checkpoint DIR | --resume DIR] [--stop-after N]\n               \
+         [--runlog run.jsonl]\n  \
          pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]\n  \
          pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]\n  \
          pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]\n               \
@@ -230,6 +240,15 @@ fn main() {
                 threads: get("threads").and_then(|s| s.parse().ok()).unwrap_or(0),
                 ..PgeConfig::default()
             };
+            let ckpt = match (get("resume"), get("checkpoint")) {
+                (Some(dir), _) => Some(CheckpointOptions::resume(dir)),
+                (None, Some(dir)) => Some(CheckpointOptions::new(dir)),
+                (None, None) => None,
+            }
+            .map(|mut opts| {
+                opts.stop_after = get("stop-after").and_then(|s| s.parse().ok());
+                opts
+            });
             let log = open_runlog(get("runlog"));
             if let Some(log) = &log {
                 log.write(&manifest_event(
@@ -245,6 +264,15 @@ fn main() {
                         ("noise_aware".into(), cfg.noise_aware.to_string()),
                         ("threads".into(), resolve_threads(cfg.threads).to_string()),
                         ("train_triples".into(), data.train.len().to_string()),
+                        (
+                            "checkpoint".into(),
+                            ckpt.as_ref()
+                                .map_or("none".into(), |o| o.dir.display().to_string()),
+                        ),
+                        (
+                            "resume".into(),
+                            ckpt.as_ref().is_some_and(|o| o.resume).to_string(),
+                        ),
                     ],
                 ));
             }
@@ -254,13 +282,35 @@ fn main() {
                 data.train.len(),
                 resolve_threads(cfg.threads)
             );
-            let trained = train_pge_with_log(&data, &cfg, log.as_ref());
+            if let Some(opts) = &ckpt {
+                println!(
+                    "{} epoch-boundary checkpoints in {}",
+                    if opts.resume {
+                        "resuming from"
+                    } else {
+                        "writing"
+                    },
+                    opts.dir.display()
+                );
+            }
+            let trained = train_pge_resumable(&data, &cfg, log.as_ref(), ckpt.as_ref())
+                .unwrap_or_else(|e| {
+                    eprintln!("training failed: {e}");
+                    exit(1)
+                });
             println!(
                 "done in {:.1}s (loss {:.3} -> {:.3})",
                 trained.train_secs,
                 trained.epoch_losses.first().unwrap_or(&0.0),
                 trained.epoch_losses.last().unwrap_or(&0.0)
             );
+            if trained.epoch_losses.len() < cfg.epochs {
+                println!(
+                    "stopped after {} of {} epochs (checkpoint retained; continue with --resume)",
+                    trained.epoch_losses.len(),
+                    cfg.epochs
+                );
+            }
             let bytes = if flags.contains_key("binary") {
                 save_model_binary(&trained.model).expect("CNN models persist")
             } else {
