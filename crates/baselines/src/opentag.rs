@@ -124,10 +124,11 @@ mod tests {
 
     fn graph_and_train() -> (ProductGraph, Vec<Triple>) {
         let mut g = ProductGraph::new();
-        let mut train = Vec::new();
         // Training products establish the lexicon.
-        train.push(g.add_fact("alpha spicy queso tortilla chips", "flavor", "spicy queso"));
-        train.push(g.add_fact("beta honey roasted peanuts", "flavor", "honey roasted"));
+        let train = vec![
+            g.add_fact("alpha spicy queso tortilla chips", "flavor", "spicy queso"),
+            g.add_fact("beta honey roasted peanuts", "flavor", "honey roasted"),
+        ];
         // This product *mentions* spicy queso in its title but has no
         // flavor triple: extraction should add one.
         g.intern_product("gamma spicy queso corn puffs");

@@ -1,0 +1,610 @@
+//! `gateway_probe` — loopback soak + parity probe for `pge-gateway`.
+//!
+//! Two phases, one report (`BENCH_gateway.json`):
+//!
+//! 1. **Parity** (in-process): at 1, 2, and 4 replicas, every score
+//!    served through the consistent-hash ring must be bit-identical
+//!    to offline `Detector::scores`; then a hot-swap to a second
+//!    snapshot must serve that snapshot's offline scores exactly.
+//! 2. **Soak** (cross-process): ~10k keep-alive connections drive
+//!    mixed pipelined traffic (scores + health checks) while a model
+//!    hot-swap lands mid-soak. Zero dropped or failed requests is the
+//!    acceptance bar; client-side p50/p99 and server counters are
+//!    recorded.
+//!
+//! The process fd limit (hard cap 20000 in the build environment)
+//! cannot hold both ends of 10k sockets, so the soak re-executes this
+//! binary with `--__server`: the child owns the gateway (~10k
+//! accepted fds), the parent owns the 10k client sockets, and they
+//! talk over stdin/stdout for lifecycle.
+//!
+//! ```text
+//! gateway_probe [--conns N] [--rounds N] [--depth N] [--threads N] [--out FILE]
+//! ```
+
+use pge_core::{save_model_binary, train_pge, Detector, PgeConfig, PgeModel};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use pge_gateway::{start, GatewayConfig};
+use pge_graph::Dataset;
+use pge_serve::json::{self, Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const DATA_SEED: u64 = 11;
+
+fn probe_data() -> Dataset {
+    generate_catalog(&CatalogConfig {
+        products: 200,
+        labeled: 80,
+        seed: DATA_SEED,
+        ..CatalogConfig::tiny()
+    })
+}
+
+/// Deterministic model: snapshot A trains 2 epochs, snapshot B 3 —
+/// cheap, and reliably different weights.
+fn probe_model(data: &Dataset, epochs: usize) -> (PgeModel, f32) {
+    let trained = train_pge(
+        data,
+        &PgeConfig {
+            epochs,
+            ..PgeConfig::tiny()
+        },
+    );
+    let threshold = Detector::fit(&trained.model, &data.graph, &data.valid).threshold;
+    (trained.model, threshold)
+}
+
+fn offline_scores(data: &Dataset, model: &PgeModel) -> Vec<f32> {
+    let det = Detector::fit(model, &data.graph, &data.valid);
+    let triples: Vec<_> = data.test.iter().map(|lt| lt.triple).collect();
+    det.scores(&data.graph, &triples)
+}
+
+fn score_body(data: &Dataset, i: usize) -> String {
+    let t = data.test[i % data.test.len()].triple;
+    Json::Arr(vec![Json::Obj(vec![
+        (
+            "title".into(),
+            Json::Str(data.graph.title(t.product).into()),
+        ),
+        (
+            "attr".into(),
+            Json::Str(data.graph.attr_name(t.attr).into()),
+        ),
+        (
+            "value".into(),
+            Json::Str(data.graph.value_text(t.value).into()),
+        ),
+    ])])
+    .to_string()
+}
+
+fn score_request(body: &str) -> String {
+    format!(
+        "POST /v1/score HTTP/1.1\r\nhost: probe\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+/// Read one HTTP response off a keep-alive stream, carrying leftover
+/// pipelined bytes across calls in `buf`. `None` = EOF/timeout/error.
+fn read_one_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Option<(u16, String)> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+            let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+            let clen: usize = head.lines().find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })?;
+            let total = head_end + 4 + clen;
+            if buf.len() >= total {
+                let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+                buf.drain(..total);
+                return Some((status, body));
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return None,
+        }
+    }
+}
+
+/// One request on a fresh `Connection: close` connection.
+fn oneshot(addr: SocketAddr, raw: &str) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut buf = Vec::new();
+    read_one_response(&mut stream, &mut buf)
+}
+
+fn metric(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+// ---------------------------------------------------------------- parity
+
+/// In-process parity: served == offline, bit for bit, at several
+/// replica counts; then again after a hot-swap.
+fn parity_runs(out: &mut Vec<Json>) -> bool {
+    eprintln!("parity: training snapshots A and B ...");
+    let data = probe_data();
+    let (model_a, thr_a) = probe_model(&data, 2);
+    let (model_b, thr_b) = probe_model(&data, 3);
+    let offline_a = offline_scores(&data, &model_a);
+    let offline_b = offline_scores(&data, &model_b);
+    let mut all_ok = true;
+
+    for replicas in [1usize, 2, 4] {
+        let handle = start(
+            model_a.clone(),
+            data.graph.clone(),
+            data.valid.clone(),
+            thr_a,
+            GatewayConfig {
+                addr: "127.0.0.1:0".into(),
+                replicas,
+                ..GatewayConfig::default()
+            },
+        )
+        .expect("start parity gateway");
+        let addr = handle.local_addr();
+
+        let check = |offline: &[f32]| -> (usize, usize) {
+            let mut checked = 0;
+            let mut exact = 0;
+            for (i, want) in offline.iter().enumerate() {
+                let Some((status, body)) = oneshot(addr, &score_request(&score_body(&data, i)))
+                else {
+                    continue;
+                };
+                checked += 1;
+                if status != 200 {
+                    continue;
+                }
+                let got = json::parse(&body)
+                    .ok()
+                    .and_then(|v| v.as_array()?.first()?.get("plausibility")?.as_f64())
+                    .map(|f| f as f32);
+                if got.map(f32::to_bits) == Some(want.to_bits()) {
+                    exact += 1;
+                }
+            }
+            (checked, exact)
+        };
+
+        let (checked_a, exact_a) = check(&offline_a);
+        handle.swap_model(model_b.clone(), thr_b);
+        let (checked_b, exact_b) = check(&offline_b);
+        let ok = checked_a == offline_a.len()
+            && exact_a == checked_a
+            && checked_b == offline_b.len()
+            && exact_b == checked_b;
+        all_ok &= ok;
+        eprintln!(
+            "parity: {replicas} replicas  pre-swap {exact_a}/{checked_a}  post-swap {exact_b}/{checked_b}  {}",
+            if ok { "exact" } else { "MISMATCH" }
+        );
+        out.push(Json::Obj(vec![
+            ("replicas".into(), Json::Num(replicas as f64)),
+            ("triples".into(), Json::Num(offline_a.len() as f64)),
+            (
+                "bit_identical".into(),
+                Json::Bool(exact_a == checked_a && checked_a == offline_a.len()),
+            ),
+            (
+                "swap_bit_identical".into(),
+                Json::Bool(exact_b == checked_b && checked_b == offline_b.len()),
+            ),
+        ]));
+        handle.shutdown();
+    }
+    all_ok
+}
+
+// ------------------------------------------------------------------ soak
+
+/// Child mode: own the gateway (and its ~10k accepted fds), tell the
+/// parent where it listens, hold until stdin says shutdown.
+fn run_server_child(dir: &str) -> ! {
+    let data = probe_data();
+    let (model_a, thr_a) = probe_model(&data, 2);
+    let (model_b, _) = probe_model(&data, 3);
+    let snapshot = format!("{dir}/model-b.pgebin");
+    std::fs::write(&snapshot, save_model_binary(&model_b).expect("snapshot B"))
+        .expect("write snapshot");
+    let runlog = format!("{dir}/gateway.jsonl");
+    let handle = start(
+        model_a,
+        data.graph.clone(),
+        data.valid.clone(),
+        thr_a,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 4,
+            queue_cap: 8192,
+            model_path: Some(snapshot),
+            runlog_path: Some(runlog),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("start soak gateway");
+    println!("ADDR {}", handle.local_addr());
+    std::io::stdout().flush().ok();
+
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line); // "shutdown" or EOF
+    handle.shutdown();
+    println!("DONE");
+    std::process::exit(0);
+}
+
+struct SoakOutcome {
+    requests: u64,
+    ok_200: u64,
+    shed_503: u64,
+    failures: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Drive `conns` keep-alive connections for `rounds` rounds of
+/// `depth`-deep pipelined traffic, from `threads` client threads.
+#[allow(clippy::too_many_arguments)]
+fn run_soak(
+    addr: SocketAddr,
+    data: &Dataset,
+    conns: usize,
+    rounds: usize,
+    depth: usize,
+    threads: usize,
+    reload_fired: &AtomicU64,
+    completed: &AtomicU64,
+) -> SoakOutcome {
+    // Pre-render the request pool: a small set of hot titles (the
+    // cache's steady state) plus a health check mixed in.
+    let bodies: Vec<String> = (0..64)
+        .map(|i| score_request(&score_body(data, i)))
+        .collect();
+    let health = "GET /healthz HTTP/1.1\r\nhost: probe\r\n\r\n".to_string();
+
+    eprintln!("soak: opening {conns} keep-alive connections ...");
+    let per_thread = conns.div_ceil(threads);
+    let outcomes: Vec<SoakOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let bodies = &bodies;
+                let health = &health;
+                let my_conns = per_thread.min(conns.saturating_sub(t * per_thread));
+                scope.spawn(move || {
+                    let mut sockets: Vec<(TcpStream, Vec<u8>)> = Vec::with_capacity(my_conns);
+                    for i in 0..my_conns {
+                        // Pace connects so the accept loop (and the
+                        // loopback backlog) keeps up.
+                        if i % 256 == 255 {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        match TcpStream::connect(addr) {
+                            Ok(s) => {
+                                let _ = s.set_nodelay(true);
+                                let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+                                sockets.push((s, Vec::new()));
+                            }
+                            Err(e) => panic!("soak connect {i} failed: {e}"),
+                        }
+                    }
+                    let mut outcome = SoakOutcome {
+                        requests: 0,
+                        ok_200: 0,
+                        shed_503: 0,
+                        failures: 0,
+                        latencies_ms: Vec::new(),
+                    };
+                    for round in 0..rounds {
+                        for (si, (stream, buf)) in sockets.iter_mut().enumerate() {
+                            // Mixed pipelined batch: scores, with a
+                            // health check woven into every 16th.
+                            let mut batch = String::new();
+                            for d in 0..depth {
+                                if (si + d) % 16 == 15 {
+                                    batch.push_str(health);
+                                } else {
+                                    batch.push_str(&bodies[(t + si + round + d) % bodies.len()]);
+                                }
+                            }
+                            let t0 = Instant::now();
+                            if stream.write_all(batch.as_bytes()).is_err() {
+                                outcome.requests += depth as u64;
+                                outcome.failures += depth as u64;
+                                continue;
+                            }
+                            for _ in 0..depth {
+                                outcome.requests += 1;
+                                match read_one_response(stream, buf) {
+                                    Some((200, _)) => {
+                                        outcome.ok_200 += 1;
+                                        outcome.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                    }
+                                    Some((503, _)) => outcome.shed_503 += 1,
+                                    Some(_) | None => outcome.failures += 1,
+                                }
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    outcome
+                })
+            })
+            .collect();
+
+        // Fire the hot-swap from the main thread once the soak is
+        // about half done — requests in flight on both sides of it.
+        let total = (conns * rounds * depth) as u64;
+        while completed.load(Ordering::Relaxed) < total / 2 {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let raw = "POST /admin/reload HTTP/1.1\r\nhost: probe\r\ncontent-length: 0\r\nconnection: close\r\n\r\n";
+        match oneshot(addr, raw) {
+            Some((200, _)) => {
+                reload_fired.store(1, Ordering::SeqCst);
+                eprintln!("soak: hot-swap landed mid-soak");
+            }
+            other => eprintln!("soak: hot-swap FAILED: {other:?}"),
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak thread"))
+            .collect()
+    });
+
+    let mut total = SoakOutcome {
+        requests: 0,
+        ok_200: 0,
+        shed_503: 0,
+        failures: 0,
+        latencies_ms: Vec::new(),
+    };
+    for mut o in outcomes {
+        total.requests += o.requests;
+        total.ok_200 += o.ok_200;
+        total.shed_503 += o.shed_503;
+        total.failures += o.failures;
+        total.latencies_ms.append(&mut o.latencies_ms);
+    }
+    total
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--__server") {
+        let dir = args.get(1).expect("--__server <dir>").clone();
+        run_server_child(&dir);
+    }
+
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let conns = flag("--conns", 10_000);
+    let rounds = flag("--rounds", 3);
+    let depth = flag("--depth", 2).max(1);
+    let threads = flag("--threads", 8).max(1);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gateway.json".to_string());
+
+    // Phase 1: sharding/swap parity, in-process.
+    let mut parity = Vec::new();
+    let parity_ok = parity_runs(&mut parity);
+
+    // Phase 2: the big soak, server in a child process.
+    let dir = std::env::temp_dir().join(format!("pge-gateway-probe-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let dir_str = dir.to_string_lossy().into_owned();
+    eprintln!("soak: spawning gateway server child (trains its own snapshots) ...");
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child: Child = Command::new(exe)
+        .args(["--__server", &dir_str])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn server child");
+    let mut child_out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let addr: SocketAddr = {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if child_out.read_line(&mut line).expect("child addr line") == 0 {
+                panic!("server child exited before announcing its address");
+            }
+            if let Some(a) = line.trim().strip_prefix("ADDR ") {
+                break a.parse().expect("child address parses");
+            }
+        }
+    };
+    eprintln!("soak: gateway child listening on {addr}");
+
+    let data = probe_data();
+    let reload_fired = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let started = Instant::now();
+    let soak = run_soak(
+        addr,
+        &data,
+        conns,
+        rounds,
+        depth,
+        threads,
+        &reload_fired,
+        &completed,
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Server-side truth: counters over the wire, then a clean drain.
+    let (_, metrics) = oneshot(
+        addr,
+        "GET /metrics HTTP/1.1\r\nhost: probe\r\nconnection: close\r\n\r\n",
+    )
+    .expect("final metrics");
+    let (_, version_body) = oneshot(
+        addr,
+        "GET /admin/version HTTP/1.1\r\nhost: probe\r\nconnection: close\r\n\r\n",
+    )
+    .expect("final version");
+    let version_after = json::parse(&version_body)
+        .ok()
+        .and_then(|v| v.get("version")?.as_f64())
+        .unwrap_or(-1.0);
+    let replica_routed: Vec<f64> = (0..4)
+        .map(|i| metric(&metrics, &format!("pge_gateway_replica_{i}_routed_total")))
+        .collect();
+    let routed_sum: f64 = replica_routed.iter().sum();
+    let routing_skew = if routed_sum > 0.0 {
+        replica_routed.iter().cloned().fold(0.0, f64::max)
+            / (routed_sum / replica_routed.len() as f64)
+    } else {
+        0.0
+    };
+
+    child
+        .stdin
+        .take()
+        .expect("child stdin")
+        .write_all(b"shutdown\n")
+        .expect("ask child to drain");
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "server child exited with {status}");
+
+    // The gateway's run log must render under `pge report`.
+    let runlog_text =
+        std::fs::read_to_string(dir.join("gateway.jsonl")).expect("gateway runlog written");
+    let runlog_events = runlog_text.lines().filter(|l| !l.trim().is_empty()).count();
+    let rendered = pge_obs::render_report(&runlog_text).expect("runlog renders");
+    assert!(
+        rendered.contains("gateway:"),
+        "report missing gateway section:\n{rendered}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut lat = soak.latencies_ms.clone();
+    lat.sort_unstable_by(f64::total_cmp);
+    let pct = |q: f64| {
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat[((lat.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+
+    eprintln!(
+        "soak: {} requests over {conns} conns in {elapsed:.1}s  ({:.0} req/s)",
+        soak.requests,
+        soak.requests as f64 / elapsed
+    );
+    eprintln!(
+        "soak: {} ok, {} shed (503), {} FAILED  p50 {p50:.2} ms  p99 {p99:.2} ms  skew {routing_skew:.2}",
+        soak.ok_200, soak.shed_503, soak.failures
+    );
+    let soak_ok = soak.failures == 0 && reload_fired.load(Ordering::SeqCst) == 1;
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("gateway_probe".into())),
+        (
+            "manifest".into(),
+            Json::Obj(vec![
+                (
+                    "git_rev".into(),
+                    pge_obs::git_rev().map_or(Json::Null, Json::Str),
+                ),
+                ("ts_ms".into(), Json::Num(pge_obs::unix_time_ms() as f64)),
+                (
+                    "version".into(),
+                    Json::Str(env!("CARGO_PKG_VERSION").into()),
+                ),
+            ]),
+        ),
+        ("parity_ok".into(), Json::Bool(parity_ok)),
+        ("parity".into(), Json::Arr(parity)),
+        (
+            "soak".into(),
+            Json::Obj(vec![
+                ("connections".into(), Json::Num(conns as f64)),
+                ("rounds".into(), Json::Num(rounds as f64)),
+                ("pipeline_depth".into(), Json::Num(depth as f64)),
+                ("client_threads".into(), Json::Num(threads as f64)),
+                ("elapsed_sec".into(), Json::Num(elapsed)),
+                ("requests".into(), Json::Num(soak.requests as f64)),
+                (
+                    "requests_per_sec".into(),
+                    Json::Num(soak.requests as f64 / elapsed),
+                ),
+                ("ok_200".into(), Json::Num(soak.ok_200 as f64)),
+                ("shed_503".into(), Json::Num(soak.shed_503 as f64)),
+                ("failed".into(), Json::Num(soak.failures as f64)),
+                ("p50_ms".into(), Json::Num(p50)),
+                ("p99_ms".into(), Json::Num(p99)),
+                (
+                    "hot_swap_mid_soak".into(),
+                    Json::Bool(reload_fired.load(Ordering::SeqCst) == 1),
+                ),
+                ("model_version_after".into(), Json::Num(version_after)),
+                ("routing_skew".into(), Json::Num(routing_skew)),
+                (
+                    "server_requests_total".into(),
+                    Json::Num(metric(&metrics, "pge_gateway_requests_total")),
+                ),
+                (
+                    "server_responses_total".into(),
+                    Json::Num(metric(&metrics, "pge_gateway_responses_total")),
+                ),
+                (
+                    "server_rejected_total".into(),
+                    Json::Num(metric(&metrics, "pge_gateway_rejected_total")),
+                ),
+                (
+                    "server_swaps_total".into(),
+                    Json::Num(metric(&metrics, "pge_gateway_swaps_total")),
+                ),
+                (
+                    "server_accepted_total".into(),
+                    Json::Num(metric(&metrics, "pge_gateway_accepted_total")),
+                ),
+                ("runlog_events".into(), Json::Num(runlog_events as f64)),
+            ]),
+        ),
+        ("ok".into(), Json::Bool(parity_ok && soak_ok)),
+    ]);
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    println!("{out}");
+    assert!(parity_ok, "parity phase found score mismatches");
+    assert!(
+        soak_ok,
+        "soak phase had failures or the hot-swap did not land"
+    );
+}

@@ -216,7 +216,7 @@ mod tests {
             }
             for i in 0..k {
                 permutations(v, k - 1, out);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     v.swap(i, k - 1);
                 } else {
                     v.swap(0, k - 1);

@@ -1,0 +1,162 @@
+//! Per-connection state for the event loop: read buffer, ordered
+//! pipelined write-back, and lifecycle flags.
+//!
+//! HTTP/1.1 pipelining means a connection can have several requests
+//! in flight at once, but responses MUST go back in request order.
+//! Each parsed request gets the connection's next sequence number;
+//! finished responses land in a stash and are released to the write
+//! buffer only when every earlier sequence has been released — an
+//! out-of-order completion (a fast replica finishing request 3 while
+//! request 2 still queues on a slow one) waits its turn.
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+
+pub struct Conn {
+    pub stream: TcpStream,
+    /// Bytes read but not yet parsed into requests.
+    pub rbuf: Vec<u8>,
+    /// Rendered response bytes not yet written to the socket.
+    pub wbuf: Vec<u8>,
+    /// Sequence assigned to the next parsed request.
+    pub next_seq: u64,
+    /// Sequence whose response is next to enter `wbuf`.
+    next_write: u64,
+    /// Finished responses waiting for their turn (seq → bytes).
+    stash: BTreeMap<u64, Vec<u8>>,
+    /// Responses dispatched to replicas / reload threads and not yet
+    /// stashed — the connection cannot close (and drain cannot
+    /// finish) while this is non-zero.
+    pub pending: usize,
+    /// `Some(seq)`: the request at `seq` asked `Connection: close`
+    /// (or was malformed); once its response is flushed the
+    /// connection closes, and no later pipelined bytes are parsed.
+    pub close_after: Option<u64>,
+    /// Peer half-closed its write side (EPOLLRDHUP); stop reading,
+    /// finish writing what is owed.
+    pub peer_closed: bool,
+    /// Interest bits currently registered with epoll — cached so the
+    /// loop only issues `epoll_ctl(MOD)` when the desired interest
+    /// actually changes.
+    pub interest: u32,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            next_seq: 0,
+            next_write: 0,
+            stash: BTreeMap::new(),
+            pending: 0,
+            close_after: None,
+            peer_closed: false,
+            interest: 0,
+        }
+    }
+
+    /// Claim the sequence slot for a newly parsed request.
+    pub fn claim_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Whether the response for `seq` must be rendered `Connection:
+    /// close` (it is the sequence this connection closes after).
+    pub fn response_keep_alive(&self, seq: u64) -> bool {
+        self.close_after != Some(seq)
+    }
+
+    /// A response for `seq` is ready: stash it and release everything
+    /// now in order into the write buffer.
+    pub fn complete(&mut self, seq: u64, rendered: Vec<u8>) {
+        debug_assert!(seq >= self.next_write, "seq {seq} already released");
+        self.stash.insert(seq, rendered);
+        while let Some(bytes) = self.stash.remove(&self.next_write) {
+            self.wbuf.extend_from_slice(&bytes);
+            self.next_write += 1;
+        }
+    }
+
+    pub fn wants_write(&self) -> bool {
+        !self.wbuf.is_empty()
+    }
+
+    /// All owed responses are on the wire: nothing pending, nothing
+    /// stashed, write buffer flushed.
+    pub fn is_settled(&self) -> bool {
+        self.pending == 0 && self.stash.is_empty() && self.wbuf.is_empty()
+    }
+
+    /// The connection has served its `Connection: close` request (or
+    /// the peer hung up) and everything owed has been flushed.
+    pub fn should_close(&self) -> bool {
+        if !self.is_settled() {
+            return false;
+        }
+        match self.close_after {
+            Some(seq) => self.next_write > seq,
+            None => self.peer_closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn conn() -> Conn {
+        // A real (loopback) socket: Conn owns a TcpStream by design.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        Conn::new(stream)
+    }
+
+    #[test]
+    fn out_of_order_completions_release_in_order() {
+        let mut c = conn();
+        assert_eq!(c.claim_seq(), 0);
+        assert_eq!(c.claim_seq(), 1);
+        assert_eq!(c.claim_seq(), 2);
+        c.complete(2, b"C".to_vec());
+        assert!(c.wbuf.is_empty(), "seq 2 must wait for 0 and 1");
+        c.complete(0, b"A".to_vec());
+        assert_eq!(c.wbuf, b"A", "seq 0 releases alone");
+        c.complete(1, b"B".to_vec());
+        assert_eq!(c.wbuf, b"ABC", "seq 1 releases itself and stashed 2");
+    }
+
+    #[test]
+    fn close_after_waits_for_flush() {
+        let mut c = conn();
+        let s0 = c.claim_seq();
+        let s1 = c.claim_seq();
+        c.close_after = Some(s1);
+        assert!(c.response_keep_alive(s0));
+        assert!(!c.response_keep_alive(s1));
+        c.pending = 2;
+        assert!(!c.should_close(), "responses still pending");
+        c.complete(s0, b"A".to_vec());
+        c.complete(s1, b"B".to_vec());
+        c.pending = 0;
+        assert!(!c.should_close(), "write buffer not yet flushed");
+        c.wbuf.clear();
+        assert!(c.should_close());
+    }
+
+    #[test]
+    fn keep_alive_connection_only_closes_on_peer_eof() {
+        let mut c = conn();
+        let s = c.claim_seq();
+        c.complete(s, b"A".to_vec());
+        c.wbuf.clear();
+        assert!(c.is_settled());
+        assert!(!c.should_close(), "keep-alive with live peer stays open");
+        c.peer_closed = true;
+        assert!(c.should_close());
+    }
+}

@@ -1,0 +1,246 @@
+//! Thin `epoll(7)` + wake-pipe wrappers over direct FFI.
+//!
+//! The build environment has no `libc` crate, so — exactly like
+//! `pge-serve`'s `signal.rs` — the syscall entry points are declared
+//! directly against the C library that `std` already links. Only the
+//! handful of calls the event loop needs are wrapped: create the
+//! instance, register/modify/remove interest, wait, and a
+//! non-blocking self-pipe that scoring workers poke to wake the loop
+//! when a completion is ready.
+//!
+//! Linux-only by construction; the gateway front end is gated on
+//! `target_os = "linux"` at the crate root.
+
+use std::io;
+use std::os::fd::RawFd;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const O_NONBLOCK: i32 = 0x800;
+const O_CLOEXEC: i32 = 0x80000;
+
+/// Mirror of the kernel's `struct epoll_event`. x86_64 is the one
+/// ABI where the kernel declares it packed.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+pub struct Event {
+    events: u32,
+    data: u64,
+}
+
+impl Event {
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+
+    /// The token the fd was registered with.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut Event) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut Event, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance owning its fd.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let fd = check(unsafe { epoll_create1(O_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = Event {
+            events: interest,
+            data: token,
+        };
+        check(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Register `fd` under `token` for level-triggered `interest`.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait up to `timeout_ms` (-1 = forever). Returns the number of
+    /// ready events filled into `events`; a signal interruption
+    /// reports 0 ready events rather than an error.
+    pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A non-blocking self-pipe: scoring workers and reload threads call
+/// [`WakePipe::notify`] from any thread; the event loop registers the
+/// read end and [`WakePipe::drain`]s it on wakeup. A full pipe means
+/// a wakeup is already pending, so `notify` ignores `EAGAIN`.
+pub struct WakePipe {
+    rd: RawFd,
+    wr: RawFd,
+}
+
+impl WakePipe {
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        check(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        Ok(WakePipe {
+            rd: fds[0],
+            wr: fds[1],
+        })
+    }
+
+    pub fn read_fd(&self) -> RawFd {
+        self.rd
+    }
+
+    /// Wake the event loop. Callable from any thread.
+    pub fn notify(&self) {
+        let byte = 1u8;
+        unsafe { write(self.wr, &byte, 1) };
+    }
+
+    /// Consume all pending wake bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while unsafe { read(self.rd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.rd);
+            close(self.wr);
+        }
+    }
+}
+
+// SAFETY: the wrapped fds are plain integers; the kernel serializes
+// epoll_ctl/epoll_wait and pipe reads/writes across threads.
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_rouses_epoll() {
+        let ep = Epoll::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        ep.add(pipe.read_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [Event::default(); 8];
+        // Nothing pending: times out with zero events.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        pipe.notify();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].readiness() & EPOLLIN != 0);
+
+        // Drained pipe goes quiet again (level-triggered).
+        pipe.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn notify_from_another_thread() {
+        let ep = Epoll::new().unwrap();
+        let pipe = std::sync::Arc::new(WakePipe::new().unwrap());
+        ep.add(pipe.read_fd(), EPOLLIN, 42).unwrap();
+        let p2 = pipe.clone();
+        let h = std::thread::spawn(move || p2.notify());
+        let mut events = [Event::default(); 4];
+        let n = ep.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn sockets_report_readiness() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(listener.as_raw_fd(), EPOLLIN, 1).unwrap();
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = [Event::default(); 8];
+        let n = ep.wait(&mut events, 2000).unwrap();
+        assert!(n >= 1 && events[..n].iter().any(|e| e.token() == 1));
+
+        let (accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+        ep.add(accepted.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 2)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        let n = ep.wait(&mut events, 2000).unwrap();
+        assert!(events[..n].iter().any(|e| e.token() == 2));
+        ep.delete(accepted.as_raw_fd()).unwrap();
+    }
+}

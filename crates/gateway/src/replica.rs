@@ -1,0 +1,260 @@
+//! Scoring replicas: per-replica model state, bounded job queue, and
+//! the worker loop that scores micro-batches and posts completions
+//! back to the event loop.
+//!
+//! Hot-swap protocol: each replica holds its current [`ModelState`]
+//! behind an `RwLock<Arc<_>>`. Workers clone the `Arc` once per
+//! micro-batch, so a swap never stalls or fails an in-flight request
+//! — jobs already picked up finish on the snapshot they started
+//! with, and the next batch sees the new one. The embedding cache
+//! lives *inside* the state and is replaced with it: cached vectors
+//! are a function of the model weights, so a swapped model must start
+//! from a cold cache or it would serve stale embeddings.
+
+use crate::epoll::WakePipe;
+use crate::metrics::GatewayMetrics;
+use parking_lot::{Mutex, RwLock};
+use pge_core::{CachedModel, EmbeddingCache, PgeModel};
+use pge_serve::json::Json;
+use pge_serve::queue::BoundedQueue;
+use pge_serve::{ItemScore, ScoreItem};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything a replica needs to answer a scoring request, swapped as
+/// one unit. The model is shared across replicas via `Arc` (weights
+/// are immutable); the cache shard is per replica, so each replica
+/// stays hot for exactly the slice of the catalog the ring routes to
+/// it.
+pub struct ModelState {
+    pub model: Arc<PgeModel>,
+    /// Plausibility ≤ threshold classifies as error.
+    pub threshold: f32,
+    pub cache: EmbeddingCache,
+    /// Snapshot generation: 0 at start, +1 per completed swap.
+    pub version: u64,
+}
+
+impl ModelState {
+    pub fn new(model: Arc<PgeModel>, threshold: f32, cache_cap: usize, version: u64) -> Self {
+        ModelState {
+            model,
+            threshold,
+            cache: EmbeddingCache::new(cache_cap),
+            version,
+        }
+    }
+
+    /// Score a request's items through the replica's cache. Identical
+    /// math to offline `Detector::scores`: the cache is keyed by exact
+    /// text and the encoder is pure, so served plausibilities are
+    /// bit-identical to scoring the same triples offline.
+    pub fn score_items(&self, items: &[ScoreItem]) -> Vec<ItemScore> {
+        let cm = CachedModel::new(&self.model, &self.cache);
+        items
+            .iter()
+            .map(
+                |it| match cm.score_text_triple(&it.title, &it.attr, &it.value) {
+                    Some(p) => ItemScore {
+                        plausibility: Some(p),
+                        is_error: Some(p <= self.threshold),
+                    },
+                    None => ItemScore {
+                        plausibility: None,
+                        is_error: None,
+                    },
+                },
+            )
+            .collect()
+    }
+}
+
+/// One scoring request in flight: which connection and pipeline slot
+/// it answers, and what to score.
+pub struct Job {
+    /// Event-loop connection token.
+    pub conn: u64,
+    /// Pipeline sequence within the connection (responses must be
+    /// written back in this order).
+    pub seq: u64,
+    pub items: Vec<ScoreItem>,
+    pub enqueued: Instant,
+}
+
+/// A finished job on its way back to the event loop.
+pub struct Completion {
+    pub conn: u64,
+    pub seq: u64,
+    pub status: u16,
+    pub body: String,
+    pub enqueued: Instant,
+}
+
+/// Where workers (and reload threads) deposit completions; the event
+/// loop drains it after a wake-pipe poke.
+pub struct CompletionSink {
+    done: Mutex<Vec<Completion>>,
+    pub wake: WakePipe,
+}
+
+impl CompletionSink {
+    pub fn new() -> std::io::Result<CompletionSink> {
+        Ok(CompletionSink {
+            done: Mutex::new(Vec::new()),
+            wake: WakePipe::new()?,
+        })
+    }
+
+    /// Deposit completions and wake the event loop once.
+    pub fn push_all(&self, completions: impl IntoIterator<Item = Completion>) {
+        let mut done = self.done.lock();
+        done.extend(completions);
+        drop(done);
+        self.wake.notify();
+    }
+
+    /// Take everything deposited so far.
+    pub fn drain_into(&self, out: &mut Vec<Completion>) {
+        out.append(&mut self.done.lock());
+    }
+}
+
+/// One scoring replica: its hot-swappable state and its job queue.
+pub struct Replica {
+    pub state: RwLock<Arc<ModelState>>,
+    pub queue: BoundedQueue<Job>,
+}
+
+impl Replica {
+    pub fn new(state: ModelState, queue_cap: usize) -> Self {
+        Replica {
+            state: RwLock::new(Arc::new(state)),
+            queue: BoundedQueue::new(queue_cap.max(1)),
+        }
+    }
+
+    /// The current state (an `Arc` clone; cheap).
+    pub fn current(&self) -> Arc<ModelState> {
+        self.state.read().clone()
+    }
+
+    /// Atomically install a new state. In-flight batches keep the old
+    /// `Arc` until they finish.
+    pub fn swap(&self, state: ModelState) {
+        *self.state.write() = Arc::new(state);
+    }
+}
+
+/// Render scores in the exact JSON shape `pge-serve` answers with, so
+/// clients cannot tell which tier scored them.
+pub fn render_scores(scores: &[ItemScore]) -> String {
+    Json::Arr(
+        scores
+            .iter()
+            .map(|s| {
+                let mut pairs = vec![
+                    (
+                        "plausibility".to_string(),
+                        s.plausibility.map_or(Json::Null, |p| Json::Num(p as f64)),
+                    ),
+                    (
+                        "is_error".to_string(),
+                        s.is_error.map_or(Json::Null, Json::Bool),
+                    ),
+                ];
+                if s.plausibility.is_none() {
+                    pairs.push(("detail".to_string(), Json::Str("unknown attribute".into())));
+                }
+                Json::Obj(pairs)
+            })
+            .collect(),
+    )
+    .to_string()
+}
+
+/// Worker loop for replica `ix`: drain micro-batches, score each job
+/// against the state current at batch start, post completions, poke
+/// the event loop. Exits when the queue is closed and empty.
+pub fn worker_loop(
+    ix: usize,
+    replica: &Replica,
+    sink: &CompletionSink,
+    metrics: &GatewayMetrics,
+    max_batch: usize,
+) {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut out: Vec<Completion> = Vec::new();
+    while replica.queue.pop_batch(max_batch.max(1), &mut jobs) {
+        let rm = &metrics.replicas[ix];
+        rm.queue_depth.set(replica.queue.len() as f64);
+        // The swap boundary: state is pinned for this whole batch.
+        let state = replica.current();
+        for job in jobs.drain(..) {
+            metrics
+                .stage_queue_wait
+                .observe(job.enqueued.elapsed().as_secs_f64());
+            let score_start = Instant::now();
+            let scores = state.score_items(&job.items);
+            metrics
+                .stage_score
+                .observe(score_start.elapsed().as_secs_f64());
+            out.push(Completion {
+                conn: job.conn,
+                seq: job.seq,
+                status: 200,
+                body: render_scores(&scores),
+                enqueued: job.enqueued,
+            });
+        }
+        sink.push_all(out.drain(..));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_serve_shape() {
+        let scores = vec![
+            ItemScore {
+                plausibility: Some(-1.5),
+                is_error: Some(true),
+            },
+            ItemScore {
+                plausibility: None,
+                is_error: None,
+            },
+        ];
+        let body = render_scores(&scores);
+        let parsed = pge_serve::json::parse(&body).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr[0].get("plausibility").unwrap().as_f64(), Some(-1.5));
+        assert_eq!(arr[0].get("is_error").unwrap().as_bool(), Some(true));
+        assert!(arr[0].get("detail").is_none());
+        assert!(matches!(arr[1].get("plausibility"), Some(Json::Null)));
+        assert_eq!(
+            arr[1].get("detail").unwrap().as_str(),
+            Some("unknown attribute")
+        );
+    }
+
+    #[test]
+    fn completion_sink_wakes_and_drains() {
+        let sink = CompletionSink::new().unwrap();
+        sink.push_all([Completion {
+            conn: 3,
+            seq: 0,
+            status: 200,
+            body: "[]".into(),
+            enqueued: Instant::now(),
+        }]);
+        let mut out = Vec::new();
+        sink.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].conn, 3);
+        // Drained sink yields nothing further.
+        sink.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based gradient checks over randomized layer shapes.
 
-use pge_nn::gradcheck::{self, HasParams};
+use pge_nn::gradcheck;
 use pge_nn::{Activation, CnnConfig, Linear, Lstm, TextCnnEncoder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

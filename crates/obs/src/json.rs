@@ -438,7 +438,7 @@ mod tests {
 
     #[test]
     fn float_display_round_trips_f32() {
-        for &x in &[1.25f32, -0.333333343, 1e-20, 3.4e38, 0.1] {
+        for &x in &[1.25f32, -0.33333334, 1e-20, 3.4e38, 0.1] {
             let j = Json::Num(x as f64).to_string();
             let back = parse(&j).unwrap().as_f64().unwrap() as f32;
             assert_eq!(back.to_bits(), x.to_bits(), "{x} via {j}");

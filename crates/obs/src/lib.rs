@@ -34,8 +34,8 @@ pub use manifest::{git_rev, unix_time_ms};
 pub use registry::{global, Counter, Gauge, MetricsRegistry};
 pub use report::{render_report, sparkline};
 pub use runlog::{
-    checkpoint_event, epoch_event, eval_event, manifest_event, scan_event, serve_event,
-    spans_event, ConfidenceTelemetry, EpochTelemetry, EvalTelemetry, RunLog,
+    checkpoint_event, epoch_event, eval_event, gateway_event, manifest_event, scan_event,
+    serve_event, spans_event, ConfidenceTelemetry, EpochTelemetry, EvalTelemetry, RunLog,
 };
 pub use span::{
     reset_spans, set_spans_enabled, span, span_snapshot, spans_enabled, SpanGuard, SpanRecord,

@@ -42,6 +42,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
     let mut epochs: Vec<Json> = Vec::new();
     let mut evals: Vec<Json> = Vec::new();
     let mut serves: Vec<Json> = Vec::new();
+    let mut gateways: Vec<Json> = Vec::new();
     let mut scans: Vec<Json> = Vec::new();
     let mut checkpoints: Vec<Json> = Vec::new();
     let mut spans: Vec<Json> = Vec::new();
@@ -56,6 +57,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
             Some("epoch") => epochs.push(v),
             Some("eval") => evals.push(v),
             Some("serve") => serves.push(v),
+            Some("gateway") => gateways.push(v),
             Some("scan") => scans.push(v),
             Some("checkpoint") => checkpoints.push(v),
             Some("spans") => spans.push(v),
@@ -66,6 +68,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         && epochs.is_empty()
         && evals.is_empty()
         && serves.is_empty()
+        && gateways.is_empty()
         && scans.is_empty()
         && checkpoints.is_empty()
     {
@@ -217,6 +220,53 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         }
     }
 
+    // Gateway events come in two flavors: one record per model
+    // hot-swap (has "swap") and a shutdown snapshot with the
+    // counters. Summarize the snapshot; fold the swap trail in.
+    let swap_records = gateways.iter().filter(|g| num(g, "swap").is_some()).count();
+    for g in gateways
+        .iter()
+        .filter(|g| num(g, "requests_total").is_some())
+    {
+        let _ = writeln!(
+            w,
+            "\ngateway: {} requests, {} responses, {} rejected, {} malformed",
+            num(g, "requests_total").unwrap_or(0.0),
+            num(g, "responses_total").unwrap_or(0.0),
+            num(g, "rejected_total").unwrap_or(0.0),
+            num(g, "bad_requests_total").unwrap_or(0.0),
+        );
+        if let (Some(p50), Some(p99)) = (num(g, "latency_p50_ms"), num(g, "latency_p99_ms")) {
+            let _ = writeln!(w, "  latency p50 {p50:.2} ms  p99 {p99:.2} ms");
+        }
+        if let Some(skew) = num(g, "routing_skew") {
+            let _ = writeln!(w, "  routing skew {skew:.2} (max/mean routed per replica)");
+        }
+        let swaps = num(g, "swaps_total").unwrap_or(swap_records as f64);
+        if swaps > 0.0 {
+            let _ = writeln!(
+                w,
+                "  {swaps} model hot-swaps (serving version {})",
+                num(g, "model_version").unwrap_or(0.0)
+            );
+        }
+        if let Some(conns) = num(g, "accepted_total") {
+            let _ = writeln!(w, "  {conns} connections accepted");
+        }
+    }
+    // Swap trail without a shutdown snapshot (e.g. a still-running
+    // gateway's log): still worth a line.
+    if swap_records > 0 && !gateways.iter().any(|g| num(g, "requests_total").is_some()) {
+        let latest = gateways
+            .iter()
+            .filter_map(|g| num(g, "version"))
+            .fold(0.0f64, f64::max);
+        let _ = writeln!(
+            w,
+            "\ngateway: {swap_records} model hot-swaps (serving version {latest})"
+        );
+    }
+
     for s in &scans {
         let _ = writeln!(
             w,
@@ -353,6 +403,57 @@ mod tests {
         assert!(report.contains("serve: 120 requests"));
         assert!(report.contains("p99 8.40 ms"));
         assert!(report.contains("cache hit rate 83.3%"));
+    }
+
+    #[test]
+    fn gateway_events_render_their_own_section() {
+        let mut log = String::new();
+        for v in [1.0, 2.0] {
+            log.push_str(
+                &crate::runlog::gateway_event(&[("swap", 1.0), ("version", v)]).to_string(),
+            );
+            log.push('\n');
+        }
+        log.push_str(
+            &crate::runlog::gateway_event(&[
+                ("requests_total", 50_000.0),
+                ("responses_total", 50_000.0),
+                ("rejected_total", 12.0),
+                ("bad_requests_total", 3.0),
+                ("accepted_total", 10_000.0),
+                ("swaps_total", 2.0),
+                ("model_version", 2.0),
+                ("routing_skew", 1.08),
+                ("latency_p50_ms", 1.4),
+                ("latency_p99_ms", 9.7),
+            ])
+            .to_string(),
+        );
+        log.push('\n');
+        let report = render_report(&log).unwrap();
+        assert!(
+            report.contains("gateway: 50000 requests, 50000 responses, 12 rejected, 3 malformed"),
+            "{report}"
+        );
+        assert!(
+            report.contains("latency p50 1.40 ms  p99 9.70 ms"),
+            "{report}"
+        );
+        assert!(report.contains("routing skew 1.08"), "{report}");
+        assert!(
+            report.contains("2 model hot-swaps (serving version 2)"),
+            "{report}"
+        );
+        assert!(report.contains("10000 connections accepted"), "{report}");
+
+        // Swap trail alone (gateway still running) renders too.
+        let only_swaps =
+            crate::runlog::gateway_event(&[("swap", 1.0), ("version", 3.0)]).to_string();
+        let report = render_report(&only_swaps).unwrap();
+        assert!(
+            report.contains("gateway: 1 model hot-swaps (serving version 3)"),
+            "{report}"
+        );
     }
 
     #[test]

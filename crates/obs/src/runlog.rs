@@ -167,6 +167,18 @@ pub fn checkpoint_event(stats: &[(&str, f64)]) -> Json {
     Json::Obj(pairs)
 }
 
+/// A gateway snapshot or swap record from counter pairs, e.g.
+/// `[("requests_total", 5.0e4), ("routing_skew", 1.08)]` for the
+/// shutdown snapshot or `[("swap", 1.0), ("version", 2.0)]` per model
+/// hot-swap.
+pub fn gateway_event(stats: &[(&str, f64)]) -> Json {
+    let mut pairs = base("gateway");
+    for (k, v) in stats {
+        pairs.push((k.to_string(), Json::Num(*v)));
+    }
+    Json::Obj(pairs)
+}
+
 /// A bulk-scan snapshot from counter pairs, e.g.
 /// `[("rows_total", 1.0e6), ("shards_total", 31.0)]`.
 pub fn scan_event(stats: &[(&str, f64)]) -> Json {

@@ -1,9 +1,24 @@
-//! Minimal HTTP/1.1 framing over blocking streams.
+//! Minimal HTTP/1.1 framing over blocking streams *and* byte buffers.
 //!
 //! Enough of RFC 9112 for a JSON API behind a trusted load balancer:
 //! request line + headers + `Content-Length` bodies, keep-alive, and
 //! hard limits on head and body size. No chunked transfer coding
 //! (`411 Length Required` is returned when a body has no length).
+//!
+//! Two front ends share one parser core:
+//!
+//! * [`read_request`] — blocking, line-at-a-time from a `BufRead`
+//!   (the thread-per-connection `pge-serve` path);
+//! * [`try_parse_request`] — incremental, over whatever bytes a
+//!   non-blocking socket has delivered so far (the `pge-gateway`
+//!   event-loop path). It either yields a complete request plus the
+//!   number of bytes consumed, reports that more bytes are needed, or
+//!   rejects malformed framing — so pipelined requests parse straight
+//!   out of a connection's read buffer.
+//!
+//! `Connection` headers are matched token-wise and case-insensitively
+//! (`Close`, `keep-alive, Upgrade`, ...); unknown tokens are ignored
+//! per RFC 9110 §7.6.1.
 
 use std::io::{self, BufRead, Write};
 
@@ -53,7 +68,78 @@ fn bad(status: u16, reason: &'static str) -> ReadError {
     ReadError::Bad { status, reason }
 }
 
-/// Read one request from `reader`.
+/// Parse `GET /path HTTP/1.1` into (method, path, is_http11).
+fn parse_request_line(line: &str) -> Result<(String, String, bool), ReadError> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(bad(400, "malformed request line"));
+    }
+    Ok((method, path, version == "HTTP/1.1"))
+}
+
+/// Parse one `Name: value` header line (already newline-trimmed).
+fn parse_header_line(h: &str) -> Result<(String, String), ReadError> {
+    let Some((k, v)) = h.split_once(':') else {
+        return Err(bad(400, "malformed header"));
+    };
+    Ok((k.trim().to_string(), v.trim().to_string()))
+}
+
+/// Token-wise, case-insensitive `Connection` header interpretation.
+/// `close` wins over `keep-alive` when both appear; unknown tokens
+/// (`Upgrade`, garbage) are ignored. Returns `None` when the header
+/// carries no recognized token, leaving the HTTP-version default.
+fn connection_disposition(value: &str) -> Option<bool> {
+    let mut keep = None;
+    for token in value.split(',') {
+        let token = token.trim();
+        if token.eq_ignore_ascii_case("close") {
+            return Some(false);
+        }
+        if token.eq_ignore_ascii_case("keep-alive") {
+            keep = Some(true);
+        }
+    }
+    keep
+}
+
+/// Assemble a bodyless [`Request`] from parsed head parts and decide
+/// how many body bytes must follow. Shared by both parser front ends.
+fn finish_head(
+    method: String,
+    path: String,
+    http11: bool,
+    headers: Vec<(String, String)>,
+) -> Result<(Request, usize), ReadError> {
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        keep_alive: http11,
+    };
+    if let Some(ka) = req.header("connection").and_then(connection_disposition) {
+        req.keep_alive = ka;
+    }
+    if req.header("transfer-encoding").is_some() {
+        return Err(bad(411, "chunked bodies unsupported"));
+    }
+    let len = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| bad(400, "bad content-length"))?,
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(bad(413, "body too large"));
+    }
+    Ok((req, len))
+}
+
+/// Read one request from `reader`, blocking until it is complete.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -62,14 +148,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
     if line.len() > MAX_HEAD_BYTES {
         return Err(bad(431, "request line too long"));
     }
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(bad(400, "malformed request line"));
-    }
-    let http11 = version == "HTTP/1.1";
+    let (method, path, http11) = parse_request_line(&line)?;
 
     let mut headers = Vec::new();
     let mut head_bytes = line.len();
@@ -86,38 +165,10 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
         if h.is_empty() {
             break;
         }
-        let Some((k, v)) = h.split_once(':') else {
-            return Err(bad(400, "malformed header"));
-        };
-        headers.push((k.trim().to_string(), v.trim().to_string()));
+        headers.push(parse_header_line(h)?);
     }
 
-    let mut req = Request {
-        method,
-        path,
-        headers,
-        body: Vec::new(),
-        keep_alive: http11,
-    };
-    match req.header("connection").map(str::to_ascii_lowercase) {
-        Some(c) if c.contains("close") => req.keep_alive = false,
-        Some(c) if c.contains("keep-alive") => req.keep_alive = true,
-        _ => {}
-    }
-
-    if req.header("transfer-encoding").is_some() {
-        return Err(bad(411, "chunked bodies unsupported"));
-    }
-    let len = match req.header("content-length") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| bad(400, "bad content-length"))?,
-        None if req.method == "POST" || req.method == "PUT" => 0,
-        None => 0,
-    };
-    if len > MAX_BODY_BYTES {
-        return Err(bad(413, "body too large"));
-    }
+    let (mut req, len) = finish_head(method, path, http11, headers)?;
     if len > 0 {
         let mut body = vec![0u8; len];
         io::Read::read_exact(reader, &mut body)?;
@@ -126,12 +177,71 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
     Ok(req)
 }
 
+/// Try to parse one request from the front of `buf` without blocking.
+///
+/// * `Ok(Some((req, consumed)))` — a complete request; the caller
+///   should drain `consumed` bytes and may call again immediately
+///   (pipelining).
+/// * `Ok(None)` — the buffer holds only a prefix; read more bytes.
+/// * `Err(_)` — malformed framing; send the error status and close.
+///
+/// Line framing matches [`read_request`]: lines end at `\n`, an
+/// optional preceding `\r` is trimmed, and an empty line ends the
+/// head.
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ReadError> {
+    let mut pos = 0usize;
+    let mut lines: Vec<&[u8]> = Vec::new();
+    let head_end = loop {
+        let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            // No complete line yet; bound how much head we will buffer.
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(bad(431, "headers too large"));
+            }
+            return Ok(None);
+        };
+        let mut line = &buf[pos..pos + nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        pos += nl + 1;
+        if pos > MAX_HEAD_BYTES {
+            return Err(bad(431, "headers too large"));
+        }
+        if line.is_empty() {
+            if lines.is_empty() {
+                return Err(bad(400, "malformed request line"));
+            }
+            break pos;
+        }
+        lines.push(line);
+    };
+
+    let text = |raw: &[u8]| -> Result<String, ReadError> {
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|_| bad(400, "non-UTF-8 request head"))
+    };
+    let (method, path, http11) = parse_request_line(&text(lines[0])?)?;
+    let mut headers = Vec::with_capacity(lines.len() - 1);
+    for raw in &lines[1..] {
+        headers.push(parse_header_line(&text(raw)?)?);
+    }
+
+    let (mut req, len) = finish_head(method, path, http11, headers)?;
+    if buf.len() < head_end + len {
+        return Ok(None);
+    }
+    req.body = buf[head_end..head_end + len].to_vec();
+    Ok(Some((req, head_end + len)))
+}
+
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
@@ -165,6 +275,28 @@ pub fn write_response(
     w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
+}
+
+/// Render a response to an owned byte buffer (the event-loop path,
+/// where responses queue in a per-connection write buffer).
+pub fn render_response(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    write_response(
+        &mut out,
+        status,
+        content_type,
+        extra_headers,
+        body,
+        keep_alive,
+    )
+    .expect("writing to a Vec cannot fail");
+    out
 }
 
 #[cfg(test)]
@@ -202,6 +334,27 @@ mod tests {
     }
 
     #[test]
+    fn connection_tokens_are_case_insensitive() {
+        let r = req("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "`Close` must match token-wise");
+        let r = req("GET / HTTP/1.0\r\nConnection: Keep-Alive, Upgrade\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "`Keep-Alive` must be recognized in a list");
+    }
+
+    #[test]
+    fn connection_garbage_tokens_are_ignored() {
+        // `closed` is NOT the `close` token; the old substring match
+        // would have closed this keep-alive connection.
+        let r = req("GET / HTTP/1.1\r\nConnection: closed\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+        let r = req("GET / HTTP/1.0\r\nConnection: xkeep-alivex\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "garbage token leaves the HTTP/1.0 default");
+        // close wins over keep-alive when both appear.
+        let r = req("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
     fn eof_reports_closed() {
         assert!(matches!(req(""), Err(ReadError::Closed)));
     }
@@ -232,6 +385,75 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parse_needs_more_bytes() {
+        let full = b"POST /v1/score HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        for cut in 0..full.len() {
+            match try_parse_request(&full[..cut]) {
+                Ok(None) => {}
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+        let (r, consumed) = try_parse_request(full).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn incremental_parse_pipelined_pair() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/score HTTP/1.1\r\ncontent-length: 2\r\n\r\nokTRAILING";
+        let (first, used) = try_parse_request(raw).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let (second, used2) = try_parse_request(&raw[used..]).unwrap().unwrap();
+        assert_eq!(second.path, "/v1/score");
+        assert_eq!(second.body, b"ok");
+        assert_eq!(&raw[used + used2..], b"TRAILING");
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_semantics() {
+        for raw in [
+            "GET / HTTP/1.1\r\nConnection: Close\r\n\r\n",
+            "GET / HTTP/1.0\r\nConnection: Keep-Alive, Upgrade\r\n\r\n",
+            "GET / HTTP/1.1\r\nConnection: closed\r\n\r\n",
+            "POST /x HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc",
+        ] {
+            let blocking = req(raw).unwrap();
+            let (incr, consumed) = try_parse_request(raw.as_bytes()).unwrap().unwrap();
+            assert_eq!(consumed, raw.len());
+            assert_eq!(incr.keep_alive, blocking.keep_alive, "{raw:?}");
+            assert_eq!(incr.body, blocking.body);
+            assert_eq!(incr.method, blocking.method);
+        }
+    }
+
+    #[test]
+    fn incremental_parse_rejects_malformed() {
+        assert!(matches!(
+            try_parse_request(b"GARBAGE\r\n\r\n"),
+            Err(ReadError::Bad { status: 400, .. })
+        ));
+        assert!(matches!(
+            try_parse_request(b"\r\n"),
+            Err(ReadError::Bad { status: 400, .. })
+        ));
+        let oversized = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            try_parse_request(oversized.as_bytes()),
+            Err(ReadError::Bad { status: 413, .. })
+        ));
+        // An endless head with no newline must not buffer forever.
+        let runaway = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            try_parse_request(&runaway),
+            Err(ReadError::Bad { status: 431, .. })
+        ));
+    }
+
+    #[test]
     fn response_framing() {
         let mut out = Vec::new();
         write_response(
@@ -249,5 +471,9 @@ mod tests {
         assert!(s.contains("content-length: 4\r\n"));
         assert!(s.contains("connection: close\r\n"));
         assert!(s.ends_with("\r\nbusy"));
+        assert_eq!(
+            render_response(503, "text/plain", &[("retry-after", "1")], b"busy", false),
+            s.as_bytes()
+        );
     }
 }

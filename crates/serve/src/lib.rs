@@ -27,4 +27,6 @@ pub mod signal;
 pub use metrics::Metrics;
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, ItemScore, ScoreItem, ServeConfig, ServerHandle};
-pub use signal::{install_handlers, request_shutdown, shutdown_requested};
+pub use signal::{
+    install_handlers, request_reload, request_shutdown, shutdown_requested, take_reload_request,
+};

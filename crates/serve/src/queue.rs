@@ -165,7 +165,7 @@ mod tests {
             }
         }
         // Let consumers drain, then close so they exit.
-        while q.len() > 0 {
+        while !q.is_empty() {
             std::thread::yield_now();
         }
         q.close();

@@ -28,7 +28,7 @@ use pge_graph::{AttrId, ProductGraph, ProductId, Triple, ValueId};
 use pge_obs::{manifest_event, serve_event, RunLog};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -98,6 +98,10 @@ struct Shared {
     cache: EmbeddingCache,
     metrics: Metrics,
     queue: BoundedQueue<Job>,
+    /// Requests admitted to the queue whose response has not yet been
+    /// written back to the socket; shutdown drains this to zero so no
+    /// accepted request is ever dropped.
+    in_flight: AtomicUsize,
     stop: AtomicBool,
     cfg: ServeConfig,
     runlog: Option<RunLog>,
@@ -123,8 +127,9 @@ impl ServerHandle {
         self.shared.metrics.render(&self.shared.cache)
     }
 
-    /// Graceful shutdown: stop accepting, drain queued requests,
-    /// join the workers.
+    /// Graceful shutdown: stop accepting, drain queued requests, join
+    /// the workers, and wait until every admitted request's response
+    /// has been written back — no accepted request is dropped.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
@@ -134,6 +139,14 @@ impl ServerHandle {
         self.shared.queue.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // The workers have replied to every queued job; give the
+        // connection threads (detached) time to flush those replies
+        // onto their sockets. Deadline-bounded so a wedged peer
+        // cannot hold shutdown hostage.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
         }
         if let Some(log) = &self.shared.runlog {
             let m = &self.shared.metrics;
@@ -196,6 +209,7 @@ pub fn start(
         cache,
         metrics,
         queue: BoundedQueue::new(cfg.queue_cap.max(1)),
+        in_flight: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         cfg: cfg.clone(),
         runlog,
@@ -312,16 +326,22 @@ fn respond(w: &mut impl Write, shared: &Shared, req: &Request, keep_alive: bool)
             )
         }
         ("POST", "/v1/score") => {
-            let (status, extra, body) = handle_score(shared, &req.body);
+            let (status, extra, body, admitted) = handle_score(shared, &req.body);
             let extra: Vec<(&str, &str)> = extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
-            http::write_response(
+            let res = http::write_response(
                 w,
                 status,
                 "application/json",
                 &extra,
                 body.as_bytes(),
                 keep_alive,
-            )
+            );
+            // The response for an admitted request is on the wire (or
+            // the peer is gone); either way it is no longer owed.
+            if admitted {
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            res
         }
         (_, "/healthz" | "/metrics" | "/v1/score") => http::write_response(
             w,
@@ -344,10 +364,13 @@ fn respond(w: &mut impl Write, shared: &Shared, req: &Request, keep_alive: bool)
 
 type ExtraHeaders = Vec<(&'static str, String)>;
 
-fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
+/// Returns `(status, extra headers, body, admitted)`; `admitted` is
+/// true when the request entered the scoring queue and is being
+/// tracked by the in-flight drain counter.
+fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String, bool) {
     let bad = |msg: &str| {
         shared.metrics.bad_requests_total.inc();
-        (400, Vec::new(), error_json(msg))
+        (400, Vec::new(), error_json(msg), false)
     };
     let Ok(text) = std::str::from_utf8(body) else {
         return bad("body is not UTF-8");
@@ -377,7 +400,7 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
     }
     if items.is_empty() {
         shared.metrics.requests_total.inc();
-        return (200, Vec::new(), "[]".to_string());
+        return (200, Vec::new(), "[]".to_string(), false);
     }
 
     let (tx, rx) = mpsc::sync_channel(1);
@@ -386,13 +409,18 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
         reply: tx,
         enqueued: Instant::now(),
     };
+    // Count before pushing: a worker may drain the job and a racing
+    // shutdown observe in_flight before this thread resumes.
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
     if let Err((_job, e)) = shared.queue.try_push(job) {
         debug_assert!(matches!(e, PushError::Full | PushError::Closed));
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.metrics.rejected_total.inc();
         return (
             503,
             vec![("retry-after", "1".to_string())],
             error_json("scoring queue full, retry later"),
+            false,
         );
     }
     shared.metrics.requests_total.inc();
@@ -422,9 +450,9 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String) {
                     })
                     .collect(),
             );
-            (200, Vec::new(), arr.to_string())
+            (200, Vec::new(), arr.to_string(), true)
         }
-        Err(_) => (500, Vec::new(), error_json("scoring timed out")),
+        Err(_) => (500, Vec::new(), error_json("scoring timed out"), true),
     }
 }
 

@@ -1,13 +1,14 @@
-//! SIGINT/SIGTERM → a global shutdown flag.
+//! SIGINT/SIGTERM → a global shutdown flag; SIGHUP → a reload flag.
 //!
 //! There is no `libc` crate in the build environment, so the handler
 //! registration goes through a direct FFI declaration of `signal(2)`.
-//! The handler only stores to an atomic — the one thing that is
-//! async-signal-safe — and the serving loop polls the flag.
+//! The handlers only store to atomics — the one thing that is
+//! async-signal-safe — and the serving loops poll the flags.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 /// Has a shutdown signal (SIGINT or SIGTERM) been received?
 pub fn shutdown_requested() -> bool {
@@ -20,8 +21,22 @@ pub fn request_shutdown() {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
+/// Consume a pending reload request (SIGHUP, or programmatic via
+/// [`request_reload`]). Returns `true` at most once per request —
+/// the flag clears on read, so a serving loop polls this and triggers
+/// one model hot-swap per signal.
+pub fn take_reload_request() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
+}
+
+/// Trip the reload flag programmatically (tests, admin tooling).
+pub fn request_reload() {
+    RELOAD.store(true, Ordering::SeqCst);
+}
+
 #[cfg(unix)]
 mod imp {
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
@@ -33,14 +48,19 @@ mod imp {
         fn signal(signum: i32, handler: Handler) -> usize;
     }
 
-    extern "C" fn on_signal(_sig: i32) {
-        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    extern "C" fn on_signal(sig: i32) {
+        if sig == SIGHUP {
+            super::RELOAD.store(true, std::sync::atomic::Ordering::SeqCst);
+        } else {
+            super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
     }
 
     pub fn install() {
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+            signal(SIGHUP, on_signal);
         }
     }
 }
@@ -52,7 +72,8 @@ mod imp {
     }
 }
 
-/// Install handlers for SIGINT and SIGTERM that set the flag.
+/// Install handlers for SIGINT/SIGTERM (shutdown flag) and SIGHUP
+/// (reload flag).
 pub fn install_handlers() {
     imp::install();
 }
@@ -63,11 +84,19 @@ mod tests {
 
     #[test]
     fn flag_starts_clear_and_latches() {
-        // Single test touching the global flag (tests in this module
-        // would race each other otherwise).
+        // Single test touching the global shutdown flag (tests in
+        // this module would race each other otherwise).
         install_handlers();
         assert!(!shutdown_requested());
         request_shutdown();
         assert!(shutdown_requested());
+    }
+
+    #[test]
+    fn reload_request_is_consumed_once() {
+        assert!(!take_reload_request());
+        request_reload();
+        assert!(take_reload_request());
+        assert!(!take_reload_request(), "flag clears on read");
     }
 }

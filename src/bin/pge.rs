@@ -55,6 +55,7 @@ use pge::core::{
 };
 use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
 use pge::eval::{average_precision, recall_at_precision, Scored};
+use pge::gateway::GatewayConfig;
 use pge::graph::tsv::{from_tsv, to_tsv, write_raw_triples};
 use pge::graph::{Dataset, ProductGraph, Triple};
 use pge::obs::{
@@ -79,6 +80,9 @@ fn usage() -> ! {
          pge scan     --data data.tsv --model model.pge --input raw.tsv --out-dir DIR\n               \
          [--jobs N] [--chunk-size N] [--shard-chunks N] [--cache-cap N]\n               \
          [--resume] [--max-shards N] [--runlog run.jsonl]\n  \
+         pge gateway  --data data.tsv --model model.pge [--addr HOST:PORT] [--replicas N]\n               \
+         [--vnodes N] [--cache-cap N] [--queue-cap N] [--max-batch N] [--no-cache]\n               \
+         [--runlog run.jsonl]   (SIGHUP hot-swaps --model from disk)\n  \
          pge report   run.jsonl"
     );
     exit(2)
@@ -437,6 +441,58 @@ fn main() {
             pge::serve::install_handlers();
             println!("serving on http://{} — ctrl-c to stop", handle.local_addr());
             while !pge::serve::shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            println!("shutting down, draining in-flight requests ...");
+            handle.shutdown();
+        }
+        "gateway" => {
+            let model_path = require("model");
+            let data = load_dataset(&require("data"));
+            let model = load_model_file(&model_path, &data.graph);
+            let det = Detector::fit(&model, &data.graph, &data.valid);
+            let threshold = det.threshold;
+            println!(
+                "threshold {:.3} (validation accuracy {:.3})",
+                det.threshold, det.valid_accuracy
+            );
+            let parsed =
+                |k: &str, default: usize| get(k).and_then(|s| s.parse().ok()).unwrap_or(default);
+            let defaults = GatewayConfig::default();
+            let cfg = GatewayConfig {
+                addr: get("addr").unwrap_or(defaults.addr),
+                replicas: parsed("replicas", defaults.replicas).max(1),
+                vnodes: parsed("vnodes", defaults.vnodes).max(1),
+                cache_cap: if flags.contains_key("no-cache") {
+                    0
+                } else {
+                    parsed("cache-cap", defaults.cache_cap)
+                },
+                queue_cap: parsed("queue-cap", defaults.queue_cap).max(1),
+                max_batch: parsed("max-batch", defaults.max_batch).max(1),
+                model_path: Some(model_path.clone()),
+                runlog_path: get("runlog"),
+                ..defaults
+            };
+            let replicas = cfg.replicas;
+            let valid = data.valid.clone();
+            let handle = pge::gateway::start(model, data.graph, valid, threshold, cfg)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot start gateway: {e}");
+                    exit(1)
+                });
+            pge::serve::install_handlers();
+            println!(
+                "gateway on http://{} ({replicas} replicas) — SIGHUP to hot-swap {model_path}, ctrl-c to stop",
+                handle.local_addr()
+            );
+            while !pge::serve::shutdown_requested() {
+                if pge::serve::take_reload_request() {
+                    match handle.reload_from_path(&model_path) {
+                        Ok(v) => println!("hot-swapped {model_path} (version {v})"),
+                        Err(e) => eprintln!("reload failed, old model keeps serving: {e}"),
+                    }
+                }
                 std::thread::sleep(std::time::Duration::from_millis(200));
             }
             println!("shutting down, draining in-flight requests ...");

@@ -48,11 +48,13 @@
 //! | [`obs`] | metrics registry, span timers, JSONL run logs |
 //! | [`serve`] | online scoring service: HTTP, micro-batching, cache |
 //! | [`scan`] | offline bulk scan: checkpointed streaming pipeline |
+//! | [`gateway`] | sharded serving tier: epoll loop, consistent-hash routing, hot-swap |
 
 pub use pge_baselines as baselines;
 pub use pge_core as core;
 pub use pge_datagen as datagen;
 pub use pge_eval as eval;
+pub use pge_gateway as gateway;
 pub use pge_graph as graph;
 pub use pge_nn as nn;
 pub use pge_obs as obs;

@@ -1,0 +1,578 @@
+//! Integration tests for `pge-gateway`: a real epoll gateway on an
+//! ephemeral port, spoken to over keep-alive TCP with a hand-rolled
+//! pipelining HTTP/1.1 client.
+//!
+//! The claims under test:
+//!
+//! * **sharding is invisible** — scores served through consistent-hash
+//!   routing are bit-identical to offline [`Detector::scores`] at
+//!   every replica count;
+//! * **hot-swap is zero-downtime** — requests racing a model swap all
+//!   succeed, and every answer bit-matches one of the two snapshots;
+//! * **pipelined responses come back in request order**;
+//! * **graceful shutdown** answers every admitted request;
+//! * **a corrupt snapshot is rejected** and the old model keeps
+//!   serving.
+
+use pge::core::{save_model_binary, train_pge, Detector, PgeConfig, PgeModel};
+use pge::datagen::{generate_catalog, CatalogConfig};
+use pge::gateway::{start, GatewayConfig, GatewayHandle};
+use pge::graph::Dataset;
+use pge::serve::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn tiny_data() -> Dataset {
+    generate_catalog(&CatalogConfig {
+        products: 120,
+        labeled: 40,
+        seed: 17,
+        ..CatalogConfig::tiny()
+    })
+}
+
+/// Train a tiny model with `epochs` epochs; different epoch counts
+/// give deterministically different weights (snapshot A vs B).
+fn tiny_model(data: &Dataset, epochs: usize) -> (PgeModel, f32) {
+    let trained = train_pge(
+        data,
+        &PgeConfig {
+            epochs,
+            ..PgeConfig::tiny()
+        },
+    );
+    let threshold = Detector::fit(&trained.model, &data.graph, &data.valid).threshold;
+    (trained.model, threshold)
+}
+
+/// Offline reference scores for the whole test split.
+fn offline_scores(data: &Dataset, model: &PgeModel) -> Vec<f32> {
+    let det = Detector::fit(model, &data.graph, &data.valid);
+    let triples: Vec<_> = data.test.iter().map(|lt| lt.triple).collect();
+    det.scores(&data.graph, &triples)
+}
+
+fn gateway(data: &Dataset, model: PgeModel, threshold: f32, cfg: GatewayConfig) -> GatewayHandle {
+    start(
+        model,
+        data.graph.clone(),
+        data.valid.clone(),
+        threshold,
+        cfg,
+    )
+    .expect("bind ephemeral port")
+}
+
+fn score_request(body: &str, keep_alive: bool) -> String {
+    format!(
+        "POST /v1/score HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\n\
+         content-length: {}{}\r\n\r\n{}",
+        body.len(),
+        if keep_alive {
+            ""
+        } else {
+            "\r\nconnection: close"
+        },
+        body
+    )
+}
+
+/// Read exactly one HTTP response off a keep-alive stream, carrying
+/// leftover bytes (from pipelined responses) across calls in `buf`.
+fn read_one_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Option<(u16, String)> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+            let status: u16 = head
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+            let clen: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.trim()
+                        .eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .expect("response has content-length");
+            let total = head_end + 4 + clen;
+            if buf.len() >= total {
+                let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+                buf.drain(..total);
+                return Some((status, body));
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return None,
+        }
+    }
+}
+
+/// One request on a fresh connection (`Connection: close`).
+fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut buf = Vec::new();
+    read_one_response(&mut stream, &mut buf).expect("response before EOF")
+}
+
+fn post_score(addr: SocketAddr, body: &str) -> (u16, String) {
+    roundtrip(addr, &score_request(body, false))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+/// JSON body scoring `data.test[i]` for each index, as free text.
+fn body_for(data: &Dataset, indices: &[usize]) -> String {
+    Json::Arr(
+        indices
+            .iter()
+            .map(|&i| {
+                let t = data.test[i].triple;
+                Json::Obj(vec![
+                    (
+                        "title".into(),
+                        Json::Str(data.graph.title(t.product).into()),
+                    ),
+                    (
+                        "attr".into(),
+                        Json::Str(data.graph.attr_name(t.attr).into()),
+                    ),
+                    (
+                        "value".into(),
+                        Json::Str(data.graph.value_text(t.value).into()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+    .to_string()
+}
+
+fn parse_plausibilities(body: &str) -> Vec<f32> {
+    json::parse(body)
+        .expect("response parses")
+        .as_array()
+        .expect("response is an array")
+        .iter()
+        .map(|o| {
+            o.get("plausibility")
+                .and_then(Json::as_f64)
+                .expect("known attribute scores") as f32
+        })
+        .collect()
+}
+
+/// Poll the wire-visible metrics until `metric` reaches `target`.
+fn await_counter(handle: &GatewayHandle, metric: &str, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = handle.metrics_text();
+        let v: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{metric} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if v >= target {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{metric} stuck at {v}, want {target}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn served_scores_bit_identical_to_offline_at_every_replica_count() {
+    let data = tiny_data();
+    let (model, threshold) = tiny_model(&data, 2);
+    let offline = offline_scores(&data, &model);
+    for replicas in [1usize, 2, 4] {
+        let handle = gateway(
+            &data,
+            model.clone(),
+            threshold,
+            GatewayConfig {
+                addr: "127.0.0.1:0".into(),
+                replicas,
+                ..GatewayConfig::default()
+            },
+        );
+        let addr = handle.local_addr();
+
+        // Per-triple requests: distinct titles spread across replicas
+        // (each scored by whichever replica the ring picks), so this
+        // exercises the sharding, not just one worker.
+        for (i, want) in offline.iter().enumerate() {
+            let (status, body) = post_score(addr, &body_for(&data, &[i]));
+            assert_eq!(status, 200, "replicas={replicas} body: {body}");
+            let got = parse_plausibilities(&body)[0];
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "replicas={replicas} triple {i}: served {got} != offline {want}"
+            );
+        }
+
+        // One batch with every triple routes by the first title; the
+        // scores must still be the offline ones, in order.
+        let indices: Vec<usize> = (0..data.test.len()).collect();
+        let (status, body) = post_score(addr, &body_for(&data, &indices));
+        assert_eq!(status, 200);
+        let got = parse_plausibilities(&body);
+        assert_eq!(got.len(), offline.len());
+        for (g, w) in got.iter().zip(&offline) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+
+        if replicas > 1 {
+            // The ring must actually have spread the per-triple
+            // requests over several replicas.
+            let text = handle.metrics_text();
+            let routed_replicas = (0..replicas)
+                .filter(|i| {
+                    text.lines()
+                        .find_map(|l| {
+                            l.strip_prefix(&format!("pge_gateway_replica_{i}_routed_total "))
+                        })
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .is_some_and(|v| v > 0)
+                })
+                .count();
+            assert!(
+                routed_replicas > 1,
+                "replicas={replicas} but traffic hit only {routed_replicas}:\n{text}"
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_hot_swap_never_drops_a_request_and_scores_stay_exact() {
+    let data = tiny_data();
+    let (model_a, thr_a) = tiny_model(&data, 2);
+    let (model_b, thr_b) = tiny_model(&data, 3);
+    let offline_a = offline_scores(&data, &model_a);
+    let offline_b = offline_scores(&data, &model_b);
+    assert!(
+        offline_a
+            .iter()
+            .zip(&offline_b)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "snapshots A and B must score differently for the test to bite"
+    );
+
+    let handle = gateway(
+        &data,
+        model_a,
+        thr_a,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let n = data.test.len();
+
+    std::thread::scope(|scope| {
+        // Four clients hammer keep-alive connections while the main
+        // thread swaps A→B→A→B. Every response must be a 200 whose
+        // score bit-matches snapshot A or snapshot B — never a blend,
+        // an error, or a dropped connection.
+        for c in 0..4 {
+            let (data, offline_a, offline_b) = (&data, &offline_a, &offline_b);
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut buf = Vec::new();
+                for round in 0..30 {
+                    let i = (c * 7 + round) % n;
+                    let body = body_for(data, &[i]);
+                    stream
+                        .write_all(score_request(&body, true).as_bytes())
+                        .expect("send");
+                    let (status, resp) = read_one_response(&mut stream, &mut buf)
+                        .expect("gateway must never drop a request mid-swap");
+                    assert_eq!(status, 200, "client {c} round {round}: {resp}");
+                    let got = parse_plausibilities(&resp)[0];
+                    assert!(
+                        got.to_bits() == offline_a[i].to_bits()
+                            || got.to_bits() == offline_b[i].to_bits(),
+                        "client {c} round {round}: {got} matches neither snapshot"
+                    );
+                }
+            });
+        }
+        for swap in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            if swap % 2 == 0 {
+                handle.swap_model(model_b.clone(), thr_b);
+            } else {
+                let (model_a, thr_a) = tiny_model(&data, 2);
+                handle.swap_model(model_a, thr_a);
+            }
+        }
+    });
+
+    assert_eq!(handle.version(), 4, "four swaps completed");
+    let text = handle.metrics_text();
+    assert!(text.contains("pge_gateway_swaps_total 4"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order() {
+    let data = tiny_data();
+    let (model, threshold) = tiny_model(&data, 2);
+    let offline = offline_scores(&data, &model);
+    let handle = gateway(
+        &data,
+        model,
+        threshold,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    // Six single-triple requests written back-to-back before reading
+    // anything: different triples route to different replicas, so
+    // completions can finish out of order — the wire order must not.
+    let k = 6.min(data.test.len());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut pipelined = String::new();
+    for i in 0..k {
+        pipelined.push_str(&score_request(&body_for(&data, &[i]), true));
+    }
+    stream.write_all(pipelined.as_bytes()).expect("send");
+
+    let mut buf = Vec::new();
+    for (i, want) in offline.iter().take(k).enumerate() {
+        let (status, body) = read_one_response(&mut stream, &mut buf).expect("pipelined response");
+        assert_eq!(status, 200);
+        let got = parse_plausibilities(&body)[0];
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "pipelined slot {i} answered out of order"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_every_admitted_request() {
+    let data = tiny_data();
+    let (model, threshold) = tiny_model(&data, 2);
+    let handle = gateway(
+        &data,
+        model,
+        threshold,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    // Twelve clients write one request each, but nobody reads yet.
+    let clients: Vec<TcpStream> = (0..12)
+        .map(|c| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let body = body_for(&data, &[c % data.test.len()]);
+            s.write_all(score_request(&body, false).as_bytes())
+                .expect("send");
+            s
+        })
+        .collect();
+
+    // Wait until the gateway has parsed all twelve, then shut down
+    // while their responses are still being scored/flushed.
+    await_counter(&handle, "pge_gateway_requests_total", 12);
+    let reader = std::thread::spawn(move || {
+        clients
+            .into_iter()
+            .map(|mut s| {
+                let mut buf = Vec::new();
+                read_one_response(&mut s, &mut buf)
+            })
+            .collect::<Vec<_>>()
+    });
+    handle.shutdown();
+
+    let responses = reader.join().expect("reader");
+    for (c, resp) in responses.iter().enumerate() {
+        let (status, body) = resp
+            .as_ref()
+            .unwrap_or_else(|| panic!("client {c}: connection cut without a response"));
+        assert!(
+            *status == 200 || *status == 503,
+            "client {c}: unexpected status {status}: {body}"
+        );
+    }
+    // New connections are refused after shutdown.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be gone after shutdown"
+    );
+}
+
+#[test]
+fn reload_swaps_snapshot_and_rejects_corrupt_one() {
+    let data = tiny_data();
+    let (model_a, thr_a) = tiny_model(&data, 2);
+    let (model_b, _thr_b) = tiny_model(&data, 3);
+    let offline_b = offline_scores(&data, &model_b);
+
+    let dir = std::env::temp_dir().join(format!("pge-gw-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let good = dir.join("model-b.pgebin");
+    std::fs::write(&good, save_model_binary(&model_b).expect("snapshot B")).expect("write");
+
+    let handle = gateway(
+        &data,
+        model_a,
+        thr_a,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    // Reload snapshot B through the admin endpoint.
+    let body = format!(
+        "{{\"path\": {}}}",
+        Json::Str(good.to_string_lossy().into_owned())
+    );
+    let raw = format!(
+        "POST /admin/reload HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let (status, resp) = roundtrip(addr, &raw);
+    assert_eq!(status, 200, "reload failed: {resp}");
+    let parsed = json::parse(&resp).expect("reload response parses");
+    assert_eq!(parsed.get("version").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(handle.version(), 1);
+
+    // Served scores now bit-match offline snapshot B (the reload
+    // refits the threshold on the same validation split Detector::fit
+    // uses, so the full detector state converged too).
+    for (i, want) in offline_b.iter().enumerate().take(10) {
+        let (status, body) = post_score(addr, &body_for(&data, &[i]));
+        assert_eq!(status, 200);
+        let got = parse_plausibilities(&body)[0];
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "triple {i} not served by snapshot B after reload"
+        );
+    }
+
+    // A corrupt snapshot is rejected with 500; the serving model and
+    // version are untouched.
+    let bad = dir.join("corrupt.pgebin");
+    let mut bytes = save_model_binary(&model_b).expect("snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff; // flip a payload bit: CRC must catch it
+    std::fs::write(&bad, &bytes).expect("write");
+    let body = format!(
+        "{{\"path\": {}}}",
+        Json::Str(bad.to_string_lossy().into_owned())
+    );
+    let raw = format!(
+        "POST /admin/reload HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let (status, resp) = roundtrip(addr, &raw);
+    assert_eq!(status, 500, "corrupt snapshot must be rejected: {resp}");
+    assert!(resp.contains("error"), "{resp}");
+    assert_eq!(
+        handle.version(),
+        1,
+        "failed reload must not bump the version"
+    );
+    let (status, body) = post_score(addr, &body_for(&data, &[0]));
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse_plausibilities(&body)[0].to_bits(),
+        offline_b[0].to_bits(),
+        "old model must keep serving after a rejected reload"
+    );
+
+    // Reload with no path configured and no body is a client error.
+    let raw =
+        "POST /admin/reload HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\nconnection: close\r\n\r\n";
+    let (status, _) = roundtrip(addr, raw);
+    assert_eq!(status, 422);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn health_version_metrics_and_errors_speak_http() {
+    let data = tiny_data();
+    let (model, threshold) = tiny_model(&data, 2);
+    let handle = gateway(
+        &data,
+        model,
+        threshold,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 3,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = get(addr, "/admin/version");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).expect("version parses");
+    assert_eq!(parsed.get("version").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(parsed.get("replicas").and_then(Json::as_f64), Some(3.0));
+
+    let (status, _) = get(addr, "/v1/score");
+    assert_eq!(status, 405);
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, body) = post_score(addr, "{not json");
+    assert_eq!(status, 400, "{body}");
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for name in [
+        "pge_gateway_requests_total",
+        "pge_gateway_responses_total",
+        "pge_gateway_bad_requests_total 1",
+        "pge_gateway_replica_2_routed_total",
+        "pge_gateway_model_version 0",
+    ] {
+        assert!(metrics.contains(name), "missing {name} in:\n{metrics}");
+    }
+    handle.shutdown();
+}

@@ -36,10 +36,11 @@ fn tiny_setup() -> (Dataset, PgeModel, f32) {
 
 fn serve_tiny(cfg: ServeConfig) -> (Dataset, f32, Vec<f32>, ServerHandle) {
     let (data, model, threshold) = tiny_setup();
-    let det = Detector::fit(&model, &data.graph, &data.valid);
-    let triples: Vec<_> = data.test.iter().map(|lt| lt.triple).collect();
-    let offline = det.scores(&data.graph, &triples);
-    drop(det);
+    let offline = {
+        let det = Detector::fit(&model, &data.graph, &data.valid);
+        let triples: Vec<_> = data.test.iter().map(|lt| lt.triple).collect();
+        det.scores(&data.graph, &triples)
+    };
     let graph = data.graph.clone();
     let handle = start(model, graph, threshold, cfg).expect("bind ephemeral port");
     (data, threshold, offline, handle)
@@ -300,6 +301,78 @@ fn metrics_expose_stage_latency_breakdown() {
         assert!(count > 0, "{name} recorded nothing");
     }
     handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_every_admitted_request() {
+    let (data, _threshold, _offline, handle) = serve_tiny(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let addr = handle.local_addr();
+
+    // Ten clients write one request each; nobody reads yet, so the
+    // responses are still queued or in flight when shutdown starts.
+    let clients: Vec<TcpStream> = (0..10)
+        .map(|c| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let body = body_for(&data, &[c % data.test.len()]);
+            let raw = format!(
+                "POST /v1/score HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            );
+            s.write_all(raw.as_bytes()).expect("send");
+            s
+        })
+        .collect();
+
+    // Wait until the server has admitted all ten into the queue, then
+    // shut down while they are being scored and written back.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let admitted: u64 = handle
+            .metrics_text()
+            .lines()
+            .find_map(|l| l.strip_prefix("pge_score_requests_total "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if admitted >= 10 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server admitted only {admitted} of 10 requests"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let reader = std::thread::spawn(move || {
+        clients
+            .into_iter()
+            .enumerate()
+            .map(|(c, mut s)| {
+                let mut response = String::new();
+                s.read_to_string(&mut response).expect("read");
+                assert!(
+                    !response.is_empty(),
+                    "client {c}: connection cut without a response"
+                );
+                let status: u16 = response
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("client {c}: bad response {response:?}"));
+                status
+            })
+            .collect::<Vec<u16>>()
+    });
+    handle.shutdown();
+    for (c, status) in reader.join().expect("reader").into_iter().enumerate() {
+        assert!(
+            status == 200 || status == 503,
+            "client {c}: admitted request answered with {status}"
+        );
+    }
 }
 
 #[test]
