@@ -393,6 +393,51 @@ fn run_soak(
     total
 }
 
+/// Microbench the always-on flight recorder's hot path. Returns
+/// `(ns_per_record, ns_per_traced_request)`: one ring write, and the
+/// full fast-path cost of a traced request — mint an ID, stamp the
+/// ~10 stage events the gateway records, and take the tail-sampling
+/// drop decision. The soak's p99 budget for "always-on at <1%
+/// overhead" is judged against the latter.
+fn recorder_overhead() -> (f64, f64) {
+    use pge_obs::{Stage, Tracer};
+    let tracer = Tracer::default();
+    let stages = [
+        Stage::Accept,
+        Stage::Route,
+        Stage::QueueAdmit,
+        Stage::Dequeue,
+        Stage::BatchAssemble,
+        Stage::Score,
+        Stage::CacheHit,
+        Stage::CacheMiss,
+        Stage::Encode,
+        Stage::WriteBack,
+    ];
+    // Warm the ring (first pass touches every slot's cache line).
+    for i in 0..(1u64 << 15) {
+        tracer.record(i | 1, Stage::Score, i);
+    }
+    let n = 1_000_000u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        tracer.record(i | 1, Stage::Score, i);
+    }
+    let ns_per_record = t0.elapsed().as_nanos() as f64 / n as f64;
+    let m = 100_000u64;
+    let t0 = Instant::now();
+    for _ in 0..m {
+        let id = tracer.begin();
+        for st in stages {
+            tracer.record(id, st, 0);
+        }
+        // Fast request, under the slow threshold: the drop path.
+        tracer.finish(id, Duration::ZERO, false);
+    }
+    let ns_per_request = t0.elapsed().as_nanos() as f64 / m as f64;
+    (ns_per_record, ns_per_request)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--__server") {
@@ -533,6 +578,33 @@ fn main() {
     );
     let soak_ok = soak.failures == 0 && reload_fired.load(Ordering::SeqCst) == 1;
 
+    // Flight-recorder overhead: the soak above already ran with the
+    // recorder always-on (it cannot be turned off); the microbench
+    // bounds its per-request cost against the measured p99. The
+    // previous report's p99, if one exists at --out, is carried along
+    // so run-over-run regressions stay visible.
+    let baseline_p99_ms = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|t| json::parse(&t).ok())
+        .and_then(|v| v.get("soak")?.get("p99_ms")?.as_f64());
+    let (ns_per_record, ns_per_traced_request) = recorder_overhead();
+    let recorder_pct_of_p99 = if p99 > 0.0 {
+        ns_per_traced_request / (p99 * 1e6) * 100.0
+    } else {
+        0.0
+    };
+    let recorder_ok = recorder_pct_of_p99 <= 1.0;
+    eprintln!(
+        "recorder: {ns_per_record:.0} ns/event, {ns_per_traced_request:.0} ns/traced request \
+         ({recorder_pct_of_p99:.2}% of soak p99)"
+    );
+    if let Some(b) = baseline_p99_ms {
+        eprintln!(
+            "recorder: p99 {p99:.3} ms vs previous report {b:.3} ms ({:+.1}%)",
+            (p99 - b) / b * 100.0
+        );
+    }
+
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("gateway_probe".into())),
         (
@@ -598,7 +670,23 @@ fn main() {
                 ("runlog_events".into(), Json::Num(runlog_events as f64)),
             ]),
         ),
-        ("ok".into(), Json::Bool(parity_ok && soak_ok)),
+        (
+            "flight_recorder".into(),
+            Json::Obj(vec![
+                ("ns_per_event".into(), Json::Num(ns_per_record)),
+                (
+                    "ns_per_traced_request".into(),
+                    Json::Num(ns_per_traced_request),
+                ),
+                ("overhead_pct_of_p99".into(), Json::Num(recorder_pct_of_p99)),
+                (
+                    "baseline_p99_ms".into(),
+                    baseline_p99_ms.map_or(Json::Null, Json::Num),
+                ),
+                ("overhead_ok".into(), Json::Bool(recorder_ok)),
+            ]),
+        ),
+        ("ok".into(), Json::Bool(parity_ok && soak_ok && recorder_ok)),
     ]);
     std::fs::write(&out, format!("{report}\n")).expect("write report");
     println!("{out}");
@@ -606,5 +694,10 @@ fn main() {
     assert!(
         soak_ok,
         "soak phase had failures or the hot-swap did not land"
+    );
+    assert!(
+        recorder_ok,
+        "flight recorder costs {recorder_pct_of_p99:.2}% of soak p99 per traced \
+         request (budget: 1%)"
     );
 }

@@ -32,7 +32,7 @@ use pge_graph::{Dataset, NegativeSampler, SamplingMode, Triple};
 use pge_nn::{
     AdamHparams, CnnConfig, Embedding, SparseRowGrads, TextCnnEncoder, TransformerConfig,
 };
-use pge_obs::{checkpoint_event, epoch_event, span, EpochTelemetry, RunLog};
+use pge_obs::{checkpoint_event, epoch_event, global_tracer, span, EpochTelemetry, RunLog, Stage};
 use pge_tensor::ops;
 use pge_text::word2vec::{train_word2vec, Word2VecConfig};
 use rand::rngs::StdRng;
@@ -504,14 +504,22 @@ pub fn train_pge_resumable(
     let mut dh = vec![0.0f32; ent_dim];
     let mut dr = vec![0.0f32; model.scorer.rel_dim(ent_dim)];
     let mut dv = vec![0.0f32; ent_dim];
+    // Each epoch is one trace in the process-wide flight recorder:
+    // its shuffle / batch / checkpoint phases become stage events, so
+    // a stalled epoch shows up in `pge trace` with the slow phase
+    // attributed.
+    let tracer = global_tracer();
     for epoch in start_epoch..cfg.epochs {
         let _epoch_span = span("train.epoch");
         let epoch_start = Instant::now();
+        let trace = tracer.begin();
+        tracer.record(trace, Stage::EpochStart, epoch as u64);
         worker_busy.iter_mut().for_each(|b| *b = 0.0);
         // Fisher–Yates shuffle over a fresh identity permutation, from
         // a per-`(seed, epoch)` stream: epoch k's visit order is the
         // same whether the run started at epoch 0 or resumed from a
         // checkpoint, and no RNG state survives the epoch.
+        tracer.record(trace, Stage::EpochShuffle, order.len() as u64);
         for (i, slot) in order.iter_mut().enumerate() {
             *slot = i;
         }
@@ -523,6 +531,11 @@ pub fn train_pge_resumable(
         let mut loss_sum = 0.0f64;
         let mut loss_n = 0usize;
         let mut negs_drawn = 0usize;
+        tracer.record(
+            trace,
+            Stage::EpochBatches,
+            order.chunks(cfg.batch.max(1)).len() as u64,
+        );
         for batch in order.chunks(cfg.batch.max(1)) {
             step += 1;
             if is_cnn {
@@ -693,6 +706,7 @@ pub fn train_pge_resumable(
 
         if let Some(opts) = ckpt {
             let write_start = Instant::now();
+            tracer.record(trace, Stage::EpochCheckpoint, (epoch + 1) as u64);
             let bytes = {
                 let _s = span("train.checkpoint");
                 let state = TrainerState::capture(
@@ -716,9 +730,11 @@ pub fn train_pge_resumable(
             // Simulated kill for resume tests and CI: the checkpoint
             // is on disk, the process "dies" here.
             if opts.stop_after == Some(epoch + 1) {
+                tracer.finish(trace, epoch_start.elapsed(), false);
                 break;
             }
         }
+        tracer.finish(trace, epoch_start.elapsed(), false);
     }
 
     Ok(TrainedPge {

@@ -101,7 +101,12 @@ impl Epoll {
     /// Wait up to `timeout_ms` (-1 = forever). Returns the number of
     /// ready events filled into `events`; a signal interruption
     /// reports 0 ready events rather than an error.
+    ///
+    /// The span covers blocking time, so in `pge report` it reads as
+    /// "event loop waiting for work" — its total minus wall time is
+    /// the loop's busy fraction.
     pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        let _wait_span = pge_obs::span("gateway.epoll_wait");
         let n = unsafe {
             epoll_wait(
                 self.fd,

@@ -15,11 +15,13 @@ use crate::epoll::WakePipe;
 use crate::metrics::GatewayMetrics;
 use parking_lot::{Mutex, RwLock};
 use pge_core::{CachedModel, EmbeddingCache, PgeModel};
+use pge_obs::{span, Stage, Tracer};
 use pge_serve::json::Json;
 use pge_serve::queue::BoundedQueue;
 use pge_serve::{ItemScore, ScoreItem};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Everything a replica needs to answer a scoring request, swapped as
 /// one unit. The model is shared across replicas via `Arc` (weights
@@ -79,6 +81,8 @@ pub struct Job {
     pub seq: u64,
     pub items: Vec<ScoreItem>,
     pub enqueued: Instant,
+    /// Flight-recorder trace ID (0 = untraced).
+    pub trace: u64,
 }
 
 /// A finished job on its way back to the event loop.
@@ -88,6 +92,8 @@ pub struct Completion {
     pub status: u16,
     pub body: String,
     pub enqueued: Instant,
+    /// Flight-recorder trace ID (0 = untraced, e.g. admin reloads).
+    pub trace: u64,
 }
 
 /// Where workers (and reload threads) deposit completions; the event
@@ -123,6 +129,12 @@ impl CompletionSink {
 pub struct Replica {
     pub state: RwLock<Arc<ModelState>>,
     pub queue: BoundedQueue<Job>,
+    /// Fault injection for tests and latency drills: the worker
+    /// sleeps this long before each batch (0 = off). The delay lands
+    /// between a job's `queue_admit` and `dequeue` trace events, so
+    /// an injected stall must surface in the slow-trace waterfall as
+    /// queue time on this replica.
+    pub stall_nanos: AtomicU64,
 }
 
 impl Replica {
@@ -130,6 +142,7 @@ impl Replica {
         Replica {
             state: RwLock::new(Arc::new(state)),
             queue: BoundedQueue::new(queue_cap.max(1)),
+            stall_nanos: AtomicU64::new(0),
         }
     }
 
@@ -141,7 +154,14 @@ impl Replica {
     /// Atomically install a new state. In-flight batches keep the old
     /// `Arc` until they finish.
     pub fn swap(&self, state: ModelState) {
+        let _swap_span = span("gateway.swap");
         *self.state.write() = Arc::new(state);
+    }
+
+    /// Set the fault-injection stall applied before each batch.
+    pub fn set_stall(&self, d: Duration) {
+        self.stall_nanos
+            .store(d.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -180,30 +200,55 @@ pub fn worker_loop(
     replica: &Replica,
     sink: &CompletionSink,
     metrics: &GatewayMetrics,
+    tracer: &Tracer,
     max_batch: usize,
 ) {
     let mut jobs: Vec<Job> = Vec::new();
     let mut out: Vec<Completion> = Vec::new();
     while replica.queue.pop_batch(max_batch.max(1), &mut jobs) {
+        let _batch_span = span("gateway.batch");
+        // Fault injection: the stall runs before any job's `dequeue`
+        // event is recorded, so the traced timeline charges it to
+        // queue time on this replica.
+        let stall = replica.stall_nanos.load(Ordering::Relaxed);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_nanos(stall));
+        }
         let rm = &metrics.replicas[ix];
         rm.queue_depth.set(replica.queue.len() as f64);
         // The swap boundary: state is pinned for this whole batch.
         let state = replica.current();
+        let batch_size = jobs.len() as u64;
         for job in jobs.drain(..) {
+            tracer.record(job.trace, Stage::Dequeue, ix as u64);
             metrics
                 .stage_queue_wait
                 .observe(job.enqueued.elapsed().as_secs_f64());
+            tracer.record(job.trace, Stage::BatchAssemble, batch_size);
+            let (h0, m0) = (state.cache.hits(), state.cache.misses());
+            tracer.record(job.trace, Stage::Score, job.items.len() as u64);
             let score_start = Instant::now();
             let scores = state.score_items(&job.items);
             metrics
                 .stage_score
                 .observe(score_start.elapsed().as_secs_f64());
+            // One worker per replica, so the cache deltas are exactly
+            // this job's activity; every miss was one encode.
+            let misses = state.cache.misses().saturating_sub(m0);
+            tracer.record(
+                job.trace,
+                Stage::CacheHit,
+                state.cache.hits().saturating_sub(h0),
+            );
+            tracer.record(job.trace, Stage::CacheMiss, misses);
+            tracer.record(job.trace, Stage::Encode, misses);
             out.push(Completion {
                 conn: job.conn,
                 seq: job.seq,
                 status: 200,
                 body: render_scores(&scores),
                 enqueued: job.enqueued,
+                trace: job.trace,
             });
         }
         sink.push_all(out.drain(..));
@@ -248,6 +293,7 @@ mod tests {
             status: 200,
             body: "[]".into(),
             enqueued: Instant::now(),
+            trace: 0,
         }]);
         let mut out = Vec::new();
         sink.drain_into(&mut out);

@@ -31,7 +31,10 @@ use crate::replica::{worker_loop, Completion, CompletionSink, Job, ModelState, R
 use crate::ring::HashRing;
 use pge_core::{load_model_auto, Detector, PgeModel};
 use pge_graph::{LabeledTriple, ProductGraph};
-use pge_obs::{gateway_event, manifest_event, RunLog};
+use pge_obs::trace::{DEFAULT_RETAIN_CAP, DEFAULT_RING_CAPACITY, DEFAULT_SLOW_MS};
+use pge_obs::{
+    gateway_event, manifest_event, spans_event, trace_event, RetainedTrace, RunLog, Stage, Tracer,
+};
 use pge_serve::http::{self, ReadError};
 use pge_serve::json::{self, Json};
 use pge_serve::ScoreItem;
@@ -67,6 +70,10 @@ pub struct GatewayConfig {
     /// Longest the drain phase may take before remaining connections
     /// are cut.
     pub drain_timeout: Duration,
+    /// Completed scoring requests at least this slow (or errored) are
+    /// promoted into the retained trace set served by
+    /// `GET /debug/trace` and dumped to the run log on shutdown.
+    pub trace_slow: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -81,6 +88,7 @@ impl Default for GatewayConfig {
             model_path: None,
             runlog_path: None,
             drain_timeout: Duration::from_secs(30),
+            trace_slow: Duration::from_millis(DEFAULT_SLOW_MS),
         }
     }
 }
@@ -108,6 +116,8 @@ struct Shared {
     valid: Vec<LabeledTriple>,
     cfg: GatewayConfig,
     runlog: Option<RunLog>,
+    /// The always-on flight recorder + tail-sampled retained set.
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -199,6 +209,26 @@ impl GatewayHandle {
         self.shared.swap_model(Arc::new(model), threshold)
     }
 
+    /// The `n` most recent tail-sampled traces, newest first — the
+    /// same data `GET /debug/trace?n=K` serves.
+    pub fn retained_traces(&self, n: usize) -> Vec<RetainedTrace> {
+        self.shared.tracer.retained(n)
+    }
+
+    /// Change the slow-trace retention threshold at runtime.
+    pub fn set_trace_threshold(&self, d: Duration) {
+        self.shared.tracer.set_threshold(d);
+    }
+
+    /// Fault injection (tests and latency drills): stall replica
+    /// `ix`'s worker by `d` before each batch. The delay must show up
+    /// in retained traces as queue time on that replica.
+    pub fn set_replica_stall(&self, ix: usize, d: Duration) {
+        if let Some(r) = self.shared.replicas.get(ix) {
+            r.set_stall(d);
+        }
+    }
+
     /// Hot-swap from a snapshot file, refitting the threshold on the
     /// validation split the gateway was started with. The same path
     /// `POST /admin/reload` and SIGHUP take.
@@ -238,6 +268,15 @@ impl GatewayHandle {
                 ("latency_p50_ms", ms(0.5)),
                 ("latency_p99_ms", ms(0.99)),
             ]));
+            // Tail-sampled traces, oldest first, then the span totals
+            // the gateway accumulated (event loop, batches, swaps) so
+            // `pge report` stops skipping the gateway entirely.
+            let mut kept = self.shared.tracer.retained(usize::MAX);
+            kept.reverse();
+            for t in &kept {
+                log.write(&trace_event(t));
+            }
+            log.write(&spans_event());
         }
     }
 }
@@ -271,6 +310,9 @@ pub fn start(
 
     let runlog = match &cfg.runlog_path {
         Some(path) => {
+            // With a run log the shutdown snapshot includes span
+            // totals; make sure they actually accumulate.
+            pge_obs::set_spans_enabled(true);
             let log = RunLog::create(path)?;
             log.write(&manifest_event(
                 "gateway",
@@ -300,6 +342,10 @@ pub fn start(
         draining: AtomicBool::new(false),
         graph,
         valid,
+        // Trace IDs are deterministic under the fixed seed; the ring
+        // is always on — its overhead budget is enforced by the
+        // gateway_probe soak.
+        tracer: Tracer::new(DEFAULT_RING_CAPACITY, 0, cfg.trace_slow, DEFAULT_RETAIN_CAP),
         cfg: cfg.clone(),
         runlog,
     });
@@ -315,6 +361,7 @@ pub fn start(
                         &shared.replicas[i],
                         &shared.sink,
                         &shared.metrics,
+                        &shared.tracer,
                         shared.cfg.max_batch,
                     )
                 })
@@ -401,7 +448,13 @@ fn dispatch(conn: &mut Conn, token: u64, seq: u64, req: http::Request, shared: &
             shared,
         );
     };
-    match (req.method.as_str(), req.path.as_str()) {
+    // The HTTP parser keeps the query string in the path; split it
+    // off so `/debug/trace?n=5` dispatches on the bare path.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             respond_inline(conn, seq, 200, "text/plain", &[], b"ok\n", shared);
         }
@@ -416,6 +469,17 @@ fn dispatch(conn: &mut Conn, token: u64, seq: u64, req: http::Request, shared: &
                 body.as_bytes(),
                 shared,
             );
+        }
+        ("GET", "/debug/trace") => {
+            let n = query
+                .into_iter()
+                .flat_map(|q| q.split('&'))
+                .find_map(|kv| kv.strip_prefix("n="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(16);
+            let body =
+                Json::Arr(shared.tracer.retained(n).iter().map(trace_event).collect()).to_string();
+            inline_json(conn, 200, &body);
         }
         ("GET", "/admin/version") => {
             let body = Json::Obj(vec![
@@ -441,21 +505,35 @@ fn dispatch(conn: &mut Conn, token: u64, seq: u64, req: http::Request, shared: &
                 inline_json(conn, 200, "[]");
                 return;
             }
+            // The traced inference path starts here: one splitmix64
+            // trace ID follows the request through route → queue →
+            // worker → write-back.
+            let trace = shared.tracer.begin();
+            let enqueued = Instant::now();
+            shared.tracer.record(trace, Stage::Accept, token);
             // Cache affinity: route by the subject title so repeat
             // titles land on the replica whose cache already holds
             // their embedding.
             let r = shared.ring.route(&items[0].title) as usize;
+            shared.tracer.record(trace, Stage::Route, r as u64);
             conn.pending += 1;
+            let replica = &shared.replicas[r];
+            shared
+                .tracer
+                .record(trace, Stage::QueueAdmit, replica.queue.len() as u64);
             let job = Job {
                 conn: token,
                 seq,
                 items,
-                enqueued: Instant::now(),
+                enqueued,
+                trace,
             };
-            let replica = &shared.replicas[r];
             if replica.queue.try_push(job).is_err() {
                 conn.pending -= 1;
                 shared.metrics.rejected_total.inc();
+                // A shed request is an errored trace: always retained.
+                shared.tracer.record(trace, Stage::Error, 503);
+                shared.tracer.finish(trace, enqueued.elapsed(), true);
                 let body = error_json("scoring queue full, retry later");
                 respond_inline(
                     conn,
@@ -525,10 +603,15 @@ fn dispatch(conn: &mut Conn, token: u64, seq: u64, req: http::Request, shared: &
                         status,
                         body,
                         enqueued,
+                        trace: 0,
                     }]);
                 });
         }
-        (_, "/healthz" | "/metrics" | "/v1/score" | "/admin/reload" | "/admin/version") => {
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/score" | "/admin/reload" | "/admin/version"
+            | "/debug/trace",
+        ) => {
             inline_json(conn, 405, &error_json("method not allowed"));
         }
         _ => {
@@ -717,10 +800,16 @@ fn run_event_loop(listener: TcpListener, shared: &Arc<Shared>) {
             let Some(conn) = conns.get_mut(&c.conn) else {
                 continue;
             };
-            shared
-                .metrics
-                .latency
-                .observe(c.enqueued.elapsed().as_secs_f64());
+            let total = c.enqueued.elapsed();
+            shared.metrics.latency.observe(total.as_secs_f64());
+            // Completion is the one point where end-to-end latency is
+            // known — the tail-sampling keep/drop decision lives here.
+            if c.trace != 0 {
+                shared
+                    .tracer
+                    .record(c.trace, Stage::WriteBack, c.body.len() as u64);
+                shared.tracer.finish(c.trace, total, c.status >= 500);
+            }
             conn.pending -= 1;
             let keep_alive = conn.response_keep_alive(c.seq) && !draining;
             conn.complete(

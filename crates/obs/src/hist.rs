@@ -217,6 +217,32 @@ mod tests {
     }
 
     #[test]
+    fn q999_on_saturated_histogram_reports_last_finite_bound() {
+        // Regression: a quantile that lands in the +Inf overflow
+        // bucket must clamp to the last *finite* bound — never index
+        // past the bounds array and never report None/Inf.
+        let h = AtomicHistogram::exponential(0.001, 2.0, 10);
+        for _ in 0..10_000 {
+            h.observe(1e12); // every observation overflows
+        }
+        assert_eq!(h.overflow_count(), 10_000);
+        let last = *h.bounds().last().unwrap();
+        for q in [0.5, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q).expect("saturated histogram has data");
+            assert!(v.is_finite(), "q={q} leaked a non-finite bound");
+            assert_eq!(v, last, "q={q} must clamp to the last finite bound");
+        }
+        // Mixed load: one in-range observation, 999 overflowing —
+        // q=0.999 lands squarely in the overflow bucket.
+        let h = AtomicHistogram::new(vec![1.0, 2.0, 4.0]);
+        h.observe(0.5);
+        for _ in 0..999 {
+            h.observe(1e9);
+        }
+        assert_eq!(h.quantile(0.999), Some(4.0));
+    }
+
+    #[test]
     fn nan_is_dropped_and_infinity_overflows() {
         let h = AtomicHistogram::new(vec![1.0, 2.0]);
         h.observe(f64::NAN);

@@ -9,6 +9,9 @@
 //!   `pge-eval`, which re-exports it);
 //! * [`span`] — hierarchical [`span`](span()) timers with near-zero
 //!   cost while disabled;
+//! * [`trace`] — the always-on per-request flight recorder
+//!   ([`Tracer`]): a lock-free event ring plus tail-based sampling of
+//!   slow/errored traces, rendered by `pge trace`;
 //! * [`runlog`] — the [`RunLog`] JSONL event sink and the typed
 //!   events it records (run manifest, per-epoch training telemetry
 //!   with the Eq. 6 confidence-polarization diagnostic, eval results,
@@ -28,15 +31,20 @@ pub mod registry;
 pub mod report;
 pub mod runlog;
 pub mod span;
+pub mod trace;
 
 pub use hist::AtomicHistogram;
 pub use manifest::{git_rev, unix_time_ms};
-pub use registry::{global, Counter, Gauge, MetricsRegistry};
-pub use report::{render_report, sparkline};
+pub use registry::{global, validate_exposition, Counter, Gauge, MetricsRegistry};
+pub use report::{render_report, render_traces, sparkline};
 pub use runlog::{
     checkpoint_event, epoch_event, eval_event, gateway_event, manifest_event, scan_event,
-    serve_event, spans_event, ConfidenceTelemetry, EpochTelemetry, EvalTelemetry, RunLog,
+    serve_event, spans_event, trace_event, ConfidenceTelemetry, EpochTelemetry, EvalTelemetry,
+    RunLog,
 };
 pub use span::{
     reset_spans, set_spans_enabled, span, span_snapshot, spans_enabled, SpanGuard, SpanRecord,
+};
+pub use trace::{
+    global_tracer, FlightRecorder, RetainedTrace, Stage, TraceEvent, TraceIdGen, Tracer,
 };

@@ -191,6 +191,129 @@ impl MetricsRegistry {
     }
 }
 
+/// Validate Prometheus text exposition (format 0.0.4), as scraped
+/// from a `/metrics` endpoint. Checks the invariants a real scraper
+/// relies on:
+///
+/// * every sample belongs to a family with a `# TYPE` line *before*
+///   its first sample (histogram `_bucket`/`_sum`/`_count` and
+///   summary `_sum`/`_count` suffixes resolve to their base family);
+/// * at most one `# TYPE` / `# HELP` line per family (unique names);
+/// * no duplicate `name{labels}` series;
+/// * names match `[a-zA-Z_:][a-zA-Z0-9_:]*` and values parse as
+///   floats (`+Inf`/`-Inf`/`NaN` included).
+///
+/// CI scrapes a live gateway and runs this; it is also unit-tested
+/// against [`MetricsRegistry::render`] so renderer and validator
+/// can't drift apart.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut sampled_families: BTreeSet<String> = BTreeSet::new();
+    let mut series_seen: BTreeSet<String> = BTreeSet::new();
+
+    // Resolve a sample name to its declared family, honoring the
+    // histogram/summary child-sample suffixes.
+    let family_of = |name: &str, types: &BTreeMap<String, String>| -> Option<String> {
+        if types.contains_key(name) {
+            return Some(name.to_string());
+        }
+        for (suffix, kinds) in [
+            ("_bucket", &["histogram"][..]),
+            ("_sum", &["histogram", "summary"][..]),
+            ("_count", &["histogram", "summary"][..]),
+        ] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if types.get(base).is_some_and(|k| kinds.contains(&k.as_str())) {
+                    return Some(base.to_string());
+                }
+            }
+        }
+        None
+    };
+
+    for (ix, raw) in text.lines().enumerate() {
+        let ln = ix + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("").trim();
+            if !valid_name(name) {
+                return Err(format!("line {ln}: invalid metric name {name:?}"));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {ln}: unknown TYPE {kind:?} for {name}"));
+            }
+            if sampled_families.contains(name) {
+                return Err(format!("line {ln}: TYPE for {name} after its samples"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {ln}: duplicate TYPE line for {name}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {ln}: invalid metric name {name:?}"));
+            }
+            if !helps.insert(name.to_string()) {
+                return Err(format!("line {ln}: duplicate HELP line for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        // A sample: `name[{labels}] value [timestamp]`.
+        let (series, rest) = match line.find('{') {
+            Some(open) => {
+                let close = line[open..]
+                    .find('}')
+                    .map(|c| open + c)
+                    .ok_or_else(|| format!("line {ln}: unterminated label set"))?;
+                (&line[..=close], &line[close + 1..])
+            }
+            None => {
+                let cut = line.find(char::is_whitespace).unwrap_or(line.len());
+                (&line[..cut], &line[cut..])
+            }
+        };
+        let name = &series[..series.find('{').unwrap_or(series.len())];
+        if !valid_name(name) {
+            return Err(format!("line {ln}: invalid sample name {name:?}"));
+        }
+        let mut fields = rest.split_whitespace();
+        let value = fields
+            .next()
+            .ok_or_else(|| format!("line {ln}: sample {name} has no value"))?;
+        if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+            return Err(format!("line {ln}: unparseable value {value:?} for {name}"));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {ln}: unparseable timestamp {ts:?}"));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {ln}: trailing garbage after sample"));
+        }
+        let family = family_of(name, &types)
+            .ok_or_else(|| format!("line {ln}: sample {name} has no preceding TYPE line"))?;
+        sampled_families.insert(family);
+        if !series_seen.insert(series.to_string()) {
+            return Err(format!("line {ln}: duplicate series {series}"));
+        }
+    }
+    Ok(())
+}
+
 /// The process-wide registry. Binaries that expose one metrics
 /// endpoint (or print one report) per process register here.
 pub fn global() -> &'static MetricsRegistry {
@@ -270,6 +393,51 @@ mod tests {
     #[should_panic(expected = "invalid metric name")]
     fn bad_names_rejected() {
         MetricsRegistry::new().counter("pge metrics with spaces", "nope");
+    }
+
+    #[test]
+    fn rendered_output_passes_exposition_validation() {
+        let r = MetricsRegistry::new();
+        r.counter("pge_v_requests_total", "Requests.").add(3);
+        r.gauge("pge_v_version", "Version.").set(2.0);
+        let h = r.histogram("pge_v_latency_seconds", "Latency.", vec![0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(5.0);
+        validate_exposition(&r.render()).expect("renderer emits valid exposition");
+    }
+
+    #[test]
+    fn exposition_validator_catches_malformations() {
+        // A sample with no TYPE line.
+        let err = validate_exposition("pge_x_total 1\n").unwrap_err();
+        assert!(err.contains("no preceding TYPE"), "{err}");
+        // TYPE after its samples.
+        let err =
+            validate_exposition("# TYPE pge_a counter\npge_a 1\npge_x 2\n# TYPE pge_x counter\n")
+                .unwrap_err();
+        assert!(err.contains("no preceding TYPE"), "{err}");
+        // Duplicate TYPE line (non-unique name).
+        let err = validate_exposition("# TYPE pge_a counter\n# TYPE pge_a gauge\n").unwrap_err();
+        assert!(err.contains("duplicate TYPE"), "{err}");
+        // Duplicate label set.
+        let err = validate_exposition(
+            "# TYPE pge_h histogram\npge_h_bucket{le=\"1\"} 1\npge_h_bucket{le=\"1\"} 2\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+        // Unparseable value.
+        let err = validate_exposition("# TYPE pge_a counter\npge_a banana\n").unwrap_err();
+        assert!(err.contains("unparseable value"), "{err}");
+        // Unknown kind.
+        let err = validate_exposition("# TYPE pge_a widget\n").unwrap_err();
+        assert!(err.contains("unknown TYPE"), "{err}");
+        // Histogram child samples resolve to their base family.
+        validate_exposition(
+            "# TYPE pge_h histogram\npge_h_bucket{le=\"+Inf\"} 3\npge_h_sum 4.5\npge_h_count 3\n",
+        )
+        .expect("histogram suffixes resolve");
+        // Inf/NaN values are legal exposition.
+        validate_exposition("# TYPE pge_g gauge\npge_g +Inf\n").expect("+Inf is valid");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
     let mut scans: Vec<Json> = Vec::new();
     let mut checkpoints: Vec<Json> = Vec::new();
     let mut spans: Vec<Json> = Vec::new();
+    let mut traces: Vec<Json> = Vec::new();
     let mut bad_lines = 0usize;
     for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
         let Ok(v) = parse(line) else {
@@ -61,6 +62,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
             Some("scan") => scans.push(v),
             Some("checkpoint") => checkpoints.push(v),
             Some("spans") => spans.push(v),
+            Some("trace") => traces.push(v),
             _ => bad_lines += 1,
         }
     }
@@ -71,6 +73,7 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         && gateways.is_empty()
         && scans.is_empty()
         && checkpoints.is_empty()
+        && traces.is_empty()
     {
         return Err("no recognizable run-log events".into());
     }
@@ -324,8 +327,99 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         }
     }
 
+    // Tail-sampled traces get a one-line pointer here; the full
+    // per-stage waterfalls live in `pge trace` (render_traces).
+    if !traces.is_empty() {
+        let errors = traces
+            .iter()
+            .filter(|t| t.get("error").and_then(Json::as_bool) == Some(true))
+            .count();
+        let slowest = traces
+            .iter()
+            .filter_map(|t| num(t, "total_ms"))
+            .fold(0.0f64, f64::max);
+        let _ = writeln!(
+            w,
+            "\ntraces: {} retained ({errors} errored, slowest {slowest:.2} ms) — `pge trace <log>` for waterfalls",
+            traces.len()
+        );
+    }
+
     if bad_lines > 0 {
         let _ = writeln!(w, "\n({bad_lines} unrecognized/corrupt lines skipped)");
+    }
+    Ok(out)
+}
+
+/// `pge trace` — render every tail-sampled `trace` event in a run log
+/// as a per-stage waterfall: one row per recorded stage with its
+/// offset, duration, and a proportional bar. Traces render newest
+/// last (the order they were retained in).
+pub fn render_traces(jsonl: &str) -> Result<String, String> {
+    const BAR_WIDTH: f64 = 32.0;
+    let mut traces: Vec<Json> = Vec::new();
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        if let Ok(v) = parse(line) {
+            if v.get("event").and_then(Json::as_str) == Some("trace") {
+                traces.push(v);
+            }
+        }
+    }
+    if traces.is_empty() {
+        return Err("no trace events in log (nothing was slow enough to retain?)".into());
+    }
+
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "pge trace report — {} retained traces", traces.len());
+    let _ = writeln!(w, "=====================================");
+    let totals: Vec<f64> = traces.iter().filter_map(|t| num(t, "total_ms")).collect();
+    if totals.len() > 1 {
+        let _ = writeln!(w, "retained totals (ms): {}", sparkline(&totals));
+    }
+    for t in &traces {
+        let id = t.get("trace_id").and_then(Json::as_str).unwrap_or("?");
+        let total = num(t, "total_ms").unwrap_or(f64::NAN);
+        let errored = t.get("error").and_then(Json::as_bool) == Some(true);
+        let _ = writeln!(
+            w,
+            "\ntrace {id}  total {total:.2} ms{}",
+            if errored { "  [ERROR]" } else { "" }
+        );
+        let stages: Vec<&Json> = t
+            .get("stages")
+            .and_then(Json::as_array)
+            .map(|a| a.iter().collect())
+            .unwrap_or_default();
+        if stages.is_empty() {
+            let _ = writeln!(w, "  (no stage events survived in the ring)");
+            continue;
+        }
+        let scale = if total.is_finite() && total > 0.0 {
+            total
+        } else {
+            1.0
+        };
+        for (i, s) in stages.iter().enumerate() {
+            let name = s.get("stage").and_then(Json::as_str).unwrap_or("?");
+            let start = num(s, "t_ms").unwrap_or(0.0);
+            // Stage duration: gap to the next event; the last stage
+            // runs to the end of the trace.
+            let end = stages
+                .get(i + 1)
+                .and_then(|n| num(n, "t_ms"))
+                .unwrap_or(total.max(start));
+            let dur = (end - start).max(0.0);
+            let arg = num(s, "arg").unwrap_or(0.0);
+            let offset = ((start / scale) * BAR_WIDTH).round() as usize;
+            let width = (((dur / scale) * BAR_WIDTH).round() as usize).max(1);
+            let _ = writeln!(
+                w,
+                "  {name:<16} +{start:>8.2} ms  {dur:>8.2} ms  {}{}  (arg {arg})",
+                " ".repeat(offset.min(BAR_WIDTH as usize)),
+                "█".repeat(width.min(BAR_WIDTH as usize + 1)),
+            );
+        }
     }
     Ok(out)
 }

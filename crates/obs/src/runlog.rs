@@ -189,6 +189,38 @@ pub fn scan_event(stats: &[(&str, f64)]) -> Json {
     Json::Obj(pairs)
 }
 
+/// One tail-sampled trace (see [`crate::trace`]): the trace ID as a
+/// 16-hex-digit string (u64s don't survive a JSON f64 round trip),
+/// end-to-end latency, the error flag, and the per-stage event list
+/// with timestamps relative to the first event. `pge trace` renders
+/// these as waterfalls.
+pub fn trace_event(t: &crate::trace::RetainedTrace) -> Json {
+    let t0 = t.events.first().map_or(0, |e| e.t_nanos);
+    let mut pairs = base("trace");
+    pairs.push(("trace_id".into(), Json::Str(format!("{:016x}", t.trace_id))));
+    pairs.push(("total_ms".into(), Json::Num(t.total_nanos as f64 / 1.0e6)));
+    pairs.push(("error".into(), Json::Bool(t.error)));
+    pairs.push((
+        "stages".into(),
+        Json::Arr(
+            t.events
+                .iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("stage".into(), Json::Str(e.stage.name().into())),
+                        ("arg".into(), Json::Num(e.arg as f64)),
+                        (
+                            "t_ms".into(),
+                            Json::Num(e.t_nanos.saturating_sub(t0) as f64 / 1.0e6),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(pairs)
+}
+
 /// Snapshot of all span accumulators (see [`crate::span_snapshot`]).
 pub fn spans_event() -> Json {
     let mut pairs = base("spans");

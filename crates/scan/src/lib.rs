@@ -30,4 +30,4 @@ pub mod checkpoint;
 pub mod pipeline;
 
 pub use checkpoint::{shard_file_name, Manifest, ShardEntry, MANIFEST_FILE, QUARANTINE_FILE};
-pub use pipeline::{scan, ScanConfig, ScanError, ScanOutcome};
+pub use pipeline::{scan, scan_with_tracer, ScanConfig, ScanError, ScanOutcome};

@@ -26,7 +26,7 @@
 use crate::checkpoint::{shard_file_name, Manifest, ShardEntry, MANIFEST_FILE, QUARANTINE_FILE};
 use pge_core::{CachedModel, EmbeddingCache, PgeModel};
 use pge_graph::{RawTriple, RawTripleError, RawTripleReader};
-use pge_obs::span;
+use pge_obs::{span, Stage, Tracer};
 use pge_tensor::Crc32;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
@@ -145,6 +145,11 @@ struct Chunk {
     /// checkpoint records when the covering shard commits.
     end_line: u64,
     end_offset: u64,
+    /// Flight-recorder trace ID following this chunk through
+    /// read → score → commit.
+    trace: u64,
+    /// When the reader produced the chunk; the trace's epoch.
+    born: Instant,
 }
 
 /// A chunk after scoring: `None` = the attribute is unknown to the
@@ -155,6 +160,8 @@ struct ScoredChunk {
     bad: Vec<RawTripleError>,
     end_line: u64,
     end_offset: u64,
+    trace: u64,
+    born: Instant,
 }
 
 fn resolve_jobs(jobs: usize) -> usize {
@@ -440,6 +447,23 @@ pub fn scan(
     input: &Path,
     cfg: &ScanConfig,
 ) -> Result<ScanOutcome, ScanError> {
+    // Callers that don't care about per-chunk traces get a private
+    // tracer; its retained set is simply dropped with it.
+    let tracer = Tracer::default();
+    scan_with_tracer(model, threshold, input, cfg, &tracer)
+}
+
+/// [`scan`], but recording every chunk's read → score → commit
+/// timeline into `tracer`'s flight recorder. Chunks whose end-to-end
+/// latency exceeds the tracer's threshold land in its retained set,
+/// which the CLI dumps into the runlog as `trace` events.
+pub fn scan_with_tracer(
+    model: &PgeModel,
+    threshold: f32,
+    input: &Path,
+    cfg: &ScanConfig,
+    tracer: &Tracer,
+) -> Result<ScanOutcome, ScanError> {
     let started = Instant::now();
     fs::create_dir_all(&cfg.out_dir)
         .map_err(|e| ScanError::io(format!("create {}", cfg.out_dir.display()), e))?;
@@ -568,6 +592,7 @@ pub fn scan(
                     Err(_) => break, // reader done
                 };
                 let _sp = span("scan.score");
+                tracer.record(chunk.trace, Stage::ChunkScore, chunk.rows.len() as u64);
                 let rows = chunk
                     .rows
                     .into_iter()
@@ -582,6 +607,8 @@ pub fn scan(
                     bad: chunk.bad,
                     end_line: chunk.end_line,
                     end_offset: chunk.end_offset,
+                    trace: chunk.trace,
+                    born: chunk.born,
                 };
                 if done_tx.send(scored).is_err() {
                     break; // committer stopped early
@@ -619,12 +646,16 @@ pub fn scan(
                     }
                 }
                 if !rows.is_empty() || !bad.is_empty() {
+                    let trace = tracer.begin();
+                    tracer.record(trace, Stage::ChunkRead, rows.len() as u64);
                     let chunk = Chunk {
                         idx,
                         rows,
                         bad,
                         end_line: reader.lines_done() as u64,
                         end_offset: reader.offset(),
+                        trace,
+                        born: Instant::now(),
                     };
                     idx += 1;
                     if work_tx.send(chunk).is_err() {
@@ -637,7 +668,7 @@ pub fn scan(
             }
         });
 
-        let result = drive_committer(&mut committer, done_rx, max_shards, &stop);
+        let result = drive_committer(&mut committer, done_rx, max_shards, &stop, tracer);
         let reader_result = reader_handle
             .join()
             .unwrap_or_else(|_| Err(ScanError::Corrupt("reader thread panicked".into())));
@@ -687,6 +718,7 @@ fn drive_committer(
     done_rx: Receiver<ScoredChunk>,
     max_shards: Option<u64>,
     stop: &AtomicBool,
+    tracer: &Tracer,
 ) -> Result<bool, ScanError> {
     let mut pending: BTreeMap<u64, ScoredChunk> = BTreeMap::new();
     let mut next_idx = 0u64;
@@ -699,6 +731,12 @@ fn drive_committer(
         pending.insert(scored.idx, scored);
         while let Some(c) = pending.remove(&next_idx) {
             next_idx += 1;
+            // The commit event is stamped when ordered write-out
+            // begins, so score → chunk_commit covers scoring plus
+            // reorder-buffer wait; the trace finishes once the chunk's
+            // rows (and any covering shard commit) are durable-ordered.
+            let (trace, born) = (c.trace, c.born);
+            tracer.record(trace, Stage::ChunkCommit, c.rows.len() as u64);
             let step = || -> Result<bool, ScanError> {
                 // returns true to stop early
                 committer.append_chunk(c)?;
@@ -711,14 +749,18 @@ fn drive_committer(
                 Ok(false)
             };
             match step() {
-                Ok(false) => {}
+                Ok(false) => {
+                    tracer.finish(trace, born.elapsed(), false);
+                }
                 Ok(true) => {
+                    tracer.finish(trace, born.elapsed(), false);
                     stop.store(true, Ordering::Relaxed);
                     stopped = true;
                     pending.clear();
                     break;
                 }
                 Err(e) => {
+                    tracer.finish(trace, born.elapsed(), true);
                     stop.store(true, Ordering::Relaxed);
                     stopped = true;
                     failure = Some(e);

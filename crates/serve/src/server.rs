@@ -25,7 +25,8 @@ use crate::queue::{BoundedQueue, PushError};
 use pge_core::api::plausibility_parallel;
 use pge_core::{CachedModel, EmbeddingCache, ErrorDetector, PgeModel};
 use pge_graph::{AttrId, ProductGraph, ProductId, Triple, ValueId};
-use pge_obs::{manifest_event, serve_event, RunLog};
+use pge_obs::trace::{DEFAULT_RETAIN_CAP, DEFAULT_RING_CAPACITY, DEFAULT_SLOW_MS};
+use pge_obs::{manifest_event, serve_event, trace_event, RetainedTrace, RunLog, Stage, Tracer};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -52,6 +53,10 @@ pub struct ServeConfig {
     /// Append run-log events (manifest at start, serving snapshot at
     /// shutdown) to this JSONL file. `None` disables run logging.
     pub runlog_path: Option<String>,
+    /// Completed scoring requests at least this slow (or errored) are
+    /// promoted into the retained trace set served by
+    /// `GET /debug/trace` and dumped to the run log on shutdown.
+    pub trace_slow: Duration,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +69,7 @@ impl Default for ServeConfig {
             max_batch: 32,
             batch_threads: 2,
             runlog_path: None,
+            trace_slow: Duration::from_millis(DEFAULT_SLOW_MS),
         }
     }
 }
@@ -88,6 +94,8 @@ struct Job {
     items: Vec<ScoreItem>,
     reply: mpsc::SyncSender<Vec<ItemScore>>,
     enqueued: Instant,
+    /// Flight-recorder trace ID (see [`pge_obs::trace`]).
+    trace: u64,
 }
 
 struct Shared {
@@ -105,6 +113,8 @@ struct Shared {
     stop: AtomicBool,
     cfg: ServeConfig,
     runlog: Option<RunLog>,
+    /// The always-on flight recorder + tail-sampled retained set.
+    tracer: Tracer,
 }
 
 /// A running server; dropping the handle does NOT stop it — call
@@ -125,6 +135,17 @@ impl ServerHandle {
     /// Current metrics in Prometheus text format.
     pub fn metrics_text(&self) -> String {
         self.shared.metrics.render(&self.shared.cache)
+    }
+
+    /// The `n` most recent tail-sampled traces, newest first — the
+    /// same data `GET /debug/trace?n=K` serves.
+    pub fn retained_traces(&self, n: usize) -> Vec<RetainedTrace> {
+        self.shared.tracer.retained(n)
+    }
+
+    /// Change the slow-trace retention threshold at runtime.
+    pub fn set_trace_threshold(&self, d: Duration) {
+        self.shared.tracer.set_threshold(d);
     }
 
     /// Graceful shutdown: stop accepting, drain queued requests, join
@@ -162,6 +183,13 @@ impl ServerHandle {
                 ("latency_p50_ms", ms(0.5)),
                 ("latency_p99_ms", ms(0.99)),
             ]));
+            // Dump the tail-sampled traces, oldest first, for
+            // `pge trace` to replay offline.
+            let mut kept = self.shared.tracer.retained(usize::MAX);
+            kept.reverse();
+            for t in &kept {
+                log.write(&trace_event(t));
+            }
         }
     }
 }
@@ -211,6 +239,7 @@ pub fn start(
         queue: BoundedQueue::new(cfg.queue_cap.max(1)),
         in_flight: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
+        tracer: Tracer::new(DEFAULT_RING_CAPACITY, 0, cfg.trace_slow, DEFAULT_RETAIN_CAP),
         cfg: cfg.clone(),
         runlog,
     });
@@ -312,7 +341,13 @@ fn error_json(message: &str) -> String {
 }
 
 fn respond(w: &mut impl Write, shared: &Shared, req: &Request, keep_alive: bool) -> io::Result<()> {
-    match (req.method.as_str(), req.path.as_str()) {
+    // The HTTP parser keeps the query string in the path; split it
+    // off so `/debug/trace?n=5` dispatches on the bare path.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => http::write_response(w, 200, "text/plain", &[], b"ok\n", keep_alive),
         ("GET", "/metrics") => {
             let body = shared.metrics.render(&shared.cache);
@@ -324,6 +359,17 @@ fn respond(w: &mut impl Write, shared: &Shared, req: &Request, keep_alive: bool)
                 body.as_bytes(),
                 keep_alive,
             )
+        }
+        ("GET", "/debug/trace") => {
+            let n = query
+                .into_iter()
+                .flat_map(|q| q.split('&'))
+                .find_map(|kv| kv.strip_prefix("n="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(16);
+            let body =
+                Json::Arr(shared.tracer.retained(n).iter().map(trace_event).collect()).to_string();
+            http::write_response(w, 200, "application/json", &[], body.as_bytes(), keep_alive)
         }
         ("POST", "/v1/score") => {
             let (status, extra, body, admitted) = handle_score(shared, &req.body);
@@ -343,7 +389,7 @@ fn respond(w: &mut impl Write, shared: &Shared, req: &Request, keep_alive: bool)
             }
             res
         }
-        (_, "/healthz" | "/metrics" | "/v1/score") => http::write_response(
+        (_, "/healthz" | "/metrics" | "/v1/score" | "/debug/trace") => http::write_response(
             w,
             405,
             "application/json",
@@ -403,11 +449,22 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String, boo
         return (200, Vec::new(), "[]".to_string(), false);
     }
 
+    // The traced inference path starts here: one splitmix64 trace ID
+    // follows the request through queue → worker → reply.
+    let trace = shared.tracer.begin();
+    let enqueued = Instant::now();
+    shared
+        .tracer
+        .record(trace, Stage::Accept, items.len() as u64);
+    shared
+        .tracer
+        .record(trace, Stage::QueueAdmit, shared.queue.len() as u64);
     let (tx, rx) = mpsc::sync_channel(1);
     let job = Job {
         items,
         reply: tx,
-        enqueued: Instant::now(),
+        enqueued,
+        trace,
     };
     // Count before pushing: a worker may drain the job and a racing
     // shutdown observe in_flight before this thread resumes.
@@ -416,6 +473,9 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String, boo
         debug_assert!(matches!(e, PushError::Full | PushError::Closed));
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.metrics.rejected_total.inc();
+        // A shed request is an errored trace: always retained.
+        shared.tracer.record(trace, Stage::Error, 503);
+        shared.tracer.finish(trace, enqueued.elapsed(), true);
         return (
             503,
             vec![("retry-after", "1".to_string())],
@@ -450,9 +510,18 @@ fn handle_score(shared: &Shared, body: &[u8]) -> (u16, ExtraHeaders, String, boo
                     })
                     .collect(),
             );
-            (200, Vec::new(), arr.to_string(), true)
+            let body = arr.to_string();
+            shared
+                .tracer
+                .record(trace, Stage::WriteBack, body.len() as u64);
+            shared.tracer.finish(trace, enqueued.elapsed(), false);
+            (200, Vec::new(), body, true)
         }
-        Err(_) => (500, Vec::new(), error_json("scoring timed out"), true),
+        Err(_) => {
+            shared.tracer.record(trace, Stage::Error, 500);
+            shared.tracer.finish(trace, enqueued.elapsed(), true);
+            (500, Vec::new(), error_json("scoring timed out"), true)
+        }
     }
 }
 
@@ -483,6 +552,7 @@ fn worker_loop(shared: &Shared) {
         shared.metrics.batches_total.inc();
         // Queue wait: enqueue → this worker picking the job up.
         for job in &jobs {
+            shared.tracer.record(job.trace, Stage::Dequeue, 0);
             shared
                 .metrics
                 .stage_queue_wait
@@ -508,6 +578,18 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .stage_batch_assembly
             .observe(assembly_start.elapsed().as_secs_f64());
+        for job in &jobs {
+            shared
+                .tracer
+                .record(job.trace, Stage::BatchAssemble, jobs.len() as u64);
+            // Cache hit/miss deltas are skipped here on purpose: the
+            // cache is shared across workers, so per-job deltas would
+            // misattribute concurrent activity (the gateway's
+            // one-worker-per-replica traces carry them instead).
+            shared
+                .tracer
+                .record(job.trace, Stage::Score, job.items.len() as u64);
+        }
 
         let adapter = BatchAdapter {
             cm: &cm,

@@ -15,6 +15,8 @@
 //!              [--jobs N] [--chunk-size N] [--shard-chunks N] [--cache-cap N]
 //!              [--resume] [--max-shards N] [--runlog run.jsonl]
 //! pge report   run.jsonl
+//! pge trace    run.jsonl
+//! pge check-metrics metrics.txt
 //! ```
 //!
 //! `generate` writes a synthetic labeled dataset; `train` fits
@@ -59,8 +61,9 @@ use pge::gateway::GatewayConfig;
 use pge::graph::tsv::{from_tsv, to_tsv, write_raw_triples};
 use pge::graph::{Dataset, ProductGraph, Triple};
 use pge::obs::{
-    eval_event, manifest_event, render_report, scan_event, set_spans_enabled, spans_event,
-    EvalTelemetry, RunLog,
+    eval_event, global_tracer, manifest_event, render_report, render_traces, scan_event,
+    set_spans_enabled, spans_event, trace_event, validate_exposition, EvalTelemetry, RunLog,
+    Tracer,
 };
 use pge::scan::ScanConfig;
 use pge::serve::ServeConfig;
@@ -76,14 +79,17 @@ fn usage() -> ! {
          pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]\n  \
          pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]\n  \
          pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]\n               \
-         [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache] [--runlog run.jsonl]\n  \
+         [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]\n               \
+         [--trace-slow MS] [--runlog run.jsonl]\n  \
          pge scan     --data data.tsv --model model.pge --input raw.tsv --out-dir DIR\n               \
          [--jobs N] [--chunk-size N] [--shard-chunks N] [--cache-cap N]\n               \
          [--resume] [--max-shards N] [--runlog run.jsonl]\n  \
          pge gateway  --data data.tsv --model model.pge [--addr HOST:PORT] [--replicas N]\n               \
          [--vnodes N] [--cache-cap N] [--queue-cap N] [--max-batch N] [--no-cache]\n               \
-         [--runlog run.jsonl]   (SIGHUP hot-swaps --model from disk)\n  \
-         pge report   run.jsonl"
+         [--trace-slow MS] [--runlog run.jsonl]   (SIGHUP hot-swaps --model from disk)\n  \
+         pge report   run.jsonl\n  \
+         pge trace    run.jsonl        (per-stage waterfalls of retained slow traces)\n  \
+         pge check-metrics metrics.txt (lint a scraped /metrics exposition)"
     );
     exit(2)
 }
@@ -153,15 +159,26 @@ fn load_dataset(path: &str) -> Dataset {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    // `report` takes a positional path, which parse_flags rejects.
-    if cmd == "report" {
+    // `report`, `trace`, and `check-metrics` take a positional path,
+    // which parse_flags rejects.
+    if cmd == "report" || cmd == "trace" || cmd == "check-metrics" {
         let [_, path] = args.as_slice() else { usage() };
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             exit(1)
         });
-        match render_report(&text) {
-            Ok(report) => print!("{report}"),
+        let rendered = match cmd.as_str() {
+            "report" => render_report(&text),
+            "trace" => render_traces(&text),
+            // CI lints a scraped /metrics body for well-formed
+            // Prometheus text exposition.
+            _ => validate_exposition(&text).map(|()| {
+                let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+                format!("{path}: OK ({families} metric families)\n")
+            }),
+        };
+        match rendered {
+            Ok(out) => print!("{out}"),
             Err(e) => {
                 eprintln!("cannot summarize {path}: {e}");
                 exit(1)
@@ -327,6 +344,11 @@ fn main() {
                 exit(1)
             });
             if let Some(log) = &log {
+                // Epoch traces retained by the trainer's flight
+                // recorder, oldest first, for `pge trace`.
+                for t in global_tracer().retained(usize::MAX).iter().rev() {
+                    log.write(&trace_event(t));
+                }
                 log.write(&spans_event());
             }
             println!("model saved to {out}");
@@ -430,6 +452,9 @@ fn main() {
                     parsed("cache-cap", defaults.cache_cap)
                 },
                 queue_cap: parsed("queue-cap", defaults.queue_cap).max(1),
+                trace_slow: get("trace-slow")
+                    .and_then(|s| s.parse().ok())
+                    .map_or(defaults.trace_slow, std::time::Duration::from_millis),
                 runlog_path: get("runlog"),
                 ..defaults
             };
@@ -470,6 +495,9 @@ fn main() {
                 },
                 queue_cap: parsed("queue-cap", defaults.queue_cap).max(1),
                 max_batch: parsed("max-batch", defaults.max_batch).max(1),
+                trace_slow: get("trace-slow")
+                    .and_then(|s| s.parse().ok())
+                    .map_or(defaults.trace_slow, std::time::Duration::from_millis),
                 model_path: Some(model_path.clone()),
                 runlog_path: get("runlog"),
                 ..defaults
@@ -533,12 +561,21 @@ fn main() {
                     ],
                 ));
             }
-            let outcome =
-                pge::scan::scan(&model, det.threshold, std::path::Path::new(&input), &cfg)
-                    .unwrap_or_else(|e| {
-                        eprintln!("scan failed: {e}");
-                        exit(1)
-                    });
+            let tracer = Tracer::default();
+            if let Some(ms) = get("trace-slow").and_then(|s| s.parse().ok()) {
+                tracer.set_threshold(std::time::Duration::from_millis(ms));
+            }
+            let outcome = pge::scan::scan_with_tracer(
+                &model,
+                det.threshold,
+                std::path::Path::new(&input),
+                &cfg,
+                &tracer,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("scan failed: {e}");
+                exit(1)
+            });
             println!(
                 "scanned {} rows ({:.0} rows/s): {} flagged, {} quarantined, {} shards in {out_dir}",
                 outcome.rows_scanned,
@@ -568,6 +605,10 @@ fn main() {
                     ("cache_hits", outcome.cache_hits as f64),
                     ("cache_misses", outcome.cache_misses as f64),
                 ]));
+                // Slow chunk traces, oldest first, for `pge trace`.
+                for t in tracer.retained(usize::MAX).iter().rev() {
+                    log.write(&trace_event(t));
+                }
                 log.write(&spans_event());
             }
         }

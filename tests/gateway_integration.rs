@@ -12,12 +12,15 @@
 //! * **pipelined responses come back in request order**;
 //! * **graceful shutdown** answers every admitted request;
 //! * **a corrupt snapshot is rejected** and the old model keeps
-//!   serving.
+//!   serving;
+//! * **a stalled replica is observable** — tail sampling retains its
+//!   requests and attributes the delay to queue time on that replica.
 
 use pge::core::{save_model_binary, train_pge, Detector, PgeConfig, PgeModel};
 use pge::datagen::{generate_catalog, CatalogConfig};
 use pge::gateway::{start, GatewayConfig, GatewayHandle};
 use pge::graph::Dataset;
+use pge::obs::Stage;
 use pge::serve::json::{self, Json};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -529,6 +532,100 @@ fn reload_swaps_snapshot_and_rejects_corrupt_one() {
 
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stalled_replica_surfaces_in_tail_sampled_traces_as_queue_time() {
+    let data = tiny_data();
+    let (model, threshold) = tiny_model(&data, 2);
+    let handle = gateway(
+        &data,
+        model,
+        threshold,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let n = data.test.len();
+
+    // Healthy pass: nothing stalled. The slowest client-observed
+    // round trip bounds the non-stall latency, so the excess a
+    // stalled request shows over it is attributable to the fault.
+    let mut healthy = Duration::ZERO;
+    for i in 0..n {
+        let t0 = Instant::now();
+        let (status, _) = post_score(addr, &body_for(&data, &[i]));
+        assert_eq!(status, 200);
+        healthy = healthy.max(t0.elapsed());
+    }
+
+    // Retain only traces slower than anything the healthy pass
+    // produced, then stall replica 0 by 50 ms per batch and replay
+    // the same traffic. Titles routed to replica 0 cross the
+    // threshold; titles routed to replica 1 must not.
+    let stall = Duration::from_millis(50);
+    handle.set_trace_threshold(healthy.max(Duration::from_millis(40)));
+    handle.set_replica_stall(0, stall);
+    for i in 0..n {
+        let (status, _) = post_score(addr, &body_for(&data, &[i]));
+        assert_eq!(status, 200);
+    }
+
+    let retained = handle.retained_traces(usize::MAX);
+    assert!(
+        !retained.is_empty(),
+        "stalled replica produced no tail-sampled traces"
+    );
+    for t in &retained {
+        let route = t
+            .events
+            .iter()
+            .find(|e| e.stage == Stage::Route)
+            .expect("retained trace has a route event");
+        assert_eq!(
+            route.arg, 0,
+            "only the stalled replica may appear in the slow set: {t:?}"
+        );
+        let queued = t
+            .stage_durations()
+            .into_iter()
+            .find_map(|(s, d)| (s == Stage::QueueAdmit).then_some(d))
+            .expect("retained trace has a queue_admit stage");
+        // The injected delay lands between queue admit and dequeue,
+        // so >=90% of both the stall itself and the excess over the
+        // healthy bound must be attributed to queue time.
+        assert!(
+            queued as u128 * 10 >= stall.as_nanos() * 9,
+            "queue stage {queued} ns < 90% of the {stall:?} stall: {t:?}"
+        );
+        let excess = t.total_nanos.saturating_sub(healthy.as_nanos() as u64);
+        assert!(
+            queued as u128 * 10 >= excess as u128 * 9,
+            "queue stage {queued} ns < 90% of {excess} ns excess: {t:?}"
+        );
+    }
+
+    // The same traces are live on the wire: /debug/trace serves the
+    // retained set newest-first as JSON waterfalls.
+    let (status, body) = get(addr, "/debug/trace?n=64");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).expect("debug trace parses");
+    let served = parsed.as_array().expect("debug trace is an array");
+    assert_eq!(served.len(), retained.len());
+    let slowest = retained
+        .iter()
+        .max_by_key(|t| t.total_nanos)
+        .expect("non-empty");
+    assert!(
+        body.contains(&format!("{:016x}", slowest.trace_id)),
+        "slowest trace id missing from /debug/trace: {body}"
+    );
+    assert!(body.contains("\"stage\":\"queue_admit\""), "{body}");
+
+    handle.shutdown();
 }
 
 #[test]

@@ -24,6 +24,7 @@ fn golden_runlog_renders_every_section() {
         "run: train  seed 13  git 0123456789",
         "run: eval",
         "run: serve",
+        "run: gateway",
         "training: 3 epochs",
         "loss   1.5033 -> 1.1955",
         "confidence polarization 1.000 -> 0.918",
@@ -32,52 +33,106 @@ fn golden_runlog_renders_every_section() {
         "serve: 120 requests, 480 items, 30 batches, 0 rejected",
         "latency p50 2.10 ms  p99 8.40 ms",
         "cache hit rate 83.3%",
+        "gateway: 50000 requests, 50000 responses, 12 rejected, 3 malformed",
+        "latency p50 1.40 ms  p99 9.70 ms",
+        "10000 connections accepted",
+        "traces: 1 retained (0 errored, slowest 61.42 ms)",
         "train.epoch",
         "detect.score",
+        "gateway.epoll_wait",
     ] {
         assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+}
+
+/// The runlog schema guard: every event kind a `pge` command can emit
+/// must carry the fields dashboards key on. Returns the first
+/// violation instead of panicking so tests can assert both directions.
+fn check_event_schema(line: &str) -> Result<(), String> {
+    let v = parse(line).map_err(|e| format!("unparseable line: {e}: {line}"))?;
+    let event = v
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing event tag: {line}"))?
+        .to_string();
+    if v.get("ts_ms").and_then(Json::as_f64).is_none() {
+        return Err(format!("{event} missing ts_ms: {line}"));
+    }
+    let require = |keys: &[&str]| -> Result<(), String> {
+        for key in keys {
+            if v.get(key).is_none() {
+                return Err(format!("{event} missing {key}: {line}"));
+            }
+        }
+        Ok(())
+    };
+    match event.as_str() {
+        "manifest" => require(&["kind", "seed", "git_rev", "version", "config"]),
+        "epoch" => require(&[
+            "epoch",
+            "mean_loss",
+            "triples",
+            "negatives",
+            "triples_per_sec",
+        ]),
+        "eval" => require(&["pr_auc", "threshold", "valid_accuracy", "test_triples"]),
+        "serve" => require(&["requests_total", "items_total", "latency_p99_ms"]),
+        "gateway" if v.get("swap").is_some() => require(&["version"]),
+        "gateway" => require(&[
+            "requests_total",
+            "responses_total",
+            "rejected_total",
+            "bad_requests_total",
+            "latency_p50_ms",
+            "latency_p99_ms",
+        ]),
+        "trace" => {
+            require(&["trace_id", "total_ms", "error", "stages"])?;
+            let stages = v
+                .get("stages")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("trace stages is not an array: {line}"))?;
+            for s in stages {
+                for key in ["stage", "arg", "t_ms"] {
+                    if s.get(key).is_none() {
+                        return Err(format!("trace stage missing {key}: {line}"));
+                    }
+                }
+            }
+            Ok(())
+        }
+        "spans" => {
+            if v.get("spans").and_then(Json::as_array).is_none() {
+                return Err(format!("spans missing span list: {line}"));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown event kind {other}: {line}")),
     }
 }
 
 #[test]
 fn golden_runlog_lines_parse_with_required_fields() {
     for line in golden().lines() {
-        let v = parse(line).expect("fixture line parses");
-        let event = v.get("event").and_then(Json::as_str).expect("event tag");
-        assert!(v.get("ts_ms").and_then(Json::as_f64).is_some(), "{line}");
-        match event {
-            "manifest" => {
-                for key in ["kind", "seed", "git_rev", "version", "config"] {
-                    assert!(v.get(key).is_some(), "manifest missing {key}: {line}");
-                }
-            }
-            "epoch" => {
-                for key in [
-                    "epoch",
-                    "mean_loss",
-                    "triples",
-                    "negatives",
-                    "triples_per_sec",
-                ] {
-                    assert!(v.get(key).is_some(), "epoch missing {key}: {line}");
-                }
-            }
-            "eval" => {
-                for key in ["pr_auc", "threshold", "valid_accuracy", "test_triples"] {
-                    assert!(v.get(key).is_some(), "eval missing {key}: {line}");
-                }
-            }
-            "serve" => {
-                for key in ["requests_total", "items_total", "latency_p99_ms"] {
-                    assert!(v.get(key).is_some(), "serve missing {key}: {line}");
-                }
-            }
-            "spans" => {
-                assert!(v.get("spans").and_then(Json::as_array).is_some(), "{line}");
-            }
-            other => panic!("unknown event kind {other}: {line}"),
-        }
+        check_event_schema(line).unwrap();
     }
+}
+
+#[test]
+fn schema_guard_catches_missing_fields() {
+    // A gateway shutdown snapshot without its latency quantiles is a
+    // schema break dashboards would silently miss.
+    let bad = r#"{"event":"gateway","ts_ms":1,"requests_total":5,"responses_total":5,"rejected_total":0,"bad_requests_total":0}"#;
+    let err = check_event_schema(bad).unwrap_err();
+    assert!(err.contains("latency_p50_ms"), "{err}");
+    // A trace whose stage entries lost their timestamps likewise.
+    let bad = r#"{"event":"trace","ts_ms":1,"trace_id":"00000000000000ff","total_ms":3.5,"error":false,"stages":[{"stage":"accept","arg":0}]}"#;
+    let err = check_event_schema(bad).unwrap_err();
+    assert!(err.contains("t_ms"), "{err}");
+    // Swap-flavor gateway records need the version they swapped to.
+    let bad = r#"{"event":"gateway","ts_ms":1,"swap":1}"#;
+    let err = check_event_schema(bad).unwrap_err();
+    assert!(err.contains("version"), "{err}");
 }
 
 /// Run the real binary; panics on spawn failure, returns stdout.
