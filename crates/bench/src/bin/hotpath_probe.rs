@@ -1,0 +1,172 @@
+//! `hotpath_probe` — component-level cost breakdown of the scan row
+//! path: CNN text encoding (the cache-miss cost), cached scoring with
+//! scratch reuse (the cache-hit cost), and a raw kernel sweep. Run it
+//! before trusting any end-to-end rows/s number: it says which
+//! component a regression lives in.
+//!
+//! ```text
+//! hotpath_probe [--iters N]
+//! ```
+
+use pge_core::{train_pge, CachedModel, EmbeddingCache, PgeConfig, ScoreScratch};
+use pge_datagen::{generate_catalog, CatalogConfig};
+use pge_tensor::kernels;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: u64 = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+
+    let data = generate_catalog(&CatalogConfig {
+        products: 200,
+        labeled: 80,
+        seed: 11,
+        ..CatalogConfig::tiny()
+    });
+    let model = train_pge(
+        &data,
+        &PgeConfig {
+            epochs: 1,
+            ..PgeConfig::default()
+        },
+    )
+    .model;
+
+    let t = data.graph.triples()[0];
+    let title = data.graph.title(t.product).to_string();
+    let attr = data.graph.attr_name(t.attr).to_string();
+    let value = data.graph.value_text(t.value).to_string();
+    println!(
+        "kernel: {}  iters: {iters}  title: {title:?}",
+        kernels::active_kernel().name()
+    );
+
+    // Cache-miss cost: one full CNN encode per call.
+    let start = Instant::now();
+    let mut sink = 0.0f32;
+    for i in 0..iters {
+        // Vary the tail so no memoization can hide the work.
+        let text = if i % 2 == 0 { &title } else { &value };
+        sink += model.embed_text(text)[0];
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("embed_text       : {per:>9.0} ns/call");
+
+    // Tokenization alone, to separate text preprocessing from the
+    // CNN forward inside embed_text.
+    let start = Instant::now();
+    let mut toks = 0usize;
+    for i in 0..iters {
+        let text = if i % 2 == 0 { &title } else { &value };
+        toks += pge_text::tokenize(text).len();
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!(
+        "tokenize         : {per:>9.0} ns/call  ({} tokens avg)",
+        toks / iters as usize
+    );
+
+    // Cache-hit cost: the steady-state row, everything already cached.
+    let cache = EmbeddingCache::new(1024);
+    let cached = CachedModel::new(&model, &cache);
+    let mut scratch = ScoreScratch::default();
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink += cached
+            .score_text_triple_scratch(&title, &attr, &value, &mut scratch)
+            .unwrap_or(0.0);
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("score (cache hit): {per:>9.0} ns/row");
+
+    // Score-line formatting, the committer's per-row work.
+    use std::io::Write as _;
+    let mut buf = Vec::with_capacity(64);
+    let start = Instant::now();
+    for i in 0..iters {
+        buf.clear();
+        let _ = writeln!(buf, "{title}\t{attr}\t{value}\t{:.6}\t{}", sink, i % 2);
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!(
+        "format line      : {per:>9.0} ns/row  ({} bytes)",
+        buf.len()
+    );
+
+    std::hint::black_box(sink);
+
+    // Span breakdown of a real (small) scan: read / score / write /
+    // commit totals localize end-to-end cost that the component
+    // numbers above don't explain.
+    let work = std::env::temp_dir().join(format!("pge-hotpath-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("probe dir");
+    let input = work.join("in.tsv");
+    {
+        use std::io::Write as _;
+        let f = std::fs::File::create(&input).unwrap();
+        let mut w = std::io::BufWriter::new(f);
+        let mut n = 0u64;
+        let mut lot = 0u64;
+        'outer: loop {
+            for t in data.graph.triples() {
+                if n >= 200_000 {
+                    break 'outer;
+                }
+                writeln!(
+                    w,
+                    "{} lot {lot}\t{}\t{}",
+                    data.graph.title(t.product),
+                    data.graph.attr_name(t.attr),
+                    data.graph.value_text(t.value)
+                )
+                .unwrap();
+                n += 1;
+            }
+            lot += 1;
+        }
+    }
+    // Reader alone: TSV line parse + field split + owned-row build,
+    // no scoring. This is the producer-side floor for rows/s.
+    {
+        let f = std::fs::File::open(&input).unwrap();
+        let r = pge_graph::RawTripleReader::new(std::io::BufReader::new(f));
+        let start = Instant::now();
+        let mut n = 0u64;
+        for row in r {
+            if row.is_ok() {
+                n += 1;
+            }
+        }
+        let per = start.elapsed().as_nanos() as f64 / n as f64;
+        println!("read+parse row   : {per:>9.0} ns/row  ({n} rows)");
+    }
+
+    pge_obs::set_spans_enabled(true);
+    pge_obs::reset_spans();
+    let mut cfg = pge_scan::ScanConfig::new(work.join("out"));
+    cfg.jobs = 1;
+    let start = Instant::now();
+    let o = pge_scan::scan(&model, 0.0, &input, &cfg).expect("probe scan");
+    let wall = start.elapsed().as_secs_f64();
+    pge_obs::set_spans_enabled(false);
+    println!(
+        "scan 200k rows, jobs 1: {:.0} rows/s  wall {wall:.2}s",
+        o.rows_per_sec
+    );
+    for r in pge_obs::span_snapshot() {
+        println!(
+            "  {:<24} {:>10.3}s total  {:>8} calls  {:>9.0} ns/call",
+            r.path,
+            r.total_secs,
+            r.count,
+            1e9 * r.mean_secs()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&work);
+}

@@ -3,14 +3,19 @@
 //! Trains a small model, synthesizes a catalog-scale raw triple file
 //! (default one million rows: a base catalog replicated with distinct
 //! per-lot titles, so the embedding cache sees a realistic mix of
-//! misses and hits), bulk-scans it with `--jobs 1` and with the full
-//! worker pool, verifies both runs produced identical shard CRCs, and
-//! writes `BENCH_scan.json` with rows/s, shard counts, cache hit
-//! rates, and the process peak RSS.
+//! misses and hits), bulk-scans it in a `--jobs` sweep (1, 2, 4),
+//! verifies every run produced identical shard CRCs, and writes
+//! `BENCH_scan.json` with rows/s, shard counts, cache hit rates,
+//! per-worker busy time, the active compute kernel, the true host
+//! core count, and the process peak RSS.
 //!
 //! ```text
-//! scan_probe [--rows N] [--jobs N] [--out FILE]
+//! scan_probe [--rows N] [--out FILE]
 //! ```
+//!
+//! Scaling caveat: on a single-core host the sweep measures pool
+//! overhead, not speedup — read `effective_parallelism` together with
+//! `host_cpus` before drawing scaling conclusions.
 //!
 //! Peak RSS is read from `/proc/self/status` (`VmHWM`) and is a
 //! process-wide high-water mark — the number that matters for the
@@ -61,7 +66,7 @@ fn synthesize_input(path: &Path, base: &[(String, String, String)], rows: u64) -
     written
 }
 
-fn outcome_json(label: &str, jobs: usize, o: &ScanOutcome, peak_mib: f64) -> Json {
+fn outcome_json(label: &str, o: &ScanOutcome, peak_mib: f64) -> Json {
     let hit_rate = if o.cache_hits + o.cache_misses > 0 {
         o.cache_hits as f64 / (o.cache_hits + o.cache_misses) as f64
     } else {
@@ -69,7 +74,8 @@ fn outcome_json(label: &str, jobs: usize, o: &ScanOutcome, peak_mib: f64) -> Jso
     };
     Json::Obj(vec![
         ("label".into(), Json::Str(label.into())),
-        ("jobs".into(), Json::Num(jobs as f64)),
+        ("jobs".into(), Json::Num(o.jobs as f64)),
+        ("kernel".into(), Json::Str(o.kernel.clone())),
         ("rows".into(), Json::Num(o.rows_scanned as f64)),
         ("errors_flagged".into(), Json::Num(o.errors_flagged as f64)),
         ("quarantined".into(), Json::Num(o.quarantined as f64)),
@@ -77,6 +83,23 @@ fn outcome_json(label: &str, jobs: usize, o: &ScanOutcome, peak_mib: f64) -> Jso
         ("elapsed_sec".into(), Json::Num(o.elapsed_sec)),
         ("rows_per_sec".into(), Json::Num(o.rows_per_sec)),
         ("cache_hit_rate".into(), Json::Num(hit_rate)),
+        (
+            "effective_parallelism".into(),
+            Json::Num(o.effective_parallelism),
+        ),
+        (
+            "worker_busy_sec".into(),
+            Json::Arr(o.worker_busy_sec.iter().map(|&s| Json::Num(s)).collect()),
+        ),
+        (
+            "worker_chunks".into(),
+            Json::Arr(
+                o.worker_chunks
+                    .iter()
+                    .map(|&c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        ),
         ("peak_rss_mib".into(), Json::Num(peak_mib)),
     ])
 }
@@ -101,10 +124,6 @@ fn main() {
             .unwrap_or(default)
     };
     let rows = flag("--rows", 1_000_000);
-    let jobs = flag(
-        "--jobs",
-        std::thread::available_parallelism().map_or(4, |n| n.get().min(8) as u64),
-    ) as usize;
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -150,30 +169,38 @@ fn main() {
     let input_mib = std::fs::metadata(&input).expect("stat input").len() as f64 / (1024.0 * 1024.0);
     eprintln!("input: {written} rows, {input_mib:.1} MiB");
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = pge_tensor::active_kernel().name();
+    eprintln!("host cpus: {host_cpus}, kernel: {kernel}");
+
     let mut runs = Vec::new();
     let mut crcs = Vec::new();
-    for (label, j) in [("jobs-1", 1usize), ("jobs-n", jobs)] {
-        let out_dir = work.join(label);
+    for j in [1usize, 2, 4] {
+        let label = format!("jobs-{j}");
+        let out_dir = work.join(&label);
         let mut cfg = ScanConfig::new(&out_dir);
         cfg.jobs = j;
         let o = scan(&trained.model, threshold, &input, &cfg).expect("probe scan");
         assert!(o.done);
         let peak = peak_rss_mib();
         eprintln!(
-            "{label:>7}: {:>9.0} rows/s  {} shards  hit rate {:.1}%  peak RSS {peak:.0} MiB",
+            "{label:>7}: {:>9.0} rows/s  {} shards  hit rate {:.1}%  eff par {:.2}  peak RSS {peak:.0} MiB",
             o.rows_per_sec,
             o.shards_total,
             100.0 * o.cache_hits as f64 / (o.cache_hits + o.cache_misses).max(1) as f64,
+            o.effective_parallelism,
         );
         crcs.push(shard_crcs(&out_dir));
-        runs.push(outcome_json(label, j, &o, peak));
+        runs.push(outcome_json(&label, &o, peak));
     }
-    assert_eq!(
-        crcs[0], crcs[1],
-        "jobs 1 and jobs {jobs} must produce identical shards"
-    );
+    for (i, crc) in crcs.iter().enumerate().skip(1) {
+        assert_eq!(
+            &crcs[0], crc,
+            "sweep run {i} produced different shards than jobs-1"
+        );
+    }
     eprintln!(
-        "jobs-1 and jobs-{jobs} shard CRCs identical ({} shards)",
+        "all sweep runs produced identical shard CRCs ({} shards)",
         crcs[0].len()
     );
 
@@ -195,7 +222,8 @@ fn main() {
         ),
         ("rows".into(), Json::Num(written as f64)),
         ("input_mib".into(), Json::Num(input_mib)),
-        ("jobs".into(), Json::Num(jobs as f64)),
+        ("host_cpus".into(), Json::Num(host_cpus as f64)),
+        ("kernel".into(), Json::Str(kernel.into())),
         ("shards_identical".into(), Json::Bool(true)),
         ("runs".into(), Json::Arr(runs)),
     ]);

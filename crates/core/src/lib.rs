@@ -34,7 +34,7 @@ pub mod score;
 pub mod trainer;
 
 pub use api::ErrorDetector;
-pub use cache::{CachedModel, EmbeddingCache, EmbeddingProvider};
+pub use cache::{CachedModel, EmbeddingCache, EmbeddingProvider, ScoreScratch};
 pub use checkpoint::{
     config_hash, data_fingerprint, CheckpointOptions, TrainerState, CHECKPOINT_FILE,
     CHECKPOINT_MAGIC,
@@ -47,7 +47,7 @@ pub use persist::{
     load_model, load_model_auto, load_model_binary, save_model, save_model_binary, PersistError,
     BINARY_MAGIC,
 };
-pub use score::{ScoreKind, Scorer};
+pub use score::{PreparedRelation, ScoreKind, Scorer};
 pub use trainer::{
     resolve_threads, train_pge, train_pge_resumable, train_pge_with_log, PgeConfig, TrainedPge,
     GRAD_LANES,

@@ -5,7 +5,7 @@ use crate::encoder::TextEncoder;
 use crate::score::Scorer;
 use pge_graph::{AttrId, ProductGraph, Triple};
 use pge_nn::Embedding;
-use pge_text::{tokenize, Vocab};
+use pge_text::{tokenize, tokenize_each, Vocab};
 
 /// A trained (or in-training) PGE model.
 ///
@@ -99,7 +99,12 @@ impl PgeModel {
     /// Embed a piece of raw text (title or value) — tokenize, encode
     /// against the training vocabulary, and run the text encoder.
     pub fn embed_text(&self, text: &str) -> Vec<f32> {
-        self.encoder.infer(&self.vocab.encode(&tokenize(text)))
+        // Tokenize and encode in one streaming pass: same tokens in
+        // the same order as `vocab.encode(&tokenize(text))`, without
+        // allocating a `String` per token on the scan's miss path.
+        let mut ids = Vec::with_capacity(16);
+        tokenize_each(text, |tok| ids.push(self.vocab.get_or_unk(tok)));
+        self.encoder.infer(&ids)
     }
 
     /// Score a fact given *raw text* — the fully inductive entry

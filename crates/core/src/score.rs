@@ -5,6 +5,17 @@
 //! function", and evaluates TransE and RotatE variants of PGE.
 //! DistMult and ComplEx are implemented as well for the baseline
 //! suite. Higher scores mean more plausible triples.
+//!
+//! The distance reductions run on the kernel-dispatched blocked
+//! implementations in [`pge_tensor::kernels`] (scalar reference or
+//! AVX2 `f32x8`, bit-identical either way). Relations are few and
+//! closed-world, so bulk paths (scan, serve) can amortize the
+//! per-relation trigonometry: [`Scorer::prepare`] caches RotatE's
+//! `sin/cos` arrays once, and [`PreparedRelation::score`] is then
+//! bit-identical to [`Scorer::score`] — both feed the same kernels
+//! the same inputs.
+
+use pge_tensor::kernels;
 
 /// Which scoring function to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,48 +90,50 @@ impl Scorer {
         debug_assert_eq!(h.len(), t.len());
         debug_assert_eq!(r.len(), self.rel_dim(h.len()));
         match self.kind {
-            ScoreKind::TransE => {
-                let mut dist = 0.0;
-                for i in 0..h.len() {
-                    dist += (h[i] + r[i] - t[i]).abs();
-                }
-                self.gamma - dist
-            }
+            ScoreKind::TransE => self.gamma - kernels::l1_dist3(h, r, t),
             ScoreKind::RotatE => {
                 let m = h.len() / 2;
                 let (h_re, h_im) = h.split_at(m);
                 let (t_re, t_im) = t.split_at(m);
-                let mut dist = 0.0;
-                for i in 0..m {
-                    let (sin, cos) = r[i].sin_cos();
-                    let hr_re = h_re[i] * cos - h_im[i] * sin;
-                    let hr_im = h_re[i] * sin + h_im[i] * cos;
-                    let dre = hr_re - t_re[i];
-                    let dim = hr_im - t_im[i];
-                    dist += (dre * dre + dim * dim + MOD_EPS).sqrt();
-                }
-                self.gamma - dist
+                // Spell the rotation out as sin/cos arrays so the
+                // one-shot path feeds the exact same kernel as the
+                // prepared (cached-trig) path; a stack buffer covers
+                // every realistic entity dimension without allocating.
+                let mut sin_buf = [0.0f32; 64];
+                let mut cos_buf = [0.0f32; 64];
+                let heap: (Vec<f32>, Vec<f32>);
+                let (sin, cos): (&[f32], &[f32]) = if m <= 64 {
+                    for i in 0..m {
+                        let (s, c) = r[i].sin_cos();
+                        sin_buf[i] = s;
+                        cos_buf[i] = c;
+                    }
+                    (&sin_buf[..m], &cos_buf[..m])
+                } else {
+                    heap = r.iter().map(|x| x.sin_cos()).unzip();
+                    (&heap.0, &heap.1)
+                };
+                self.gamma - kernels::rotate_dist(h_re, h_im, sin, cos, t_re, t_im, MOD_EPS)
             }
-            ScoreKind::DistMult => {
-                let mut s = 0.0;
-                for i in 0..h.len() {
-                    s += h[i] * r[i] * t[i];
-                }
-                s
-            }
-            ScoreKind::ComplEx => {
-                let m = h.len() / 2;
-                let (h_re, h_im) = h.split_at(m);
-                let (t_re, t_im) = t.split_at(m);
-                let (r_re, r_im) = r.split_at(m);
-                let mut s = 0.0;
-                for i in 0..m {
-                    // Re( h · r · conj(t) )
-                    s += (h_re[i] * r_re[i] - h_im[i] * r_im[i]) * t_re[i]
-                        + (h_re[i] * r_im[i] + h_im[i] * r_re[i]) * t_im[i];
-                }
-                s
-            }
+            ScoreKind::DistMult => kernels::dot3(h, r, t),
+            ScoreKind::ComplEx => complex_score(h, r, t),
+        }
+    }
+
+    /// Cache the per-relation work (RotatE's trigonometry, a copy of
+    /// the relation vector) for scoring many `(h, t)` pairs against
+    /// one attribute. [`PreparedRelation::score`] is bit-identical to
+    /// [`Scorer::score`] on the same inputs.
+    pub fn prepare(&self, r: &[f32]) -> PreparedRelation {
+        let (sin, cos) = match self.kind {
+            ScoreKind::RotatE => r.iter().map(|x| x.sin_cos()).unzip(),
+            _ => (Vec::new(), Vec::new()),
+        };
+        PreparedRelation {
+            scorer: *self,
+            r: r.to_vec(),
+            sin,
+            cos,
         }
     }
 
@@ -198,6 +211,57 @@ impl Scorer {
                     dt_im[i] += df * (h_re[i] * r_im[i] + h_im[i] * r_re[i]);
                 }
             }
+        }
+    }
+}
+
+/// Shared ComplEx reduction `Re(Σ h·r·conj(t))`; blocked like the
+/// `pge_tensor::kernels` reductions so both the one-shot and prepared
+/// scoring paths run this exact code (scalar only — ComplEx is not on
+/// the bulk-scan hot path).
+fn complex_score(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    let m = h.len() / 2;
+    let (h_re, h_im) = h.split_at(m);
+    let (t_re, t_im) = t.split_at(m);
+    let (r_re, r_im) = r.split_at(m);
+    let mut s = 0.0;
+    for i in 0..m {
+        // Re( h · r · conj(t) )
+        s += (h_re[i] * r_re[i] - h_im[i] * r_im[i]) * t_re[i]
+            + (h_re[i] * r_im[i] + h_im[i] * r_re[i]) * t_im[i];
+    }
+    s
+}
+
+/// A relation vector pre-processed for repeated scoring: bulk paths
+/// (scan, serve) score millions of `(h, t)` pairs against a handful
+/// of closed-world attributes, and RotatE's per-dimension `sin_cos`
+/// was a measurable slice of that hot loop. Build once per attribute
+/// via [`Scorer::prepare`].
+#[derive(Clone, Debug)]
+pub struct PreparedRelation {
+    scorer: Scorer,
+    r: Vec<f32>,
+    /// RotatE only: the rotation as precomputed sin/cos; empty
+    /// otherwise.
+    sin: Vec<f32>,
+    cos: Vec<f32>,
+}
+
+impl PreparedRelation {
+    /// Plausibility score — bit-identical to
+    /// [`Scorer::score`]`(h, r, t)` for the prepared `r`.
+    #[inline]
+    pub fn score(&self, h: &[f32], t: &[f32]) -> f32 {
+        match self.scorer.kind {
+            ScoreKind::RotatE => {
+                let m = h.len() / 2;
+                let (h_re, h_im) = h.split_at(m);
+                let (t_re, t_im) = t.split_at(m);
+                self.scorer.gamma
+                    - kernels::rotate_dist(h_re, h_im, &self.sin, &self.cos, t_re, t_im, MOD_EPS)
+            }
+            _ => self.scorer.score(h, &self.r, t),
         }
     }
 }
@@ -296,6 +360,30 @@ mod tests {
             gradcheck::assert_close(&dh, &nh, 2e-2, &format!("{kind:?} dh"));
             gradcheck::assert_close(&dr, &nr, 2e-2, &format!("{kind:?} dr"));
             gradcheck::assert_close(&dt, &nt, 2e-2, &format!("{kind:?} dt"));
+        }
+    }
+
+    #[test]
+    fn prepared_relation_bit_identical_to_one_shot() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for kind in ALL {
+            let s = Scorer::new(kind, 6.0);
+            let d = 32; // the default entity dim: exercises full blocks
+            let r = rand_vec(&mut rng, s.rel_dim(d));
+            let prep = s.prepare(&r);
+            for kernel in [pge_tensor::Kernel::Scalar, pge_tensor::Kernel::Simd] {
+                pge_tensor::set_kernel(Some(kernel));
+                for _ in 0..50 {
+                    let h = rand_vec(&mut rng, d);
+                    let t = rand_vec(&mut rng, d);
+                    assert_eq!(
+                        s.score(&h, &r, &t).to_bits(),
+                        prep.score(&h, &t).to_bits(),
+                        "{kind:?} prepared path diverged under {kernel:?}"
+                    );
+                }
+            }
+            pge_tensor::set_kernel(None);
         }
     }
 

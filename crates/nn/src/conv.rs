@@ -12,7 +12,7 @@ use crate::embedding::Embedding;
 use crate::gradcheck::HasParams;
 use crate::linear::{Activation, Linear};
 use crate::param::Param;
-use pge_tensor::{init, ops, Matrix};
+use pge_tensor::{init, kernels, ops, Matrix};
 use rand::Rng;
 
 /// One 1-d convolution of width `k` over a `L × in_dim` sequence,
@@ -86,24 +86,43 @@ impl Conv1d {
         let window = self.width * self.in_dim;
         let xs = x.as_slice();
         let bias = self.b.value.as_slice();
-        for (f, of) in out.iter_mut().enumerate() {
-            let wrow = self.w.value.row(f);
-            let mut best = f32::NEG_INFINITY;
-            let mut best_pos = 0;
-            for i in 0..positions {
-                // Rows are contiguous, so a width-k window starting at
-                // row i is one contiguous slice of length k·in_dim.
-                let win = &xs[i * self.in_dim..i * self.in_dim + window];
-                let pre = ops::dot(wrow, win) + bias[f];
-                let act = pre.tanh();
-                if act > best {
-                    best = act;
-                    best_pos = i;
+        let nf = out.len();
+        // tanh is strictly increasing, so max-over-time of tanh(pre)
+        // is tanh(max-over-time pre): compare raw pre-activations and
+        // activate once per filter instead of once per position. The
+        // loop is position-major so one kernel-dispatched gemv scores
+        // every filter against a window, loading the window once per
+        // tile of filters instead of once per filter; each filter's
+        // pre-activation sequence (and hence its bits) is unchanged
+        // from the filter-major dot formulation.
+        //
+        // Edge cases vs activating inside the loop: when rounding
+        // maps two distinct pre-activations to the same tanh, the
+        // argmax recorded for backward is now the larger *pre* (the
+        // output value is identical); an all-NaN feature map now
+        // pools to tanh(-inf) = -1.0 rather than -inf. Both kernels
+        // share this path, so determinism is unaffected.
+        let mut pre = vec![0.0f32; nf];
+        let mut best_pre = vec![f32::NEG_INFINITY; nf];
+        let mut best_pos = vec![0usize; nf];
+        for i in 0..positions {
+            // Rows are contiguous, so a width-k window starting at
+            // row i is one contiguous slice of length k·in_dim.
+            let win = &xs[i * self.in_dim..i * self.in_dim + window];
+            kernels::gemv(self.w.value.as_slice(), win, &mut pre);
+            for f in 0..nf {
+                let p = pre[f] + bias[f];
+                if p > best_pre[f] {
+                    best_pre[f] = p;
+                    best_pos[f] = i;
                 }
             }
+        }
+        for (f, of) in out.iter_mut().enumerate() {
+            let best = best_pre[f].tanh();
             *of = best;
             if let Some(c) = cache.as_deref_mut() {
-                c.max_pos[f] = best_pos;
+                c.max_pos[f] = best_pos[f];
                 c.max_act[f] = best;
             }
         }

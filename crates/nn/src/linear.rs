@@ -95,9 +95,17 @@ impl Linear {
 
     fn affine(&self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.input_dim());
-        let mut y = self.b.value.as_slice().to_vec();
-        for (o, yo) in y.iter_mut().enumerate() {
-            *yo += ops::dot(self.w.value.row(o), x);
+        // One gemv over all output rows; `b[o] + dot(row_o, x)` is
+        // bit-identical to the previous per-row `y[o] += dot(...)`.
+        let mut y = vec![0.0f32; self.output_dim()];
+        pge_tensor::kernels::gemv(self.w.value.as_slice(), x, &mut y);
+        for (yo, &bo) in y.iter_mut().zip(self.b.value.as_slice()) {
+            // `bo + dot` keeps the historical operand order; only the
+            // NaN-payload carve-out distinguishes it from `+=`.
+            #[allow(clippy::assign_op_pattern)]
+            {
+                *yo = bo + *yo;
+            }
         }
         y
     }

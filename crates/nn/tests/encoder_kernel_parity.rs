@@ -1,0 +1,70 @@
+//! End-to-end kernel invariance of the CNN text encoder: the full
+//! embed → conv(+tanh-hoisted max pool) → project pipeline must give
+//! bit-identical outputs whether the scalar-reference or AVX2 kernels
+//! run underneath. This is the layer-level complement of the per-op
+//! proofs in `pge-tensor/tests/kernel_parity.rs`, and what the scan
+//! shard-CRC and training-resume guarantees actually rest on.
+//!
+//! Kept as one `#[test]` so the global kernel override is never
+//! flipped concurrently by sibling tests in this binary.
+
+use pge_nn::conv::{CnnConfig, TextCnnEncoder};
+use pge_tensor::{kernels, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn encoder_bits_invariant_under_kernel_switch() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cfg = CnnConfig {
+        vocab: 64,
+        word_dim: 19, // deliberately not a multiple of 8: ragged tails
+        widths: vec![1, 2, 3],
+        filters_per_width: 7,
+        out_dim: 13,
+        max_len: 21,
+    };
+    let enc = TextCnnEncoder::new(&mut rng, cfg);
+
+    let mut sequences: Vec<Vec<u32>> = vec![vec![], vec![5], (0..40).map(|i| i % 64).collect()];
+    for _ in 0..25 {
+        let len = rng.gen_range(1..30);
+        sequences.push((0..len).map(|_| rng.gen_range(0..64)).collect());
+    }
+
+    for tokens in &sequences {
+        kernels::set_kernel(Some(kernels::Kernel::Scalar));
+        let scalar = enc.infer(tokens);
+        kernels::set_kernel(Some(kernels::Kernel::Simd));
+        let simd = enc.infer(tokens);
+        kernels::set_kernel(None);
+        let sb: Vec<u32> = scalar.iter().map(|x| x.to_bits()).collect();
+        let vb: Vec<u32> = simd.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(sb, vb, "encoder output bits diverged for {tokens:?}");
+    }
+
+    // Matrix products too (backward path / other layers): matmul's
+    // broadcast-axpy and matmul_transposed's dot both dispatch.
+    let a = Matrix::from_vec(
+        9,
+        23,
+        (0..9 * 23)
+            .map(|i| ((i * 37) % 101) as f32 * 0.13)
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        23,
+        11,
+        (0..23 * 11)
+            .map(|i| ((i * 53) % 97) as f32 * -0.07)
+            .collect(),
+    );
+    let bt = b.transposed();
+    kernels::set_kernel(Some(kernels::Kernel::Scalar));
+    let (p_s, q_s) = (a.matmul(&b), a.matmul_transposed(&bt));
+    kernels::set_kernel(Some(kernels::Kernel::Simd));
+    let (p_v, q_v) = (a.matmul(&b), a.matmul_transposed(&bt));
+    kernels::set_kernel(None);
+    assert_eq!(p_s, p_v, "matmul bits diverged across kernels");
+    assert_eq!(q_s, q_v, "matmul_transposed bits diverged across kernels");
+}

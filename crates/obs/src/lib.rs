@@ -32,6 +32,7 @@ pub mod report;
 pub mod runlog;
 pub mod span;
 pub mod trace;
+pub mod worker;
 
 pub use hist::AtomicHistogram;
 pub use manifest::{git_rev, unix_time_ms};
@@ -48,3 +49,4 @@ pub use span::{
 pub use trace::{
     global_tracer, FlightRecorder, RetainedTrace, Stage, TraceEvent, TraceIdGen, Tracer,
 };
+pub use worker::{WorkerLedger, WorkerStats};

@@ -18,15 +18,25 @@
 //! `jobs`, and a killed scan resumed from its last durable shard
 //! reproduces exactly what an uninterrupted run would have written.
 //!
-//! **Bounded memory.** Both channels are bounded at `2 × jobs`
-//! chunks and the committer's reorder buffer cannot exceed the number
-//! of in-flight chunks, so peak memory is
+//! **Parallelism.** Each worker owns a bounded private queue and the
+//! reader deals chunks round-robin (`idx % jobs`), so chunk handoff
+//! never serializes the pool. (The first cut shared one
+//! `Mutex<Receiver>` across workers; on top of recv contention it
+//! made every handoff a lock round-trip, and the scaling curve was
+//! flat. A per-worker [`WorkerLedger`] now records busy time and
+//! chunk counts per worker precisely so that regression class is
+//! visible: spans around the scoring loop include blocked-on-channel
+//! time and cannot distinguish a serialized pool from a busy one.)
+//!
+//! **Bounded memory.** Worker queues hold 2 chunks each and the done
+//! channel `2 × jobs`, and the committer's reorder buffer cannot
+//! exceed the number of in-flight chunks, so peak memory is
 //! `O(jobs × chunk_size × row size)` regardless of input size.
 
 use crate::checkpoint::{shard_file_name, Manifest, ShardEntry, MANIFEST_FILE, QUARANTINE_FILE};
-use pge_core::{CachedModel, EmbeddingCache, PgeModel};
+use pge_core::{CachedModel, EmbeddingCache, PgeModel, ScoreScratch};
 use pge_graph::{RawTriple, RawTripleError, RawTripleReader};
-use pge_obs::{span, Stage, Tracer};
+use pge_obs::{span, Stage, Tracer, WorkerLedger};
 use pge_tensor::Crc32;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
@@ -34,7 +44,6 @@ use std::io::{self, BufReader, BufWriter, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Bulk-scan failures.
@@ -103,6 +112,14 @@ impl ScanConfig {
             max_shards: None,
         }
     }
+
+    /// The worker count a scan with this config will actually use:
+    /// `jobs` when explicit, otherwise the host's available
+    /// parallelism capped at 8. Lets callers log the resolved value
+    /// up front instead of echoing the `0 = auto` sentinel.
+    pub fn resolved_jobs(&self) -> usize {
+        resolve_jobs(self.jobs)
+    }
 }
 
 /// What a [`scan`] invocation accomplished.
@@ -134,6 +151,24 @@ pub struct ScanOutcome {
     pub rows_per_sec: f64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Worker threads actually used (resolved from `ScanConfig::jobs`;
+    /// 0 on the nothing-to-do path).
+    pub jobs: usize,
+    /// `std::thread::available_parallelism()` on this host — what
+    /// `jobs = 0` auto-detection saw, recorded so bench JSON reports
+    /// the true core count instead of a guess.
+    pub host_cpus: usize,
+    /// Active compute kernel (`"scalar"` or `"simd"`).
+    pub kernel: String,
+    /// Per-worker busy seconds (time actively scoring chunks,
+    /// excluding channel waits), in worker order.
+    pub worker_busy_sec: Vec<f64>,
+    /// Per-worker chunks processed, in worker order.
+    pub worker_chunks: Vec<u64>,
+    /// Σ worker busy time / wall time: ~1.0 means the pool did one
+    /// core's worth of concurrent scoring no matter how many workers
+    /// it had — the signature of the serialized-handoff bug.
+    pub effective_parallelism: f64,
 }
 
 /// A chunk of parsed input on its way to the workers.
@@ -191,6 +226,10 @@ struct Committer<'a> {
     threshold: f32,
     quarantine: File,
     q_bytes: u64,
+    /// `q_bytes` as of the last commit: the quarantine file is only
+    /// fsynced when it actually grew (the common case is zero
+    /// quarantined lines, where the fsync was pure per-shard latency).
+    q_synced_bytes: u64,
     q_lines: u64,
     cur: Option<ShardInProgress>,
     /// Reader position covered by everything appended so far.
@@ -214,7 +253,9 @@ impl<'a> Committer<'a> {
                 .map_err(|e| ScanError::io(format!("create {}", tmp.display()), e))?;
             self.cur = Some(ShardInProgress {
                 tmp,
-                file: BufWriter::new(file),
+                // 256 KiB batches ~2k scored rows per write syscall;
+                // the stock 8 KiB buffer paid one every ~70 rows.
+                file: BufWriter::with_capacity(256 << 10, file),
                 crc: Crc32::new(),
                 bytes: 0,
                 rows: 0,
@@ -261,15 +302,7 @@ impl<'a> Committer<'a> {
                     let is_error = p.is_nan() || p <= threshold;
                     self.line_buf.clear();
                     use std::fmt::Write as _;
-                    let _ = writeln!(
-                        self.line_buf,
-                        "{}\t{}\t{}\t{}\t{}",
-                        t.title,
-                        t.attr,
-                        t.value,
-                        p,
-                        u8::from(is_error)
-                    );
+                    let _ = writeln!(self.line_buf, "{}\t{}\t{}", t.text(), p, u8::from(is_error));
                     let line = std::mem::take(&mut self.line_buf);
                     let sp = self.shard()?;
                     sp.crc.update(line.as_bytes());
@@ -283,9 +316,8 @@ impl<'a> Committer<'a> {
                     self.new_errors += u64::from(is_error);
                 }
                 None => {
-                    let reason = format!("unknown attribute {:?}", t.attr);
-                    let raw = format!("{}\t{}\t{}", t.title, t.attr, t.value);
-                    self.quarantine_line(t.line, t.offset, &reason, &raw)?;
+                    let reason = format!("unknown attribute {:?}", t.attr());
+                    self.quarantine_line(t.line, t.offset, &reason, t.text())?;
                 }
             }
         }
@@ -325,9 +357,12 @@ impl<'a> Committer<'a> {
             .map_err(|e| ScanError::io(format!("fsync {name}"), e))?;
         drop(file);
         fs::rename(&sp.tmp, &final_path).map_err(|e| ScanError::io(format!("rename {name}"), e))?;
-        self.quarantine
-            .sync_all()
-            .map_err(|e| ScanError::io("fsync quarantine".into(), e))?;
+        if self.q_bytes != self.q_synced_bytes {
+            self.quarantine
+                .sync_all()
+                .map_err(|e| ScanError::io("fsync quarantine".into(), e))?;
+            self.q_synced_bytes = self.q_bytes;
+        }
         self.manifest.shards.push(ShardEntry {
             file: name,
             rows: sp.rows,
@@ -534,7 +569,7 @@ pub fn scan_with_tracer(
         .seek(SeekFrom::Start(manifest.input_bytes))
         .map_err(|e| ScanError::io("seek input".into(), e))?;
     let reader = RawTripleReader::with_position(
-        BufReader::new(in_file),
+        BufReader::with_capacity(256 << 10, in_file),
         manifest.lines_done as usize,
         manifest.input_bytes,
     );
@@ -561,6 +596,7 @@ pub fn scan_with_tracer(
         out_dir: &cfg.out_dir,
         threshold,
         q_bytes: manifest.quarantine_bytes,
+        q_synced_bytes: manifest.quarantine_bytes,
         q_lines: manifest.quarantined,
         pos: (manifest.lines_done, manifest.input_bytes),
         manifest,
@@ -577,41 +613,63 @@ pub fn scan_with_tracer(
     let chunk_size = cfg.chunk_size;
     let max_shards = cfg.max_shards;
 
-    let (work_tx, work_rx) = sync_channel::<Chunk>(jobs * 2);
-    let work_rx = Mutex::new(work_rx);
-    let (done_tx, done_rx) = sync_channel::<ScoredChunk>(jobs * 2);
+    // One bounded queue per worker, dealt round-robin by chunk index:
+    // chunk handoff involves no shared lock and no shared receiver, so
+    // workers never take turns pulling work. (The previous design — a
+    // single sync_channel behind a Mutex<Receiver> — serialized the
+    // pool on the handoff path and flattened the scaling curve.)
+    let (work_txs, work_rxs): (Vec<_>, Vec<_>) =
+        (0..jobs).map(|_| sync_channel::<Chunk>(2)).unzip();
+    // Deep enough that workers ride through a shard commit (flush +
+    // fsync + manifest rewrite, ~10ms) without stalling: with only
+    // 2×jobs chunks of headroom the whole pipeline paused behind every
+    // commit on a busy box.
+    let (done_tx, done_rx) = sync_channel::<ScoredChunk>((jobs * 2).max(8));
+    let ledger = WorkerLedger::new(jobs);
 
     let run = std::thread::scope(|s| -> Result<bool, ScanError> {
-        for _ in 0..jobs {
-            let work_rx = &work_rx;
+        for (worker, work_rx) in work_rxs.into_iter().enumerate() {
             let done_tx = done_tx.clone();
             let cached = &cached;
-            s.spawn(move || loop {
-                let chunk = match work_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
-                    Ok(c) => c,
-                    Err(_) => break, // reader done
-                };
-                let _sp = span("scan.score");
-                tracer.record(chunk.trace, Stage::ChunkScore, chunk.rows.len() as u64);
-                let rows = chunk
-                    .rows
-                    .into_iter()
-                    .map(|t| {
-                        let score = cached.score_text_triple(&t.title, &t.attr, &t.value);
-                        (t, score)
-                    })
-                    .collect();
-                let scored = ScoredChunk {
-                    idx: chunk.idx,
-                    rows,
-                    bad: chunk.bad,
-                    end_line: chunk.end_line,
-                    end_offset: chunk.end_offset,
-                    trace: chunk.trace,
-                    born: chunk.born,
-                };
-                if done_tx.send(scored).is_err() {
-                    break; // committer stopped early
+            let ledger = &ledger;
+            s.spawn(move || {
+                // Reusable embedding buffers: the >90%-hit cache path
+                // is allocation-free through the scratch API.
+                let mut scratch = ScoreScratch::default();
+                // Loop ends when the reader drops this worker's queue.
+                while let Ok(chunk) = work_rx.recv() {
+                    let _sp = span("scan.score");
+                    tracer.record(chunk.trace, Stage::ChunkScore, chunk.rows.len() as u64);
+                    let busy_start = Instant::now();
+                    let rows = chunk
+                        .rows
+                        .into_iter()
+                        .map(|t| {
+                            let score = cached.score_text_triple_scratch(
+                                t.title(),
+                                t.attr(),
+                                t.value(),
+                                &mut scratch,
+                            );
+                            (t, score)
+                        })
+                        .collect();
+                    // Busy time covers scoring only; the send below can
+                    // block on committer backpressure, which is idle
+                    // time for this worker.
+                    ledger.record(worker, busy_start.elapsed());
+                    let scored = ScoredChunk {
+                        idx: chunk.idx,
+                        rows,
+                        bad: chunk.bad,
+                        end_line: chunk.end_line,
+                        end_offset: chunk.end_offset,
+                        trace: chunk.trace,
+                        born: chunk.born,
+                    };
+                    if done_tx.send(scored).is_err() {
+                        break; // committer stopped early
+                    }
                 }
             });
         }
@@ -620,6 +678,7 @@ pub fn scan_with_tracer(
         let stop_ref = &stop;
         let reader_handle = s.spawn(move || -> Result<(), ScanError> {
             let mut reader = reader;
+            let work_txs = work_txs;
             let mut idx = 0u64;
             loop {
                 if stop_ref.load(Ordering::Relaxed) {
@@ -657,8 +716,9 @@ pub fn scan_with_tracer(
                         trace,
                         born: Instant::now(),
                     };
+                    let target = (idx % jobs as u64) as usize;
                     idx += 1;
-                    if work_tx.send(chunk).is_err() {
+                    if work_txs[target].send(chunk).is_err() {
                         return Ok(()); // workers gone: early stop
                     }
                 }
@@ -688,6 +748,8 @@ pub fn scan_with_tracer(
     flagged_ctr.add(committer.new_errors);
 
     let elapsed = started.elapsed().as_secs_f64();
+    let wall = started.elapsed();
+    let worker_stats = ledger.stats();
     Ok(ScanOutcome {
         rows_scanned: committer.new_rows,
         rows_total: committer.manifest.rows_total(),
@@ -707,6 +769,14 @@ pub fn scan_with_tracer(
         },
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
+        jobs,
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        kernel: pge_tensor::active_kernel().name().to_string(),
+        worker_busy_sec: worker_stats.iter().map(|s| s.busy.as_secs_f64()).collect(),
+        worker_chunks: worker_stats.iter().map(|s| s.chunks).collect(),
+        effective_parallelism: ledger.effective_parallelism(wall),
     })
 }
 

@@ -1,0 +1,646 @@
+//! Runtime-dispatched f32 compute kernels: a blocked scalar reference
+//! and an explicit AVX2 `f32x8` implementation of the same arithmetic.
+//!
+//! Every kernel here exists in (up to) two forms that are **bit
+//! identical** by construction:
+//!
+//! * the *scalar reference* — eight independent accumulators walked
+//!   over full 8-wide blocks, combined by a fixed pairwise tree, then
+//!   a sequential tail for the ragged remainder;
+//! * the *SIMD path* — one `f32x8` vector accumulator doing the exact
+//!   same per-lane multiply-then-add (no FMA: fused multiply-add
+//!   rounds once where `mul` + `add` round twice, so using it would
+//!   change bits), stored to lanes and reduced by the *same* tree and
+//!   tail code.
+//!
+//! Both paths perform the same IEEE-754 operations in the same order,
+//! so reductions agree to the last ulp — ±inf overflow, subnormals,
+//! and signed zeros included. `pge-scan`'s shard CRCs and the
+//! trainer's bit-identical-resume guarantee therefore survive kernel
+//! switches: a model trained or a catalog scanned with `simd` is
+//! byte-identical to `scalar`.
+//!
+//! One documented carve-out: when a result is NaN, both kernels agree
+//! it is NaN (NaN-ness depends only on values and association, which
+//! are identical), but the NaN *payload/sign bits* are unspecified —
+//! LLVM may commute operands or constant-fold NaN-producing
+//! expressions, so payload identity is unattainable even between two
+//! builds of the scalar kernel alone. This cannot leak into durable
+//! artifacts: scan shards and scores format floats as text ("NaN"
+//! regardless of payload) before CRC-ing, and a NaN weight means a
+//! diverged training run, which no determinism guarantee covers. The
+//! CI-gated proptests in `tests/kernel_parity.rs` pin exactly this
+//! contract.
+//!
+//! Note the blocked reduction order is *not* the naive sequential sum
+//! the pre-dispatch code used — switching to it changed low bits of
+//! every dot product once, at the PR introducing this module. The
+//! blocked order is now the documented reference.
+//!
+//! Selection: [`active_kernel`] picks SIMD when the host has AVX2,
+//! overridable by the `PGE_KERNEL` environment variable
+//! (`scalar` | `simd` | `auto`) or programmatically via
+//! [`set_kernel`] (tests and the CLI use this). Requesting `simd` on
+//! a host without AVX2 silently falls back to the scalar reference —
+//! the results are identical either way, only the speed differs.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation backs the hot loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Blocked scalar reference implementation.
+    Scalar,
+    /// Explicit `f32x8` AVX2 implementation.
+    Simd,
+}
+
+impl Kernel {
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Simd => "simd",
+        }
+    }
+}
+
+/// Encoded selection: 0 = undecided, 1 = scalar, 2 = simd.
+static KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// True when this build/host can run the AVX2 path.
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn encode(k: Kernel) -> u8 {
+    match k {
+        Kernel::Scalar => 1,
+        Kernel::Simd => 2,
+    }
+}
+
+/// Resolve a request against hardware support: `None` = auto.
+fn resolve(want: Option<Kernel>) -> Kernel {
+    match want {
+        Some(Kernel::Scalar) => Kernel::Scalar,
+        Some(Kernel::Simd) | None => {
+            if simd_supported() {
+                Kernel::Simd
+            } else {
+                Kernel::Scalar
+            }
+        }
+    }
+}
+
+fn decide_from_env() -> Kernel {
+    let want = match std::env::var("PGE_KERNEL").ok().as_deref() {
+        Some("scalar") => Some(Kernel::Scalar),
+        Some("simd") => Some(Kernel::Simd),
+        _ => None,
+    };
+    resolve(want)
+}
+
+/// The kernel the dispatching entry points currently use.
+#[inline]
+pub fn active_kernel() -> Kernel {
+    match KERNEL.load(Ordering::Relaxed) {
+        1 => Kernel::Scalar,
+        2 => Kernel::Simd,
+        _ => {
+            let k = decide_from_env();
+            KERNEL.store(encode(k), Ordering::Relaxed);
+            k
+        }
+    }
+}
+
+/// Force a kernel (`None` = return to auto-detection). Requesting
+/// [`Kernel::Simd`] on a host without AVX2 falls back to scalar.
+/// Process-global; safe to flip at any time because both kernels are
+/// bit-identical.
+pub fn set_kernel(want: Option<Kernel>) {
+    let k = match want {
+        None => decide_from_env(),
+        some => resolve(some),
+    };
+    KERNEL.store(encode(k), Ordering::Relaxed);
+}
+
+/// Fixed lane-combine shared by every reduction kernel: pairwise tree
+/// over the eight block accumulators, then the sequential tail sum.
+/// Keeping this in exactly one place is what makes the scalar and
+/// SIMD reductions bit-identical.
+#[inline]
+fn reduce_lanes(l: &[f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+// ---------------------------------------------------------------------------
+// dot
+// ---------------------------------------------------------------------------
+
+/// Blocked scalar reference for [`dot`].
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let blocks = a.len() / 8;
+    let mut acc = [0.0f32; 8];
+    for i in 0..blocks {
+        let ca = &a[i * 8..i * 8 + 8];
+        let cb = &b[i * 8..i * 8 + 8];
+        for j in 0..8 {
+            acc[j] += ca[j] * cb[j];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in a[blocks * 8..].iter().zip(&b[blocks * 8..]) {
+        tail += x * y;
+    }
+    reduce_lanes(&acc) + tail
+}
+
+/// AVX2 `f32x8` implementation of [`dot`]; falls back to the scalar
+/// reference on hosts without AVX2 (results are identical either way).
+pub fn dot_simd(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_supported() {
+        // SAFETY: AVX2 availability just confirmed.
+        return unsafe { avx2::dot(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Dot product dispatched to the active kernel.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    match active_kernel() {
+        Kernel::Simd => dot_simd(a, b),
+        Kernel::Scalar => dot_scalar(a, b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gemv (out[r] = dot(w_row_r, x)) — the shared inner op of the conv
+// pre-activation loop, `Linear::affine`, and `matmul_transposed`.
+// Each output element is defined as exactly `dot(row, x)`, so the
+// scalar reference *is* a loop of `dot_scalar` calls; the AVX2 path
+// tiles rows eight at a time to load each `x` block once per tile
+// instead of once per row, keeping every row's accumulation sequence
+// identical to `dot_simd`.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for [`gemv`]: `w` is row-major `out.len()` rows
+/// of `x.len()` columns.
+pub fn gemv_scalar(w: &[f32], x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(w.len(), x.len() * out.len());
+    let len = x.len();
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot_scalar(&w[r * len..(r + 1) * len], x);
+    }
+}
+
+/// AVX2 implementation of [`gemv`]; scalar fallback without AVX2.
+pub fn gemv_simd(w: &[f32], x: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_supported() {
+        // SAFETY: AVX2 availability just confirmed.
+        unsafe { avx2::gemv(w, x, out) };
+        return;
+    }
+    gemv_scalar(w, x, out)
+}
+
+/// Row-major matrix–vector product dispatched to the active kernel.
+/// `out[r] == dot(w_row_r, x)` bit for bit.
+#[inline]
+pub fn gemv(w: &[f32], x: &[f32], out: &mut [f32]) {
+    match active_kernel() {
+        Kernel::Simd => gemv_simd(w, x, out),
+        Kernel::Scalar => gemv_scalar(w, x, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// axpy (y += alpha * x) — elementwise, so both paths are trivially
+// bit-identical; SIMD only changes speed.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for [`axpy`].
+pub fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// AVX2 implementation of [`axpy`]; scalar fallback without AVX2.
+pub fn axpy_simd(alpha: f32, x: &[f32], y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_supported() {
+        // SAFETY: AVX2 availability just confirmed.
+        unsafe { avx2::axpy(alpha, x, y) };
+        return;
+    }
+    axpy_scalar(alpha, x, y)
+}
+
+/// `y += alpha * x` dispatched to the active kernel.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    match active_kernel() {
+        Kernel::Simd => axpy_simd(alpha, x, y),
+        Kernel::Scalar => axpy_scalar(alpha, x, y),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused scorer distance kernels. These back `pge-core`'s scoring
+// functions on the bulk-scan/serve hot path; keeping them here lets
+// one blocked reference define the bits for both kernels.
+// ---------------------------------------------------------------------------
+
+/// Blocked scalar reference for [`l1_dist3`].
+pub fn l1_dist3_scalar(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    debug_assert_eq!(h.len(), r.len());
+    debug_assert_eq!(h.len(), t.len());
+    let blocks = h.len() / 8;
+    let mut acc = [0.0f32; 8];
+    for i in 0..blocks {
+        let o = i * 8;
+        for j in 0..8 {
+            acc[j] += (h[o + j] + r[o + j] - t[o + j]).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in blocks * 8..h.len() {
+        tail += (h[i] + r[i] - t[i]).abs();
+    }
+    reduce_lanes(&acc) + tail
+}
+
+/// AVX2 implementation of [`l1_dist3`]; scalar fallback without AVX2.
+pub fn l1_dist3_simd(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_supported() {
+        // SAFETY: AVX2 availability just confirmed.
+        return unsafe { avx2::l1_dist3(h, r, t) };
+    }
+    l1_dist3_scalar(h, r, t)
+}
+
+/// `Σ |h + r − t|` — the TransE distance — dispatched.
+#[inline]
+pub fn l1_dist3(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    match active_kernel() {
+        Kernel::Simd => l1_dist3_simd(h, r, t),
+        Kernel::Scalar => l1_dist3_scalar(h, r, t),
+    }
+}
+
+/// Blocked scalar reference for [`dot3`].
+pub fn dot3_scalar(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    debug_assert_eq!(h.len(), r.len());
+    debug_assert_eq!(h.len(), t.len());
+    let blocks = h.len() / 8;
+    let mut acc = [0.0f32; 8];
+    for i in 0..blocks {
+        let o = i * 8;
+        for j in 0..8 {
+            acc[j] += h[o + j] * r[o + j] * t[o + j];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in blocks * 8..h.len() {
+        tail += h[i] * r[i] * t[i];
+    }
+    reduce_lanes(&acc) + tail
+}
+
+/// AVX2 implementation of [`dot3`]; scalar fallback without AVX2.
+pub fn dot3_simd(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_supported() {
+        // SAFETY: AVX2 availability just confirmed.
+        return unsafe { avx2::dot3(h, r, t) };
+    }
+    dot3_scalar(h, r, t)
+}
+
+/// `Σ h·r·t` — the DistMult score — dispatched.
+#[inline]
+pub fn dot3(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    match active_kernel() {
+        Kernel::Simd => dot3_simd(h, r, t),
+        Kernel::Scalar => dot3_scalar(h, r, t),
+    }
+}
+
+/// Blocked scalar reference for [`rotate_dist`].
+#[allow(clippy::too_many_arguments)]
+pub fn rotate_dist_scalar(
+    h_re: &[f32],
+    h_im: &[f32],
+    sin: &[f32],
+    cos: &[f32],
+    t_re: &[f32],
+    t_im: &[f32],
+    eps: f32,
+) -> f32 {
+    let m = h_re.len();
+    debug_assert!([h_im.len(), sin.len(), cos.len(), t_re.len(), t_im.len()] == [m; 5]);
+    let blocks = m / 8;
+    let mut acc = [0.0f32; 8];
+    for i in 0..blocks {
+        let o = i * 8;
+        for j in 0..8 {
+            acc[j] += rotate_term(
+                h_re[o + j],
+                h_im[o + j],
+                sin[o + j],
+                cos[o + j],
+                t_re[o + j],
+                t_im[o + j],
+                eps,
+            );
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in blocks * 8..m {
+        tail += rotate_term(h_re[i], h_im[i], sin[i], cos[i], t_re[i], t_im[i], eps);
+    }
+    reduce_lanes(&acc) + tail
+}
+
+/// One complex-modulus term of the RotatE distance. `sqrt` is an
+/// IEEE-exact operation, so the SIMD `sqrtps` matches this bit for
+/// bit.
+#[inline]
+fn rotate_term(h_re: f32, h_im: f32, sin: f32, cos: f32, t_re: f32, t_im: f32, eps: f32) -> f32 {
+    let dre = (h_re * cos - h_im * sin) - t_re;
+    let dim = (h_re * sin + h_im * cos) - t_im;
+    (dre * dre + dim * dim + eps).sqrt()
+}
+
+/// AVX2 implementation of [`rotate_dist`]; scalar fallback without
+/// AVX2.
+#[allow(clippy::too_many_arguments)]
+pub fn rotate_dist_simd(
+    h_re: &[f32],
+    h_im: &[f32],
+    sin: &[f32],
+    cos: &[f32],
+    t_re: &[f32],
+    t_im: &[f32],
+    eps: f32,
+) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_supported() {
+        // SAFETY: AVX2 availability just confirmed.
+        return unsafe { avx2::rotate_dist(h_re, h_im, sin, cos, t_re, t_im, eps) };
+    }
+    rotate_dist_scalar(h_re, h_im, sin, cos, t_re, t_im, eps)
+}
+
+/// `Σ ‖(h ∘ e^{iθ}) − t‖` over ℂ^m with the rotation given as
+/// precomputed `sin`/`cos` arrays — the RotatE distance — dispatched.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn rotate_dist(
+    h_re: &[f32],
+    h_im: &[f32],
+    sin: &[f32],
+    cos: &[f32],
+    t_re: &[f32],
+    t_im: &[f32],
+    eps: f32,
+) -> f32 {
+    match active_kernel() {
+        Kernel::Simd => rotate_dist_simd(h_re, h_im, sin, cos, t_re, t_im, eps),
+        Kernel::Scalar => rotate_dist_scalar(h_re, h_im, sin, cos, t_re, t_im, eps),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 implementations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Reduce a vector accumulator exactly like the scalar reference:
+    /// store to lanes, pairwise tree, sequential tail.
+    #[inline]
+    unsafe fn finish(acc: __m256, tail: f32) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        super::reduce_lanes(&lanes) + tail
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let blocks = a.len() / 8;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..blocks {
+            let va = _mm256_loadu_ps(pa.add(i * 8));
+            let vb = _mm256_loadu_ps(pb.add(i * 8));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in a[blocks * 8..].iter().zip(&b[blocks * 8..]) {
+            tail += x * y;
+        }
+        finish(acc, tail)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemv(w: &[f32], x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(w.len(), x.len() * out.len());
+        let len = x.len();
+        let blocks = len / 8;
+        let px = x.as_ptr();
+        let mut r = 0;
+        // Eight rows per tile: eight accumulators plus the shared x
+        // block fit the sixteen ymm registers with room to spare, and
+        // each x block is loaded once per tile instead of once per
+        // row. Within a row the mul/add chain is exactly `dot`'s.
+        while r + 8 <= out.len() {
+            let rows: [*const f32; 8] = std::array::from_fn(|k| w.as_ptr().add((r + k) * len));
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for i in 0..blocks {
+                let vx = _mm256_loadu_ps(px.add(i * 8));
+                for k in 0..8 {
+                    let vw = _mm256_loadu_ps(rows[k].add(i * 8));
+                    acc[k] = _mm256_add_ps(acc[k], _mm256_mul_ps(vw, vx));
+                }
+            }
+            for k in 0..8 {
+                let row = &w[(r + k) * len..(r + k + 1) * len];
+                let mut tail = 0.0f32;
+                for (a, b) in row[blocks * 8..].iter().zip(&x[blocks * 8..]) {
+                    tail += a * b;
+                }
+                out[r + k] = finish(acc[k], tail);
+            }
+            r += 8;
+        }
+        for k in r..out.len() {
+            out[k] = dot(&w[k * len..(k + 1) * len], x);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let blocks = x.len() / 8;
+        let va = _mm256_set1_ps(alpha);
+        let px = x.as_ptr();
+        let py = y.as_mut_ptr();
+        for i in 0..blocks {
+            let vx = _mm256_loadu_ps(px.add(i * 8));
+            let vy = _mm256_loadu_ps(py.add(i * 8));
+            _mm256_storeu_ps(py.add(i * 8), _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+        }
+        for (yi, &xi) in y[blocks * 8..].iter_mut().zip(&x[blocks * 8..]) {
+            *yi += alpha * xi;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn l1_dist3(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        debug_assert_eq!(h.len(), r.len());
+        debug_assert_eq!(h.len(), t.len());
+        let blocks = h.len() / 8;
+        let (ph, pr, pt) = (h.as_ptr(), r.as_ptr(), t.as_ptr());
+        // |x| as a bit mask: clear the sign bit, exactly `f32::abs`.
+        let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..blocks {
+            let vh = _mm256_loadu_ps(ph.add(i * 8));
+            let vr = _mm256_loadu_ps(pr.add(i * 8));
+            let vt = _mm256_loadu_ps(pt.add(i * 8));
+            let d = _mm256_sub_ps(_mm256_add_ps(vh, vr), vt);
+            acc = _mm256_add_ps(acc, _mm256_and_ps(d, abs_mask));
+        }
+        let mut tail = 0.0f32;
+        for i in blocks * 8..h.len() {
+            tail += (h[i] + r[i] - t[i]).abs();
+        }
+        finish(acc, tail)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot3(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        debug_assert_eq!(h.len(), r.len());
+        debug_assert_eq!(h.len(), t.len());
+        let blocks = h.len() / 8;
+        let (ph, pr, pt) = (h.as_ptr(), r.as_ptr(), t.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..blocks {
+            let vh = _mm256_loadu_ps(ph.add(i * 8));
+            let vr = _mm256_loadu_ps(pr.add(i * 8));
+            let vt = _mm256_loadu_ps(pt.add(i * 8));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_mul_ps(vh, vr), vt));
+        }
+        let mut tail = 0.0f32;
+        for i in blocks * 8..h.len() {
+            tail += h[i] * r[i] * t[i];
+        }
+        finish(acc, tail)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn rotate_dist(
+        h_re: &[f32],
+        h_im: &[f32],
+        sin: &[f32],
+        cos: &[f32],
+        t_re: &[f32],
+        t_im: &[f32],
+        eps: f32,
+    ) -> f32 {
+        let m = h_re.len();
+        debug_assert!([h_im.len(), sin.len(), cos.len(), t_re.len(), t_im.len()] == [m; 5]);
+        let blocks = m / 8;
+        let veps = _mm256_set1_ps(eps);
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..blocks {
+            let o = i * 8;
+            let vhre = _mm256_loadu_ps(h_re.as_ptr().add(o));
+            let vhim = _mm256_loadu_ps(h_im.as_ptr().add(o));
+            let vsin = _mm256_loadu_ps(sin.as_ptr().add(o));
+            let vcos = _mm256_loadu_ps(cos.as_ptr().add(o));
+            let vtre = _mm256_loadu_ps(t_re.as_ptr().add(o));
+            let vtim = _mm256_loadu_ps(t_im.as_ptr().add(o));
+            let dre = _mm256_sub_ps(
+                _mm256_sub_ps(_mm256_mul_ps(vhre, vcos), _mm256_mul_ps(vhim, vsin)),
+                vtre,
+            );
+            let dim = _mm256_sub_ps(
+                _mm256_add_ps(_mm256_mul_ps(vhre, vsin), _mm256_mul_ps(vhim, vcos)),
+                vtim,
+            );
+            let sq = _mm256_add_ps(
+                _mm256_add_ps(_mm256_mul_ps(dre, dre), _mm256_mul_ps(dim, dim)),
+                veps,
+            );
+            acc = _mm256_add_ps(acc, _mm256_sqrt_ps(sq));
+        }
+        let mut tail = 0.0f32;
+        for i in blocks * 8..m {
+            tail += super::rotate_term(h_re[i], h_im[i], sin[i], cos[i], t_re[i], t_im[i], eps);
+        }
+        finish(acc, tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_override_round_trips() {
+        let before = active_kernel();
+        set_kernel(Some(Kernel::Scalar));
+        assert_eq!(active_kernel(), Kernel::Scalar);
+        if simd_supported() {
+            set_kernel(Some(Kernel::Simd));
+            assert_eq!(active_kernel(), Kernel::Simd);
+        } else {
+            set_kernel(Some(Kernel::Simd));
+            assert_eq!(active_kernel(), Kernel::Scalar, "no AVX2: falls back");
+        }
+        set_kernel(Some(before));
+        assert_eq!(active_kernel(), before);
+    }
+
+    #[test]
+    fn dot_known_value_blocked_order() {
+        // 10 elements: one full block + a 2-element tail.
+        let a: Vec<f32> = (1..=10).map(|i| i as f32).collect();
+        let s = dot_scalar(&a, &a);
+        assert_eq!(s, 385.0);
+        assert_eq!(dot(&a, &a), s);
+    }
+
+    #[test]
+    fn empty_and_short_slices() {
+        assert_eq!(dot_scalar(&[], &[]), 0.0);
+        assert_eq!(dot_scalar(&[2.0], &[3.0]), 6.0);
+        assert_eq!(l1_dist3_scalar(&[], &[], &[]), 0.0);
+        let mut y = [1.0f32];
+        axpy_scalar(2.0, &[3.0], &mut y);
+        assert_eq!(y, [7.0]);
+    }
+}

@@ -15,9 +15,11 @@
 pub mod crc32;
 pub mod fx;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 
 pub use crc32::{crc32, Crc32};
 pub use fx::{FxHashMap, FxHashSet};
+pub use kernels::{active_kernel, set_kernel, simd_supported, Kernel};
 pub use matrix::Matrix;

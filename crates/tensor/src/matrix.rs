@@ -165,10 +165,11 @@ impl Matrix {
 
     /// Dense matrix product `self · rhs`.
     ///
-    /// Straightforward ikj-ordered triple loop: the inner loop runs
-    /// along contiguous rows of both the output and `rhs`, which lets
-    /// LLVM vectorize it. Sizes in this workspace are small (≤ a few
-    /// hundred), so no blocking is needed.
+    /// ikj-ordered triple loop: the inner update is a broadcast-axpy
+    /// along contiguous rows of both the output and `rhs`, dispatched
+    /// to the active compute kernel (scalar or AVX2 — elementwise, so
+    /// bit-identical either way). Sizes in this workspace are small
+    /// (≤ a few hundred), so no cache blocking is needed.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
@@ -187,15 +188,16 @@ impl Matrix {
                     continue;
                 }
                 let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                crate::kernels::axpy(a, b_row, o_row);
             }
         }
         out
     }
 
-    /// `self · rhsᵀ` without materializing the transpose.
+    /// `self · rhsᵀ` without materializing the transpose. Each output
+    /// row is one kernel-dispatched [`crate::kernels::gemv`] over the
+    /// rows of `rhs` — element `(i, j)` is bit-identical to
+    /// `dot(self.row(i), rhs.row(j))`.
     pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
@@ -205,9 +207,8 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                out.data[i * rhs.rows + j] = crate::ops::dot(a_row, rhs.row(j));
-            }
+            let o_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            crate::kernels::gemv(rhs.as_slice(), a_row, o_row);
         }
         out
     }

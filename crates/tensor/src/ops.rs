@@ -6,21 +6,23 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Dispatched to the active compute kernel (blocked scalar reference
+/// or AVX2 `f32x8`); both produce bit-identical results — see
+/// [`crate::kernels`].
+///
 /// # Panics
 /// Panics if lengths differ (debug) — callers guarantee shapes.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
-/// `y += alpha * x` over slices.
+/// `y += alpha * x` over slices; dispatched like [`dot`].
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// L1 norm.

@@ -12,6 +12,6 @@ pub mod token;
 pub mod vocab;
 pub mod word2vec;
 
-pub use token::tokenize;
+pub use token::{tokenize, tokenize_each};
 pub use vocab::Vocab;
 pub use word2vec::{train_word2vec, Word2VecConfig};

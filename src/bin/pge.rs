@@ -553,7 +553,16 @@ fn main() {
                     &[
                         ("input".into(), input.clone()),
                         ("out_dir".into(), out_dir.clone()),
-                        ("jobs".into(), cfg.jobs.to_string()),
+                        ("jobs".into(), cfg.resolved_jobs().to_string()),
+                        ("jobs_requested".into(), cfg.jobs.to_string()),
+                        (
+                            "host_cpus".into(),
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(1)
+                                .to_string(),
+                        ),
+                        ("kernel".into(), pge::tensor::active_kernel().name().into()),
                         ("chunk_size".into(), cfg.chunk_size.to_string()),
                         ("shard_chunks".into(), cfg.shard_chunks.to_string()),
                         ("resume".into(), cfg.resume.to_string()),
@@ -594,6 +603,8 @@ fn main() {
                 println!("  stopped early (max-shards); rerun with --resume to finish");
             }
             if let Some(log) = &log {
+                let busy = &outcome.worker_busy_sec;
+                let busy_min = busy.iter().copied().fold(f64::INFINITY, f64::min);
                 log.write(&scan_event(&[
                     ("rows_scanned", outcome.rows_scanned as f64),
                     ("rows_total", outcome.rows_total as f64),
@@ -604,6 +615,18 @@ fn main() {
                     ("rows_per_sec", outcome.rows_per_sec),
                     ("cache_hits", outcome.cache_hits as f64),
                     ("cache_misses", outcome.cache_misses as f64),
+                    ("jobs", outcome.jobs as f64),
+                    ("host_cpus", outcome.host_cpus as f64),
+                    ("effective_parallelism", outcome.effective_parallelism),
+                    ("worker_busy_total_sec", busy.iter().sum::<f64>()),
+                    (
+                        "worker_busy_min_sec",
+                        if busy_min.is_finite() { busy_min } else { 0.0 },
+                    ),
+                    (
+                        "worker_busy_max_sec",
+                        busy.iter().copied().fold(0.0, f64::max),
+                    ),
                 ]));
                 // Slow chunk traces, oldest first, for `pge trace`.
                 for t in tracer.retained(usize::MAX).iter().rev() {
