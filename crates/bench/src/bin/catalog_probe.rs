@@ -1,0 +1,557 @@
+//! `catalog_probe` — paper-scale out-of-core benchmark for the
+//! PGEBIN02 store.
+//!
+//! Streams a seeded 750k-product catalog (~5M triples) to a PGECAT01
+//! blob, trains a model on a small labeled sample, embeds every
+//! distinct catalog string into an on-disk bank, then scans and
+//! serves off the memory-mapped snapshot. Writes `BENCH_catalog.json`
+//! with per-phase throughput and peak RSS.
+//!
+//! ```text
+//! catalog_probe [--count N] [--seed N] [--jobs N] [--out FILE]
+//!               [--dir DIR] [--rss-budget-mib N]
+//! ```
+//!
+//! The scan and serve phases each run in a child process (the probe
+//! re-executes itself with a hidden `--phase` flag) so their `VmHWM`
+//! readings are not polluted by the generate/embed phases' heap. The
+//! probe exits non-zero unless:
+//!
+//! * the mapped and heap scans produce bit-identical shards, and
+//! * peak RSS of the mapped scan and serve phases stays under the
+//!   budget — by default half of what a heap load of the snapshot
+//!   would allocate, the bound the out-of-core store exists to hold.
+//!
+//! `--rss-budget-mib` overrides the budget with an absolute cap; the
+//! CI smoke uses that at reduced scale, where fixed process overhead
+//! dwarfs the (tiny) embedding table and a relative bound says
+//! nothing.
+
+use pge_core::{load_model_auto_path, train_pge, write_model_sections, Detector, PgeConfig};
+use pge_datagen::{generate_catalog, stream_catalog, CatalogConfig};
+use pge_graph::Dataset;
+use pge_obs::json::{parse, Json};
+use pge_scan::{scan, Manifest, ScanConfig};
+use pge_serve::{start, ServeConfig};
+use pge_store::{BankBuilder, CatalogReader, CatalogWriter, MmapMode, SnapshotWriter};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn str(&self, name: &str, default: &str) -> String {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    fn num(&self, name: &str, default: u64) -> u64 {
+        self.str(name, &default.to_string())
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} expects a number"))
+    }
+
+    fn f32(&self, name: &str, default: f32) -> f32 {
+        self.str(name, &default.to_string())
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} expects a float"))
+    }
+}
+
+fn peak_rss_mib() -> f64 {
+    pge_obs::peak_rss_bytes().map_or(0.0, |b| b as f64 / (1 << 20) as f64)
+}
+
+/// The small labeled dataset the model trains on. Children regenerate
+/// it from the same knobs, so every process scores with an identical
+/// vocabulary and graph.
+fn sample_dataset(products: u64, seed: u64) -> Dataset {
+    generate_catalog(&CatalogConfig {
+        products: products as usize,
+        labeled: (products / 3) as usize,
+        seed,
+        ..CatalogConfig::default()
+    })
+}
+
+fn parse_mode(s: &str) -> MmapMode {
+    MmapMode::parse(s).unwrap_or_else(|| panic!("bad --mmap '{s}'"))
+}
+
+fn shard_crcs(out_dir: &Path) -> Vec<u32> {
+    Manifest::load(out_dir)
+        .expect("load scan manifest")
+        .expect("scan manifest exists")
+        .shards
+        .iter()
+        .map(|s| s.crc32)
+        .collect()
+}
+
+/// Child phase: scan the catalog with the snapshot model, print one
+/// JSON line with throughput, peak RSS, and shard CRCs.
+fn phase_scan(args: &Args) {
+    let data = sample_dataset(args.num("--sample", 800), args.num("--sample-seed", 17));
+    let model = load_model_auto_path(
+        Path::new(&args.str("--model", "")),
+        &data.graph,
+        parse_mode(&args.str("--mmap", "auto")),
+        args.num("--resident-mib", 16) << 20,
+    )
+    .expect("load snapshot model");
+    let out_dir = PathBuf::from(args.str("--scan-dir", ""));
+    let cfg = ScanConfig {
+        jobs: args.num("--jobs", 1) as usize,
+        cache_cap: args.num("--cache-cap", 8192) as usize,
+        ..ScanConfig::new(out_dir.clone())
+    };
+    let input = PathBuf::from(args.str("--input", ""));
+    let threshold = args.f32("--threshold", 0.5);
+
+    let t0 = Instant::now();
+    let outcome = scan(&model, threshold, &input, &cfg).expect("scan catalog");
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let bank = model.bank().expect("snapshot model carries a bank");
+    let (hits, misses) = bank.hit_stats();
+    let report = Json::Obj(vec![
+        ("rows".into(), Json::Num(outcome.rows_total as f64)),
+        ("errors".into(), Json::Num(outcome.errors_total as f64)),
+        (
+            "quarantined".into(),
+            Json::Num(outcome.quarantined_total as f64),
+        ),
+        ("elapsed_sec".into(), Json::Num(elapsed)),
+        (
+            "rows_per_sec".into(),
+            Json::Num(outcome.rows_total as f64 / elapsed),
+        ),
+        ("mapped".into(), Json::Bool(bank.is_mapped())),
+        ("bank_hits".into(), Json::Num(hits as f64)),
+        ("bank_misses".into(), Json::Num(misses as f64)),
+        ("bank_evictions".into(), Json::Num(bank.evictions() as f64)),
+        (
+            "shard_crcs".into(),
+            Json::Arr(
+                shard_crcs(&out_dir)
+                    .into_iter()
+                    .map(|c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        ),
+        ("peak_rss_mib".into(), Json::Num(peak_rss_mib())),
+    ]);
+    println!("{report}");
+}
+
+/// A keep-alive HTTP client on one connection, as in `serve_probe`.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to probe server");
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn post_score(&mut self, body: &str) -> u16 {
+        let raw = format!(
+            "POST /v1/score HTTP/1.1\r\nhost: probe\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        self.writer.write_all(raw.as_bytes()).expect("send request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header line");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content-length value");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        status
+    }
+}
+
+/// Child phase: serve off the mapped snapshot, score real catalog
+/// rows over loopback, print one JSON line with throughput, latency
+/// percentiles, and peak RSS.
+fn phase_serve(args: &Args) {
+    let data = sample_dataset(args.num("--sample", 800), args.num("--sample-seed", 17));
+    let model = load_model_auto_path(
+        Path::new(&args.str("--model", "")),
+        &data.graph,
+        parse_mode(&args.str("--mmap", "auto")),
+        args.num("--resident-mib", 16) << 20,
+    )
+    .expect("load snapshot model");
+    let threshold = args.f32("--threshold", 0.5);
+    let requests = args.num("--requests", 200) as usize;
+    let batch = args.num("--batch", 64) as usize;
+
+    // Workload: the first `batch` real rows of the catalog — distinct
+    // titles, so every item exercises the bank lookup path rather
+    // than the embedding cache's best case.
+    let reader = CatalogReader::open(Path::new(&args.str("--input", ""))).expect("open catalog");
+    let items: Vec<Json> = reader
+        .records()
+        .expect("read catalog")
+        .take(batch)
+        .map(|rec| {
+            let rec = rec.expect("catalog record");
+            Json::Obj(vec![
+                ("title".into(), Json::Str(rec.title)),
+                ("attr".into(), Json::Str(rec.attr)),
+                ("value".into(), Json::Str(rec.value)),
+            ])
+        })
+        .collect();
+    let body = Json::Arr(items).to_string();
+
+    let handle = start(
+        model,
+        data.graph.clone(),
+        threshold,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_cap: args.num("--cache-cap", 8192) as usize,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start probe server");
+    let mut client = Client::connect(handle.local_addr());
+
+    let t0 = Instant::now();
+    let mut latencies = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let r0 = Instant::now();
+        let status = client.post_score(&body);
+        latencies.push(r0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200, "serve probe request failed");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    latencies.sort_unstable_by(f64::total_cmp);
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+    let items = requests * batch;
+    let report = Json::Obj(vec![
+        ("requests".into(), Json::Num(requests as f64)),
+        ("items".into(), Json::Num(items as f64)),
+        ("elapsed_sec".into(), Json::Num(elapsed)),
+        ("items_per_sec".into(), Json::Num(items as f64 / elapsed)),
+        ("p50_ms".into(), Json::Num(pct(0.50))),
+        ("p99_ms".into(), Json::Num(pct(0.99))),
+        ("peak_rss_mib".into(), Json::Num(peak_rss_mib())),
+    ]);
+    println!("{report}");
+}
+
+/// Re-execute this binary for an isolated phase and parse the JSON
+/// line it prints. Child stderr passes through for progress.
+fn run_child(phase: &str, child_args: &[(&str, String)]) -> Json {
+    let exe = std::env::current_exe().expect("resolve current exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--phase").arg(phase);
+    for (k, v) in child_args {
+        cmd.arg(k).arg(v);
+    }
+    let out = cmd.output().expect("spawn probe child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{phase} child failed: {}{}",
+        stdout,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("{phase} child printed no JSON: {stdout}"));
+    parse(line).unwrap_or_else(|e| panic!("{phase} child JSON: {e:?}"))
+}
+
+fn num(j: &Json, key: &str) -> f64 {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("child report missing {key}"))
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    match args.str("--phase", "").as_str() {
+        "" => {}
+        "scan" => return phase_scan(&args),
+        "serve" => return phase_serve(&args),
+        other => panic!("unknown --phase {other}"),
+    }
+
+    let count = args.num("--count", 750_000);
+    let seed = args.num("--seed", 42);
+    let sample = args.num("--sample", 800);
+    let sample_seed = args.num("--sample-seed", 17);
+    let epochs = args.num("--epochs", 4) as usize;
+    let jobs = args.num("--jobs", 1);
+    let cache_cap = args.num("--cache-cap", 8192);
+    let resident_mib = args.num("--resident-mib", 16);
+    let requests = args.num("--requests", 200);
+    let batch = args.num("--batch", 64);
+    let rss_budget_mib = args.num("--rss-budget-mib", 0);
+    let out = args.str("--out", "BENCH_catalog.json");
+    let keep_dir = args.str("--dir", "");
+
+    let dir = if keep_dir.is_empty() {
+        std::env::temp_dir().join(format!("catalog-probe-{}", std::process::id()))
+    } else {
+        PathBuf::from(&keep_dir)
+    };
+    std::fs::create_dir_all(&dir).expect("create work dir");
+    let catalog_path = dir.join("catalog.bin");
+    let model_path = dir.join("model.pgebin");
+
+    // Phase 1: stream the catalog to disk, O(1) memory.
+    eprintln!("generating {count}-product catalog ...");
+    let t0 = Instant::now();
+    let mut writer = CatalogWriter::create(&catalog_path, seed).expect("create catalog");
+    let stats = stream_catalog(
+        &CatalogConfig {
+            products: count as usize,
+            seed,
+            ..CatalogConfig::default()
+        },
+        &mut writer,
+    )
+    .expect("stream catalog");
+    writer.finish().expect("finish catalog");
+    let generate_sec = t0.elapsed().as_secs_f64();
+    let catalog_bytes = std::fs::metadata(&catalog_path)
+        .expect("stat catalog")
+        .len();
+    eprintln!(
+        "  {} products, {} triples, {:.1} MiB in {:.1}s",
+        stats.products,
+        stats.triples,
+        catalog_bytes as f64 / (1 << 20) as f64,
+        generate_sec
+    );
+
+    // Phase 2: train on the small labeled sample.
+    eprintln!("training on {sample}-product sample ({epochs} epochs) ...");
+    let data = sample_dataset(sample, sample_seed);
+    let t0 = Instant::now();
+    let trained = train_pge(
+        &data,
+        &PgeConfig {
+            epochs,
+            ..PgeConfig::default()
+        },
+    );
+    let train_sec = t0.elapsed().as_secs_f64();
+    let threshold = Detector::fit(&trained.model, &data.graph, &data.valid).threshold;
+
+    // Phase 3: embed every distinct catalog string into the bank and
+    // write the PGEBIN02 snapshot.
+    eprintln!("embedding catalog strings into the snapshot bank ...");
+    let t0 = Instant::now();
+    let reader = CatalogReader::open(&catalog_path).expect("open catalog");
+    let mut builder = BankBuilder::new();
+    for rec in reader.records().expect("read catalog") {
+        let rec = rec.expect("catalog record");
+        builder.add(&rec.title);
+        builder.add(&rec.value);
+    }
+    let bank_keys = builder.len();
+    let dim = trained.model.dim();
+    let mut sw = SnapshotWriter::create(&model_path).expect("create snapshot");
+    write_model_sections(&trained.model, &mut sw).expect("write model sections");
+    builder
+        .write_sections(&mut sw, dim, |key, row| {
+            row.extend_from_slice(&trained.model.embed_text_uncached(key));
+        })
+        .expect("write bank sections");
+    sw.finish().expect("finish snapshot");
+    let embed_sec = t0.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&model_path).expect("stat snapshot").len();
+    let table_bytes = (bank_keys * dim * 4) as u64;
+    eprintln!(
+        "  {bank_keys} keys, table {:.1} MiB, snapshot {:.1} MiB in {:.1}s",
+        table_bytes as f64 / (1 << 20) as f64,
+        snapshot_bytes as f64 / (1 << 20) as f64,
+        embed_sec
+    );
+
+    // The bound the store exists to hold: a heap load materializes
+    // the whole snapshot, so the mapped path must peak under half of
+    // that (or under the absolute override at reduced scale).
+    let rss_budget_bytes = if rss_budget_mib > 0 {
+        rss_budget_mib << 20
+    } else {
+        snapshot_bytes / 2
+    };
+
+    // Phases 4+5: scan (mapped then heap) and serve, each in a child
+    // process for a clean VmHWM.
+    let common = |mmap: &str, scan_dir: &str| {
+        let mut v = vec![
+            ("--model", model_path.display().to_string()),
+            ("--input", catalog_path.display().to_string()),
+            ("--threshold", threshold.to_string()),
+            ("--mmap", mmap.to_string()),
+            ("--sample", sample.to_string()),
+            ("--sample-seed", sample_seed.to_string()),
+            ("--jobs", jobs.to_string()),
+            ("--cache-cap", cache_cap.to_string()),
+            ("--resident-mib", resident_mib.to_string()),
+            ("--requests", requests.to_string()),
+            ("--batch", batch.to_string()),
+        ];
+        if !scan_dir.is_empty() {
+            v.push(("--scan-dir", dir.join(scan_dir).display().to_string()));
+        }
+        v
+    };
+    eprintln!("scanning {} triples (mmap on) ...", stats.triples);
+    let scan_mapped = run_child("scan", &common("on", "scan-mapped"));
+    eprintln!(
+        "  {:.0} rows/s, peak RSS {:.1} MiB",
+        num(&scan_mapped, "rows_per_sec"),
+        num(&scan_mapped, "peak_rss_mib")
+    );
+    eprintln!("scanning {} triples (mmap off) ...", stats.triples);
+    let scan_heap = run_child("scan", &common("off", "scan-heap"));
+    eprintln!(
+        "  {:.0} rows/s, peak RSS {:.1} MiB",
+        num(&scan_heap, "rows_per_sec"),
+        num(&scan_heap, "peak_rss_mib")
+    );
+    eprintln!("serving {requests} requests x {batch} items (mmap on) ...");
+    let serve = run_child("serve", &common("on", ""));
+    eprintln!(
+        "  {:.0} items/s, p50 {:.2} ms, p99 {:.2} ms, peak RSS {:.1} MiB",
+        num(&serve, "items_per_sec"),
+        num(&serve, "p50_ms"),
+        num(&serve, "p99_ms"),
+        num(&serve, "peak_rss_mib")
+    );
+
+    // Checks.
+    let shards_identical = scan_mapped.get("shard_crcs").map(Json::to_string)
+        == scan_heap.get("shard_crcs").map(Json::to_string);
+    let budget_mib = rss_budget_bytes as f64 / (1 << 20) as f64;
+    let scan_rss_ok = num(&scan_mapped, "peak_rss_mib") <= budget_mib;
+    let serve_rss_ok = num(&serve, "peak_rss_mib") <= budget_mib;
+    let mapped = scan_mapped.get("mapped").map(Json::to_string) == Some("true".into());
+    let ok = shards_identical && scan_rss_ok && serve_rss_ok && mapped;
+    eprintln!(
+        "checks: shards_identical={shards_identical} mapped={mapped} \
+         scan_rss_ok={scan_rss_ok} serve_rss_ok={serve_rss_ok} (budget {budget_mib:.1} MiB)"
+    );
+
+    let run = |label: &str, mmap: &str, j: &Json| {
+        let mut fields = vec![
+            ("label".into(), Json::Str(label.into())),
+            ("mmap".into(), Json::Str(mmap.into())),
+        ];
+        if let Json::Obj(pairs) = j {
+            fields.extend(pairs.iter().cloned());
+        }
+        Json::Obj(fields)
+    };
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("catalog_probe".into())),
+        (
+            "manifest".into(),
+            Json::Obj(vec![
+                (
+                    "git_rev".into(),
+                    pge_obs::git_rev().map_or(Json::Null, Json::Str),
+                ),
+                ("ts_ms".into(), Json::Num(pge_obs::unix_time_ms() as f64)),
+                (
+                    "version".into(),
+                    Json::Str(env!("CARGO_PKG_VERSION").into()),
+                ),
+            ]),
+        ),
+        ("products".into(), Json::Num(stats.products as f64)),
+        ("triples".into(), Json::Num(stats.triples as f64)),
+        ("catalog_bytes".into(), Json::Num(catalog_bytes as f64)),
+        ("snapshot_bytes".into(), Json::Num(snapshot_bytes as f64)),
+        ("bank_keys".into(), Json::Num(bank_keys as f64)),
+        ("bank_table_bytes".into(), Json::Num(table_bytes as f64)),
+        ("dim".into(), Json::Num(dim as f64)),
+        ("host_cpus".into(), Json::Num(resolve_cpus() as f64)),
+        (
+            "rss_budget_mib".into(),
+            Json::Num(rss_budget_bytes as f64 / (1 << 20) as f64),
+        ),
+        ("resident_budget_mib".into(), Json::Num(resident_mib as f64)),
+        ("generate_sec".into(), Json::Num(generate_sec)),
+        (
+            "generate_triples_per_sec".into(),
+            Json::Num(stats.triples as f64 / generate_sec),
+        ),
+        ("train_sec".into(), Json::Num(train_sec)),
+        ("train_sample_products".into(), Json::Num(sample as f64)),
+        ("embed_sec".into(), Json::Num(embed_sec)),
+        (
+            "embed_keys_per_sec".into(),
+            Json::Num(bank_keys as f64 / embed_sec),
+        ),
+        (
+            "runs".into(),
+            Json::Arr(vec![
+                run("scan-mmap", "on", &scan_mapped),
+                run("scan-heap", "off", &scan_heap),
+                run("serve-mmap", "on", &serve),
+            ]),
+        ),
+        ("shards_identical".into(), Json::Bool(shards_identical)),
+        ("scan_rss_ok".into(), Json::Bool(scan_rss_ok)),
+        ("serve_rss_ok".into(), Json::Bool(serve_rss_ok)),
+        ("ok".into(), Json::Bool(ok)),
+    ]);
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    println!("{out}");
+
+    if keep_dir.is_empty() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn resolve_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

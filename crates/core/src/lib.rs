@@ -44,8 +44,9 @@ pub use detector::Detector;
 pub use encoder::{EncoderKind, TextEncoder};
 pub use model::PgeModel;
 pub use persist::{
-    load_model, load_model_auto, load_model_binary, save_model, save_model_binary, PersistError,
-    BINARY_MAGIC,
+    load_model, load_model_auto, load_model_auto_path, load_model_binary, load_model_store,
+    model_from_snapshot, save_model, save_model_binary, save_model_store, write_model_sections,
+    PersistError, BINARY_MAGIC, BINARY_MAGIC2,
 };
 pub use score::{PreparedRelation, ScoreKind, Scorer};
 pub use trainer::{

@@ -28,6 +28,12 @@ pub struct PgeModel {
     /// Attribute names in id order, so raw-text facts can be scored
     /// without holding the graph (relations are closed-world).
     pub(crate) attr_names: Vec<String>,
+    /// Optional out-of-core embedding bank (precomputed entity
+    /// vectors served from a PGEBIN02 snapshot, usually mmapped).
+    /// Consulted before the encoder in [`PgeModel::embed_text`]; rows
+    /// are the exact bit patterns the encoder would produce, so the
+    /// bank can change latency and residency but never a score.
+    pub(crate) bank: Option<std::sync::Arc<pge_store::EmbeddingBank>>,
 }
 
 impl PgeModel {
@@ -56,7 +62,28 @@ impl PgeModel {
             title_tokens,
             value_tokens,
             attr_names,
+            bank: None,
         }
+    }
+
+    /// Attach an out-of-core embedding bank. Bank rows must have been
+    /// computed by *this* model's encoder (the store loaders only
+    /// attach a bank shipped in the same snapshot as the parameters,
+    /// which guarantees it).
+    pub fn attach_bank(&mut self, bank: std::sync::Arc<pge_store::EmbeddingBank>) {
+        assert_eq!(
+            bank.dim(),
+            self.dim(),
+            "bank dim {} does not match model dim {}",
+            bank.dim(),
+            self.dim()
+        );
+        self.bank = Some(bank);
+    }
+
+    /// The attached embedding bank, if any.
+    pub fn bank(&self) -> Option<&std::sync::Arc<pge_store::EmbeddingBank>> {
+        self.bank.as_ref()
     }
 
     /// Entity-embedding dimension.
@@ -99,9 +126,27 @@ impl PgeModel {
     /// Embed a piece of raw text (title or value) — tokenize, encode
     /// against the training vocabulary, and run the text encoder.
     pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        // A bank hit serves the precomputed row (bit-identical to the
+        // encoder's output by construction) straight from the
+        // snapshot backing — page cache instead of a CNN forward.
+        if let Some(bank) = &self.bank {
+            if let Some(row) = bank.lookup(text) {
+                return row.to_vec();
+            }
+        }
         // Tokenize and encode in one streaming pass: same tokens in
         // the same order as `vocab.encode(&tokenize(text))`, without
         // allocating a `String` per token on the scan's miss path.
+        let mut ids = Vec::with_capacity(16);
+        tokenize_each(text, |tok| ids.push(self.vocab.get_or_unk(tok)));
+        self.encoder.infer(&ids)
+    }
+
+    /// [`Self::embed_text`] bypassing the bank — always runs the
+    /// encoder. `pge embed` builds banks with this (a bank row must
+    /// come from the encoder, not from a previously attached bank),
+    /// and bit-identity tests compare the two paths.
+    pub fn embed_text_uncached(&self, text: &str) -> Vec<f32> {
         let mut ids = Vec::with_capacity(16);
         tokenize_each(text, |tok| ids.push(self.vocab.get_or_unk(tok)));
         self.encoder.infer(&ids)

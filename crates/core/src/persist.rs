@@ -46,6 +46,12 @@ pub enum PersistError {
     /// A training checkpoint refers to a different config or corpus
     /// than the one being resumed against.
     Mismatch(String),
+    /// The file matches none of the known model formats (PGEBIN01,
+    /// PGEBIN02, `#pge-model` text). Carries the leading bytes seen,
+    /// so "you pointed me at the wrong file" reads as exactly that
+    /// instead of as a parse error from whichever format was tried
+    /// last.
+    UnknownFormat(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -58,6 +64,9 @@ impl std::fmt::Display for PersistError {
             PersistError::Corrupt(msg) => write!(f, "corrupt model snapshot: {msg}"),
             PersistError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
             PersistError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            PersistError::UnknownFormat(msg) => {
+                write!(f, "unrecognized model format: {msg}")
+            }
         }
     }
 }
@@ -391,30 +400,198 @@ pub fn load_model_binary(bytes: &[u8], graph: &ProductGraph) -> Result<PgeModel,
     Ok(model)
 }
 
-/// Reload a model from either on-disk format: binary snapshots are
-/// recognized by their leading magic, everything else is parsed as
-/// the text format.
+/// Leading magic of the sectioned PGEBIN02 snapshot container
+/// (see `pge-store`): memory-mappable, 64-byte-aligned f32 sections,
+/// per-section CRC-32, and optionally an embedding bank riding in the
+/// same file.
+pub const BINARY_MAGIC2: &[u8; 8] = pge_store::MAGIC2;
+
+/// Leading bytes of the text format (`#pge-model v1`).
+const TEXT_MAGIC: &[u8] = b"#pge-model";
+
+/// Name of the snapshot section holding the shared text header.
+const SEC_MODEL_HEADER: &str = "model.header";
+
+fn io_err(e: std::io::Error) -> PersistError {
+    PersistError::Io(e.to_string())
+}
+
+fn store_err(e: pge_store::StoreError) -> PersistError {
+    use pge_store::StoreError as E;
+    match e {
+        E::UnknownFormat { magic } => {
+            PersistError::UnknownFormat(format!("leading bytes {magic:02x?}"))
+        }
+        E::Corrupt(m) => PersistError::Corrupt(m),
+        E::Parse(m) => PersistError::Parse(0, m),
+        E::MmapFailed(e) => PersistError::Io(format!("mmap failed: {e}")),
+        E::MissingSection(n) => PersistError::Corrupt(format!("missing snapshot section {n:?}")),
+        E::WrongKind { name } => {
+            PersistError::Corrupt(format!("snapshot section {name:?} has the wrong kind"))
+        }
+        E::Io(e) => PersistError::Io(e.to_string()),
+    }
+}
+
+/// Write the model's header and parameter sections into an open
+/// PGEBIN02 writer: `model.header` (the shared text header) plus one
+/// `model.param.{i}` f32 section per parameter, in `HasParams` order.
+/// `pge embed` appends bank sections to the same writer afterwards,
+/// which is how a bank is guaranteed to match its model — they are
+/// one file.
+pub fn write_model_sections(
+    model: &PgeModel,
+    w: &mut pge_store::SnapshotWriter,
+) -> Result<(), PersistError> {
+    let mut clone = model.clone();
+    let mut params = clone.encoder.params_mut();
+    params.push(clone.relations.param_mut());
+    let header = header_text(model, params.len())?;
+    w.add_bytes(SEC_MODEL_HEADER, header.as_bytes())
+        .map_err(io_err)?;
+    for (i, p) in params.iter().enumerate() {
+        w.add_f32s(
+            &format!("model.param.{i}"),
+            p.value.rows() as u64,
+            p.value.cols() as u64,
+            p.value.as_slice(),
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Serialize a trained PGE(CNN) model as a PGEBIN02 snapshot file.
+pub fn save_model_store(model: &PgeModel, path: &std::path::Path) -> Result<(), PersistError> {
+    let mut w = pge_store::SnapshotWriter::create(path).map_err(io_err)?;
+    write_model_sections(model, &mut w)?;
+    w.finish().map_err(io_err)
+}
+
+/// Rebuild a model from an open PGEBIN02 snapshot, attaching the
+/// embedding bank when the snapshot carries one. `resident_budget` is
+/// the bank's touched-bytes eviction budget (see
+/// [`pge_store::EmbeddingBank`]); irrelevant for heap-backed opens.
+pub fn model_from_snapshot(
+    snap: &std::sync::Arc<pge_store::Snapshot>,
+    graph: &ProductGraph,
+    resident_budget: u64,
+) -> Result<PgeModel, PersistError> {
+    let header = snap.section(SEC_MODEL_HEADER).map_err(store_err)?;
+    let header = std::str::from_utf8(header.bytes)
+        .map_err(|_| PersistError::Corrupt("model.header is not UTF-8".into()))?;
+    let mut lines = header.lines().enumerate();
+    let (mut model, n_params) = parse_header(&mut lines, graph)?;
+    {
+        let mut params = model.encoder.params_mut();
+        params.push(model.relations.param_mut());
+        if params.len() != n_params {
+            return Err(PersistError::Corrupt("parameter count mismatch".into()));
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let sec = snap
+                .section(&format!("model.param.{i}"))
+                .map_err(store_err)?;
+            if sec.meta.rows != p.value.rows() as u64 || sec.meta.cols != p.value.cols() as u64 {
+                return Err(PersistError::Corrupt(format!(
+                    "model.param.{i}: snapshot {}x{}, model {}x{}",
+                    sec.meta.rows,
+                    sec.meta.cols,
+                    p.value.rows(),
+                    p.value.cols()
+                )));
+            }
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(sec.as_f32s().map_err(store_err)?);
+        }
+    }
+    if let Some(bank) =
+        pge_store::EmbeddingBank::open(snap.clone(), resident_budget).map_err(store_err)?
+    {
+        if bank.dim() != model.dim() {
+            return Err(PersistError::Corrupt(format!(
+                "bank dim {} does not match model dim {}",
+                bank.dim(),
+                model.dim()
+            )));
+        }
+        model.attach_bank(std::sync::Arc::new(bank));
+    }
+    // Everything the model serves from the heap has been copied out
+    // (params above, the bank's index inside its open); drop the
+    // pages those sequential reads left resident.
+    snap.evict_resident();
+    Ok(model)
+}
+
+/// Open a PGEBIN02 snapshot file and rebuild its model (bank
+/// attached when present). `mode` picks the backing: mapped rows are
+/// served straight off the page cache, heap is a full in-memory copy.
+pub fn load_model_store(
+    path: &std::path::Path,
+    graph: &ProductGraph,
+    mode: pge_store::MmapMode,
+    resident_budget: u64,
+) -> Result<PgeModel, PersistError> {
+    let snap = std::sync::Arc::new(pge_store::Snapshot::open(path, mode).map_err(store_err)?);
+    model_from_snapshot(&snap, graph, resident_budget)
+}
+
+/// Reload a model from any on-disk format, routed by leading magic:
+/// `PGEBIN01` → checksummed flat binary, `PGEBIN02` → sectioned
+/// snapshot (honoring `mode`), `#pge-model` → text. Anything else is
+/// a typed [`PersistError::UnknownFormat`].
+pub fn load_model_auto_path(
+    path: &std::path::Path,
+    graph: &ProductGraph,
+    mode: pge_store::MmapMode,
+    resident_budget: u64,
+) -> Result<PgeModel, PersistError> {
+    let magic = pge_store::peek_magic(path).map_err(io_err)?;
+    if &magic == BINARY_MAGIC2 {
+        return load_model_store(path, graph, mode, resident_budget);
+    }
+    let bytes = std::fs::read(path).map_err(io_err)?;
+    load_model_auto(&bytes, graph)
+}
+
+/// Reload a model from in-memory bytes, routed by leading magic (see
+/// [`load_model_auto_path`]; a PGEBIN02 snapshot loaded from bytes is
+/// always heap-backed — mapping needs a file).
 pub fn load_model_auto(bytes: &[u8], graph: &ProductGraph) -> Result<PgeModel, PersistError> {
     if bytes.starts_with(&BINARY_MAGIC[..]) {
         return load_model_binary(bytes, graph);
     }
-    // A file shorter than the magic that matches a *prefix* of it is a
-    // truncated binary snapshot. Surface the binary CRC/length error
-    // rather than falling through to a baffling text parse error.
-    if !bytes.is_empty() && bytes.len() < BINARY_MAGIC.len() && BINARY_MAGIC.starts_with(bytes) {
+    if bytes.starts_with(&BINARY_MAGIC2[..]) {
+        let snap = std::sync::Arc::new(pge_store::Snapshot::open_bytes(bytes).map_err(store_err)?);
+        return model_from_snapshot(&snap, graph, pge_store::DEFAULT_RESIDENT_BUDGET);
+    }
+    // A file shorter than the magic that matches a *prefix* of one is
+    // a truncated binary snapshot. Surface a corruption error rather
+    // than an unknown-format one (the two magics share a 7-byte
+    // prefix, so one check covers both).
+    if !bytes.is_empty()
+        && bytes.len() < BINARY_MAGIC.len()
+        && (BINARY_MAGIC.starts_with(bytes) || BINARY_MAGIC2.starts_with(bytes))
+    {
         return Err(PersistError::Corrupt(format!(
-            "snapshot is truncated inside the PGEBIN01 magic ({} of {} bytes) — \
+            "snapshot is truncated inside the magic ({} of {} bytes) — \
              the file was cut off mid-write; re-export it",
             bytes.len(),
             BINARY_MAGIC.len()
         )));
     }
-    let text = std::str::from_utf8(bytes).map_err(|_| {
-        PersistError::Corrupt(
-            "model file is neither the PGEBIN01 binary format nor UTF-8 text".into(),
-        )
-    })?;
-    load_model(text, graph)
+    if bytes.starts_with(TEXT_MAGIC) {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| PersistError::Corrupt("text model file is not valid UTF-8".into()))?;
+        return load_model(text, graph);
+    }
+    let lead = &bytes[..bytes.len().min(8)];
+    Err(PersistError::UnknownFormat(format!(
+        "leading bytes {lead:02x?} match no model format \
+         (expected PGEBIN01, PGEBIN02, or '#pge-model' text)"
+    )))
 }
 
 #[cfg(test)]
@@ -549,12 +726,62 @@ mod tests {
         let a = load_model_auto(text.as_bytes(), &d.graph).unwrap();
         let b = load_model_auto(&binary, &d.graph).unwrap();
         assert_eq!(param_bits(&a), param_bits(&b));
-        // Bytes that are neither format get the corrupt error, not a
-        // text parse attempt on garbage.
+        // Bytes that are no known format get the typed UnknownFormat
+        // error, not a text parse attempt on garbage.
         assert!(matches!(
             load_model_auto(&[0xff, 0x00, 0xfe], &d.graph),
-            Err(PersistError::Corrupt(_))
+            Err(PersistError::UnknownFormat(_))
         ));
+        assert!(matches!(
+            load_model_auto(b"ELF\x7f not a model at all", &d.graph),
+            Err(PersistError::UnknownFormat(_))
+        ));
+    }
+
+    #[test]
+    fn pgebin2_round_trip_is_bit_identical_across_backings() {
+        let d = tiny_dataset();
+        let trained = train_pge(
+            &d,
+            &PgeConfig {
+                epochs: 2,
+                ..PgeConfig::tiny()
+            },
+        );
+        let dir = std::env::temp_dir().join(format!("pge-persist-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.pgebin2");
+        save_model_store(&trained.model, &path).unwrap();
+
+        // The v2 container routes through load_model_auto_path by
+        // magic, in every backing mode, bit-identically.
+        for mode in [
+            pge_store::MmapMode::On,
+            pge_store::MmapMode::Off,
+            pge_store::MmapMode::Auto,
+        ] {
+            let loaded = load_model_auto_path(&path, &d.graph, mode, 0).unwrap();
+            assert_eq!(param_bits(&trained.model), param_bits(&loaded));
+            for t in d.train.iter().take(5) {
+                assert_eq!(
+                    trained.model.score_triple(t).to_bits(),
+                    loaded.score_triple(t).to_bits(),
+                    "mode {mode:?}"
+                );
+            }
+        }
+        // The byte-slice entry point routes PGEBIN02 too.
+        let bytes = std::fs::read(&path).unwrap();
+        let from_bytes = load_model_auto(&bytes, &d.graph).unwrap();
+        assert_eq!(param_bits(&trained.model), param_bits(&from_bytes));
+        // And PGEBIN01 snapshots keep loading through the same path.
+        let v1 = save_model_binary(&trained.model).unwrap();
+        let v1_path = dir.join("model.pgebin1");
+        std::fs::write(&v1_path, &v1).unwrap();
+        let from_v1 =
+            load_model_auto_path(&v1_path, &d.graph, pge_store::MmapMode::Auto, 0).unwrap();
+        assert_eq!(param_bits(&trained.model), param_bits(&from_v1));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -454,6 +454,69 @@ pub fn generate_catalog(cfg: &CatalogConfig) -> Dataset {
     d
 }
 
+/// Counters reported by [`stream_catalog`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamStats {
+    pub products: u64,
+    pub triples: u64,
+}
+
+/// Stream a paper-scale catalog into a binary PGECAT01 blob without
+/// ever materializing it.
+///
+/// Unlike [`generate_catalog`] — which builds an in-memory [`Dataset`]
+/// with held-out labeled triples for training and evaluation — this
+/// emits the *full* catalog (every product, every attribute, labeled
+/// attribute included) one product at a time, which is what a bulk
+/// scan or an embedding-bank build consumes. Memory stays O(1) in the
+/// product count except for an 8-byte title hash per product, kept
+/// only to disambiguate title collisions the same way the in-memory
+/// generator does (a ", Lot {i}" suffix).
+///
+/// Determinism contract: the same [`CatalogConfig`] produces a
+/// byte-identical blob (same seed → same RNG stream → same records in
+/// the same order) — golden-CRC tests and resumable scans rely on it.
+pub fn stream_catalog(
+    cfg: &CatalogConfig,
+    out: &mut pge_store::CatalogWriter,
+) -> std::io::Result<StreamStats> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // u64 FNV hashes instead of owned titles: 750k products cost
+    // ~6 MB of set instead of ~60 MB of strings. A hash collision
+    // between distinct titles only triggers a harmless extra ", Lot"
+    // disambiguation; it can never make two titles equal.
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut triples = 0u64;
+    for i in 0..cfg.products {
+        let mut p = generate_product(&mut rng, cfg);
+        if !seen.insert(pge_store::bank::fnv64(p.title.as_bytes())) {
+            p.title.push_str(&format!(", Lot {i}"));
+            seen.insert(pge_store::bank::fnv64(p.title.as_bytes()));
+        }
+        out.note_product();
+        let mut put = |attr: &str, value: &str, n: &mut u64| -> std::io::Result<()> {
+            out.add_triple(&p.title, attr, value)?;
+            *n += 1;
+            Ok(())
+        };
+        put("category", &p.category, &mut triples)?;
+        put("brand", &p.brand, &mut triples)?;
+        put("size", &p.size, &mut triples)?;
+        put("form", p.form, &mut triples)?;
+        for ing in &p.ingredients {
+            put("ingredient", ing, &mut triples)?;
+        }
+        if let Some(m) = &p.material {
+            put("material", m, &mut triples)?;
+        }
+        put(p.labeled_attr, &p.phrase, &mut triples)?;
+    }
+    Ok(StreamStats {
+        products: cfg.products as u64,
+        triples,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +722,82 @@ mod tests {
         // ...but not pure noise: the mean value degree stays above 2
         // so graph structure remains learnable.
         assert!(stats.value_degree.1 > 2.0, "{:?}", stats.value_degree);
+    }
+
+    fn stream_to_file(cfg: &CatalogConfig, name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pge-datagen-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut w = pge_store::CatalogWriter::create(&path, cfg.seed).unwrap();
+        stream_catalog(cfg, &mut w).unwrap();
+        w.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn streamed_catalog_is_byte_identical_given_seed() {
+        let cfg = CatalogConfig::tiny();
+        let a = stream_to_file(&cfg, "stream-a.bin");
+        let b = stream_to_file(&cfg, "stream-b.bin");
+        let (ba, bb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        assert_eq!(ba, bb, "same seed+config must be byte-identical");
+        // Golden CRC: pins the on-disk encoding. If this changes, the
+        // generator or the PGECAT01 format changed — both break
+        // resumability of in-flight scans, so the break must be loud.
+        assert_eq!(
+            pge_tensor::crc32(&ba),
+            0x6544_de00,
+            "catalog encoding drifted"
+        );
+        let c = stream_to_file(
+            &CatalogConfig {
+                seed: 43,
+                ..CatalogConfig::tiny()
+            },
+            "stream-c.bin",
+        );
+        assert_ne!(
+            ba,
+            std::fs::read(&c).unwrap(),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn streamed_catalog_reads_back_and_rejects_tampering() {
+        let cfg = CatalogConfig::tiny();
+        let path = stream_to_file(&cfg, "stream-read.bin");
+        let r = pge_store::CatalogReader::open(&path).unwrap();
+        assert_eq!(r.products() as usize, cfg.products);
+        assert_eq!(r.seed(), cfg.seed);
+        let mut n = 0u64;
+        let mut per_product_attrs = 0;
+        let mut last_title = String::new();
+        for rec in r.records().unwrap() {
+            let rec = rec.unwrap();
+            assert!(!rec.title.is_empty() && !rec.value.is_empty());
+            if rec.title != last_title {
+                last_title = rec.title.clone();
+                per_product_attrs = 0;
+            }
+            per_product_attrs += 1;
+            assert!(per_product_attrs <= 12, "implausible attr count");
+            n += 1;
+        }
+        assert_eq!(n, r.triples());
+        // Every product emits category/brand/size/form + ≥2
+        // ingredients + the labeled attr.
+        assert!(n as usize >= cfg.products * 7, "triples={n}");
+
+        // A flipped bit anywhere in the body is a typed rejection.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            pge_store::CatalogReader::open(&path),
+            Err(pge_store::StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -19,5 +19,5 @@ pub mod catalog;
 pub mod fbkg;
 pub mod lexicon;
 
-pub use catalog::{generate_catalog, CatalogConfig};
+pub use catalog::{generate_catalog, stream_catalog, CatalogConfig, StreamStats};
 pub use fbkg::{generate_fbkg, FbkgConfig};

@@ -29,7 +29,7 @@ use crate::epoll::{Epoll, Event, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDH
 use crate::metrics::GatewayMetrics;
 use crate::replica::{worker_loop, Completion, CompletionSink, Job, ModelState, Replica};
 use crate::ring::HashRing;
-use pge_core::{load_model_auto, Detector, PgeModel};
+use pge_core::{load_model_auto_path, Detector, PgeModel};
 use pge_graph::{LabeledTriple, ProductGraph};
 use pge_obs::trace::{DEFAULT_RETAIN_CAP, DEFAULT_RING_CAPACITY, DEFAULT_SLOW_MS};
 use pge_obs::{
@@ -38,6 +38,7 @@ use pge_obs::{
 use pge_serve::http::{self, ReadError};
 use pge_serve::json::{self, Json};
 use pge_serve::ScoreItem;
+use pge_store::{MmapMode, DEFAULT_RESIDENT_BUDGET};
 use std::collections::HashMap;
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener};
@@ -65,6 +66,10 @@ pub struct GatewayConfig {
     /// Snapshot to (re)load on SIGHUP or a body-less
     /// `POST /admin/reload`.
     pub model_path: Option<String>,
+    /// Backing for reloaded PGEBIN02 snapshots: mapped (rows served
+    /// off the page cache) or a heap copy. Ignored by the other
+    /// formats.
+    pub mmap: MmapMode,
     /// Append run-log events here; `None` disables run logging.
     pub runlog_path: Option<String>,
     /// Longest the drain phase may take before remaining connections
@@ -86,6 +91,7 @@ impl Default for GatewayConfig {
             queue_cap: 256,
             max_batch: 32,
             model_path: None,
+            mmap: MmapMode::Auto,
             runlog_path: None,
             drain_timeout: Duration::from_secs(30),
             trace_slow: Duration::from_millis(DEFAULT_SLOW_MS),
@@ -145,9 +151,16 @@ impl Shared {
     /// reload thread, never on the event loop. A failed load leaves
     /// the serving model untouched.
     fn reload_from_path(&self, path: &str) -> Result<u64, String> {
-        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-        let model =
-            load_model_auto(&bytes, &self.graph).map_err(|e| format!("load {path}: {e}"))?;
+        // Magic-routed: a PGEBIN02 snapshot is opened through the
+        // store (honoring cfg.mmap), so a hot-swapped model with an
+        // embedding bank keeps serving rows off the page cache.
+        let model = load_model_auto_path(
+            std::path::Path::new(path),
+            &self.graph,
+            self.cfg.mmap,
+            DEFAULT_RESIDENT_BUDGET,
+        )
+        .map_err(|e| format!("load {path}: {e}"))?;
         // Refit the decision threshold on the validation split; with
         // no split available the current threshold carries over.
         let threshold = if self.valid.is_empty() {

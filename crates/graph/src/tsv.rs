@@ -244,6 +244,43 @@ pub struct RawTriple {
 }
 
 impl RawTriple {
+    /// Build a row from already-split fields — how non-TSV inputs
+    /// (the binary PGECAT01 catalog) enter the scan pipeline. The
+    /// same validation the line parser applies (no embedded tabs, no
+    /// empty fields) is enforced here so every downstream consumer
+    /// sees one invariant regardless of the input format.
+    pub fn from_fields(
+        line: usize,
+        offset: u64,
+        title: &str,
+        attr: &str,
+        value: &str,
+    ) -> Result<RawTriple, RawTripleError> {
+        let fields = [("title", title), ("attribute", attr), ("value", value)];
+        for (name, f) in fields {
+            let reason = if f.trim().is_empty() {
+                format!("empty {name} field")
+            } else if f.contains('\t') || f.contains('\n') {
+                format!("{name} field contains a tab or newline")
+            } else {
+                continue;
+            };
+            return Err(RawTripleError {
+                line,
+                offset,
+                reason,
+                raw: format!("{title}\t{attr}\t{value}"),
+            });
+        }
+        Ok(RawTriple {
+            line,
+            offset,
+            text: format!("{title}\t{attr}\t{value}"),
+            tab1: title.len() as u32,
+            tab2: (title.len() + 1 + attr.len()) as u32,
+        })
+    }
+
     pub fn title(&self) -> &str {
         &self.text[..self.tab1 as usize]
     }

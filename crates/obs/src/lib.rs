@@ -35,7 +35,7 @@ pub mod trace;
 pub mod worker;
 
 pub use hist::AtomicHistogram;
-pub use manifest::{git_rev, unix_time_ms};
+pub use manifest::{current_rss_bytes, git_rev, peak_rss_bytes, unix_time_ms};
 pub use registry::{global, validate_exposition, Counter, Gauge, MetricsRegistry};
 pub use report::{render_report, render_traces, sparkline};
 pub use runlog::{

@@ -12,6 +12,31 @@ pub fn unix_time_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// Peak resident set size of this process in bytes — the `VmHWM`
+/// high-water mark from `/proc/self/status`. `None` off Linux or on
+/// any read failure; RSS telemetry degrades, it doesn't fail. This is
+/// the number the out-of-core store exists to keep flat: benches and
+/// CI assert on it, `/metrics` exports it, and run manifests record
+/// it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_kib("VmHWM:").map(|k| k * 1024)
+}
+
+/// Current resident set size (`VmRSS`) in bytes, same source and
+/// caveats as [`peak_rss_bytes`].
+pub fn current_rss_bytes() -> Option<u64> {
+    status_kib("VmRSS:").map(|k| k * 1024)
+}
+
+/// Read a `kB`-suffixed field from `/proc/self/status`.
+fn status_kib(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let rest = status.lines().find_map(|l| l.strip_prefix(field))?;
+    rest.trim()
+        .strip_suffix("kB")
+        .and_then(|v| v.trim().parse().ok())
+}
+
 /// The current git commit hash, read straight from `.git` (searching
 /// upward from the working directory). `None` outside a repository or
 /// on any read failure — manifests degrade, they don't fail.
@@ -79,5 +104,16 @@ mod tests {
     #[test]
     fn missing_repo_yields_none() {
         assert_eq!(git_rev_from(Path::new("/nonexistent/nowhere")), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_readings_are_sane() {
+        let peak = peak_rss_bytes().expect("VmHWM readable on Linux");
+        let cur = current_rss_bytes().expect("VmRSS readable on Linux");
+        // A running test binary resides in at least a few hundred KiB
+        // and the high-water mark can never undercut the current RSS.
+        assert!(peak > 100 << 10, "{peak}");
+        assert!(peak >= cur, "peak {peak} < current {cur}");
     }
 }

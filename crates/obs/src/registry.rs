@@ -161,6 +161,16 @@ impl MetricsRegistry {
     /// Render every metric in the Prometheus text format, sorted by
     /// name.
     pub fn render(&self) -> String {
+        // Refresh the process-wide RSS high-water mark on every
+        // scrape, so any `/metrics` endpoint (serve, gateway, the
+        // global registry) exports it without per-binary wiring.
+        if let Some(rss) = crate::manifest::peak_rss_bytes() {
+            self.gauge(
+                "pge_process_peak_rss_bytes",
+                "Peak resident set size (VmHWM) of this process",
+            )
+            .set(rss as f64);
+        }
         let map = self.metrics.read().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for (name, entry) in map.iter() {
@@ -438,6 +448,24 @@ mod tests {
         .expect("histogram suffixes resolve");
         // Inf/NaN values are legal exposition.
         validate_exposition("# TYPE pge_g gauge\npge_g +Inf\n").expect("+Inf is valid");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn render_exports_process_peak_rss() {
+        let r = MetricsRegistry::new();
+        let text = r.render();
+        assert!(
+            text.contains("# TYPE pge_process_peak_rss_bytes gauge"),
+            "{text}"
+        );
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("pge_process_peak_rss_bytes "))
+            .expect("sample present");
+        let v: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(v > 0.0, "{line}");
+        validate_exposition(&text).expect("still valid exposition");
     }
 
     #[test]

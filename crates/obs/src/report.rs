@@ -297,6 +297,18 @@ pub fn render_report(jsonl: &str) -> Result<String, String> {
         }
     }
 
+    // Memory: the largest RSS high-water mark any event recorded
+    // (manifests carry the post-load value, spans events the
+    // end-of-run one).
+    let peak_rss = manifests
+        .iter()
+        .chain(spans.iter())
+        .filter_map(|ev| num(ev, "peak_rss_bytes"))
+        .fold(0.0f64, f64::max);
+    if peak_rss > 0.0 {
+        let _ = writeln!(w, "\npeak rss: {:.1} MB", peak_rss / 1e6);
+    }
+
     // Merge every spans event: each command in a shared pipeline file
     // (train, then detect, then serve) snapshots its own process.
     let mut merged: std::collections::BTreeMap<String, (f64, f64)> =

@@ -20,7 +20,7 @@
 //! pipeline and `pge report` will summarize all of it.
 
 use crate::json::Json;
-use crate::manifest::{git_rev, unix_time_ms};
+use crate::manifest::{git_rev, peak_rss_bytes, unix_time_ms};
 use crate::span::span_snapshot;
 use std::fs::OpenOptions;
 use std::io::{self, BufWriter, Write};
@@ -88,6 +88,12 @@ pub fn manifest_event(kind: &str, seed: u64, config: &[(String, String)]) -> Jso
     pairs.push((
         "version".into(),
         Json::Str(env!("CARGO_PKG_VERSION").into()),
+    ));
+    // RSS high-water mark at manifest time (post data load); the
+    // closing spans event records the end-of-run peak.
+    pairs.push((
+        "peak_rss_bytes".into(),
+        peak_rss_bytes().map_or(Json::Null, |b| Json::Num(b as f64)),
     ));
     pairs.push((
         "config".into(),
@@ -224,6 +230,12 @@ pub fn trace_event(t: &crate::trace::RetainedTrace) -> Json {
 /// Snapshot of all span accumulators (see [`crate::span_snapshot`]).
 pub fn spans_event() -> Json {
     let mut pairs = base("spans");
+    // Every command writes one spans event on exit, making this the
+    // end-of-run RSS peak `pge report` surfaces.
+    pairs.push((
+        "peak_rss_bytes".into(),
+        peak_rss_bytes().map_or(Json::Null, |b| Json::Num(b as f64)),
+    ));
     pairs.push((
         "spans".into(),
         Json::Arr(

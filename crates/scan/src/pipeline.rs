@@ -37,6 +37,7 @@ use crate::checkpoint::{shard_file_name, Manifest, ShardEntry, MANIFEST_FILE, QU
 use pge_core::{CachedModel, EmbeddingCache, PgeModel, ScoreScratch};
 use pge_graph::{RawTriple, RawTripleError, RawTripleReader};
 use pge_obs::{span, Stage, Tracer, WorkerLedger};
+use pge_store::{CatalogReader, CatalogRecords, StoreError, CAT_MAGIC};
 use pge_tensor::Crc32;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
@@ -471,11 +472,101 @@ fn remove_stale_tmp(out_dir: &Path) -> Result<(), ScanError> {
     Ok(())
 }
 
-/// Run a bulk scan of `input` (raw `title \t attr \t value` lines),
-/// scoring every row with `model` and classifying against
-/// `threshold`, writing sharded output + quarantine + checkpoint into
-/// `cfg.out_dir`. See the module docs for the determinism and memory
-/// guarantees.
+/// The scan's input stream: raw TSV lines or a binary PGECAT01
+/// catalog, sniffed by magic. Both yield [`RawTriple`] rows with
+/// (line, byte-offset) resume positions, so the chunker, workers,
+/// committer, and checkpoint manifest are format-agnostic — a resumed
+/// catalog scan is byte-identical to an uninterrupted one exactly
+/// like a resumed TSV scan.
+enum TripleSource {
+    Tsv(RawTripleReader<BufReader<File>>),
+    Catalog(CatalogRecords),
+}
+
+impl TripleSource {
+    /// Open `input` positioned at a resume point (`lines_done` rows
+    /// already consumed, the next row starting at byte `offset`; 0/0
+    /// means the beginning). Opening a catalog verifies its whole-body
+    /// CRC before any record is served.
+    fn open(input: &Path, lines_done: u64, offset: u64) -> Result<TripleSource, ScanError> {
+        let is_catalog = matches!(pge_store::peek_magic(input), Ok(m) if &m == CAT_MAGIC);
+        if is_catalog {
+            let reader = CatalogReader::open(input).map_err(|e| match e {
+                StoreError::Io(io) => ScanError::io(format!("open {}", input.display()), io),
+                other => ScanError::Corrupt(format!("catalog {}: {other}", input.display())),
+            })?;
+            let records = if offset == 0 {
+                reader.records()
+            } else {
+                reader.records_from(lines_done, offset)
+            }
+            .map_err(|e| ScanError::io(format!("open {}", input.display()), e))?;
+            Ok(TripleSource::Catalog(records))
+        } else {
+            let mut f = File::open(input)
+                .map_err(|e| ScanError::io(format!("open {}", input.display()), e))?;
+            f.seek(SeekFrom::Start(offset))
+                .map_err(|e| ScanError::io("seek input".into(), e))?;
+            Ok(TripleSource::Tsv(RawTripleReader::with_position(
+                BufReader::with_capacity(256 << 10, f),
+                lines_done as usize,
+                offset,
+            )))
+        }
+    }
+
+    fn next_row(&mut self) -> Option<Result<RawTriple, RawTripleError>> {
+        match self {
+            TripleSource::Tsv(r) => r.next(),
+            TripleSource::Catalog(r) => {
+                let rec = match r.next()? {
+                    Ok(rec) => rec,
+                    // Catalog framing is length-prefixed: a bad record
+                    // cannot be skipped, so surface it as a fatal read
+                    // failure (the scan aborts) rather than data to
+                    // quarantine.
+                    Err(e) => {
+                        return Some(Err(RawTripleError {
+                            line: r.lines_done() as usize + 1,
+                            offset: r.offset(),
+                            reason: format!("read error: {e}"),
+                            raw: String::new(),
+                        }))
+                    }
+                };
+                Some(RawTriple::from_fields(
+                    rec.line as usize,
+                    rec.offset,
+                    &rec.title,
+                    &rec.attr,
+                    &rec.value,
+                ))
+            }
+        }
+    }
+
+    /// Rows consumed so far (the committer's checkpoint position).
+    fn lines_done(&self) -> u64 {
+        match self {
+            TripleSource::Tsv(r) => r.lines_done() as u64,
+            TripleSource::Catalog(r) => r.lines_done(),
+        }
+    }
+
+    /// Byte offset of the next unread row.
+    fn offset(&self) -> u64 {
+        match self {
+            TripleSource::Tsv(r) => r.offset(),
+            TripleSource::Catalog(r) => r.offset(),
+        }
+    }
+}
+
+/// Run a bulk scan of `input` (raw `title \t attr \t value` lines or
+/// a binary PGECAT01 catalog, auto-detected by magic), scoring every
+/// row with `model` and classifying against `threshold`, writing
+/// sharded output + quarantine + checkpoint into `cfg.out_dir`. See
+/// the module docs for the determinism and memory guarantees.
 pub fn scan(
     model: &PgeModel,
     threshold: f32,
@@ -563,16 +654,7 @@ pub fn scan_with_tracer(
         .map_err(|e| ScanError::io("seek quarantine".into(), e))?;
 
     // Input, positioned just past the last committed shard.
-    let mut in_file =
-        File::open(input).map_err(|e| ScanError::io(format!("open {}", input.display()), e))?;
-    in_file
-        .seek(SeekFrom::Start(manifest.input_bytes))
-        .map_err(|e| ScanError::io("seek input".into(), e))?;
-    let reader = RawTripleReader::with_position(
-        BufReader::with_capacity(256 << 10, in_file),
-        manifest.lines_done as usize,
-        manifest.input_bytes,
-    );
+    let reader = TripleSource::open(input, manifest.lines_done, manifest.input_bytes)?;
 
     let jobs = resolve_jobs(cfg.jobs);
     let cache = EmbeddingCache::new(cfg.cache_cap);
@@ -689,7 +771,7 @@ pub fn scan_with_tracer(
                 let mut bad = Vec::new();
                 let mut eof = false;
                 while rows.len() < chunk_size {
-                    match reader.next() {
+                    match reader.next_row() {
                         Some(Ok(t)) => rows.push(t),
                         Some(Err(e)) if e.is_read_failure() => {
                             return Err(ScanError::Io(
@@ -711,7 +793,7 @@ pub fn scan_with_tracer(
                         idx,
                         rows,
                         bad,
-                        end_line: reader.lines_done() as u64,
+                        end_line: reader.lines_done(),
                         end_offset: reader.offset(),
                         trace,
                         born: Instant::now(),

@@ -3,17 +3,22 @@
 //! ```text
 //! pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N]
 //!              [--scan-out raw.tsv]
+//!              [--count N --catalog-out catalog.bin]
 //! pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]
 //!              [--threads N] [--binary] [--checkpoint DIR | --resume DIR]
 //!              [--stop-after N] [--runlog run.jsonl]
+//! pge embed    --data data.tsv --model model.pge --catalog catalog.bin
+//!              --out bank.pge [--mmap auto|on|off]
 //! pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]
 //! pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]
 //! pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]
 //!              [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]
-//!              [--runlog run.jsonl]
-//! pge scan     --data data.tsv --model model.pge --input raw.tsv --out-dir DIR
+//!              [--mmap auto|on|off] [--runlog run.jsonl]
+//! pge scan     --data data.tsv --model model.pge --input raw.tsv|catalog.bin
+//!              --out-dir DIR
 //!              [--jobs N] [--chunk-size N] [--shard-chunks N] [--cache-cap N]
-//!              [--resume] [--max-shards N] [--runlog run.jsonl]
+//!              [--resume] [--max-shards N] [--mmap auto|on|off]
+//!              [--runlog run.jsonl]
 //! pge report   run.jsonl
 //! pge trace    run.jsonl
 //! pge check-metrics metrics.txt
@@ -30,8 +35,19 @@
 //! output.
 //!
 //! Models save as text by default; `train --binary` writes the
-//! CRC-checksummed binary snapshot instead (~4x smaller, bit-exact).
-//! Every command auto-detects either format on load.
+//! memory-mappable PGEBIN02 snapshot instead (sectioned, 64-byte
+//! aligned, per-section CRC — see `pge-store`). Every command
+//! auto-detects any format (text, PGEBIN01, PGEBIN02) on load;
+//! `--mmap` controls whether a PGEBIN02 snapshot is served straight
+//! off the page cache (`on`), copied to the heap (`off`), or mapped
+//! with a heap fallback (`auto`, the default).
+//!
+//! `generate --count N --catalog-out catalog.bin` streams a
+//! paper-scale seeded catalog (750k products ≈ 5M triples) to a
+//! compact CRC-guarded binary blob without ever holding it in
+//! memory; `pge scan` consumes it directly. `pge embed` pre-computes
+//! an embedding bank for every distinct catalog string and writes it
+//! into the model's snapshot, so scan/serve score out-of-core.
 //!
 //! `train --checkpoint DIR` writes the full trainer state (model,
 //! Adam moments, confidence table) atomically to `DIR/trainer.ckpt`
@@ -52,10 +68,10 @@
 //! and `pge report` summarizes it.
 
 use pge::core::{
-    load_model_auto, resolve_threads, save_model, save_model_binary, train_pge_resumable,
-    CheckpointOptions, Detector, PgeConfig, PgeModel, ScoreKind,
+    load_model_auto_path, resolve_threads, save_model, save_model_store, train_pge_resumable,
+    write_model_sections, CheckpointOptions, Detector, PgeConfig, PgeModel, ScoreKind,
 };
-use pge::datagen::{generate_catalog, generate_fbkg, CatalogConfig, FbkgConfig};
+use pge::datagen::{generate_catalog, generate_fbkg, stream_catalog, CatalogConfig, FbkgConfig};
 use pge::eval::{average_precision, recall_at_precision, Scored};
 use pge::gateway::GatewayConfig;
 use pge::graph::tsv::{from_tsv, to_tsv, write_raw_triples};
@@ -67,26 +83,33 @@ use pge::obs::{
 };
 use pge::scan::ScanConfig;
 use pge::serve::ServeConfig;
+use pge::store::{
+    BankBuilder, CatalogReader, CatalogWriter, MmapMode, SnapshotWriter, DEFAULT_RESIDENT_BUDGET,
+};
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N] [--scan-out raw.tsv]\n  \
+        "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N] [--scan-out raw.tsv]\n               \
+         [--count N --catalog-out catalog.bin]   (streamed paper-scale binary catalog)\n  \
          pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n               \
          [--threads N] [--binary] [--checkpoint DIR | --resume DIR] [--stop-after N]\n               \
          [--runlog run.jsonl]\n  \
-         pge detect   --data data.tsv --model model.pge [--top N] [--runlog run.jsonl]\n  \
-         pge eval     --data data.tsv --model model.pge [--runlog run.jsonl]\n  \
+         pge embed    --data data.tsv --model model.pge --catalog catalog.bin --out bank.pge\n               \
+         [--mmap auto|on|off]   (write model + precomputed embedding bank snapshot)\n  \
+         pge detect   --data data.tsv --model model.pge [--top N] [--mmap auto|on|off] [--runlog run.jsonl]\n  \
+         pge eval     --data data.tsv --model model.pge [--mmap auto|on|off] [--runlog run.jsonl]\n  \
          pge serve    --data data.tsv --model model.pge [--addr HOST:PORT]\n               \
          [--threads N] [--cache-cap N] [--queue-cap N] [--no-cache]\n               \
-         [--trace-slow MS] [--runlog run.jsonl]\n  \
-         pge scan     --data data.tsv --model model.pge --input raw.tsv --out-dir DIR\n               \
+         [--trace-slow MS] [--mmap auto|on|off] [--runlog run.jsonl]\n  \
+         pge scan     --data data.tsv --model model.pge --input raw.tsv|catalog.bin --out-dir DIR\n               \
          [--jobs N] [--chunk-size N] [--shard-chunks N] [--cache-cap N]\n               \
-         [--resume] [--max-shards N] [--runlog run.jsonl]\n  \
+         [--resume] [--max-shards N] [--mmap auto|on|off] [--runlog run.jsonl]\n  \
          pge gateway  --data data.tsv --model model.pge [--addr HOST:PORT] [--replicas N]\n               \
          [--vnodes N] [--cache-cap N] [--queue-cap N] [--max-batch N] [--no-cache]\n               \
-         [--trace-slow MS] [--runlog run.jsonl]   (SIGHUP hot-swaps --model from disk)\n  \
+         [--trace-slow MS] [--mmap auto|on|off] [--runlog run.jsonl]   (SIGHUP hot-swaps --model from disk)\n  \
          pge report   run.jsonl\n  \
          pge trace    run.jsonl        (per-stage waterfalls of retained slow traces)\n  \
          pge check-metrics metrics.txt (lint a scraped /metrics exposition)"
@@ -133,16 +156,28 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-/// Read a model snapshot — text or binary, auto-detected by magic.
-fn load_model_file(path: &str, graph: &ProductGraph) -> PgeModel {
-    let bytes = std::fs::read(path).unwrap_or_else(|e| {
-        eprintln!("cannot read model {path}: {e}");
-        exit(1)
-    });
-    load_model_auto(&bytes, graph).unwrap_or_else(|e| {
-        eprintln!("cannot load model {path}: {e}");
-        exit(1)
-    })
+/// Parse `--mmap auto|on|off` (default `auto`: map PGEBIN02
+/// snapshots when possible, fall back to a heap copy).
+fn parse_mmap(flags: &HashMap<String, String>) -> MmapMode {
+    match flags.get("mmap").map(String::as_str) {
+        None => MmapMode::Auto,
+        Some(s) => MmapMode::parse(s).unwrap_or_else(|| {
+            eprintln!("invalid --mmap '{s}' (expected auto, on, or off)");
+            exit(2)
+        }),
+    }
+}
+
+/// Read a model snapshot — text, PGEBIN01, or PGEBIN02, routed by
+/// magic. `mode` picks the PGEBIN02 backing (ignored for the other
+/// formats, which are always heap-resident).
+fn load_model_file(path: &str, graph: &ProductGraph, mode: MmapMode) -> PgeModel {
+    load_model_auto_path(Path::new(path), graph, mode, DEFAULT_RESIDENT_BUDGET).unwrap_or_else(
+        |e| {
+            eprintln!("cannot load model {path}: {e}");
+            exit(1)
+        },
+    )
 }
 
 fn load_dataset(path: &str) -> Dataset {
@@ -200,9 +235,46 @@ fn main() {
 
     match cmd.as_str() {
         "generate" => {
-            let kind = require("kind");
-            let out = require("out");
             let seed: u64 = get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+            // Paper-scale path: stream a seeded catalog straight to a
+            // binary PGECAT01 blob — constant memory at any --count.
+            if let Some(cat_out) = get("catalog-out") {
+                if matches!(get("kind").as_deref(), Some(k) if k != "catalog") {
+                    eprintln!("--catalog-out only streams --kind catalog");
+                    exit(2);
+                }
+                let count: usize = get("count").and_then(|s| s.parse().ok()).unwrap_or(750_000);
+                let cfg = CatalogConfig {
+                    products: count,
+                    seed,
+                    ..CatalogConfig::default()
+                };
+                let mut w = CatalogWriter::create(Path::new(&cat_out), seed).unwrap_or_else(|e| {
+                    eprintln!("cannot create {cat_out}: {e}");
+                    exit(1)
+                });
+                let stats = stream_catalog(&cfg, &mut w).unwrap_or_else(|e| {
+                    eprintln!("cannot write {cat_out}: {e}");
+                    exit(1)
+                });
+                let summary = w.finish().unwrap_or_else(|e| {
+                    eprintln!("cannot finish {cat_out}: {e}");
+                    exit(1)
+                });
+                println!(
+                    "wrote {cat_out}: {} products, {} triples ({:.1} MB, seed {seed})",
+                    stats.products,
+                    stats.triples,
+                    summary.body_len as f64 / 1e6
+                );
+                // `--catalog-out` alone is a complete invocation; add
+                // `--out` to also emit a labeled TSV training sample.
+                if get("out").is_none() {
+                    return;
+                }
+            }
+            let kind = get("kind").unwrap_or_else(|| "catalog".into());
+            let out = require("out");
             let dataset = match kind.as_str() {
                 "catalog" => {
                     let products: usize =
@@ -332,17 +404,20 @@ fn main() {
                     cfg.epochs
                 );
             }
-            let bytes = if flags.contains_key("binary") {
-                save_model_binary(&trained.model).expect("CNN models persist")
+            if flags.contains_key("binary") {
+                // Sectioned PGEBIN02 snapshot: every downstream
+                // command can mmap it instead of heap-loading.
+                save_model_store(&trained.model, Path::new(&out)).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1)
+                });
             } else {
-                save_model(&trained.model)
-                    .expect("CNN models persist")
-                    .into_bytes()
-            };
-            std::fs::write(&out, bytes).unwrap_or_else(|e| {
-                eprintln!("cannot write {out}: {e}");
-                exit(1)
-            });
+                let text = save_model(&trained.model).expect("CNN models persist");
+                std::fs::write(&out, text).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1)
+                });
+            }
             if let Some(log) = &log {
                 // Epoch traces retained by the trainer's flight
                 // recorder, oldest first, for `pge trace`.
@@ -353,9 +428,70 @@ fn main() {
             }
             println!("model saved to {out}");
         }
+        "embed" => {
+            let data = load_dataset(&require("data"));
+            let model_path = require("model");
+            let model = load_model_file(&model_path, &data.graph, parse_mmap(&flags));
+            let catalog_path = require("catalog");
+            let out = require("out");
+            let reader = CatalogReader::open(Path::new(&catalog_path)).unwrap_or_else(|e| {
+                eprintln!("cannot open catalog {catalog_path}: {e}");
+                exit(1)
+            });
+            println!(
+                "collecting keys from {catalog_path} ({} products, {} triples) ...",
+                reader.products(),
+                reader.triples()
+            );
+            let mut builder = BankBuilder::new();
+            let records = reader.records().unwrap_or_else(|e| {
+                eprintln!("cannot read catalog {catalog_path}: {e}");
+                exit(1)
+            });
+            for rec in records {
+                let rec = rec.unwrap_or_else(|e| {
+                    eprintln!("catalog read failed: {e}");
+                    exit(1)
+                });
+                builder.add(&rec.title);
+                builder.add(&rec.value);
+            }
+            let n_keys = builder.len();
+            println!(
+                "embedding {n_keys} distinct strings (dim {}) ...",
+                model.dim()
+            );
+            let mut w = SnapshotWriter::create(Path::new(&out)).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            });
+            write_model_sections(&model, &mut w).unwrap_or_else(|e| {
+                eprintln!("cannot write model sections: {e}");
+                exit(1)
+            });
+            let mut done = 0usize;
+            builder
+                .write_sections(&mut w, model.dim(), |key, row| {
+                    row.extend_from_slice(&model.embed_text_uncached(key));
+                    done += 1;
+                    if done.is_multiple_of(100_000) {
+                        println!("  {done}/{n_keys} rows");
+                    }
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write bank sections: {e}");
+                    exit(1)
+                });
+            w.finish().unwrap_or_else(|e| {
+                eprintln!("cannot finish {out}: {e}");
+                exit(1)
+            });
+            let table_mb = (n_keys * model.dim() * 4) as f64 / 1e6;
+            println!("wrote {out}: model + {n_keys}-row embedding bank ({table_mb:.1} MB of rows)");
+        }
         "detect" => {
             let data = load_dataset(&require("data"));
-            let model = load_model_file(&require("model"), &data.graph);
+            let model = load_model_file(&require("model"), &data.graph, parse_mmap(&flags));
             let top: usize = get("top").and_then(|s| s.parse().ok()).unwrap_or(20);
             let log = open_runlog(get("runlog"));
             if let Some(log) = &log {
@@ -397,7 +533,7 @@ fn main() {
         }
         "eval" => {
             let data = load_dataset(&require("data"));
-            let model = load_model_file(&require("model"), &data.graph);
+            let model = load_model_file(&require("model"), &data.graph, parse_mmap(&flags));
             let log = open_runlog(get("runlog"));
             if let Some(log) = &log {
                 log.write(&manifest_event(
@@ -433,7 +569,7 @@ fn main() {
         }
         "serve" => {
             let data = load_dataset(&require("data"));
-            let model = load_model_file(&require("model"), &data.graph);
+            let model = load_model_file(&require("model"), &data.graph, parse_mmap(&flags));
             let det = Detector::fit(&model, &data.graph, &data.valid);
             let threshold = det.threshold;
             println!(
@@ -474,7 +610,7 @@ fn main() {
         "gateway" => {
             let model_path = require("model");
             let data = load_dataset(&require("data"));
-            let model = load_model_file(&model_path, &data.graph);
+            let model = load_model_file(&model_path, &data.graph, parse_mmap(&flags));
             let det = Detector::fit(&model, &data.graph, &data.valid);
             let threshold = det.threshold;
             println!(
@@ -499,6 +635,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .map_or(defaults.trace_slow, std::time::Duration::from_millis),
                 model_path: Some(model_path.clone()),
+                mmap: parse_mmap(&flags),
                 runlog_path: get("runlog"),
                 ..defaults
             };
@@ -528,7 +665,7 @@ fn main() {
         }
         "scan" => {
             let data = load_dataset(&require("data"));
-            let model = load_model_file(&require("model"), &data.graph);
+            let model = load_model_file(&require("model"), &data.graph, parse_mmap(&flags));
             let input = require("input");
             let out_dir = require("out-dir");
             let det = Detector::fit(&model, &data.graph, &data.valid);

@@ -45,6 +45,7 @@
 //! | [`core`] | the PGE model, noise-aware training, detection |
 //! | [`baselines`] | KGE, CKRL, DKRL, SSP, LSTM/Transformer, RotatE+, Union |
 //! | [`eval`] | PR AUC, R@P, thresholds, histograms, tables |
+//! | [`store`] | out-of-core snapshot store: mmap, PGEBIN02, catalogs |
 //! | [`obs`] | metrics registry, span timers, JSONL run logs |
 //! | [`serve`] | online scoring service: HTTP, micro-batching, cache |
 //! | [`scan`] | offline bulk scan: checkpointed streaming pipeline |
@@ -60,5 +61,6 @@ pub use pge_nn as nn;
 pub use pge_obs as obs;
 pub use pge_scan as scan;
 pub use pge_serve as serve;
+pub use pge_store as store;
 pub use pge_tensor as tensor;
 pub use pge_text as text;

@@ -534,6 +534,72 @@ fn reload_swaps_snapshot_and_rejects_corrupt_one() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Hot-swap through the store: a mapped PGEBIN02 snapshot reloads
+/// over SIGHUP's code path and serves bit-identical scores, and a
+/// tampered snapshot is rejected by its section CRC with the old
+/// model left serving.
+#[test]
+fn reload_swaps_mapped_pgebin2_snapshot() {
+    let data = tiny_data();
+    let (model_a, thr_a) = tiny_model(&data, 2);
+    let (model_b, _thr_b) = tiny_model(&data, 3);
+    let offline_b = offline_scores(&data, &model_b);
+
+    let dir = std::env::temp_dir().join(format!("pge-gw-reload2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let good = dir.join("model-b.pgebin2");
+    pge::core::save_model_store(&model_b, &good).expect("snapshot B");
+
+    let handle = gateway(
+        &data,
+        model_a,
+        thr_a,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            mmap: pge::store::MmapMode::On,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let version = handle
+        .reload_from_path(&good.to_string_lossy())
+        .expect("mapped PGEBIN02 reload");
+    assert_eq!(version, 1);
+    for (i, want) in offline_b.iter().enumerate().take(10) {
+        let (status, body) = post_score(addr, &body_for(&data, &[i]));
+        assert_eq!(status, 200);
+        assert_eq!(
+            parse_plausibilities(&body)[0].to_bits(),
+            want.to_bits(),
+            "triple {i} not served by the mapped snapshot after reload"
+        );
+    }
+
+    // Flip one payload bit: the per-section CRC rejects the swap and
+    // the mapped snapshot keeps serving.
+    let bad = dir.join("corrupt.pgebin2");
+    let mut bytes = std::fs::read(&good).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&bad, &bytes).expect("write");
+    let err = handle
+        .reload_from_path(&bad.to_string_lossy())
+        .expect_err("tampered snapshot must be rejected");
+    assert!(err.contains("corrupt"), "unexpected error: {err}");
+    assert_eq!(handle.version(), 1);
+    let (status, body) = post_score(addr, &body_for(&data, &[0]));
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse_plausibilities(&body)[0].to_bits(),
+        offline_b[0].to_bits()
+    );
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn stalled_replica_surfaces_in_tail_sampled_traces_as_queue_time() {
     let data = tiny_data();
