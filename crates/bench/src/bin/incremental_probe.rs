@@ -1,0 +1,273 @@
+//! `incremental_probe` — streaming-ingest vs full-retrain benchmark.
+//!
+//! Generates a base catalog plus a seeded drift scenario (~1% of the
+//! catalog churned per window), then measures the {full retrain,
+//! incremental ingest} × {pge, cca} matrix:
+//!
+//! * **full** — retrain from scratch on the evolved (post-churn)
+//!   catalog, the baseline an operator without `train --incremental`
+//!   pays per ingest window;
+//! * **incremental** — warm-start from the base run's checkpoint and
+//!   fine-tune only the windows' touched rows.
+//!
+//! Each arm reports wall-clock seconds and error-detection PR-AUC on
+//! the combined evaluation set (base test split + the drift scenario's
+//! per-window labeled triples, both scored on the evolved graph), and
+//! the incremental arm reports its speedup over the full retrain.
+//! Writes `BENCH_incremental.json`.
+//!
+//! ```text
+//! incremental_probe [--products N] [--epochs N] [--out FILE]
+//! ```
+
+use pge_core::{
+    train_incremental, train_pge, train_pge_resumable, CheckpointOptions, ConfidenceBackend,
+    Detector, IncrementalConfig, PgeConfig, PgeModel,
+};
+use pge_datagen::{generate_catalog, generate_drift, CatalogConfig, DriftConfig, DriftEvalTriple};
+use pge_eval::{average_precision, Scored};
+use pge_graph::{apply_window, Dataset, LabeledTriple, ProductGraph, Triple};
+use pge_serve::json::Json;
+
+/// Intern the drift eval set against the evolved graph. Every title
+/// and value is transductive by construction, so lookups must hit.
+fn labeled_drift(graph: &ProductGraph, eval: &[DriftEvalTriple]) -> Vec<LabeledTriple> {
+    eval.iter()
+        .map(|e| {
+            let p = graph
+                .lookup_product(&e.title)
+                .unwrap_or_else(|| panic!("drift eval title {:?} not in evolved graph", e.title));
+            let a = graph
+                .lookup_attr(&e.attr)
+                .unwrap_or_else(|| panic!("drift eval attr {:?} not in evolved graph", e.attr));
+            let v = graph
+                .lookup_value(&e.value)
+                .unwrap_or_else(|| panic!("drift eval value {:?} not in evolved graph", e.value));
+            LabeledTriple {
+                triple: Triple::new(p, a, v),
+                correct: e.correct,
+            }
+        })
+        .collect()
+}
+
+/// Error-detection PR-AUC of `model` over `eval` on `graph`, with the
+/// detector threshold fit on `valid` (same recipe as `pge eval`).
+fn pr_auc(
+    model: &PgeModel,
+    graph: &ProductGraph,
+    valid: &[LabeledTriple],
+    eval: &[LabeledTriple],
+) -> f64 {
+    let det = Detector::fit(model, graph, valid);
+    let triples: Vec<Triple> = eval.iter().map(|lt| lt.triple).collect();
+    let scores = det.scores(graph, &triples);
+    let scored: Vec<Scored> = scores
+        .iter()
+        .zip(eval)
+        .map(|(&f, lt)| Scored::new(-f, !lt.correct))
+        .collect();
+    average_precision(&scored) as f64
+}
+
+struct Arm {
+    backend: &'static str,
+    mode: &'static str,
+    elapsed_sec: f64,
+    pr_auc: f64,
+    pr_auc_drift: f64,
+    speedup_vs_full: f64,
+}
+
+impl Arm {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("backend".into(), Json::Str(self.backend.into())),
+            ("mode".into(), Json::Str(self.mode.into())),
+            ("elapsed_sec".into(), Json::Num(self.elapsed_sec)),
+            ("pr_auc".into(), Json::Num(self.pr_auc)),
+            ("pr_auc_drift".into(), Json::Num(self.pr_auc_drift)),
+            ("speedup_vs_full".into(), Json::Num(self.speedup_vs_full)),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let products = flag("--products", 400);
+    let epochs = flag("--epochs", 6);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_incremental.json".to_string());
+
+    let cat = CatalogConfig {
+        products,
+        labeled: products / 3,
+        seed: 11,
+        ..CatalogConfig::tiny()
+    };
+    let base = generate_catalog(&cat);
+    // ~1% of the catalog churns per window.
+    let dcfg = DriftConfig {
+        windows: 2,
+        adds_per_window: (products / 100).max(2),
+        updates_per_window: (products / 200).max(1),
+        retracts_per_window: (products / 400).max(1),
+        eval_per_window: 40,
+        eval_error_rate: 0.5,
+        seed: 7,
+    };
+    let scenario = generate_drift(&base, &cat, &dcfg);
+    let delta_ops: usize = scenario.windows.iter().map(|w| w.ops.len()).sum();
+    eprintln!(
+        "base: {} train triples; drift: {} windows, {} ops ({:.2}% of train), {} eval triples",
+        base.train.len(),
+        scenario.windows.len(),
+        delta_ops,
+        100.0 * delta_ops as f64 / base.train.len() as f64,
+        scenario.eval.len()
+    );
+
+    // The evolved (post-churn) catalog the full retrain trains on:
+    // live facts only, over the extended graph.
+    let mut evolved = base.clone();
+    let mut live = vec![true; evolved.train.len()];
+    for w in &scenario.windows {
+        let applied = apply_window(&mut evolved, &mut live, w);
+        assert_eq!(applied.missed_retractions, 0);
+    }
+    let live_train: Vec<Triple> = evolved
+        .train
+        .iter()
+        .zip(&live)
+        .filter(|(_, l)| **l)
+        .map(|(t, _)| *t)
+        .collect();
+    let mut full_data = Dataset::new(
+        evolved.graph.clone(),
+        live_train,
+        base.valid.clone(),
+        base.test.clone(),
+    );
+    full_data.train_clean = vec![true; full_data.train.len()];
+
+    let mut arms: Vec<Arm> = Vec::new();
+    for backend in [ConfidenceBackend::Pge, ConfidenceBackend::Cca] {
+        let cfg = PgeConfig {
+            epochs,
+            threads: 0,
+            confidence: backend,
+            ..PgeConfig::default()
+        };
+
+        // Base run with a checkpoint — the warm start. Its cost is not
+        // part of either arm: it happened before the drift arrived.
+        let dir = std::env::temp_dir().join(format!(
+            "pge-incr-probe-{}-{}",
+            backend.name(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        train_pge_resumable(&base, &cfg, None, Some(&CheckpointOptions::new(&dir)))
+            .expect("base training");
+
+        // Full retrain on the evolved catalog.
+        let full = train_pge(&full_data, &cfg);
+        let drift_eval = labeled_drift(&full_data.graph, &scenario.eval);
+        let mut combined = full_data.test.clone();
+        combined.extend(drift_eval.iter().cloned());
+        let full_auc = pr_auc(&full.model, &full_data.graph, &full_data.valid, &combined);
+        let full_auc_drift = pr_auc(&full.model, &full_data.graph, &full_data.valid, &drift_eval);
+        eprintln!(
+            "{}/full: {:.1}s, PR-AUC {:.3} (drift {:.3})",
+            backend.name(),
+            full.train_secs,
+            full_auc,
+            full_auc_drift
+        );
+        arms.push(Arm {
+            backend: backend.name(),
+            mode: "full",
+            elapsed_sec: full.train_secs,
+            pr_auc: full_auc,
+            pr_auc_drift: full_auc_drift,
+            speedup_vs_full: 1.0,
+        });
+
+        // Incremental ingest from the checkpoint.
+        let mut inc = IncrementalConfig::new(dir.join("snapshots"));
+        inc.epochs_per_window = flag("--window-epochs", 3);
+        let outcome = train_incremental(
+            &base,
+            &scenario.windows,
+            &cfg,
+            &inc,
+            &CheckpointOptions::new(&dir),
+            None,
+        )
+        .expect("incremental ingest");
+        let graph = &outcome.dataset.graph;
+        let drift_eval = labeled_drift(graph, &scenario.eval);
+        let mut combined = base.test.clone();
+        combined.extend(drift_eval.iter().cloned());
+        let incr_auc = pr_auc(&outcome.model, graph, &base.valid, &combined);
+        let incr_auc_drift = pr_auc(&outcome.model, graph, &base.valid, &drift_eval);
+        let speedup = full.train_secs / outcome.train_secs.max(1e-9);
+        eprintln!(
+            "{}/incremental: {:.2}s, PR-AUC {:.3} (drift {:.3}), {speedup:.1}x vs full retrain",
+            backend.name(),
+            outcome.train_secs,
+            incr_auc,
+            incr_auc_drift
+        );
+        arms.push(Arm {
+            backend: backend.name(),
+            mode: "incremental",
+            elapsed_sec: outcome.train_secs,
+            pr_auc: incr_auc,
+            pr_auc_drift: incr_auc_drift,
+            speedup_vs_full: speedup,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("incremental_probe".into())),
+        (
+            "manifest".into(),
+            Json::Obj(vec![
+                (
+                    "git_rev".into(),
+                    pge_obs::git_rev().map_or(Json::Null, Json::Str),
+                ),
+                ("ts_ms".into(), Json::Num(pge_obs::unix_time_ms() as f64)),
+                ("products".into(), Json::Num(products as f64)),
+                ("epochs".into(), Json::Num(epochs as f64)),
+                ("train_triples".into(), Json::Num(base.train.len() as f64)),
+                ("delta_ops".into(), Json::Num(delta_ops as f64)),
+                (
+                    "delta_fraction".into(),
+                    Json::Num(delta_ops as f64 / base.train.len() as f64),
+                ),
+                ("windows".into(), Json::Num(scenario.windows.len() as f64)),
+                ("eval_triples".into(), Json::Num(scenario.eval.len() as f64)),
+            ]),
+        ),
+        (
+            "arms".into(),
+            Json::Arr(arms.iter().map(Arm::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    eprintln!("wrote {out}");
+}

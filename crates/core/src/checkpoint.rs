@@ -104,6 +104,18 @@ pub struct TrainerState {
     pub config_hash: u64,
     /// Fingerprint of graph + train split; see [`data_fingerprint`].
     pub data_fingerprint: u64,
+    /// Name of the confidence backend that produced the confidence
+    /// table. Stored redundantly with its [`config_hash`] contribution
+    /// so a backend mismatch rejects with a *specific* message instead
+    /// of the generic config one.
+    pub backend: String,
+    /// Fingerprint of the delta windows already ingested by an
+    /// incremental run (0 for plain training); see
+    /// `pge_graph::delta::stream_fingerprint`.
+    pub delta_fingerprint: u64,
+    /// Ingest windows fully completed by an incremental run (0 for
+    /// plain training).
+    pub windows_done: usize,
     /// Mean loss of every completed epoch, so a resumed run reports
     /// the full history.
     pub epoch_losses: Vec<f32>,
@@ -114,6 +126,9 @@ pub struct TrainerState {
     pub moments: Vec<MomentRecord>,
     /// The confidence table C(t,a,v), positional over the train split.
     pub confidence: Vec<f32>,
+    /// Auxiliary confidence-backend state (the CCA neighbor cache;
+    /// empty for the Eq. 6 backend).
+    pub aux: Vec<f32>,
 }
 
 /// FNV-1a 64-bit, the workspace's zero-dependency stable hash.
@@ -167,6 +182,7 @@ pub fn config_hash(cfg: &PgeConfig) -> u64 {
     h = fnv_u64(h, cfg.beta.to_bits() as u64);
     h = fnv_u64(h, cfg.confidence_lr.to_bits() as u64);
     h = fnv_u64(h, cfg.confidence_warmup as u64);
+    h = fnv_str(h, cfg.confidence.name());
     h = fnv_u64(h, cfg.word2vec_epochs as u64);
     h = fnv_u64(h, cfg.rotate_phase_init as u64);
     h = fnv_u64(h, cfg.seed);
@@ -252,6 +268,7 @@ impl TrainerState {
     /// Snapshot the live trainer at an epoch boundary. Gradients are
     /// guaranteed zero there (every batch applies and clears them), so
     /// parameters + moments + step are the complete optimizer state.
+    #[allow(clippy::too_many_arguments)]
     pub fn capture(
         model: &PgeModel,
         confidence: &ConfidenceStore,
@@ -260,6 +277,8 @@ impl TrainerState {
         config_hash: u64,
         data_fingerprint: u64,
         epoch_losses: &[f32],
+        backend: &str,
+        aux: &[f32],
     ) -> Result<TrainerState, PersistError> {
         let model_snapshot = save_model_binary(model)?;
         let mut clone = model.clone();
@@ -282,14 +301,22 @@ impl TrainerState {
             step,
             config_hash,
             data_fingerprint,
+            backend: backend.to_string(),
+            delta_fingerprint: 0,
+            windows_done: 0,
             epoch_losses: epoch_losses.to_vec(),
             model_snapshot,
             moments,
             confidence: confidence.scores().to_vec(),
+            aux: aux.to_vec(),
         })
     }
 
     /// Reject a checkpoint taken under a different config or corpus.
+    /// The confidence backend is checked *first* (it also feeds the
+    /// config hash): warm-starting from a table produced by another
+    /// update rule would silently blend two incompatible confidence
+    /// semantics, so it gets its own specific error.
     pub fn verify(&self, config_hash: u64, data_fingerprint: u64) -> Result<(), PersistError> {
         if self.config_hash != config_hash {
             return Err(PersistError::Mismatch(format!(
@@ -306,6 +333,23 @@ impl TrainerState {
                  sampling streams are positional, so resuming would corrupt training — \
                  point --data at the original file",
                 self.data_fingerprint, data_fingerprint
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reject a checkpoint whose confidence table was produced by a
+    /// different `--confidence` backend. Run before [`Self::verify`]
+    /// so the caller gets the specific story, not the generic
+    /// config-hash one.
+    pub fn verify_backend(&self, backend: &str) -> Result<(), PersistError> {
+        if self.backend != backend {
+            return Err(PersistError::Mismatch(format!(
+                "checkpoint confidence table was trained with the {:?} backend \
+                 but this run selected --confidence {backend:?}; the two update \
+                 rules are not interchangeable — warm-start from a checkpoint \
+                 trained with the same backend",
+                self.backend
             )));
         }
         Ok(())
@@ -347,9 +391,13 @@ impl TrainerState {
     /// Serialize: `PGECKPT1`, CRC-32 of the payload, payload.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut p = Vec::with_capacity(self.model_snapshot.len() * 3 + 64);
-        p.extend_from_slice(&1u32.to_le_bytes()); // version
+        p.extend_from_slice(&2u32.to_le_bytes()); // version
         p.extend_from_slice(&self.config_hash.to_le_bytes());
         p.extend_from_slice(&self.data_fingerprint.to_le_bytes());
+        p.extend_from_slice(&(self.backend.len() as u32).to_le_bytes());
+        p.extend_from_slice(self.backend.as_bytes());
+        p.extend_from_slice(&self.delta_fingerprint.to_le_bytes());
+        p.extend_from_slice(&(self.windows_done as u32).to_le_bytes());
         p.extend_from_slice(&(self.epochs_done as u32).to_le_bytes());
         p.extend_from_slice(&self.step.to_le_bytes());
         p.extend_from_slice(&(self.epoch_losses.len() as u32).to_le_bytes());
@@ -365,6 +413,8 @@ impl TrainerState {
         }
         p.extend_from_slice(&(self.confidence.len() as u32).to_le_bytes());
         push_f32s(&mut p, &self.confidence);
+        p.extend_from_slice(&(self.aux.len() as u32).to_le_bytes());
+        push_f32s(&mut p, &self.aux);
         let mut out = Vec::with_capacity(CHECKPOINT_MAGIC.len() + 4 + p.len());
         out.extend_from_slice(CHECKPOINT_MAGIC);
         out.extend_from_slice(&pge_tensor::crc32(&p).to_le_bytes());
@@ -395,11 +445,20 @@ impl TrainerState {
             buf: payload,
             pos: 0,
         };
-        if c.u32("version")? != 1 {
+        if c.u32("version")? != 2 {
             return Err(corrupt("unsupported checkpoint version"));
         }
         let config_hash = c.u64("config hash")?;
         let data_fingerprint = c.u64("data fingerprint")?;
+        let backend_len = c.u32("backend name length")? as usize;
+        if backend_len > 64 {
+            return Err(corrupt("implausible backend name length"));
+        }
+        let backend = std::str::from_utf8(c.take(backend_len, "backend name")?)
+            .map_err(|_| corrupt("backend name is not UTF-8"))?
+            .to_string();
+        let delta_fingerprint = c.u64("delta fingerprint")?;
+        let windows_done = c.u32("window counter")? as usize;
         let epochs_done = c.u32("epoch counter")? as usize;
         let step = c.u64("step counter")?;
         let n_losses = c.u32("loss count")? as usize;
@@ -420,29 +479,42 @@ impl TrainerState {
         }
         let n_conf = c.u32("confidence count")? as usize;
         let confidence = c.f32s(n_conf, "confidence table")?;
+        let n_aux = c.u32("aux count")? as usize;
+        let aux = c.f32s(n_aux, "backend aux state")?;
         if c.pos != payload.len() {
-            return Err(corrupt("trailing bytes after confidence table"));
+            return Err(corrupt("trailing bytes after backend aux state"));
         }
         Ok(TrainerState {
             epochs_done,
             step,
             config_hash,
             data_fingerprint,
+            backend,
+            delta_fingerprint,
+            windows_done,
             epoch_losses,
             model_snapshot,
             moments,
             confidence,
+            aux,
         })
     }
 
     /// Durably replace the checkpoint in `dir` (created if missing):
     /// temp file, fsync, rename. Returns the checkpoint size in bytes.
     pub fn store(&self, dir: &Path) -> Result<u64, PersistError> {
+        self.store_as(dir, CHECKPOINT_FILE)
+    }
+
+    /// [`Self::store`] under an explicit file name — the incremental
+    /// trainer keeps its window checkpoints next to (not on top of)
+    /// the base run's `trainer.ckpt`.
+    pub fn store_as(&self, dir: &Path, file: &str) -> Result<u64, PersistError> {
         let io = |what: &str, e: std::io::Error| PersistError::Io(format!("{what}: {e}"));
         fs::create_dir_all(dir).map_err(|e| io(&format!("create {}", dir.display()), e))?;
         let bytes = self.to_bytes();
-        let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
-        let final_path = dir.join(CHECKPOINT_FILE);
+        let tmp = dir.join(format!("{file}.tmp"));
+        let final_path = dir.join(file);
         let write = || -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp)?;
             std::io::Write::write_all(&mut f, &bytes)?;
@@ -457,7 +529,12 @@ impl TrainerState {
     /// resume was requested, so silently starting over would discard
     /// the caller's intent.
     pub fn load(dir: &Path) -> Result<TrainerState, PersistError> {
-        let path = dir.join(CHECKPOINT_FILE);
+        TrainerState::load_as(dir, CHECKPOINT_FILE)
+    }
+
+    /// [`Self::load`] under an explicit file name.
+    pub fn load_as(dir: &Path, file: &str) -> Result<TrainerState, PersistError> {
+        let path = dir.join(file);
         let bytes = fs::read(&path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 PersistError::Io(format!(
@@ -503,6 +580,8 @@ mod tests {
             config_hash(&cfg),
             data_fingerprint(&d),
             &out.epoch_losses,
+            cfg.confidence.name(),
+            &[],
         )
         .unwrap();
         (state, d)
@@ -621,9 +700,39 @@ mod tests {
                 sampling: pge_graph::SamplingMode::PerAttribute,
                 ..PgeConfig::tiny()
             },
+            PgeConfig {
+                confidence: crate::confidence::ConfidenceBackend::Cca,
+                ..PgeConfig::tiny()
+            },
         ] {
             assert_ne!(h, config_hash(&other), "{other:?}");
         }
+    }
+
+    #[test]
+    fn verify_backend_rejects_cross_backend_warm_start() {
+        let (state, _) = sample_state();
+        assert_eq!(state.backend, "pge");
+        state.verify_backend("pge").unwrap();
+        match state.verify_backend("cca") {
+            Err(PersistError::Mismatch(msg)) => {
+                assert!(msg.contains("pge") && msg.contains("cca"), "{msg}")
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_metadata_round_trips() {
+        let (mut state, _) = sample_state();
+        state.delta_fingerprint = 0xdead_beef_1234_5678;
+        state.windows_done = 3;
+        state.aux = vec![0.5, -1.25, 7.0];
+        let back = TrainerState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.delta_fingerprint, 0xdead_beef_1234_5678);
+        assert_eq!(back.windows_done, 3);
+        assert_eq!(back.aux, vec![0.5, -1.25, 7.0]);
     }
 
     #[test]

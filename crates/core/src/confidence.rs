@@ -11,6 +11,24 @@
 //! indecision (maximal at C = ½), polarizing C toward {0,1}, while α
 //! prices marking a triple down. The gradient w.r.t. one C is
 //! `∂L/∂C = L_triple − α + β(2 − 4C)`.
+//!
+//! # Selectable backends
+//!
+//! *How* the per-batch training signal turns into a confidence update
+//! is a [`ConfidenceUpdater`] backend selected by `--confidence`:
+//!
+//! * [`ConfidenceBackend::Pge`] (default) is the paper's Eq. (6) SGD
+//!   step above, **bit-identical** to the historical hard-coded path —
+//!   it consumes only `(index, triple_loss)` and performs the exact
+//!   same float operations in the same order.
+//! * [`ConfidenceBackend::Cca`] adapts confidence contrastively (after
+//!   CCA, Liu et al.): each update blends the InfoNCE win probability
+//!   of the positive against its sampled negatives with the cosine
+//!   agreement between the triple's value embedding and a cached
+//!   per-attribute neighbor centroid (an EMA updated in deterministic
+//!   lane order), so confidence tracks *neighborhood consensus* rather
+//!   than raw loss magnitude. Its centroid cache is auxiliary state
+//!   that checkpoints alongside the confidence table.
 
 /// Confidence scores for a training set, updated by SGD alongside the
 /// embedding parameters.
@@ -83,6 +101,20 @@ impl ConfidenceStore {
         self.c[i] = (c - self.lr * grad).clamp(0.0, 1.0);
     }
 
+    /// Overwrite one score directly (clamped). Backends other than the
+    /// Eq. (6) SGD step use this, as does the incremental trainer when
+    /// a retraction pins a triple's confidence to zero.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: f32) {
+        self.c[i] = value.clamp(0.0, 1.0);
+    }
+
+    /// Append one all-confident entry — how the incremental trainer
+    /// grows the table when a delta window adds training triples.
+    pub fn push_default(&mut self) {
+        self.c.push(1.0);
+    }
+
     /// The regularization contribution `α Σ(1−C) + β Σ 2C(1−C)` —
     /// reported in diagnostics.
     pub fn regularizer(&self) -> f32 {
@@ -139,6 +171,225 @@ impl ConfidenceStore {
             marked_down_frac: self.fraction_marked_down(),
             hist: self.histogram(bins),
         }
+    }
+}
+
+// --- Selectable confidence backends ---------------------------------
+
+/// Which confidence-update rule a training run uses (`--confidence`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConfidenceBackend {
+    /// The paper's Eq. (6) SGD step — bit-identical to the historical
+    /// hard-coded path.
+    #[default]
+    Pge,
+    /// Contrastive confidence adaption: InfoNCE win probability ×
+    /// neighborhood cosine agreement against cached per-attribute
+    /// value-embedding centroids.
+    Cca,
+}
+
+impl ConfidenceBackend {
+    /// Stable name — hashed into the checkpoint config hash, so a
+    /// checkpoint records which rule produced its confidence table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConfidenceBackend::Pge => "pge",
+            ConfidenceBackend::Cca => "cca",
+        }
+    }
+
+    /// Parse a `--confidence` flag value.
+    pub fn parse(s: &str) -> Result<ConfidenceBackend, String> {
+        match s {
+            "pge" => Ok(ConfidenceBackend::Pge),
+            "cca" => Ok(ConfidenceBackend::Cca),
+            other => Err(format!(
+                "unknown confidence backend {other:?} (expected pge or cca)"
+            )),
+        }
+    }
+
+    /// Build the updater for this backend. `num_attrs`/`dim` size the
+    /// CCA neighbor cache; the Eq. (6) backend ignores them.
+    pub fn make_updater(&self, num_attrs: usize, dim: usize) -> Box<dyn ConfidenceUpdater> {
+        match self {
+            ConfidenceBackend::Pge => Box::new(PgeUpdater),
+            ConfidenceBackend::Cca => Box::new(CcaUpdater::new(num_attrs, dim)),
+        }
+    }
+}
+
+/// The per-triple training signal a batch hands to the updater.
+/// Captured inside the gradient lanes and applied in fixed lane order,
+/// so every backend inherits the trainer's thread-count invariance.
+#[derive(Clone, Debug)]
+pub struct ConfidenceSignal {
+    /// Dataset index of the training triple.
+    pub index: usize,
+    /// The triple's Eq. (3) loss term this batch.
+    pub triple_loss: f32,
+    /// InfoNCE win probability of the positive against its sampled
+    /// negatives — only populated when the backend asks for contrast
+    /// (see [`ConfidenceUpdater::wants_contrast`]); 0.0 otherwise.
+    pub contrast: f32,
+    /// Attribute id (indexes the CCA neighbor cache).
+    pub attr: u16,
+    /// The positive value embedding — empty unless the backend asks
+    /// for contrast, so the Eq. (6) path never pays the copy.
+    pub value_emb: Vec<f32>,
+}
+
+/// A confidence-update rule. Implementations must be deterministic
+/// functions of the signal sequence — signals arrive in fixed lane
+/// order regardless of thread count.
+pub trait ConfidenceUpdater: Send {
+    fn backend(&self) -> ConfidenceBackend;
+
+    /// True when batches must capture the contrastive extras (InfoNCE
+    /// probability + value embedding) into each signal. The Eq. (6)
+    /// path returns false so its hot loop stays byte-for-byte the
+    /// historical one.
+    fn wants_contrast(&self) -> bool;
+
+    /// Consume one triple's signal, updating `store` (and any cached
+    /// backend state).
+    fn apply(&mut self, store: &mut ConfidenceStore, sig: ConfidenceSignal);
+
+    /// Auxiliary backend state to embed in checkpoints (the CCA
+    /// neighbor cache; empty for Eq. (6)).
+    fn aux_state(&self) -> Vec<f32>;
+
+    /// Restore auxiliary state captured by [`Self::aux_state`].
+    fn restore_aux(&mut self, aux: &[f32]) -> Result<(), String>;
+}
+
+/// Eq. (6) — delegates to [`ConfidenceStore::update`] with the exact
+/// historical float operations.
+struct PgeUpdater;
+
+impl ConfidenceUpdater for PgeUpdater {
+    fn backend(&self) -> ConfidenceBackend {
+        ConfidenceBackend::Pge
+    }
+
+    fn wants_contrast(&self) -> bool {
+        false
+    }
+
+    fn apply(&mut self, store: &mut ConfidenceStore, sig: ConfidenceSignal) {
+        store.update(sig.index, sig.triple_loss);
+    }
+
+    fn aux_state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    fn restore_aux(&mut self, aux: &[f32]) -> Result<(), String> {
+        if aux.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "pge confidence backend carries no auxiliary state but the \
+                 checkpoint has {} entries — it was written by another backend",
+                aux.len()
+            ))
+        }
+    }
+}
+
+/// Contrastive confidence adaption: per-attribute EMA centroids of
+/// value embeddings form the "neighbor cache"; confidence relaxes
+/// toward √(InfoNCE · cosine-agreement), and each triple's embedding
+/// is folded into its attribute's centroid weighted by the updated
+/// confidence (so low-confidence triples pollute the cache less).
+struct CcaUpdater {
+    /// `num_attrs × dim`, row-major EMA centroids.
+    centroids: Vec<f32>,
+    /// Observations folded into each centroid (cold centroids fall
+    /// back to pure contrastive evidence).
+    counts: Vec<f32>,
+    dim: usize,
+    /// EMA rate of the centroid update.
+    eta: f32,
+}
+
+impl CcaUpdater {
+    fn new(num_attrs: usize, dim: usize) -> CcaUpdater {
+        CcaUpdater {
+            centroids: vec![0.0; num_attrs.max(1) * dim],
+            counts: vec![0.0; num_attrs.max(1)],
+            dim,
+            eta: 0.1,
+        }
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
+    dot / denom
+}
+
+impl ConfidenceUpdater for CcaUpdater {
+    fn backend(&self) -> ConfidenceBackend {
+        ConfidenceBackend::Cca
+    }
+
+    fn wants_contrast(&self) -> bool {
+        true
+    }
+
+    fn apply(&mut self, store: &mut ConfidenceStore, sig: ConfidenceSignal) {
+        let a = (sig.attr as usize).min(self.counts.len() - 1);
+        let row = &mut self.centroids[a * self.dim..(a + 1) * self.dim];
+        debug_assert_eq!(sig.value_emb.len(), self.dim);
+        // Neighborhood agreement in [0,1]; a cold centroid carries no
+        // evidence, so fall back to the contrastive term alone.
+        let agree = if self.counts[a] > 0.0 {
+            0.5 * (cosine(row, &sig.value_emb) + 1.0)
+        } else {
+            sig.contrast
+        };
+        // Geometric blend: both the contrastive win and the neighbor
+        // consensus must hold for confidence to stay high.
+        let target = (sig.contrast.max(0.0) * agree.max(0.0)).sqrt();
+        let c = store.get(sig.index);
+        store.set(sig.index, c + store.lr * (target - c));
+        let w = self.eta * store.get(sig.index);
+        for (cd, &x) in row.iter_mut().zip(&sig.value_emb) {
+            *cd += w * (x - *cd);
+        }
+        self.counts[a] += 1.0;
+    }
+
+    fn aux_state(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.counts.len() + self.centroids.len());
+        out.extend_from_slice(&self.counts);
+        out.extend_from_slice(&self.centroids);
+        out
+    }
+
+    fn restore_aux(&mut self, aux: &[f32]) -> Result<(), String> {
+        let want = self.counts.len() + self.centroids.len();
+        if aux.len() != want {
+            return Err(format!(
+                "cca neighbor cache has {} entries in the checkpoint but this \
+                 run needs {want} ({} attrs × dim {})",
+                aux.len(),
+                self.counts.len(),
+                self.dim
+            ));
+        }
+        let (counts, centroids) = aux.split_at(self.counts.len());
+        self.counts.copy_from_slice(counts);
+        self.centroids.copy_from_slice(centroids);
+        Ok(())
     }
 }
 
@@ -281,5 +532,106 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.polarized_fraction(), 0.0);
         assert_eq!(s.histogram(4), vec![0, 0, 0, 0]);
+    }
+
+    // --- backends ----------------------------------------------------
+
+    fn sig(i: usize, loss: f32, contrast: f32, attr: u16, emb: &[f32]) -> ConfidenceSignal {
+        ConfidenceSignal {
+            index: i,
+            triple_loss: loss,
+            contrast,
+            attr,
+            value_emb: emb.to_vec(),
+        }
+    }
+
+    #[test]
+    fn backend_parse_and_names_round_trip() {
+        assert_eq!(ConfidenceBackend::parse("pge").unwrap().name(), "pge");
+        assert_eq!(ConfidenceBackend::parse("cca").unwrap().name(), "cca");
+        assert!(ConfidenceBackend::parse("mystery").is_err());
+        assert_eq!(ConfidenceBackend::default(), ConfidenceBackend::Pge);
+    }
+
+    #[test]
+    fn pge_backend_is_bit_identical_to_direct_updates() {
+        let mut direct = ConfidenceStore::new(3, 1.2, 0.05, 0.03);
+        let mut via = ConfidenceStore::new(3, 1.2, 0.05, 0.03);
+        let mut up = ConfidenceBackend::Pge.make_updater(4, 8);
+        assert!(!up.wants_contrast());
+        for (i, loss) in [(0usize, 3.0f32), (1, 0.2), (2, 1.4), (0, 2.8), (1, 0.1)] {
+            direct.update(i, loss);
+            up.apply(&mut via, sig(i, loss, 0.0, 0, &[]));
+        }
+        let a: Vec<u32> = direct.scores().iter().map(|c| c.to_bits()).collect();
+        let b: Vec<u32> = via.scores().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(a, b, "Eq. 6 backend must be bit-identical");
+        assert!(up.aux_state().is_empty());
+        assert!(up.restore_aux(&[]).is_ok());
+        assert!(up.restore_aux(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cca_backend_rewards_consensus_and_penalizes_outliers() {
+        let mut s = ConfidenceStore::new(20, 1.2, 0.05, 0.3);
+        let mut up = ConfidenceBackend::Cca.make_updater(2, 4);
+        assert!(up.wants_contrast());
+        let consensus = [1.0f32, 0.5, 0.0, 0.0];
+        let outlier = [-1.0f32, 0.0, 0.9, 0.0];
+        // Many agreeing triples with a strong contrastive win, one
+        // repeated outlier with a weak win.
+        for round in 0..8 {
+            for i in 0..19 {
+                up.apply(&mut s, sig(i, 0.1, 0.95, 1, &consensus));
+            }
+            up.apply(&mut s, sig(19, 3.0, 0.1, 1, &outlier));
+            let _ = round;
+        }
+        assert!(
+            s.get(0) > 0.8,
+            "consensus triple should stay confident: {}",
+            s.get(0)
+        );
+        assert!(
+            s.get(19) < 0.5,
+            "outlier should be marked down: {}",
+            s.get(19)
+        );
+    }
+
+    #[test]
+    fn cca_aux_round_trips_and_rejects_wrong_shape() {
+        let mut s = ConfidenceStore::new(4, 1.2, 0.05, 0.3);
+        let mut up = ConfidenceBackend::Cca.make_updater(3, 4);
+        for i in 0..4 {
+            up.apply(
+                &mut s,
+                sig(i, 0.5, 0.7, (i % 3) as u16, &[0.3, -0.1, 0.8, 0.2]),
+            );
+        }
+        let aux = up.aux_state();
+        assert_eq!(aux.len(), 3 + 3 * 4);
+        // A fresh updater restored from aux continues identically.
+        let mut s2 = ConfidenceStore::new(4, 1.2, 0.05, 0.3);
+        s2.restore_scores(s.scores()).unwrap();
+        let mut up2 = ConfidenceBackend::Cca.make_updater(3, 4);
+        up2.restore_aux(&aux).unwrap();
+        up.apply(&mut s, sig(2, 0.2, 0.9, 1, &[0.5, 0.5, 0.0, 0.1]));
+        up2.apply(&mut s2, sig(2, 0.2, 0.9, 1, &[0.5, 0.5, 0.0, 0.1]));
+        assert_eq!(s.get(2).to_bits(), s2.get(2).to_bits());
+        assert!(up2.restore_aux(&aux[1..]).is_err());
+    }
+
+    #[test]
+    fn set_and_push_default_grow_and_pin() {
+        let mut s = ConfidenceStore::new(1, 1.2, 0.05, 0.03);
+        s.push_default();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), 1.0);
+        s.set(0, -3.0);
+        assert_eq!(s.get(0), 0.0, "set clamps into [0,1]");
+        s.set(1, 0.25);
+        assert_eq!(s.get(1), 0.25);
     }
 }

@@ -28,6 +28,7 @@ pub mod confidence;
 pub mod corpus;
 pub mod detector;
 pub mod encoder;
+pub mod incremental;
 pub mod model;
 pub mod persist;
 pub mod score;
@@ -39,9 +40,13 @@ pub use checkpoint::{
     config_hash, data_fingerprint, CheckpointOptions, TrainerState, CHECKPOINT_FILE,
     CHECKPOINT_MAGIC,
 };
-pub use confidence::ConfidenceStore;
+pub use confidence::{ConfidenceBackend, ConfidenceSignal, ConfidenceStore, ConfidenceUpdater};
 pub use detector::Detector;
 pub use encoder::{EncoderKind, TextEncoder};
+pub use incremental::{
+    push_snapshot, train_incremental, IncrementalConfig, IncrementalOutcome, PushReport,
+    INCREMENTAL_CHECKPOINT_FILE,
+};
 pub use model::PgeModel;
 pub use persist::{
     load_model, load_model_auto, load_model_auto_path, load_model_binary, load_model_store,

@@ -66,6 +66,31 @@ impl PgeModel {
         }
     }
 
+    /// Extend the token caches to cover entities interned into `graph`
+    /// after this model was built — how the incremental trainer keeps
+    /// scoring a graph that grows one delta window at a time. Existing
+    /// cache entries are untouched (ids are append-only), and new
+    /// strings encode through the *frozen* vocabulary: unseen words
+    /// map to `<unk>` exactly as they would at inference time.
+    pub fn extend_token_caches(&mut self, graph: &ProductGraph) {
+        for i in self.title_tokens.len()..graph.num_products() {
+            self.title_tokens.push(
+                self.vocab
+                    .encode(&tokenize(graph.title(pge_graph::ProductId(i as u32)))),
+            );
+        }
+        for i in self.value_tokens.len()..graph.num_values() {
+            self.value_tokens.push(
+                self.vocab
+                    .encode(&tokenize(graph.value_text(pge_graph::ValueId(i as u32)))),
+            );
+        }
+        for i in self.attr_names.len()..graph.num_attrs() {
+            self.attr_names
+                .push(graph.attr_name(AttrId(i as u16)).to_string());
+        }
+    }
+
     /// Attach an out-of-core embedding bank. Bank rows must have been
     /// computed by *this* model's encoder (the store loaders only
     /// attach a bank shipped in the same snapshot as the parameters,

@@ -23,7 +23,7 @@
 //! ignores `threads`.
 
 use crate::checkpoint::{config_hash, data_fingerprint, CheckpointOptions, TrainerState};
-use crate::confidence::ConfidenceStore;
+use crate::confidence::{ConfidenceBackend, ConfidenceSignal, ConfidenceStore, ConfidenceUpdater};
 use crate::encoder::{EncoderKind, TextEncoder};
 use crate::model::PgeModel;
 use crate::persist::PersistError;
@@ -73,7 +73,7 @@ fn splitmix64(mut z: u64) -> u64 {
 /// epoch. Keyed by the triple's *dataset index* (not its batch
 /// position), so negative sampling is independent of both the shuffle
 /// and the lane/thread partition.
-fn triple_stream_seed(seed: u64, epoch: usize, index: usize) -> u64 {
+pub(crate) fn triple_stream_seed(seed: u64, epoch: usize, index: usize) -> u64 {
     splitmix64(splitmix64(seed ^ splitmix64(epoch as u64)) ^ index as u64)
 }
 
@@ -83,7 +83,7 @@ fn triple_stream_seed(seed: u64, epoch: usize, index: usize) -> u64 {
 /// epochs `0..k` and without serializing any RNG state. The domain
 /// constant (`"SHUF"`) keeps this stream disjoint from
 /// [`triple_stream_seed`]'s.
-fn shuffle_seed(seed: u64, epoch: usize) -> u64 {
+pub(crate) fn shuffle_seed(seed: u64, epoch: usize) -> u64 {
     splitmix64(splitmix64(seed ^ 0x5348_5546) ^ epoch as u64)
 }
 
@@ -127,6 +127,11 @@ pub struct PgeConfig {
     /// Epochs before confidence updates begin (the embeddings must
     /// carry signal before triple losses mean anything).
     pub confidence_warmup: usize,
+    /// Which confidence-update rule to use (`--confidence {pge,cca}`).
+    /// `Pge` is the paper's Eq. (6) SGD step, bit-identical to the
+    /// historical hard-coded path; `Cca` adapts confidence via
+    /// contrastive similarity against cached neighbor embeddings.
+    pub confidence: ConfidenceBackend,
     /// word2vec pre-training epochs (0 disables pre-training).
     pub word2vec_epochs: usize,
     /// Initialize RotatE relation phases uniform in ±π (the RotatE
@@ -166,6 +171,7 @@ impl Default for PgeConfig {
             beta: 0.05,
             confidence_lr: 0.03,
             confidence_warmup: 3,
+            confidence: ConfidenceBackend::Pge,
             word2vec_epochs: 2,
             rotate_phase_init: false,
             threads: 0,
@@ -220,44 +226,66 @@ pub struct TrainedPge {
 /// Accumulation state of one gradient lane: detached encoder and
 /// relation gradients plus the scalar per-lane bookkeeping. Allocated
 /// once and reused across every batch of the run.
-struct Lane {
-    grads: pge_nn::CnnGrads,
-    rel: SparseRowGrads,
-    /// Deferred confidence updates `(dataset index, triple loss)`;
-    /// safe to apply after the batch because each index occurs at most
-    /// once per epoch, so updates to distinct indices commute.
-    conf: Vec<(usize, f32)>,
-    loss_sum: f64,
-    loss_n: usize,
-    negs: usize,
+pub(crate) struct Lane {
+    pub(crate) grads: pge_nn::CnnGrads,
+    pub(crate) rel: SparseRowGrads,
+    /// Deferred confidence signals; safe to apply after the batch
+    /// because each index occurs at most once per epoch, so updates to
+    /// distinct indices commute (the CCA neighbor cache is applied in
+    /// fixed lane order, which is also thread-count invariant).
+    pub(crate) conf: Vec<ConfidenceSignal>,
+    pub(crate) loss_sum: f64,
+    pub(crate) loss_n: usize,
+    pub(crate) negs: usize,
+}
+
+impl Lane {
+    /// A full set of `GRAD_LANES` fresh lanes for `enc`.
+    pub(crate) fn buffers(enc: &TextCnnEncoder, rel_dim: usize) -> Vec<Lane> {
+        (0..GRAD_LANES)
+            .map(|_| Lane {
+                grads: enc.grad_buffer(),
+                rel: SparseRowGrads::new(rel_dim),
+                conf: Vec::new(),
+                loss_sum: 0.0,
+                loss_n: 0,
+                negs: 0,
+            })
+            .collect()
+    }
 }
 
 /// Shared read-only context of one batch — everything a worker needs,
 /// behind `Sync` references.
-struct BatchCtx<'a> {
-    enc: &'a TextCnnEncoder,
-    relations: &'a Embedding,
-    scorer: Scorer,
-    title_tokens: &'a [Vec<u32>],
-    value_tokens: &'a [Vec<u32>],
-    train: &'a [Triple],
-    sampler: &'a NegativeSampler,
-    confidence: &'a ConfidenceStore,
-    confidence_active: bool,
-    k: usize,
-    epoch: usize,
-    seed: u64,
+pub(crate) struct BatchCtx<'a> {
+    pub(crate) enc: &'a TextCnnEncoder,
+    pub(crate) relations: &'a Embedding,
+    pub(crate) scorer: Scorer,
+    pub(crate) title_tokens: &'a [Vec<u32>],
+    pub(crate) value_tokens: &'a [Vec<u32>],
+    pub(crate) train: &'a [Triple],
+    pub(crate) sampler: &'a NegativeSampler,
+    pub(crate) confidence: &'a ConfidenceStore,
+    pub(crate) confidence_active: bool,
+    /// Capture the contrastive extras (InfoNCE win probability + the
+    /// value embedding) into each confidence signal — only the CCA
+    /// backend pays for this.
+    pub(crate) capture_contrast: bool,
+    pub(crate) k: usize,
+    pub(crate) epoch: usize,
+    pub(crate) seed: u64,
 }
 
 /// Process this worker's lanes for one batch: lane `first_lane + j`
 /// (for `lanes[j]`) owns batch positions `≡ lane (mod GRAD_LANES)`.
 /// Pure accumulation — nothing here mutates shared state, so workers
 /// run concurrently against the same `BatchCtx`.
-fn run_lanes(ctx: &BatchCtx, batch: &[usize], lanes: &mut [Lane], first_lane: usize) {
+pub(crate) fn run_lanes(ctx: &BatchCtx, batch: &[usize], lanes: &mut [Lane], first_lane: usize) {
     let ent_dim = ctx.enc.out_dim();
     let mut dh = vec![0.0f32; ent_dim];
     let mut dr = vec![0.0f32; ctx.scorer.rel_dim(ent_dim)];
     let mut dv = vec![0.0f32; ent_dim];
+    let mut f_negs: Vec<f32> = Vec::new();
     for (j, lane) in lanes.iter_mut().enumerate() {
         for p in (first_lane + j..batch.len()).step_by(GRAD_LANES) {
             let i = batch[p];
@@ -294,11 +322,15 @@ fn run_lanes(ctx: &BatchCtx, batch: &[usize], lanes: &mut [Lane], first_lane: us
                 ctx.enc.backward_into(&cache_v, &dv, &mut lane.grads);
             }
             let inv_k = 1.0 / negs.len() as f32;
+            f_negs.clear();
             for &neg in &negs {
                 let neg_tokens = &ctx.value_tokens[neg.0 as usize];
                 let (e_n, cache_n) = ctx.enc.forward(neg_tokens);
                 let f_neg = ctx.scorer.score(&e_t, r, &e_n);
                 l_i += -inv_k * ops::log_sigmoid(-f_neg);
+                if ctx.capture_contrast {
+                    f_negs.push(f_neg);
+                }
                 if w > 0.0 {
                     // Negative term: dL/df⁻ = σ(f⁻)/k.
                     dv.iter_mut().for_each(|x| *x = 0.0);
@@ -313,12 +345,34 @@ fn run_lanes(ctx: &BatchCtx, batch: &[usize], lanes: &mut [Lane], first_lane: us
                 lane.rel.add_row(triple.attr.0 as usize, &dr);
             }
             if ctx.confidence_active {
-                lane.conf.push((i, l_i));
+                let (contrast, value_emb) = if ctx.capture_contrast {
+                    (info_nce(f_pos, &f_negs), e_v.clone())
+                } else {
+                    (0.0, Vec::new())
+                };
+                lane.conf.push(ConfidenceSignal {
+                    index: i,
+                    triple_loss: l_i,
+                    contrast,
+                    attr: triple.attr.0,
+                    value_emb,
+                });
             }
             lane.loss_sum += l_i as f64;
             lane.loss_n += 1;
         }
     }
+}
+
+/// InfoNCE win probability of the positive score against its sampled
+/// negatives: `exp(f⁺) / (exp(f⁺) + Σ exp(f⁻))`, computed with the
+/// usual max-shift for stability. The contrastive evidence the CCA
+/// confidence backend consumes.
+pub(crate) fn info_nce(f_pos: f32, f_negs: &[f32]) -> f32 {
+    let m = f_negs.iter().copied().fold(f_pos, f32::max);
+    let pos = (f_pos - m).exp();
+    let denom: f32 = pos + f_negs.iter().map(|&f| (f - m).exp()).sum::<f32>();
+    pos / denom.max(1e-12)
 }
 
 /// Train PGE on a dataset's training split.
@@ -370,6 +424,7 @@ pub fn train_pge_resumable(
     let resumed: Option<TrainerState> = match ckpt {
         Some(opts) if opts.resume => {
             let state = TrainerState::load(&opts.dir)?;
+            state.verify_backend(cfg.confidence.name())?;
             state.verify(cfg_hash, data_fp)?;
             if let Some(log) = log {
                 log.write(&checkpoint_event(&[(
@@ -453,13 +508,18 @@ pub fn train_pge_resumable(
     };
     let ent_dim = model.encoder.out_dim();
 
-    // 2. Negative sampler + confidence store.
+    // 2. Negative sampler + confidence store + backend updater.
     let sampler = NegativeSampler::new(graph, cfg.sampling);
     let mut confidence =
         ConfidenceStore::new(dataset.train.len(), cfg.alpha, cfg.beta, cfg.confidence_lr);
+    let mut updater: Box<dyn ConfidenceUpdater> =
+        cfg.confidence.make_updater(graph.num_attrs(), ent_dim);
     if let Some(state) = &resumed {
         confidence
             .restore_scores(&state.confidence)
+            .map_err(PersistError::Mismatch)?;
+        updater
+            .restore_aux(&state.aux)
             .map_err(PersistError::Mismatch)?;
     }
 
@@ -485,17 +545,7 @@ pub fn train_pge_resumable(
         let TextEncoder::Cnn(enc) = &model.encoder else {
             unreachable!()
         };
-        let rel_dim = model.scorer.rel_dim(ent_dim);
-        (0..GRAD_LANES)
-            .map(|_| Lane {
-                grads: enc.grad_buffer(),
-                rel: SparseRowGrads::new(rel_dim),
-                conf: Vec::new(),
-                loss_sum: 0.0,
-                loss_n: 0,
-                negs: 0,
-            })
-            .collect()
+        Lane::buffers(enc, model.scorer.rel_dim(ent_dim))
     } else {
         Vec::new()
     };
@@ -555,6 +605,7 @@ pub fn train_pge_resumable(
                         sampler: &sampler,
                         confidence: &confidence,
                         confidence_active,
+                        capture_contrast: confidence_active && updater.wants_contrast(),
                         k,
                         epoch,
                         seed: cfg.seed,
@@ -596,8 +647,8 @@ pub fn train_pge_resumable(
                 for lane in &mut lanes {
                     enc.apply_grads(&mut lane.grads);
                     relations.apply_sparse_grads(&mut lane.rel);
-                    for (i, l_i) in lane.conf.drain(..) {
-                        confidence.update(i, l_i);
+                    for sig in lane.conf.drain(..) {
+                        updater.apply(&mut confidence, sig);
                     }
                     loss_sum += lane.loss_sum;
                     loss_n += lane.loss_n;
@@ -623,6 +674,8 @@ pub fn train_pge_resumable(
                         continue;
                     }
                     negs_drawn += negs.len();
+                    let capture_contrast = confidence_active && updater.wants_contrast();
+                    let mut f_negs: Vec<f32> = Vec::new();
                     // Loss bookkeeping (Eq. 3 per-triple term).
                     let mut l_i = -ops::log_sigmoid(f_pos);
                     let w = if confidence_active {
@@ -648,6 +701,9 @@ pub fn train_pge_resumable(
                         let (e_n, cache_n) = model.encoder.forward(neg_tokens);
                         let f_neg = model.scorer.score(&e_t, &r, &e_n);
                         l_i += -inv_k * ops::log_sigmoid(-f_neg);
+                        if capture_contrast {
+                            f_negs.push(f_neg);
+                        }
                         if w > 0.0 {
                             // Negative term: dL/df⁻ = σ(f⁻)/k.
                             dv.iter_mut().for_each(|x| *x = 0.0);
@@ -663,7 +719,21 @@ pub fn train_pge_resumable(
                         model.relations.accumulate_grad(triple.attr.0 as u32, &dr);
                     }
                     if confidence_active {
-                        confidence.update(i, l_i);
+                        let (contrast, value_emb) = if capture_contrast {
+                            (info_nce(f_pos, &f_negs), e_v.clone())
+                        } else {
+                            (0.0, Vec::new())
+                        };
+                        updater.apply(
+                            &mut confidence,
+                            ConfidenceSignal {
+                                index: i,
+                                triple_loss: l_i,
+                                contrast,
+                                attr: triple.attr.0,
+                                value_emb,
+                            },
+                        );
                     }
                     loss_sum += l_i as f64;
                     loss_n += 1;
@@ -717,6 +787,8 @@ pub fn train_pge_resumable(
                     cfg_hash,
                     data_fp,
                     &epoch_losses,
+                    cfg.confidence.name(),
+                    &updater.aux_state(),
                 )?;
                 state.store(&opts.dir)?
             };
@@ -1065,6 +1137,41 @@ mod tests {
         };
         let out = train_pge(&d, &cfg);
         assert!(out.confidence.scores().iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn cca_backend_trains_and_is_thread_invariant() {
+        let mut d = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(99);
+        let (noisy, clean) = pge_graph::inject_noise(&d.graph, &d.train, 0.2, &mut rng);
+        d.train = noisy;
+        d.train_clean = clean;
+        let cfg = |threads| PgeConfig {
+            confidence: ConfidenceBackend::Cca,
+            threads,
+            ..PgeConfig::tiny()
+        };
+        let base = train_pge(&d, &cfg(1));
+        // Scores moved off the all-ones init and stayed in range.
+        assert!(base.confidence.scores().iter().any(|&c| c < 1.0));
+        assert!(base
+            .confidence
+            .scores()
+            .iter()
+            .all(|&c| (0.0..=1.0).contains(&c)));
+        // The CCA rule is applied in lane order → thread invariant.
+        for threads in [2, 8] {
+            let out = train_pge(&d, &cfg(threads));
+            assert_eq!(
+                base.confidence.scores(),
+                out.confidence.scores(),
+                "cca confidences diverged at threads={threads}"
+            );
+            assert_eq!(base.epoch_losses, out.epoch_losses);
+        }
+        // And it is a genuinely different rule from Eq. 6.
+        let pge = train_pge(&d, &PgeConfig::tiny());
+        assert_ne!(pge.confidence.scores(), base.confidence.scores());
     }
 
     #[test]

@@ -98,19 +98,20 @@ fn title_case(s: &str) -> String {
         .join(" ")
 }
 
-/// One generated product before triple emission.
-struct Product {
-    title: String,
-    category: String,
-    brand: String,
-    labeled_attr: &'static str,
-    phrase: String,
-    cluster: &'static Cluster,
-    ingredients: Vec<String>,
-    size: String,
-    form: &'static str,
-    material: Option<String>,
-    flavored: bool,
+/// One generated product before triple emission. `pub(crate)` so the
+/// drift generator can mint churn products through the same sampler.
+pub(crate) struct Product {
+    pub(crate) title: String,
+    pub(crate) category: String,
+    pub(crate) brand: String,
+    pub(crate) labeled_attr: &'static str,
+    pub(crate) phrase: String,
+    pub(crate) cluster: &'static Cluster,
+    pub(crate) ingredients: Vec<String>,
+    pub(crate) size: String,
+    pub(crate) form: &'static str,
+    pub(crate) material: Option<String>,
+    pub(crate) flavored: bool,
 }
 
 fn form_for(domain: &str, rng: &mut StdRng) -> &'static str {
@@ -137,7 +138,7 @@ fn maybe_variant(rng: &mut StdRng, base: &str, rate: f64) -> String {
     }
 }
 
-fn generate_product(rng: &mut StdRng, cfg: &CatalogConfig) -> Product {
+pub(crate) fn generate_product(rng: &mut StdRng, cfg: &CatalogConfig) -> Product {
     let pt = choice(rng, PRODUCT_TYPES);
     // Pick a cluster that has phrases for this product's labeled attr.
     let cluster = loop {

@@ -1,0 +1,437 @@
+//! Seeded catalog-churn scenarios for incremental training.
+//!
+//! A drift scenario turns a base catalog into a delta stream: each
+//! window mints new products through the same sampler the catalog
+//! generator uses, corrects labeled values on existing products
+//! (retract + add), and withdraws stale facts outright. Alongside the
+//! stream it emits per-window *labeled* evaluation triples over the
+//! churned products, so the incremental trainer's PR-AUC can be
+//! compared window-by-window against a full retrain.
+//!
+//! Determinism contract: the generator owns its RNG (seeded from
+//! [`DriftConfig::seed`], decorrelated from the catalog seed) and only
+//! *reads* the base dataset. It never advances the catalog generator's
+//! RNG stream — the golden PGECAT01 CRC over [`stream_catalog`]
+//! (`0x6544_de00`) is untouched by any drift call, and the same
+//! `(base, DriftConfig)` pair always yields a byte-identical stream.
+//!
+//! [`stream_catalog`]: crate::catalog::stream_catalog
+
+use crate::catalog::{generate_product, CatalogConfig};
+use pge_graph::{Dataset, DeltaOp, DeltaWindow, TripleDelta};
+use pge_tensor::FxHashSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, Write};
+
+/// Knobs of the churn model.
+#[derive(Clone, Debug)]
+pub struct DriftConfig {
+    /// Ingest windows to emit.
+    pub windows: usize,
+    /// New products per window (each contributes its full fact set,
+    /// labeled attribute included — the incremental trainer must see
+    /// the value to stay transductive).
+    pub adds_per_window: usize,
+    /// Labeled-value corrections per window: retract the current
+    /// flavor/scent fact, add a replacement drawn from the live value
+    /// pool.
+    pub updates_per_window: usize,
+    /// Plain withdrawals per window (a fact disappears, nothing
+    /// replaces it).
+    pub retracts_per_window: usize,
+    /// Labeled evaluation triples per window, sampled over that
+    /// window's churned products.
+    pub eval_per_window: usize,
+    /// Fraction of evaluation triples that are corrupted.
+    pub eval_error_rate: f64,
+    /// RNG seed — independent of the catalog seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            windows: 4,
+            adds_per_window: 40,
+            updates_per_window: 20,
+            retracts_per_window: 10,
+            eval_per_window: 30,
+            eval_error_rate: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Small scenario for unit/integration tests.
+    pub fn tiny() -> Self {
+        DriftConfig {
+            windows: 2,
+            adds_per_window: 6,
+            updates_per_window: 3,
+            retracts_per_window: 2,
+            eval_per_window: 8,
+            ..DriftConfig::default()
+        }
+    }
+}
+
+/// One labeled evaluation triple of a drift scenario, kept as raw
+/// text: ids only exist once the consumer has replayed the stream into
+/// its own graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DriftEvalTriple {
+    /// Window after whose ingest this triple becomes evaluable.
+    pub window: usize,
+    pub title: String,
+    pub attr: String,
+    pub value: String,
+    pub correct: bool,
+}
+
+/// A generated churn scenario: the delta stream plus its labeled
+/// evaluation set.
+#[derive(Clone, Debug)]
+pub struct DriftScenario {
+    pub windows: Vec<DeltaWindow>,
+    pub eval: Vec<DriftEvalTriple>,
+}
+
+/// A live labeled fact the churn model can correct, retract, or draw
+/// replacement values from.
+#[derive(Clone)]
+struct LiveFact {
+    title: String,
+    attr: String,
+    value: String,
+}
+
+/// Generate a drift scenario over `base`. `cat` supplies the product
+/// sampler's knobs (variant rates, title phrasing) — pass the config
+/// the base catalog was generated with so churned products are
+/// statistically indistinguishable from seed products.
+pub fn generate_drift(base: &Dataset, cat: &CatalogConfig, cfg: &DriftConfig) -> DriftScenario {
+    // Decorrelate from the catalog stream: a user who reuses one seed
+    // for both must still get independent draws.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+
+    // The churnable pool: live labeled (flavor/scent) training facts,
+    // as raw text. Updates and retractions pick from here; replacement
+    // values and eval corruptions draw from the same pool, which keeps
+    // every emitted value transductive by construction.
+    let mut pool: Vec<LiveFact> = Vec::new();
+    for t in &base.train {
+        let attr = base.graph.attr_name(t.attr);
+        if attr == "flavor" || attr == "scent" {
+            pool.push(LiveFact {
+                title: base.graph.title(t.product).to_string(),
+                attr: attr.to_string(),
+                value: base.graph.value_text(t.value).to_string(),
+            });
+        }
+    }
+    assert!(
+        !pool.is_empty(),
+        "base dataset has no labeled training facts to churn"
+    );
+    let mut seen_titles: FxHashSet<String> = pool.iter().map(|f| f.title.clone()).collect();
+    for t in &base.train {
+        seen_titles.insert(base.graph.title(t.product).to_string());
+    }
+
+    let mut windows = Vec::with_capacity(cfg.windows);
+    let mut eval = Vec::new();
+    for w in 0..cfg.windows {
+        let mut ops = Vec::new();
+        // Products churned in this window — the eval set samples them.
+        let mut churned: Vec<LiveFact> = Vec::new();
+
+        for i in 0..cfg.adds_per_window {
+            let mut p = generate_product(&mut rng, cat);
+            if !seen_titles.insert(p.title.clone()) {
+                p.title.push_str(&format!(", Drift {w}-{i}"));
+                seen_titles.insert(p.title.clone());
+            }
+            let add = |attr: &str, value: &str, ops: &mut Vec<TripleDelta>| {
+                ops.push(TripleDelta {
+                    op: DeltaOp::Add,
+                    title: p.title.clone(),
+                    attr: attr.to_string(),
+                    value: value.to_string(),
+                });
+            };
+            add("category", &p.category, &mut ops);
+            add("brand", &p.brand, &mut ops);
+            add("size", &p.size, &mut ops);
+            add("form", p.form, &mut ops);
+            for ing in &p.ingredients {
+                add("ingredient", ing, &mut ops);
+            }
+            if let Some(m) = &p.material {
+                add("material", m, &mut ops);
+            }
+            add(p.labeled_attr, &p.phrase, &mut ops);
+            let fact = LiveFact {
+                title: p.title.clone(),
+                attr: p.labeled_attr.to_string(),
+                value: p.phrase.clone(),
+            };
+            churned.push(fact.clone());
+            pool.push(fact);
+        }
+
+        for _ in 0..cfg.updates_per_window {
+            if pool.len() < 2 {
+                break;
+            }
+            let ix = rng.gen_range(0..pool.len());
+            let old = pool[ix].clone();
+            // Replacement: a different live value (usually another
+            // concept cluster — a genuine semantic correction).
+            let new_value = {
+                let mut v = old.value.clone();
+                for _ in 0..8 {
+                    let cand = &pool[rng.gen_range(0..pool.len())];
+                    if cand.value != old.value {
+                        v = cand.value.clone();
+                        break;
+                    }
+                }
+                v
+            };
+            if new_value == old.value {
+                continue;
+            }
+            ops.push(TripleDelta {
+                op: DeltaOp::Retract,
+                title: old.title.clone(),
+                attr: old.attr.clone(),
+                value: old.value.clone(),
+            });
+            ops.push(TripleDelta {
+                op: DeltaOp::Add,
+                title: old.title.clone(),
+                attr: old.attr.clone(),
+                value: new_value.clone(),
+            });
+            pool[ix].value = new_value;
+            // Supersede any churned entry for the same fact (a product
+            // added and corrected in one window) — eval must only see
+            // the value that survives the window.
+            churned.retain(|c| !(c.title == old.title && c.attr == old.attr));
+            churned.push(pool[ix].clone());
+        }
+
+        for _ in 0..cfg.retracts_per_window {
+            if pool.len() <= 1 {
+                break;
+            }
+            let ix = rng.gen_range(0..pool.len());
+            let gone = pool.swap_remove(ix);
+            churned.retain(|c| !(c.title == gone.title && c.attr == gone.attr));
+            ops.push(TripleDelta {
+                op: DeltaOp::Retract,
+                title: gone.title,
+                attr: gone.attr,
+                value: gone.value,
+            });
+        }
+
+        // Labeled eval over this window's churned products: the
+        // correct value is the product's current phrase (in train by
+        // construction); corruptions draw a different live value.
+        for _ in 0..cfg.eval_per_window {
+            if churned.is_empty() || pool.is_empty() {
+                break;
+            }
+            let f = &churned[rng.gen_range(0..churned.len())];
+            let corrupt = rng.gen_bool(cfg.eval_error_rate);
+            let value = if corrupt {
+                let mut v = None;
+                for _ in 0..8 {
+                    let cand = &pool[rng.gen_range(0..pool.len())];
+                    if cand.value != f.value {
+                        v = Some(cand.value.clone());
+                        break;
+                    }
+                }
+                match v {
+                    Some(v) => v,
+                    None => continue,
+                }
+            } else {
+                f.value.clone()
+            };
+            eval.push(DriftEvalTriple {
+                window: w,
+                title: f.title.clone(),
+                attr: f.attr.clone(),
+                value,
+                correct: !corrupt,
+            });
+        }
+
+        windows.push(DeltaWindow { index: w, ops });
+    }
+    DriftScenario { windows, eval }
+}
+
+/// Serialize a drift eval set, one TSV line per triple:
+/// `window \t correct \t title \t attr \t value`.
+pub fn write_drift_eval(eval: &[DriftEvalTriple], mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "#pge-drift-eval v1")?;
+    for e in eval {
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}",
+            e.window,
+            u8::from(e.correct),
+            e.title,
+            e.attr,
+            e.value
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse a drift eval set written by [`write_drift_eval`].
+pub fn read_drift_eval(r: impl BufRead) -> std::io::Result<Vec<DriftEvalTriple>> {
+    let bad = |line: usize, msg: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("drift eval line {line}: {msg}"),
+        )
+    };
+    let mut lines = r.lines();
+    match lines.next() {
+        Some(Ok(h)) if h == "#pge-drift-eval v1" => {}
+        _ => return Err(bad(1, "missing #pge-drift-eval v1 header")),
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(5, '\t');
+        let window = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(i + 2, "bad window"))?;
+        let correct = match parts.next() {
+            Some("1") => true,
+            Some("0") => false,
+            _ => return Err(bad(i + 2, "correct flag must be 0 or 1")),
+        };
+        let title = parts.next().ok_or_else(|| bad(i + 2, "missing title"))?;
+        let attr = parts.next().ok_or_else(|| bad(i + 2, "missing attr"))?;
+        let value = parts.next().ok_or_else(|| bad(i + 2, "missing value"))?;
+        out.push(DriftEvalTriple {
+            window,
+            title: title.to_string(),
+            attr: attr.to_string(),
+            value: value.to_string(),
+            correct,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::generate_catalog;
+    use pge_graph::apply_window;
+
+    fn base() -> (Dataset, CatalogConfig) {
+        let cat = CatalogConfig::tiny();
+        (generate_catalog(&cat), cat)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (d, cat) = base();
+        let a = generate_drift(&d, &cat, &DriftConfig::tiny());
+        let b = generate_drift(&d, &cat, &DriftConfig::tiny());
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.eval, b.eval);
+        let c = generate_drift(
+            &d,
+            &cat,
+            &DriftConfig {
+                seed: 8,
+                ..DriftConfig::tiny()
+            },
+        );
+        assert_ne!(a.windows, c.windows);
+    }
+
+    #[test]
+    fn windows_apply_cleanly_and_eval_is_transductive() {
+        let (d, cat) = base();
+        let cfg = DriftConfig::tiny();
+        let s = generate_drift(&d, &cat, &cfg);
+        assert_eq!(s.windows.len(), cfg.windows);
+
+        let mut evolved = d.clone();
+        let mut live = vec![true; evolved.train.len()];
+        for w in &s.windows {
+            let applied = apply_window(&mut evolved, &mut live, w);
+            // Every retraction the churn model emits targets a fact it
+            // knows to be live.
+            assert_eq!(applied.missed_retractions, 0, "window {}", w.index);
+            assert!(
+                !applied.added.is_empty(),
+                "window {} added nothing",
+                w.index
+            );
+
+            // Transductive at the point of evaluation: window-w eval
+            // values occur among *live* train entries right after
+            // window w is ingested (later windows may churn them away
+            // again — that's fine, they're evaluated here).
+            let live_values: FxHashSet<&str> = evolved
+                .train
+                .iter()
+                .zip(&live)
+                .filter(|(_, l)| **l)
+                .map(|(t, _)| evolved.graph.value_text(t.value))
+                .collect();
+            for e in s.eval.iter().filter(|e| e.window == w.index) {
+                assert!(
+                    live_values.contains(e.value.as_str()),
+                    "window {} eval value {:?} not in live train",
+                    w.index,
+                    e.value
+                );
+            }
+        }
+        assert!(!s.eval.is_empty());
+        assert!(s.eval.iter().any(|e| e.correct));
+        assert!(s.eval.iter().any(|e| !e.correct));
+    }
+
+    #[test]
+    fn base_dataset_is_not_perturbed() {
+        // The generator reads the base and owns its RNG: regenerating
+        // the catalog after a drift call is byte-identical, so the
+        // golden PGECAT01 CRC cannot move.
+        let (d, cat) = base();
+        let _ = generate_drift(&d, &cat, &DriftConfig::tiny());
+        let again = generate_catalog(&cat);
+        assert_eq!(d.train, again.train);
+        assert_eq!(d.graph.triples(), again.graph.triples());
+    }
+
+    #[test]
+    fn eval_roundtrips_through_tsv() {
+        let (d, cat) = base();
+        let s = generate_drift(&d, &cat, &DriftConfig::tiny());
+        let mut buf = Vec::new();
+        write_drift_eval(&s.eval, &mut buf).unwrap();
+        let back = read_drift_eval(&buf[..]).unwrap();
+        assert_eq!(s.eval, back);
+        assert!(read_drift_eval(&b"no header"[..]).is_err());
+    }
+}

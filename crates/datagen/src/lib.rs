@@ -7,6 +7,9 @@
 //!   clusters correlate values across products (the paper's
 //!   "pepper" ↔ "spicy" example), and errors of three realistic kinds
 //!   are injected with ground-truth labels.
+//! * [`drift`] turns a base catalog into a seeded churn scenario — a
+//!   delta stream of added/corrected/withdrawn facts plus per-window
+//!   labeled eval triples — for exercising incremental training.
 //! * [`fbkg`] replaces FB15K-237: a typed multi-relational KG with
 //!   latent cluster structure (rich, learnable graph signal) and
 //!   deliberately weak entity text.
@@ -16,8 +19,12 @@
 //! to the models that consume it.)
 
 pub mod catalog;
+pub mod drift;
 pub mod fbkg;
 pub mod lexicon;
 
 pub use catalog::{generate_catalog, stream_catalog, CatalogConfig, StreamStats};
+pub use drift::{
+    generate_drift, read_drift_eval, write_drift_eval, DriftConfig, DriftEvalTriple, DriftScenario,
+};
 pub use fbkg::{generate_fbkg, FbkgConfig};

@@ -29,7 +29,7 @@ use crate::epoll::{Epoll, Event, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDH
 use crate::metrics::GatewayMetrics;
 use crate::replica::{worker_loop, Completion, CompletionSink, Job, ModelState, Replica};
 use crate::ring::HashRing;
-use pge_core::{load_model_auto_path, Detector, PgeModel};
+use pge_core::{load_model_auto_path, Detector, PersistError, PgeModel};
 use pge_graph::{LabeledTriple, ProductGraph};
 use pge_obs::trace::{DEFAULT_RETAIN_CAP, DEFAULT_RING_CAPACITY, DEFAULT_SLOW_MS};
 use pge_obs::{
@@ -126,6 +126,42 @@ struct Shared {
     tracer: Tracer,
 }
 
+/// A failed reload, classified for the caller: `retryable` marks
+/// transient states (snapshot mid-write → truncated payload or bad
+/// CRC) where the client should back off and resend, versus hard
+/// errors (missing file, graph mismatch) that retrying won't fix.
+#[derive(Debug)]
+struct ReloadError {
+    msg: String,
+    retryable: bool,
+}
+
+/// Clears `reload_busy` when dropped, so the busy flag cannot leak on
+/// any exit path — early return, load error, or a panic unwinding the
+/// reload thread. Without this a panicked reload left the gateway
+/// answering 409 to every subsequent reload forever.
+struct ReloadGuard {
+    shared: Arc<Shared>,
+}
+
+impl ReloadGuard {
+    /// Claim the reload slot; `None` when a reload is already running.
+    fn acquire(shared: &Arc<Shared>) -> Option<Self> {
+        if shared.reload_busy.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        Some(Self {
+            shared: shared.clone(),
+        })
+    }
+}
+
+impl Drop for ReloadGuard {
+    fn drop(&mut self) {
+        self.shared.reload_busy.store(false, Ordering::SeqCst);
+    }
+}
+
 impl Shared {
     /// Install `model` (with `threshold`) on every replica. Each gets
     /// a fresh cache — cached vectors are a function of the weights.
@@ -150,7 +186,7 @@ impl Shared {
     /// Load a PGEBIN/PGE snapshot from disk and swap it in. Runs on a
     /// reload thread, never on the event loop. A failed load leaves
     /// the serving model untouched.
-    fn reload_from_path(&self, path: &str) -> Result<u64, String> {
+    fn reload_from_path(&self, path: &str) -> Result<u64, ReloadError> {
         // Magic-routed: a PGEBIN02 snapshot is opened through the
         // store (honoring cfg.mmap), so a hot-swapped model with an
         // embedding bank keeps serving rows off the page cache.
@@ -160,7 +196,13 @@ impl Shared {
             self.cfg.mmap,
             DEFAULT_RESIDENT_BUDGET,
         )
-        .map_err(|e| format!("load {path}: {e}"))?;
+        .map_err(|e| ReloadError {
+            // A snapshot the pusher is still writing reads as a bad
+            // magic/CRC or truncated payload; the next attempt, after
+            // the writer finishes, will see the complete file.
+            retryable: matches!(e, PersistError::Corrupt(_) | PersistError::UnknownFormat(_)),
+            msg: format!("load {path}: {e}"),
+        })?;
         // Refit the decision threshold on the validation split; with
         // no split available the current threshold carries over.
         let threshold = if self.valid.is_empty() {
@@ -246,12 +288,10 @@ impl GatewayHandle {
     /// validation split the gateway was started with. The same path
     /// `POST /admin/reload` and SIGHUP take.
     pub fn reload_from_path(&self, path: &str) -> Result<u64, String> {
-        if self.shared.reload_busy.swap(true, Ordering::SeqCst) {
+        let Some(_guard) = ReloadGuard::acquire(&self.shared) else {
             return Err("reload already in progress".into());
-        }
-        let result = self.shared.reload_from_path(path);
-        self.shared.reload_busy.store(false, Ordering::SeqCst);
-        result
+        };
+        self.shared.reload_from_path(path).map_err(|e| e.msg)
     }
 
     /// Graceful shutdown: stop accepting, finish every admitted
@@ -584,22 +624,23 @@ fn dispatch(conn: &mut Conn, token: u64, seq: u64, req: http::Request, shared: &
                 );
                 return;
             };
-            if shared.reload_busy.swap(true, Ordering::SeqCst) {
+            let Some(guard) = ReloadGuard::acquire(shared) else {
                 inline_json(conn, 409, &error_json("reload already in progress"));
                 return;
-            }
+            };
             conn.pending += 1;
             let shared = shared.clone();
             let enqueued = Instant::now();
             // Snapshot loading (disk + CRC + threshold refit) happens
             // on its own thread; the event loop keeps serving and the
-            // answer comes back through the completion sink.
-            let _ = std::thread::Builder::new()
+            // answer comes back through the completion sink. The guard
+            // rides along so `reload_busy` clears even if the load
+            // panics; a failed spawn drops it right here.
+            let spawned = std::thread::Builder::new()
                 .name("pge-gw-reload".into())
                 .spawn(move || {
-                    let result = shared.reload_from_path(&path);
-                    shared.reload_busy.store(false, Ordering::SeqCst);
-                    let (status, body) = match result {
+                    let _guard = guard;
+                    let (status, body) = match shared.reload_from_path(&path) {
                         Ok(v) => (
                             200,
                             Json::Obj(vec![
@@ -608,7 +649,18 @@ fn dispatch(conn: &mut Conn, token: u64, seq: u64, req: http::Request, shared: &
                             ])
                             .to_string(),
                         ),
-                        Err(e) => (500, error_json(&e)),
+                        // 503 + retryable: the snapshot is likely
+                        // still being written; clients back off and
+                        // resend. Hard failures stay 500.
+                        Err(e) if e.retryable => (
+                            503,
+                            Json::Obj(vec![
+                                ("error".into(), Json::Str(e.msg)),
+                                ("retryable".into(), Json::Bool(true)),
+                            ])
+                            .to_string(),
+                        ),
+                        Err(e) => (500, error_json(&e.msg)),
                     };
                     shared.sink.push_all([Completion {
                         conn: token,
@@ -619,6 +671,10 @@ fn dispatch(conn: &mut Conn, token: u64, seq: u64, req: http::Request, shared: &
                         trace: 0,
                     }]);
                 });
+            if spawned.is_err() {
+                conn.pending -= 1;
+                inline_json(conn, 500, &error_json("could not spawn reload thread"));
+            }
         }
         (
             _,

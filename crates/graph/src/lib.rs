@@ -13,9 +13,13 @@
 //! * [`noise`] — noise injection (random value substitution, §4.1 and
 //!   §4.5);
 //! * [`tsv`] — a small text serialization so generated datasets can be
-//!   persisted and diffed.
+//!   persisted and diffed;
+//! * [`delta`] — the streaming add/retract delta format that feeds
+//!   `pge train --incremental`, with window fingerprints for exact
+//!   resume.
 
 pub mod dataset;
+pub mod delta;
 pub mod noise;
 pub mod sampler;
 pub mod stats;
@@ -23,6 +27,10 @@ pub mod store;
 pub mod tsv;
 
 pub use dataset::{Dataset, LabeledTriple, Split};
+pub use delta::{
+    apply_window, read_delta_stream, stream_fingerprint, write_delta_stream, AppliedWindow,
+    DeltaError, DeltaOp, DeltaWindow, TripleDelta,
+};
 pub use noise::inject_noise;
 pub use sampler::{NegativeSampler, SamplingMode};
 pub use stats::{graph_stats, GraphStats};

@@ -173,6 +173,18 @@ pub fn checkpoint_event(stats: &[(&str, f64)]) -> Json {
     Json::Obj(pairs)
 }
 
+/// An incremental-ingest record, one per delta window, e.g.
+/// `[("window", 3.0), ("added", 120.0), ("retracted", 8.0),
+/// ("mean_loss", 0.4), ("push_version", 5.0)]` (`push_version` is -1
+/// when the window was not pushed to a gateway).
+pub fn ingest_event(stats: &[(&str, f64)]) -> Json {
+    let mut pairs = base("ingest");
+    for (k, v) in stats {
+        pairs.push((k.to_string(), Json::Num(*v)));
+    }
+    Json::Obj(pairs)
+}
+
 /// A gateway snapshot or swap record from counter pairs, e.g.
 /// `[("requests_total", 5.0e4), ("routing_skew", 1.08)]` for the
 /// shutdown snapshot or `[("swap", 1.0), ("version", 2.0)]` per model

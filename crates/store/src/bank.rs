@@ -323,14 +323,36 @@ impl EmbeddingBank {
         // creeps to the file size between evictions.
         const FAULT_AROUND_BYTES: u64 = 64 << 10;
         let touch_bytes = 2 * FAULT_AROUND_BYTES.max(crate::mmap::page_size() as u64);
-        let t = self.touched.fetch_add(touch_bytes, Ordering::Relaxed) + touch_bytes;
-        if t >= self.budget
-            && self
-                .touched
-                .compare_exchange(t, 0, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-        {
-            self.evict_sections();
+        // Claim evictions by *subtracting* whole budget multiples,
+        // retrying on contention. The old scheme
+        // (`compare_exchange(t, 0)` after the add) had two races
+        // under concurrent lookups: a CAS that lost to a neighboring
+        // add simply skipped the eviction (the counter sailed past
+        // the budget and RSS kept growing), and a CAS that won
+        // discarded the over-budget residual, silently forgetting
+        // bytes other lookups had already charged. The subtract loop
+        // keeps both: every budget's worth of charges is claimed by
+        // exactly one lookup (one `madvise` pass per claim, however
+        // many multiples it covers), and the remainder stays in the
+        // counter for the next window — so across any interleaving,
+        // `evictions == floor(total_charged / budget)`.
+        let mut cur = self.touched.fetch_add(touch_bytes, Ordering::Relaxed) + touch_bytes;
+        while cur >= self.budget {
+            let units = cur / self.budget;
+            match self.touched.compare_exchange(
+                cur,
+                cur % self.budget,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.snap.evict_section(SEC_ROWS);
+                    self.snap.evict_section(SEC_KEYS);
+                    self.evictions.fetch_add(units, Ordering::Relaxed);
+                    break;
+                }
+                Err(now) => cur = now,
+            }
         }
     }
 
@@ -345,7 +367,12 @@ impl EmbeddingBank {
     /// commits). No-op for heap-backed banks.
     pub fn evict_resident(&self) {
         if self.snap.is_mapped() {
-            self.touched.store(0, Ordering::Relaxed);
+            // `swap`, not `store`: atomically claim whatever has been
+            // charged so a concurrent lookup's add is either folded
+            // into this reset or lands cleanly in the fresh window —
+            // a plain store could overwrite an add that arrived
+            // between the decision to reset and the reset itself.
+            self.touched.swap(0, Ordering::Relaxed);
             self.evict_sections();
         }
     }

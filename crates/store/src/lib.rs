@@ -258,6 +258,72 @@ mod tests {
     }
 
     #[test]
+    fn bank_eviction_accounting_is_exact_under_concurrency() {
+        // Regression: the touched-bytes counter used to be reset with
+        // a racy `compare_exchange(t, 0)` — concurrent lookups could
+        // lose the CAS (skipping evictions entirely) or win it and
+        // discard the over-budget residual. The subtract-claim scheme
+        // must satisfy `evictions == floor(total_charged / budget)`
+        // exactly, for any interleaving.
+        let path = tmp("bank-concurrent.pgebin2");
+        let dim = 8;
+        let keys: Vec<String> = (0..32).map(|i| format!("entity {i}")).collect();
+        let embed = |k: &str, out: &mut Vec<f32>| {
+            let h = bank::fnv64(k.as_bytes());
+            out.extend((0..dim).map(|i| ((h >> (i * 5)) & 0xff) as f32 / 13.0));
+        };
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        let mut b = BankBuilder::new();
+        for k in &keys {
+            b.add(k);
+        }
+        b.write_sections(&mut w, dim, embed).unwrap();
+        w.finish().unwrap();
+
+        let snap = Arc::new(Snapshot::open(&path, MmapMode::On).unwrap());
+        assert!(snap.is_mapped(), "test requires the mapped path");
+        // The same per-lookup charge note_touch computes.
+        let touch_bytes = 2 * (64u64 << 10).max(page_size() as u64);
+        // A budget that doesn't divide evenly into charges, so the
+        // residual bookkeeping actually matters.
+        let budget = 5 * touch_bytes + touch_bytes / 2;
+        let bank = EmbeddingBank::open(snap, budget).unwrap().expect("bank");
+
+        let threads = 8;
+        let lookups = 250usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let bank = &bank;
+                let keys = &keys;
+                s.spawn(move || {
+                    for j in 0..lookups {
+                        if j % 4 == 0 {
+                            assert!(bank.lookup("no such entity").is_none());
+                        } else {
+                            let k = &keys[(t * lookups + j) % keys.len()];
+                            assert!(bank.lookup(k).is_some(), "missing {k}");
+                        }
+                    }
+                });
+            }
+        });
+
+        let total_charged = threads as u64 * lookups as u64 * touch_bytes;
+        assert_eq!(
+            bank.evictions(),
+            total_charged / budget,
+            "every budget's worth of charged bytes must evict exactly once \
+             (total {total_charged}, budget {budget})"
+        );
+        let (hits, misses) = bank.hit_stats();
+        assert_eq!(hits + misses, (threads * lookups) as u64);
+        // Explicit eviction claims whatever is pending and counts once.
+        let before = bank.evictions();
+        bank.evict_resident();
+        assert_eq!(bank.evictions(), before + 1);
+    }
+
+    #[test]
     fn snapshot_without_bank_opens_as_none() {
         let path = tmp("nobank.pgebin2");
         write_sample_snapshot(&path);

@@ -68,14 +68,18 @@
 //! and `pge report` summarizes it.
 
 use pge::core::{
-    load_model_auto_path, resolve_threads, save_model, save_model_store, train_pge_resumable,
-    write_model_sections, CheckpointOptions, Detector, PgeConfig, PgeModel, ScoreKind,
+    load_model_auto_path, resolve_threads, save_model, save_model_store, train_incremental,
+    train_pge_resumable, write_model_sections, CheckpointOptions, ConfidenceBackend, Detector,
+    IncrementalConfig, PgeConfig, PgeModel, ScoreKind,
 };
-use pge::datagen::{generate_catalog, generate_fbkg, stream_catalog, CatalogConfig, FbkgConfig};
+use pge::datagen::{
+    generate_catalog, generate_drift, generate_fbkg, stream_catalog, write_drift_eval,
+    CatalogConfig, DriftConfig, FbkgConfig,
+};
 use pge::eval::{average_precision, recall_at_precision, Scored};
 use pge::gateway::GatewayConfig;
 use pge::graph::tsv::{from_tsv, to_tsv, write_raw_triples};
-use pge::graph::{Dataset, ProductGraph, Triple};
+use pge::graph::{read_delta_stream, write_delta_stream, Dataset, ProductGraph, Triple};
 use pge::obs::{
     eval_event, global_tracer, manifest_event, render_report, render_traces, scan_event,
     set_spans_enabled, spans_event, trace_event, validate_exposition, EvalTelemetry, RunLog,
@@ -93,10 +97,14 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  pge generate --kind catalog|fb --out data.tsv [--products N] [--seed N] [--scan-out raw.tsv]\n               \
-         [--count N --catalog-out catalog.bin]   (streamed paper-scale binary catalog)\n  \
+         [--count N --catalog-out catalog.bin]   (streamed paper-scale binary catalog)\n               \
+         [--drift-out deltas.tsv --drift-windows N --drift-ops N --drift-seed N\n                \
+         --drift-eval-out eval.tsv]   (seeded churn scenario for incremental training)\n  \
          pge train    --data data.tsv --out model.pge [--epochs N] [--score transe|rotate]\n               \
          [--threads N] [--binary] [--checkpoint DIR | --resume DIR] [--stop-after N]\n               \
-         [--runlog run.jsonl]\n  \
+         [--confidence pge|cca] [--runlog run.jsonl]\n               \
+         [--incremental --deltas deltas.tsv --window-epochs N --snapshot-dir DIR\n                \
+         --push HOST:PORT]   (warm-start from --checkpoint, ingest delta windows)\n  \
          pge embed    --data data.tsv --model model.pge --catalog catalog.bin --out bank.pge\n               \
          [--mmap auto|on|off]   (write model + precomputed embedding bank snapshot)\n  \
          pge detect   --data data.tsv --model model.pge [--top N] [--mmap auto|on|off] [--runlog run.jsonl]\n  \
@@ -275,16 +283,22 @@ fn main() {
             }
             let kind = get("kind").unwrap_or_else(|| "catalog".into());
             let out = require("out");
+            // Kept for `--drift-out`: churned products must come from
+            // the same sampler knobs as the base catalog.
+            let mut catalog_cfg = None;
             let dataset = match kind.as_str() {
                 "catalog" => {
                     let products: usize =
                         get("products").and_then(|s| s.parse().ok()).unwrap_or(1000);
-                    generate_catalog(&CatalogConfig {
+                    let cfg = CatalogConfig {
                         products,
                         labeled: products / 3,
                         seed,
                         ..CatalogConfig::default()
-                    })
+                    };
+                    let d = generate_catalog(&cfg);
+                    catalog_cfg = Some(cfg);
+                    d
                 }
                 "fb" => generate_fbkg(&FbkgConfig {
                     seed,
@@ -312,6 +326,57 @@ fn main() {
                 );
                 println!("wrote {scan_out}: {n} raw triples for bulk scanning");
             }
+            // A seeded churn scenario over the freshly generated
+            // catalog: a delta stream for `train --incremental` plus
+            // its per-window labeled eval set. Uses its own RNG — the
+            // catalog (and the golden PGECAT01 CRC) is unaffected.
+            if let Some(drift_out) = get("drift-out") {
+                let Some(cat_cfg) = &catalog_cfg else {
+                    eprintln!("--drift-out requires --kind catalog");
+                    exit(2)
+                };
+                let windows = get("drift-windows")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(4);
+                let ops: usize = get("drift-ops").and_then(|s| s.parse().ok()).unwrap_or(40);
+                let dcfg = DriftConfig {
+                    windows,
+                    adds_per_window: ops,
+                    updates_per_window: ops / 2,
+                    retracts_per_window: ops / 4,
+                    seed: get("drift-seed")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(seed),
+                    ..DriftConfig::default()
+                };
+                let scenario = generate_drift(&dataset, cat_cfg, &dcfg);
+                let file = std::fs::File::create(&drift_out).unwrap_or_else(|e| {
+                    eprintln!("cannot write {drift_out}: {e}");
+                    exit(1)
+                });
+                write_delta_stream(&scenario.windows, std::io::BufWriter::new(file))
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot write {drift_out}: {e}");
+                        exit(1)
+                    });
+                let eval_out = get("drift-eval-out").unwrap_or_else(|| format!("{drift_out}.eval"));
+                let file = std::fs::File::create(&eval_out).unwrap_or_else(|e| {
+                    eprintln!("cannot write {eval_out}: {e}");
+                    exit(1)
+                });
+                write_drift_eval(&scenario.eval, std::io::BufWriter::new(file)).unwrap_or_else(
+                    |e| {
+                        eprintln!("cannot write {eval_out}: {e}");
+                        exit(1)
+                    },
+                );
+                let ops_total: usize = scenario.windows.iter().map(|w| w.ops.len()).sum();
+                println!(
+                    "wrote {drift_out}: {} windows, {ops_total} delta ops; {eval_out}: {} labeled eval triples",
+                    scenario.windows.len(),
+                    scenario.eval.len()
+                );
+            }
             let s = dataset.stats();
             println!(
                 "wrote {out}: {} products, {} values, {} train / {} valid / {} test triples",
@@ -331,6 +396,13 @@ fn main() {
                 // 0 = auto (available parallelism); recorded resolved
                 // in the manifest below so runs are reproducible.
                 threads: get("threads").and_then(|s| s.parse().ok()).unwrap_or(0),
+                confidence: match get("confidence") {
+                    Some(s) => ConfidenceBackend::parse(&s).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(2)
+                    }),
+                    None => ConfidenceBackend::default(),
+                },
                 ..PgeConfig::default()
             };
             let ckpt = match (get("resume"), get("checkpoint")) {
@@ -343,6 +415,101 @@ fn main() {
                 opts
             });
             let log = open_runlog(get("runlog"));
+            // Streaming ingest: warm-start from the base checkpoint,
+            // fine-tune per delta window, snapshot + optionally push
+            // each window to a gateway. Resumable like full training.
+            if flags.contains_key("incremental") {
+                let deltas_path = require("deltas");
+                let Some(ckpt) = ckpt else {
+                    eprintln!("--incremental needs --checkpoint DIR (the base run's checkpoint; add --resume to continue a killed ingest)");
+                    exit(2)
+                };
+                let file = std::fs::File::open(&deltas_path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {deltas_path}: {e}");
+                    exit(1)
+                });
+                let windows =
+                    read_delta_stream(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+                        eprintln!("cannot parse {deltas_path}: {e}");
+                        exit(1)
+                    });
+                let snapshot_dir =
+                    get("snapshot-dir").unwrap_or_else(|| format!("{out}.snapshots"));
+                let mut inc = IncrementalConfig::new(std::path::PathBuf::from(snapshot_dir));
+                if let Some(n) = get("window-epochs").and_then(|s| s.parse().ok()) {
+                    inc.epochs_per_window = n;
+                }
+                inc.push = get("push");
+                if let Some(n) = get("push-attempts").and_then(|s| s.parse().ok()) {
+                    inc.push_attempts = n;
+                }
+                if let Some(ms) = get("push-backoff-ms").and_then(|s| s.parse().ok()) {
+                    inc.push_backoff_ms = ms;
+                }
+                if let Some(log) = &log {
+                    log.write(&manifest_event(
+                        "train-incremental",
+                        cfg.seed,
+                        &[
+                            ("data".into(), data_path.clone()),
+                            ("deltas".into(), deltas_path.clone()),
+                            ("out".into(), out.clone()),
+                            ("windows".into(), windows.len().to_string()),
+                            ("window_epochs".into(), inc.epochs_per_window.to_string()),
+                            ("confidence".into(), cfg.confidence.name().into()),
+                            ("threads".into(), resolve_threads(cfg.threads).to_string()),
+                            (
+                                "push".into(),
+                                inc.push.clone().unwrap_or_else(|| "none".into()),
+                            ),
+                        ],
+                    ));
+                }
+                println!(
+                    "incremental ingest of {} windows from {deltas_path} ({} backend, {} threads) ...",
+                    windows.len(),
+                    cfg.confidence.name(),
+                    resolve_threads(cfg.threads)
+                );
+                let outcome = train_incremental(&data, &windows, &cfg, &inc, &ckpt, log.as_ref())
+                    .unwrap_or_else(|e| {
+                        eprintln!("incremental training failed: {e}");
+                        exit(1)
+                    });
+                for p in &outcome.pushes {
+                    println!(
+                        "window {} pushed -> gateway version {} ({} attempt{})",
+                        p.window,
+                        p.version,
+                        p.attempts,
+                        if p.attempts == 1 { "" } else { "s" }
+                    );
+                }
+                println!(
+                    "ingested {} of {} windows in {:.1}s ({} train triples now)",
+                    outcome.windows_done,
+                    windows.len(),
+                    outcome.train_secs,
+                    outcome.dataset.train.len()
+                );
+                if outcome.windows_done < windows.len() {
+                    println!("stopped early (checkpoint retained; continue with --resume)");
+                }
+                if flags.contains_key("binary") {
+                    save_model_store(&outcome.model, Path::new(&out)).unwrap_or_else(|e| {
+                        eprintln!("cannot write {out}: {e}");
+                        exit(1)
+                    });
+                } else {
+                    let text = save_model(&outcome.model).expect("CNN models persist");
+                    std::fs::write(&out, text).unwrap_or_else(|e| {
+                        eprintln!("cannot write {out}: {e}");
+                        exit(1)
+                    });
+                }
+                println!("model saved to {out}");
+                return;
+            }
             if let Some(log) = &log {
                 log.write(&manifest_event(
                     "train",

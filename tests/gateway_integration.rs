@@ -16,10 +16,13 @@
 //! * **a stalled replica is observable** — tail sampling retains its
 //!   requests and attributes the delay to queue time on that replica.
 
-use pge::core::{save_model_binary, train_pge, Detector, PgeConfig, PgeModel};
+use pge::core::{
+    save_model_binary, train_incremental, train_pge, train_pge_resumable, CheckpointOptions,
+    Detector, IncrementalConfig, PgeConfig, PgeModel,
+};
 use pge::datagen::{generate_catalog, CatalogConfig};
 use pge::gateway::{start, GatewayConfig, GatewayHandle};
-use pge::graph::Dataset;
+use pge::graph::{Dataset, DeltaOp, DeltaWindow, TripleDelta};
 use pge::obs::Stage;
 use pge::serve::json::{self, Json};
 use std::io::{Read, Write};
@@ -492,8 +495,9 @@ fn reload_swaps_snapshot_and_rejects_corrupt_one() {
         );
     }
 
-    // A corrupt snapshot is rejected with 500; the serving model and
-    // version are untouched.
+    // A corrupt snapshot is rejected with a retryable 503 (a CRC
+    // failure is indistinguishable from a snapshot still being
+    // written); the serving model and version are untouched.
     let bad = dir.join("corrupt.pgebin");
     let mut bytes = save_model_binary(&model_b).expect("snapshot");
     let mid = bytes.len() / 2;
@@ -509,8 +513,8 @@ fn reload_swaps_snapshot_and_rejects_corrupt_one() {
         body
     );
     let (status, resp) = roundtrip(addr, &raw);
-    assert_eq!(status, 500, "corrupt snapshot must be rejected: {resp}");
-    assert!(resp.contains("error"), "{resp}");
+    assert_eq!(status, 503, "corrupt snapshot must be rejected: {resp}");
+    assert!(resp.contains("\"retryable\":true"), "{resp}");
     assert_eq!(
         handle.version(),
         1,
@@ -594,6 +598,190 @@ fn reload_swaps_mapped_pgebin2_snapshot() {
     assert_eq!(
         parse_plausibilities(&body)[0].to_bits(),
         offline_b[0].to_bits()
+    );
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A reload pointed at a PGEBIN02 snapshot that is still being
+/// written (truncated prefix on disk) answers a retryable 503, leaves
+/// `reload_busy` clear so the retry is admitted, and the retry against
+/// the completed file swaps cleanly. This is the exact sequence the
+/// incremental trainer's push loop produces when it races the
+/// writer's rename-free snapshot publication.
+#[test]
+fn reload_of_partially_written_snapshot_is_retryable() {
+    let data = tiny_data();
+    let (model_a, thr_a) = tiny_model(&data, 2);
+    let (model_b, _thr_b) = tiny_model(&data, 3);
+
+    let dir = std::env::temp_dir().join(format!("pge-gw-partial-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let good = dir.join("model-b.pgebin2");
+    pge::core::save_model_store(&model_b, &good).expect("snapshot B");
+    let full = std::fs::read(&good).expect("read");
+
+    let handle = gateway(
+        &data,
+        model_a,
+        thr_a,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let body = format!(
+        "{{\"path\": {}}}",
+        Json::Str(good.to_string_lossy().into_owned())
+    );
+    let raw = format!(
+        "POST /admin/reload HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+
+    // Truncate at several cut points a concurrent writer could be
+    // caught at: mid-header, mid-section, just short of the footer.
+    for cut in [8, full.len() / 3, full.len() - 4] {
+        std::fs::write(&good, &full[..cut]).expect("write partial");
+        let (status, resp) = roundtrip(addr, &raw);
+        assert_eq!(
+            status, 503,
+            "cut at {cut}: partial snapshot must be retryable, got {resp}"
+        );
+        assert!(resp.contains("\"retryable\":true"), "cut at {cut}: {resp}");
+        assert_eq!(handle.version(), 0, "partial snapshot must not swap");
+    }
+
+    // The writer finishes; the retry that a 503 invites now succeeds.
+    std::fs::write(&good, &full).expect("write complete");
+    let (status, resp) = roundtrip(addr, &raw);
+    assert_eq!(status, 200, "completed snapshot must reload: {resp}");
+    assert_eq!(handle.version(), 1);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end streaming ingest: a gateway serves live traffic while
+/// `train_incremental` fine-tunes on delta windows and pushes each
+/// window's snapshot through `POST /admin/reload`. Every push must
+/// swap (version advances once per window) and every scoring request
+/// racing the swaps must succeed — zero failed requests mid-ingest.
+#[test]
+fn mid_ingest_push_hot_swaps_with_zero_failed_requests() {
+    let data = tiny_data();
+    let cfg = PgeConfig {
+        epochs: 2,
+        confidence_warmup: 1,
+        ..PgeConfig::tiny()
+    };
+    let dir = std::env::temp_dir().join(format!("pge-gw-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let trained =
+        train_pge_resumable(&data, &cfg, None, Some(&CheckpointOptions::new(&dir))).unwrap();
+    let threshold = Detector::fit(&trained.model, &data.graph, &data.valid).threshold;
+    let handle = gateway(
+        &data,
+        trained.model,
+        threshold,
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    // Live traffic racing the ingest: one client scoring in a loop
+    // until the ingest finishes. Every response must be a 200.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scorer = {
+        let stop = stop.clone();
+        let data = tiny_data();
+        std::thread::spawn(move || {
+            let mut statuses = Vec::new();
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (status, body) = post_score(addr, &body_for(&data, &[i % data.test.len()]));
+                assert!(!body.is_empty());
+                statuses.push(status);
+                i += 1;
+            }
+            statuses
+        })
+    };
+
+    let d = |op, title: &str, attr: &str, value: &str| TripleDelta {
+        op,
+        title: title.into(),
+        attr: attr.into(),
+        value: value.into(),
+    };
+    let windows = vec![
+        DeltaWindow {
+            index: 0,
+            ops: vec![
+                d(
+                    DeltaOp::Add,
+                    "Drift Farms Spicy Salsa, 12 oz",
+                    "flavor",
+                    "spicy",
+                ),
+                d(
+                    DeltaOp::Add,
+                    "Drift Farms Spicy Salsa, 12 oz",
+                    "ingredient",
+                    "cayenne pepper",
+                ),
+            ],
+        },
+        DeltaWindow {
+            index: 1,
+            ops: vec![d(
+                DeltaOp::Add,
+                "Drift Farms Sweet Tea, 16 oz",
+                "flavor",
+                "sweet",
+            )],
+        },
+    ];
+    let mut inc = IncrementalConfig::new(dir.join("snapshots"));
+    inc.push = Some(addr.to_string());
+    let outcome = train_incremental(
+        &data,
+        &windows,
+        &cfg,
+        &inc,
+        &CheckpointOptions::new(&dir),
+        None,
+    )
+    .expect("ingest with push");
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let statuses = scorer.join().expect("scorer thread");
+
+    assert_eq!(outcome.windows_done, windows.len());
+    assert_eq!(outcome.pushes.len(), windows.len(), "every window pushes");
+    for (w, p) in outcome.pushes.iter().enumerate() {
+        assert_eq!(p.window, w);
+        assert_eq!(p.version, w as u64 + 1, "each push swaps exactly once");
+    }
+    assert_eq!(handle.version(), windows.len() as u64);
+    assert!(
+        !statuses.is_empty(),
+        "scorer must have raced the ingest at least once"
+    );
+    let failed = statuses.iter().filter(|s| **s != 200).count();
+    assert_eq!(
+        failed,
+        0,
+        "{failed} of {} scoring requests failed mid-ingest",
+        statuses.len()
     );
 
     handle.shutdown();
